@@ -1,0 +1,186 @@
+// Command dtshell executes SQL scripts against an embedded dyntables
+// engine. Besides SQL statements (terminated by semicolons), it supports
+// directives for driving virtual time and inspecting dynamic tables:
+//
+//	.advance 5m        advance the virtual clock and run the scheduler
+//	.refresh name      manually refresh a dynamic table
+//	.status name       print a dynamic table's state and history
+//	.dvs name          check delayed view semantics for a dynamic table
+//	.warehouses        print warehouse billing
+//
+// Usage: dtshell [script.sql]   (reads stdin when no file is given)
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dyntables"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	eng := dyntables.New()
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var pending strings.Builder
+	interactive := len(os.Args) == 1
+	if interactive {
+		fmt.Print("dyntables> ")
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "--") {
+			prompt(interactive, &pending)
+			continue
+		}
+		if strings.HasPrefix(trimmed, ".") {
+			directive(eng, trimmed)
+			prompt(interactive, &pending)
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			execute(eng, pending.String())
+			pending.Reset()
+		}
+		prompt(interactive, &pending)
+	}
+	if strings.TrimSpace(pending.String()) != "" {
+		execute(eng, pending.String())
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func prompt(interactive bool, pending *strings.Builder) {
+	if !interactive {
+		return
+	}
+	if strings.TrimSpace(pending.String()) == "" {
+		fmt.Print("dyntables> ")
+	} else {
+		fmt.Print("       ... ")
+	}
+}
+
+func execute(eng *dyntables.Engine, text string) {
+	results, err := eng.ExecScript(text)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, res := range results {
+		switch {
+		case res.Kind == "SELECT":
+			printTable(res)
+		case res.RowsAffected > 0:
+			fmt.Printf("%s: %d rows\n", res.Kind, res.RowsAffected)
+		case res.Message != "":
+			fmt.Println(res.Message)
+		default:
+			fmt.Println(res.Kind, "ok")
+		}
+	}
+}
+
+func printTable(res *dyntables.Result) {
+	fmt.Println(strings.Join(res.Columns, " | "))
+	fmt.Println(strings.Repeat("-", len(strings.Join(res.Columns, " | "))))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func directive(eng *dyntables.Engine, line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".advance":
+		if len(fields) < 2 {
+			fmt.Println("usage: .advance <duration>")
+			return
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		eng.AdvanceTime(d)
+		if err := eng.RunScheduler(); err != nil {
+			fmt.Println("scheduler error:", err)
+			return
+		}
+		fmt.Printf("advanced to %s\n", eng.Now().Format(time.RFC3339))
+	case ".refresh":
+		if len(fields) < 2 {
+			fmt.Println("usage: .refresh <dynamic table>")
+			return
+		}
+		if err := eng.ManualRefresh(fields[1]); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("refreshed", fields[1])
+	case ".status":
+		if len(fields) < 2 {
+			fmt.Println("usage: .status <dynamic table>")
+			return
+		}
+		st, err := eng.Describe(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%s: state=%s mode=%s rows=%d lag=%s data_ts=%s errors=%d\n",
+			st.Name, st.State, st.EffectiveMode, st.Rows,
+			st.Lag.Truncate(time.Second), st.DataTimestamp.Format(time.RFC3339), st.ErrorCount)
+		for _, rec := range st.History {
+			status := "ok"
+			if rec.Err != nil {
+				status = rec.Err.Error()
+			}
+			fmt.Printf("  %-13s data_ts=%s +%d -%d  %s\n",
+				rec.Action, rec.DataTS.Format("15:04:05"), rec.Inserted, rec.Deleted, status)
+		}
+	case ".dvs":
+		if len(fields) < 2 {
+			fmt.Println("usage: .dvs <dynamic table>")
+			return
+		}
+		if err := eng.CheckDVS(fields[1]); err != nil {
+			fmt.Println("DVS VIOLATION:", err)
+			return
+		}
+		fmt.Println("DVS holds for", fields[1])
+	case ".warehouses":
+		for _, wh := range eng.Warehouses().All() {
+			fmt.Printf("%s: size=%s billed=%s credits=%.4f resumes=%d\n",
+				wh.Name, wh.Size, wh.BilledTime().Truncate(time.Second), wh.Credits(), wh.Resumes())
+		}
+	default:
+		fmt.Println("unknown directive", fields[0])
+	}
+}

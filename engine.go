@@ -1,0 +1,258 @@
+// Package dyntables is an embedded analytical database with Dynamic
+// Tables: declarative, incrementally maintained materialized tables with
+// delayed view semantics, as described in "Streaming Democratized: Ease
+// Across the Latency Spectrum with Delayed View Semantics and Snowflake
+// Dynamic Tables" (SIGMOD-Companion 2025).
+//
+// The engine executes a SQL dialect covering DDL (CREATE [OR REPLACE]
+// [DYNAMIC] TABLE / VIEW / WAREHOUSE, DROP/UNDROP, ALTER), DML (INSERT,
+// UPDATE, DELETE) and queries (SELECT with joins, grouped aggregation,
+// window functions, UNION ALL, LATERAL FLATTEN and variant path access).
+// Dynamic tables refresh automatically under a target lag via the
+// scheduler, incrementally when the defining query is incrementalizable.
+//
+// A quickstart:
+//
+//	eng := dyntables.New()
+//	eng.MustExec(`CREATE TABLE events (id INT, payload VARIANT)`)
+//	eng.MustExec(`CREATE WAREHOUSE wh`)
+//	eng.MustExec(`CREATE DYNAMIC TABLE totals TARGET_LAG = '1 minute' WAREHOUSE = wh
+//	              AS SELECT id, count(*) c FROM events GROUP BY id`)
+//	eng.MustExec(`INSERT INTO events VALUES (1, '{"x": 1}')`)
+//	eng.AdvanceTime(2 * time.Minute)
+//	eng.RunScheduler()
+//	rows, _ := eng.Query(`SELECT * FROM totals`)
+//
+// By default the engine runs on a deterministic virtual clock advanced
+// with AdvanceTime; pass WithWallClock to track real time instead.
+package dyntables
+
+import (
+	"fmt"
+	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/clock"
+	"dyntables/internal/core"
+	"dyntables/internal/plan"
+	"dyntables/internal/sched"
+	"dyntables/internal/storage"
+	"dyntables/internal/txn"
+	"dyntables/internal/warehouse"
+)
+
+// DefaultOrigin is the virtual clock's start time.
+var DefaultOrigin = time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// Engine is an embedded database instance. Engines are safe for use from a
+// single goroutine; refreshes and queries coordinate through the
+// transaction manager internally.
+type Engine struct {
+	vclk  *clock.Virtual
+	clk   clock.Clock
+	txns  *txn.Manager
+	cat   *catalog.Catalog
+	ctrl  *core.Controller
+	pool  *warehouse.Pool
+	sch   *sched.Scheduler
+	model warehouse.CostModel
+	role  string
+	// schPhase is the account-wide canonical-period phase (§5.2).
+	schPhase time.Duration
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWallClock runs the engine against real time instead of the virtual
+// clock (AdvanceTime becomes a no-op).
+func WithWallClock() Option {
+	return func(e *Engine) {
+		e.vclk = nil
+		e.clk = clock.Wall{}
+	}
+}
+
+// WithOrigin sets the virtual clock's start time.
+func WithOrigin(t time.Time) Option {
+	return func(e *Engine) {
+		if e.vclk != nil {
+			e.vclk = clock.NewVirtual(t)
+			e.clk = e.vclk
+		}
+	}
+}
+
+// WithCostModel overrides the refresh cost model used for warehouse
+// simulation.
+func WithCostModel(m warehouse.CostModel) Option {
+	return func(e *Engine) { e.model = m }
+}
+
+// WithSchedulerPhase sets the account-wide phase for canonical refresh
+// periods (§5.2).
+func WithSchedulerPhase(d time.Duration) Option {
+	return func(e *Engine) { e.schPhase = d }
+}
+
+// New creates an engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		model: warehouse.DefaultCostModel,
+		role:  "ADMIN",
+	}
+	e.vclk = clock.NewVirtual(DefaultOrigin)
+	e.clk = e.vclk
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.txns = txn.NewManager(e.clk)
+	e.cat = catalog.New()
+	e.ctrl = core.NewController(e.txns, e, func(entryID int64) (int64, error) {
+		entry, err := e.cat.GetByID(entryID)
+		if err != nil {
+			return 0, err
+		}
+		return entry.Generation, nil
+	})
+	vclk := e.vclk
+	if vclk == nil {
+		// The scheduler needs a virtual clock; under a wall clock it gets
+		// its own mirror advanced on demand.
+		vclk = clock.NewVirtual(e.clk.Now())
+	}
+	e.pool = warehouse.NewPool()
+	e.sch = sched.New(vclk, e.ctrl, e.pool, e.model, e.clk.Now(), e.schPhase)
+	return e
+}
+
+// Now returns the engine's current time.
+func (e *Engine) Now() time.Time { return e.clk.Now() }
+
+// AdvanceTime moves the virtual clock forward. It is a no-op under
+// WithWallClock.
+func (e *Engine) AdvanceTime(d time.Duration) time.Time {
+	if e.vclk != nil {
+		return e.vclk.Advance(d)
+	}
+	return e.clk.Now()
+}
+
+// Scheduler exposes the refresh scheduler for simulations and experiments.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sch }
+
+// Controller exposes the refresh controller (ablation knobs, experiments).
+func (e *Engine) Controller() *core.Controller { return e.ctrl }
+
+// Warehouses exposes the warehouse pool (billing inspection).
+func (e *Engine) Warehouses() *warehouse.Pool { return e.pool }
+
+// Catalog exposes the catalog (RBAC administration, DDL log).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// RunScheduler runs scheduled refreshes up to the current time.
+func (e *Engine) RunScheduler() error {
+	return e.sch.RunUntil(e.clk.Now())
+}
+
+// SetRole switches the session role used for privilege checks.
+func (e *Engine) SetRole(role string) { e.role = role }
+
+// Role returns the session role.
+func (e *Engine) Role() string { return e.role }
+
+// ---------------------------------------------------------------------------
+// catalog payloads
+// ---------------------------------------------------------------------------
+
+type tableObject struct {
+	table *storage.Table
+}
+
+func (*tableObject) ObjectKind() catalog.ObjectKind { return catalog.KindTable }
+
+type viewObject struct {
+	text string
+}
+
+func (*viewObject) ObjectKind() catalog.ObjectKind { return catalog.KindView }
+
+type warehouseObject struct {
+	wh *warehouse.Warehouse
+}
+
+func (*warehouseObject) ObjectKind() catalog.ObjectKind { return catalog.KindWarehouse }
+
+// ResolveTable implements plan.Resolver against the catalog.
+func (e *Engine) ResolveTable(name string) (*plan.Source, error) {
+	entry, err := e.cat.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	src := &plan.Source{
+		EntryID:    entry.ID,
+		Generation: entry.Generation,
+		Name:       entry.Name,
+		Kind:       entry.Kind,
+	}
+	switch payload := entry.Payload.(type) {
+	case *tableObject:
+		src.Table = payload.table
+	case *viewObject:
+		src.ViewSQL = payload.text
+	case *core.DynamicTable:
+		if !payload.Initialized() {
+			return nil, fmt.Errorf("dyntables: dynamic table %q is not initialized yet", name)
+		}
+		src.Table = payload.Storage
+	default:
+		return nil, fmt.Errorf("dyntables: object %q is not queryable", name)
+	}
+	return src, nil
+}
+
+// Recluster appends a data-equivalent version to a base table, simulating
+// the background clustering/defragmentation maintenance of §5.5.2: storage
+// is rewritten but logical contents are unchanged, and incremental readers
+// skip the version entirely (downstream DTs take NO_DATA refreshes).
+func (e *Engine) Recluster(tableName string) error {
+	_, table, err := e.baseTable(tableName)
+	if err != nil {
+		return err
+	}
+	_, err = table.AppendDataEquivalent(e.txns.Now())
+	return err
+}
+
+// DynamicTableHandle returns the engine-side state of a DT, used by the
+// experiment harness and validation tooling.
+func (e *Engine) DynamicTableHandle(name string) (*core.DynamicTable, error) {
+	_, dt, err := e.dynamicTable(name)
+	return dt, err
+}
+
+// dynamicTable resolves a DT payload by name.
+func (e *Engine) dynamicTable(name string) (*catalog.Entry, *core.DynamicTable, error) {
+	entry, err := e.cat.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	dt, ok := entry.Payload.(*core.DynamicTable)
+	if !ok {
+		return nil, nil, fmt.Errorf("dyntables: %q is not a dynamic table", name)
+	}
+	return entry, dt, nil
+}
+
+// baseTable resolves a plain table payload by name.
+func (e *Engine) baseTable(name string) (*catalog.Entry, *storage.Table, error) {
+	entry, err := e.cat.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, ok := entry.Payload.(*tableObject)
+	if !ok {
+		return nil, nil, fmt.Errorf("dyntables: %q is not a base table", name)
+	}
+	return entry, tbl.table, nil
+}

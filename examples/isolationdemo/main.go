@@ -1,0 +1,78 @@
+// Command isolationdemo reproduces Figures 1 and 2 of the paper: the same
+// sequence of events — two base-table writes, two DT refreshes, and a
+// reader that observes mismatched versions — modelled first with persisted
+// table semantics (refreshes as ordinary transactions) and then with
+// delayed view semantics (refreshes as derivations). The first DSG is
+// acyclic, hiding the read skew; the second contains a G2/G-single cycle
+// that exposes it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dyntables/internal/isolation"
+)
+
+func main() {
+	fmt.Println("Figure 1: persisted table semantics (refreshes are plain transactions)")
+	fmt.Println("=======================================================================")
+	fig1 := isolation.NewHistory()
+	check(fig1.Write(1, "x", 1)) // T1 writes x1
+	fig1.Commit(1)
+	check(fig1.Read(3, "x", 1)) // refresh 1: read x1, write y3
+	check(fig1.Write(3, "y", 3))
+	fig1.Commit(3)
+	check(fig1.Write(2, "x", 2)) // T2 overwrites x
+	fig1.Commit(2)
+	check(fig1.Read(4, "x", 2)) // refresh 2: read x2, write y4
+	check(fig1.Write(4, "y", 4))
+	fig1.Commit(4)
+	check(fig1.Read(5, "y", 3)) // T5 reads stale y3 ...
+	check(fig1.Read(5, "x", 2)) // ... and fresh x2: read skew!
+	fig1.Commit(5)
+
+	fmt.Println("history:", fig1)
+	fmt.Println("\nDSG:")
+	fmt.Print(fig1.BuildDSG())
+	p1 := fig1.Analyze()
+	fmt.Printf("phenomena: G0=%v G1=%v G2=%v G-single=%v -> %s\n",
+		p1.G0, p1.G1(), p1.G2, p1.GSingle, p1.Level())
+	fmt.Println("the DSG is acyclic: the framework calls this SERIALIZABLE even though")
+	fmt.Println("T5 plainly observed y3 (from x1) next to x2 — the refresh transactions")
+	fmt.Println("mask the conflict (§4).")
+
+	fmt.Println("\nFigure 2: delayed view semantics (refreshes are derivations)")
+	fmt.Println("============================================================")
+	fig2 := isolation.NewHistory()
+	check(fig2.Write(1, "x", 1))
+	fig2.Commit(1)
+	check(fig2.Derive(3, "y", 3, isolation.V("x", 1))) // d3(y3|x1)
+	fig2.Commit(3)
+	check(fig2.Write(2, "x", 2))
+	fig2.Commit(2)
+	check(fig2.Derive(4, "y", 4, isolation.V("x", 2))) // d4(y4|x2)
+	fig2.Commit(4)
+	check(fig2.Read(5, "y", 3))
+	check(fig2.Read(5, "x", 2))
+	fig2.Commit(5)
+
+	fmt.Println("history:", fig2)
+	fmt.Println("\nDSG:")
+	fmt.Print(fig2.BuildDSG())
+	p2 := fig2.Analyze()
+	fmt.Printf("phenomena: G0=%v G1=%v G2=%v G-single=%v -> %s\n",
+		p2.G0, p2.G1(), p2.G2, p2.GSingle, p2.Level())
+	fmt.Println("derivations remove the refresh transactions from the DSG and connect")
+	fmt.Println("T5's read of y3 back to T1's write of x1; T2's overwrite of x closes")
+	fmt.Println("an anti-dependency cycle — the read skew is now visible as G2.")
+	for _, d := range p2.Details {
+		fmt.Println("  ", d)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

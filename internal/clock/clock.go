@@ -1,0 +1,61 @@
+// Package clock abstracts time so the scheduler, warehouses and transaction
+// manager can run against either the wall clock or a deterministic virtual
+// clock that tests and simulations advance manually.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is the real system clock.
+type Wall struct{}
+
+// Now returns the current wall-clock time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Virtual is a manually advanced clock. It is safe for concurrent use. The
+// zero value starts at the Unix epoch; use NewVirtual to pick an origin.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a virtual clock set to origin.
+func NewVirtual(origin time.Time) *Virtual {
+	return &Virtual{now: origin.UTC()}
+}
+
+// Now returns the virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored: time never moves backwards.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d > 0 {
+		v.now = v.now.Add(d)
+	}
+	return v.now
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time and
+// returns the (possibly unchanged) current time.
+func (v *Virtual) AdvanceTo(t time.Time) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.now) {
+		v.now = t.UTC()
+	}
+	return v.now
+}

@@ -1,0 +1,47 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvance(t *testing.T) {
+	origin := time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(origin)
+	if !v.Now().Equal(origin) {
+		t.Fatalf("origin: %v", v.Now())
+	}
+	v.Advance(90 * time.Second)
+	if got := v.Now(); !got.Equal(origin.Add(90 * time.Second)) {
+		t.Errorf("after advance: %v", got)
+	}
+	// Negative advance is ignored.
+	v.Advance(-time.Hour)
+	if got := v.Now(); !got.Equal(origin.Add(90 * time.Second)) {
+		t.Errorf("negative advance moved time: %v", got)
+	}
+}
+
+func TestVirtualAdvanceTo(t *testing.T) {
+	origin := time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(origin)
+	target := origin.Add(time.Hour)
+	v.AdvanceTo(target)
+	if !v.Now().Equal(target) {
+		t.Errorf("AdvanceTo: %v", v.Now())
+	}
+	// Moving backwards is a no-op.
+	v.AdvanceTo(origin)
+	if !v.Now().Equal(target) {
+		t.Errorf("AdvanceTo backwards moved time: %v", v.Now())
+	}
+}
+
+func TestWallClockProgresses(t *testing.T) {
+	w := Wall{}
+	a := w.Now()
+	b := w.Now()
+	if b.Before(a) {
+		t.Error("wall clock went backwards")
+	}
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"dyntables/internal/delta"
+	"dyntables/internal/exec"
+	"dyntables/internal/hlc"
+	"dyntables/internal/ivm"
+	"dyntables/internal/plan"
+	"dyntables/internal/sql"
+	"dyntables/internal/storage"
+	"dyntables/internal/txn"
+	"dyntables/internal/types"
+)
+
+// ErrSkipped is returned when a refresh is skipped because a previous
+// refresh of the same DT is still running (§3.3.3).
+var ErrSkipped = errors.New("core: refresh skipped (previous refresh still running)")
+
+// ErrSuspended is returned when refreshing a suspended DT.
+var ErrSuspended = errors.New("core: dynamic table is suspended")
+
+// ErrUpstreamVersionMissing is the first §6.1 production validation: an
+// upstream DT has no version for the exact data timestamp of this refresh,
+// indicating a scheduler bug; the refresh fails rather than risk a
+// snapshot-isolation violation.
+var ErrUpstreamVersionMissing = errors.New("core: upstream DT version for exact data timestamp not found")
+
+// Controller executes DT refreshes. It is the engine-side "compiler +
+// transaction" path of §5.1: it re-binds the defining query, resolves
+// source versions for the refresh interval, chooses the refresh action,
+// differentiates the plan when incremental, validates the changes and
+// commits them.
+type Controller struct {
+	txns     *txn.Manager
+	resolver plan.Resolver
+
+	// byStorageID maps a storage table ID to the DT whose contents it
+	// holds, so version resolution can use data-timestamp mappings for
+	// upstream DTs (§5.3).
+	byStorageID map[int64]*DynamicTable
+
+	// depGeneration looks up the current catalog generation of an entry;
+	// wired by the engine to catalog lookups.
+	depGeneration func(entryID int64) (int64, error)
+
+	// Hooks for the IVM ablation strategies.
+	ExpandOuterJoins    bool
+	FullWindowRecompute bool
+}
+
+// NewController wires a controller.
+func NewController(txns *txn.Manager, resolver plan.Resolver, depGeneration func(int64) (int64, error)) *Controller {
+	return &Controller{
+		txns:          txns,
+		resolver:      resolver,
+		byStorageID:   make(map[int64]*DynamicTable),
+		depGeneration: depGeneration,
+	}
+}
+
+// Register makes the controller aware of a DT (after catalog creation).
+func (c *Controller) Register(dt *DynamicTable) {
+	c.byStorageID[dt.Storage.ID()] = dt
+}
+
+// Unregister removes a dropped DT's storage mapping.
+func (c *Controller) Unregister(dt *DynamicTable) {
+	delete(c.byStorageID, dt.Storage.ID())
+}
+
+// LookupByStorage resolves the DT owning a storage table, if any.
+func (c *Controller) LookupByStorage(id int64) (*DynamicTable, bool) {
+	dt, ok := c.byStorageID[id]
+	return dt, ok
+}
+
+// Build creates the DT state for a CREATE DYNAMIC TABLE statement: it
+// binds the defining query, resolves the effective refresh mode (§3.3.2),
+// and allocates the storage table with the query's output schema.
+func (c *Controller) Build(stmt *sql.CreateDynamicTableStmt, createdAt hlc.Timestamp) (*DynamicTable, error) {
+	bound, err := c.bind(stmt.Text)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid defining query for %s: %w", stmt.Name, err)
+	}
+	mode := stmt.Mode
+	incErr := ivm.Incrementalizable(bound.Plan)
+	switch mode {
+	case sql.RefreshAuto:
+		if incErr == nil {
+			mode = sql.RefreshIncremental
+		} else {
+			mode = sql.RefreshFull
+		}
+	case sql.RefreshIncremental:
+		if incErr != nil {
+			return nil, fmt.Errorf("core: %s: REFRESH_MODE=INCREMENTAL unsupported: %w", stmt.Name, incErr)
+		}
+	}
+	dt := &DynamicTable{
+		Name:            stmt.Name,
+		Text:            stmt.Text,
+		Lag:             stmt.Lag,
+		Warehouse:       stmt.Warehouse,
+		DeclaredMode:    stmt.Mode,
+		EffectiveMode:   mode,
+		Storage:         storage.NewTable(bound.Plan.Schema(), createdAt),
+		deps:            bound.Deps,
+		versionByDataTS: make(map[int64]int64),
+		commitByDataTS:  make(map[int64]hlc.Timestamp),
+	}
+	dt.schemaFingerprint = bound.Plan.Schema().String()
+	return dt, nil
+}
+
+func (c *Controller) bind(text string) (*plan.Bound, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("defining query is not a SELECT")
+	}
+	bound, err := plan.NewBinder(c.resolver).BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	bound.Plan = plan.Optimize(bound.Plan)
+	return bound, nil
+}
+
+// hlcUpperBound converts a data timestamp to the inclusive upper bound for
+// commit-timestamp resolution: every commit whose wall time is at or
+// before the data timestamp is visible.
+func hlcUpperBound(ts time.Time) hlc.Timestamp {
+	return hlc.Timestamp{WallMicros: ts.UnixMicro(), Logical: math.MaxInt32}
+}
+
+// resolveVersions computes the version map for the plan's scans as of a
+// data timestamp: base tables resolve by commit time; upstream DTs resolve
+// through their data-timestamp mapping, failing with
+// ErrUpstreamVersionMissing when no exact entry exists (§6.1 validation 1).
+func (c *Controller) resolveVersions(p plan.Node, dataTS time.Time) (ivm.VersionMap, error) {
+	vm := ivm.VersionMap{}
+	for _, scan := range plan.Scans(p) {
+		id := scan.Table.ID()
+		if _, done := vm[id]; done {
+			continue
+		}
+		if up, isDT := c.byStorageID[id]; isDT {
+			seq, ok := up.VersionAtDataTS(dataTS)
+			if !ok {
+				return nil, fmt.Errorf("%w: %s has no version for %s",
+					ErrUpstreamVersionMissing, up.Name, dataTS.UTC().Format(time.RFC3339Nano))
+			}
+			vm[id] = seq
+			continue
+		}
+		v, err := scan.Table.VersionAsOf(hlcUpperBound(dataTS))
+		if err != nil {
+			return nil, err
+		}
+		vm[id] = v.Seq
+	}
+	return vm, nil
+}
+
+// Refresh runs one refresh of the DT at the given data timestamp. The
+// returned record describes the action taken; an error return always
+// corresponds to a record with ActionError or ActionSkip.
+func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord, error) {
+	if dt.State() == StateSuspended {
+		return RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSuspended}, ErrSuspended
+	}
+	if !dt.tryBeginRefresh() {
+		rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSkipped}
+		dt.record(rec)
+		return rec, ErrSkipped
+	}
+	defer dt.endRefresh()
+
+	rec, err := c.refreshLocked(dt, dataTS)
+	if err != nil {
+		rec.Action = ActionError
+		rec.Err = err
+		dt.record(rec)
+		dt.mu.Lock()
+		dt.errorCount++
+		suspend := dt.errorCount >= MaxConsecutiveErrors
+		if suspend {
+			dt.state = StateSuspended
+		}
+		dt.mu.Unlock()
+		return rec, err
+	}
+	dt.mu.Lock()
+	dt.errorCount = 0
+	dt.mu.Unlock()
+	dt.record(rec)
+	return rec, nil
+}
+
+// refreshLocked performs the action decision and execution of §5.4.
+func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshRecord, error) {
+	rec := RefreshRecord{DataTS: dataTS}
+
+	if !dataTS.After(dt.DataTimestamp()) && dt.Initialized() {
+		// Data timestamps move strictly forward; re-refreshing at the same
+		// timestamp is a NO_DATA no-op for idempotence.
+		rec.Action = ActionNoData
+		rec.RowsAfter = dt.Storage.RowCount()
+		return rec, nil
+	}
+
+	// Re-bind the defining query (identifiers may resolve differently
+	// after upstream DDL, §5.4).
+	bound, err := c.bind(dt.Text)
+	if err != nil {
+		return rec, err
+	}
+
+	// Query evolution: a replaced dependency or changed output schema
+	// forces reinitialization (§5.4, conservative policy).
+	evolved, err := c.queryEvolved(dt, bound)
+	if err != nil {
+		return rec, err
+	}
+
+	vmTo, err := c.resolveVersions(bound.Plan, dataTS)
+	if err != nil {
+		return rec, err
+	}
+
+	counters := &exec.Counters{}
+	env := &ivm.Env{
+		Now:                 dataTS,
+		Counters:            counters,
+		ExpandOuterJoins:    c.ExpandOuterJoins,
+		FullWindowRecompute: c.FullWindowRecompute,
+	}
+
+	if !dt.Initialized() || evolved {
+		action := ActionInitialize
+		if dt.Initialized() {
+			if dt.EffectiveMode == sql.RefreshIncremental {
+				action = ActionReinitialize
+			} else {
+				action = ActionFull
+			}
+		}
+		rec.Action = action
+		return c.fullCompute(dt, bound, dataTS, vmTo, env, rec)
+	}
+
+	// NO_DATA when no source changed over the interval (§3.3.2).
+	frontier := dt.Frontier()
+	changed := false
+	for _, scan := range plan.Scans(bound.Plan) {
+		id := scan.Table.ID()
+		from, ok := frontier.Versions[id]
+		if !ok {
+			changed = true // new dependency appeared without generation bump
+			break
+		}
+		if scan.Table.ChangedSince(from, vmTo[id]) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		rec.Action = ActionNoData
+		rec.RowsAfter = dt.Storage.RowCount()
+		c.advanceFrontier(dt, bound, dataTS, vmTo, int64(dt.Storage.VersionCount()), hlc.Zero)
+		return rec, nil
+	}
+
+	if dt.EffectiveMode == sql.RefreshFull {
+		rec.Action = ActionFull
+		return c.fullCompute(dt, bound, dataTS, vmTo, env, rec)
+	}
+
+	// INCREMENTAL: differentiate over the frontier interval.
+	cs, err := ivm.Delta(bound.Plan, ivm.Interval{From: frontier.Versions, To: vmTo}, env)
+	if errors.Is(err, ivm.ErrSourceOverwritten) {
+		// An upstream replace/overwrite invalidates stored results (§3.3.2).
+		rec.Action = ActionReinitialize
+		return c.fullCompute(dt, bound, dataTS, vmTo, env, rec)
+	}
+	if err != nil {
+		return rec, err
+	}
+	rec.Action = ActionIncremental
+	rec.SourceRowsScanned = counters.ScanRows
+
+	// §6.1 validations 2 and 3: at most one row per ($ROW_ID, $ACTION),
+	// and never delete a row that does not exist.
+	if err := cs.ValidateWellFormed(); err != nil {
+		return rec, fmt.Errorf("core: %s: refresh produced ill-formed changes: %w", dt.Name, err)
+	}
+	current, err := dt.Storage.Rows(int64(dt.Storage.VersionCount()))
+	if err != nil {
+		return rec, err
+	}
+	for _, ch := range cs.Changes {
+		if ch.Action == delta.Delete {
+			if _, ok := current[ch.RowID]; !ok {
+				return rec, fmt.Errorf("core: %s: refresh deletes nonexistent row %s", dt.Name, ch.RowID)
+			}
+		}
+	}
+
+	ins, del := cs.Counts()
+	rec.Inserted, rec.Deleted = ins, del
+
+	// Merge: apply the changes in a transaction (§5.3).
+	tx := c.txns.Begin()
+	if err := tx.Write(dt.Storage, cs); err != nil {
+		tx.Abort()
+		return rec, err
+	}
+	commit, err := tx.Commit()
+	if err != nil {
+		return rec, err
+	}
+	rec.RowsAfter = dt.Storage.RowCount()
+	c.advanceFrontier(dt, bound, dataTS, vmTo, int64(dt.Storage.VersionCount()), commit)
+	return rec, nil
+}
+
+// fullCompute executes the defining query as of the data timestamp and
+// overwrites the DT's contents (FULL / INITIALIZE / REINITIALIZE actions).
+func (c *Controller) fullCompute(dt *DynamicTable, bound *plan.Bound, dataTS time.Time, vmTo ivm.VersionMap, env *ivm.Env, rec RefreshRecord) (RefreshRecord, error) {
+	rows, err := ivm.EvalAsOf(bound.Plan, vmTo, env)
+	if err != nil {
+		return rec, err
+	}
+	contents := make(map[string]types.Row, len(rows))
+	for _, tr := range rows {
+		contents[tr.ID] = tr.Row
+	}
+	if env.Counters != nil {
+		rec.SourceRowsScanned = env.Counters.ScanRows
+	}
+
+	// Schema evolution: adopt the (possibly changed) output schema.
+	dt.Storage.SetSchema(bound.Plan.Schema())
+
+	tx := c.txns.Begin()
+	if err := tx.Overwrite(dt.Storage, contents); err != nil {
+		tx.Abort()
+		return rec, err
+	}
+	commit, err := tx.Commit()
+	if err != nil {
+		return rec, err
+	}
+	rec.Inserted = len(contents)
+	rec.RowsAfter = len(contents)
+
+	dt.mu.Lock()
+	dt.initialized = true
+	dt.deps = bound.Deps
+	dt.schemaFingerprint = bound.Plan.Schema().String()
+	dt.mu.Unlock()
+	c.advanceFrontier(dt, bound, dataTS, vmTo, int64(dt.Storage.VersionCount()), commit)
+	return rec, nil
+}
+
+// advanceFrontier installs the new frontier and records the data-timestamp
+// mapping (§5.3: "when a refresh commits, we add a new entry to the
+// mapping").
+func (c *Controller) advanceFrontier(dt *DynamicTable, bound *plan.Bound, dataTS time.Time, vm ivm.VersionMap, versionSeq int64, commit hlc.Timestamp) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.frontier = Frontier{DataTS: dataTS, Versions: vm.Clone()}
+	dt.deps = bound.Deps
+	dt.versionByDataTS[dataTS.UnixMicro()] = versionSeq
+	if !commit.IsZero() {
+		dt.commitByDataTS[dataTS.UnixMicro()] = commit
+	}
+}
+
+// queryEvolved reports whether the DT must reinitialize because a
+// dependency was replaced (generation bump) or the output schema changed
+// (§5.4). Dropped dependencies surface as bind errors instead.
+func (c *Controller) queryEvolved(dt *DynamicTable, bound *plan.Bound) (bool, error) {
+	dt.mu.Lock()
+	oldDeps := dt.deps
+	oldSchema := dt.schemaFingerprint
+	dt.mu.Unlock()
+
+	if bound.Plan.Schema().String() != oldSchema {
+		return true, nil
+	}
+	for id := range bound.Deps {
+		gen, err := c.depGeneration(id)
+		if err != nil {
+			return false, err
+		}
+		old, known := oldDeps[id]
+		if !known {
+			// A dependency the DT did not previously read (e.g. a view
+			// now resolving to a different table): reinitialize.
+			return true, nil
+		}
+		if gen != old {
+			return true, nil
+		}
+	}
+	// A dependency disappearing from the bound set also evolves the query.
+	for id := range oldDeps {
+		if _, still := bound.Deps[id]; !still {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ChooseInitTimestamp implements §3.1.2: an initialization reuses the most
+// recent data timestamp among upstream DTs that is within the target lag;
+// otherwise it uses the creation time. This avoids the quadratic refresh
+// blow-up when users create DT chains in dependency order.
+func (c *Controller) ChooseInitTimestamp(dt *DynamicTable, now time.Time) (time.Time, error) {
+	bound, err := c.bind(dt.Text)
+	if err != nil {
+		return time.Time{}, err
+	}
+	lag := dt.Lag.Duration
+	if dt.Lag.Kind == sql.LagDownstream {
+		// DOWNSTREAM DTs accept any upstream timestamp.
+		lag = time.Duration(math.MaxInt64)
+	}
+	var best time.Time
+	for _, scan := range plan.Scans(bound.Plan) {
+		up, isDT := c.byStorageID[scan.Table.ID()]
+		if !isDT {
+			continue
+		}
+		ts := up.DataTimestamp()
+		if ts.IsZero() {
+			continue
+		}
+		if now.Sub(ts) <= lag && ts.After(best) {
+			best = ts
+		}
+	}
+	if best.IsZero() {
+		return now, nil
+	}
+	return best, nil
+}
+
+// CheckDVS verifies delayed view semantics (§3.1.1 / §6.1): the DT's
+// stored contents must equal the defining query evaluated as of the data
+// timestamp, using the frontier's pinned versions. This is the strong
+// assertion the paper's randomized workload testing checks for hundreds of
+// thousands of generated DTs.
+func (c *Controller) CheckDVS(dt *DynamicTable) error {
+	if !dt.Initialized() {
+		return fmt.Errorf("core: %s is not initialized", dt.Name)
+	}
+	bound, err := c.bind(dt.Text)
+	if err != nil {
+		return err
+	}
+	frontier := dt.Frontier()
+	env := &ivm.Env{Now: frontier.DataTS}
+	expected, err := ivm.EvalAsOf(bound.Plan, frontier.Versions, env)
+	if err != nil {
+		return err
+	}
+	stored, err := dt.Storage.Rows(int64(dt.Storage.VersionCount()))
+	if err != nil {
+		return err
+	}
+	if len(expected) != len(stored) {
+		return fmt.Errorf("core: DVS violation in %s: stored %d rows, query yields %d",
+			dt.Name, len(stored), len(expected))
+	}
+	for _, tr := range expected {
+		got, ok := stored[tr.ID]
+		if !ok {
+			return fmt.Errorf("core: DVS violation in %s: row %s missing from stored contents", dt.Name, tr.ID)
+		}
+		if !got.Equal(tr.Row) {
+			return fmt.Errorf("core: DVS violation in %s: row %s stored as %v, query yields %v",
+				dt.Name, tr.ID, got, tr.Row)
+		}
+	}
+	return nil
+}
+
+// Upstreams returns the DTs that the defining query reads (directly).
+func (c *Controller) Upstreams(dt *DynamicTable) ([]*DynamicTable, error) {
+	bound, err := c.bind(dt.Text)
+	if err != nil {
+		return nil, err
+	}
+	var out []*DynamicTable
+	seen := map[int64]bool{}
+	for _, scan := range plan.Scans(bound.Plan) {
+		if up, isDT := c.byStorageID[scan.Table.ID()]; isDT && !seen[up.Storage.ID()] {
+			seen[up.Storage.ID()] = true
+			out = append(out, up)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dyntables"
+	"dyntables/internal/core"
+	"dyntables/internal/sql"
+)
+
+func newEngine(t *testing.T) *dyntables.Engine {
+	t.Helper()
+	e := dyntables.New()
+	e.MustExec(`CREATE WAREHOUSE wh`)
+	e.MustExec(`CREATE TABLE src (a INT, b INT)`)
+	e.MustExec(`INSERT INTO src VALUES (1, 1), (2, 1), (3, 2)`)
+	return e
+}
+
+func TestRefreshActionsSequence(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT b, count(*) c FROM src GROUP BY b`)
+	dt, err := e.DynamicTableHandle("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Creation produced an INITIALIZE.
+	hist := dt.History()
+	if len(hist) != 1 || hist[0].Action != core.ActionInitialize {
+		t.Fatalf("history after create: %+v", hist)
+	}
+
+	// 2. Manual refresh with no changes: NO_DATA.
+	e.AdvanceTime(time.Minute)
+	if err := e.ManualRefresh("d"); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := dt.LastRecord(); rec.Action != core.ActionNoData {
+		t.Errorf("expected NO_DATA, got %s", rec.Action)
+	}
+
+	// 3. Change + manual refresh: INCREMENTAL.
+	e.MustExec(`INSERT INTO src VALUES (4, 2)`)
+	e.AdvanceTime(time.Minute)
+	if err := e.ManualRefresh("d"); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := dt.LastRecord(); rec.Action != core.ActionIncremental {
+		t.Errorf("expected INCREMENTAL, got %s", rec.Action)
+	}
+
+	// 4. Overwrite the source: REINITIALIZE.
+	e.MustExec(`INSERT OVERWRITE INTO src VALUES (9, 9)`)
+	e.AdvanceTime(time.Minute)
+	if err := e.ManualRefresh("d"); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := dt.LastRecord(); rec.Action != core.ActionReinitialize {
+		t.Errorf("expected REINITIALIZE after INSERT OVERWRITE, got %s", rec.Action)
+	}
+	if err := e.CheckDVS("d"); err != nil {
+		t.Errorf("DVS: %v", err)
+	}
+}
+
+func TestRefreshIdempotentAtSameTimestamp(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT a FROM src`)
+	dt, _ := e.DynamicTableHandle("d")
+	ts := dt.DataTimestamp()
+	rec, err := e.Controller().Refresh(dt, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Action != core.ActionNoData {
+		t.Errorf("re-refresh at same timestamp should be NO_DATA, got %s", rec.Action)
+	}
+}
+
+func TestFrontierMappingGrows(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT a FROM src`)
+	dt, _ := e.DynamicTableHandle("d")
+
+	ts1 := dt.DataTimestamp()
+	if _, ok := dt.VersionAtDataTS(ts1); !ok {
+		t.Fatal("mapping missing for initialization timestamp")
+	}
+	// NO_DATA refresh at a later timestamp maps to the same version.
+	seq1, _ := dt.VersionAtDataTS(ts1)
+	e.AdvanceTime(time.Minute)
+	if err := e.ManualRefresh("d"); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := dt.DataTimestamp()
+	seq2, ok := dt.VersionAtDataTS(ts2)
+	if !ok {
+		t.Fatal("mapping missing after NO_DATA")
+	}
+	if seq1 != seq2 {
+		t.Errorf("NO_DATA must map to the existing version: %d vs %d", seq1, seq2)
+	}
+}
+
+func TestSuspendBlocksRefresh(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT a FROM src`)
+	dt, _ := e.DynamicTableHandle("d")
+	dt.Suspend()
+	e.AdvanceTime(time.Minute)
+	_, err := e.Controller().Refresh(dt, e.Now())
+	if !errors.Is(err, core.ErrSuspended) {
+		t.Errorf("want ErrSuspended, got %v", err)
+	}
+	dt.Resume()
+	if _, err := e.Controller().Refresh(dt, e.Now()); err != nil {
+		t.Errorf("refresh after resume: %v", err)
+	}
+}
+
+func TestBuildResolvesEffectiveMode(t *testing.T) {
+	e := newEngine(t)
+	cases := []struct {
+		query string
+		want  sql.RefreshMode
+	}{
+		{`SELECT a FROM src`, sql.RefreshIncremental},
+		{`SELECT b, count(*) c FROM src GROUP BY b`, sql.RefreshIncremental},
+		{`SELECT count(*) c FROM src`, sql.RefreshFull},           // scalar aggregate
+		{`SELECT a FROM src ORDER BY a LIMIT 3`, sql.RefreshFull}, // order/limit
+	}
+	for i, tc := range cases {
+		name := string(rune('p' + i))
+		e.MustExec(`CREATE DYNAMIC TABLE ` + name + ` TARGET_LAG = '1 minute' WAREHOUSE = wh AS ` + tc.query)
+		dt, _ := e.DynamicTableHandle(name)
+		if dt.EffectiveMode != tc.want {
+			t.Errorf("%s: mode %s, want %s", tc.query, dt.EffectiveMode, tc.want)
+		}
+	}
+}
+
+func TestChooseInitTimestampWithinLag(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE DYNAMIC TABLE up TARGET_LAG = '10 minutes' WAREHOUSE = wh AS SELECT a FROM src`)
+	up, _ := e.DynamicTableHandle("up")
+	upTS := up.DataTimestamp()
+
+	// Within the target lag: reuse the upstream timestamp.
+	e.AdvanceTime(5 * time.Minute)
+	e.MustExec(`CREATE DYNAMIC TABLE down1 TARGET_LAG = '10 minutes' WAREHOUSE = wh AS SELECT a FROM up`)
+	d1, _ := e.DynamicTableHandle("down1")
+	if !d1.DataTimestamp().Equal(upTS) {
+		t.Errorf("init should reuse upstream ts: %v vs %v", d1.DataTimestamp(), upTS)
+	}
+
+	// Outside the target lag: use creation time (and refresh upstream).
+	e.AdvanceTime(20 * time.Minute)
+	e.MustExec(`CREATE DYNAMIC TABLE down2 TARGET_LAG = '10 minutes' WAREHOUSE = wh AS SELECT a FROM up`)
+	d2, _ := e.DynamicTableHandle("down2")
+	if d2.DataTimestamp().Equal(upTS) {
+		t.Error("init must not reuse a timestamp older than the target lag")
+	}
+	if !d2.DataTimestamp().Equal(up.DataTimestamp()) {
+		t.Errorf("upstream must be refreshed to the init timestamp: %v vs %v",
+			d2.DataTimestamp(), up.DataTimestamp())
+	}
+}
+
+func TestUpstreamVersionMissingValidation(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE DYNAMIC TABLE up TARGET_LAG = '1 minute' WAREHOUSE = wh AS SELECT a FROM src`)
+	e.MustExec(`CREATE DYNAMIC TABLE down TARGET_LAG = '1 minute' WAREHOUSE = wh AS SELECT a FROM up`)
+	down, _ := e.DynamicTableHandle("down")
+	// Refreshing `down` at a timestamp `up` never refreshed at must fail
+	// with the §6.1 validation error.
+	e.AdvanceTime(time.Minute)
+	_, err := e.Controller().Refresh(down, e.Now())
+	if !errors.Is(err, core.ErrUpstreamVersionMissing) {
+		t.Errorf("want ErrUpstreamVersionMissing, got %v", err)
+	}
+}
+
+func TestSchemaChangeTriggersReinitialize(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE TABLE wide (a INT, b INT, c INT)`)
+	e.MustExec(`INSERT INTO wide VALUES (1, 2, 3)`)
+	e.MustExec(`CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT * FROM wide`)
+	// Replace upstream with a different shape: SELECT * now yields
+	// different columns → reinitialize with the new schema (§5.4).
+	e.MustExec(`CREATE OR REPLACE TABLE wide (a INT, z TEXT)`)
+	e.MustExec(`INSERT INTO wide VALUES (7, 'x')`)
+	e.AdvanceTime(2 * time.Minute)
+	if err := e.ManualRefresh("d"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(`SELECT z FROM d`)
+	if err != nil {
+		t.Fatalf("new column not queryable: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "x" {
+		t.Errorf("contents after schema evolution: %+v", res.Rows)
+	}
+}
+
+func TestRefreshRecordCounts(t *testing.T) {
+	e := newEngine(t)
+	e.MustExec(`CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT a FROM src WHERE a > 1`)
+	e.MustExec(`INSERT INTO src VALUES (10, 5)`)
+	e.MustExec(`DELETE FROM src WHERE a = 2`)
+	e.AdvanceTime(time.Minute)
+	if err := e.ManualRefresh("d"); err != nil {
+		t.Fatal(err)
+	}
+	dt, _ := e.DynamicTableHandle("d")
+	rec, _ := dt.LastRecord()
+	if rec.Inserted != 1 || rec.Deleted != 1 {
+		t.Errorf("counts: +%d -%d, want +1 -1", rec.Inserted, rec.Deleted)
+	}
+	if rec.RowsAfter != dt.Storage.RowCount() {
+		t.Errorf("RowsAfter mismatch: %d vs %d", rec.RowsAfter, dt.Storage.RowCount())
+	}
+}
+
+func TestActionAndStateStrings(t *testing.T) {
+	if core.ActionNoData.String() != "NO_DATA" || core.ActionReinitialize.String() != "REINITIALIZE" {
+		t.Error("action names")
+	}
+	if core.StateActive.String() != "ACTIVE" || core.StateSuspended.String() != "SUSPENDED" {
+		t.Error("state names")
+	}
+}

@@ -1,0 +1,318 @@
+// Package core implements the paper's primary contribution: Dynamic
+// Tables. A dynamic table owns a stored result, a frontier tracking the
+// versions of every consumed source (§5.3), and a refresh controller that
+// chooses and executes the NO_DATA / FULL / INCREMENTAL / REINITIALIZE
+// refresh actions (§3.3.2, §5.4), upholding delayed view semantics: after
+// every successful refresh, the stored contents equal the defining query
+// evaluated as of the DT's data timestamp (§3.1.1).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/hlc"
+	"dyntables/internal/ivm"
+	"dyntables/internal/sql"
+	"dyntables/internal/storage"
+)
+
+// State is a DT's lifecycle state.
+type State uint8
+
+// The DT states.
+const (
+	// StateActive means the DT refreshes on schedule.
+	StateActive State = iota
+	// StateSuspended means refreshes are paused (manually or after
+	// consecutive errors, §3.3.3).
+	StateSuspended
+)
+
+// String names the state.
+func (s State) String() string {
+	if s == StateSuspended {
+		return "SUSPENDED"
+	}
+	return "ACTIVE"
+}
+
+// MaxConsecutiveErrors is the auto-suspension threshold (§3.3.3).
+const MaxConsecutiveErrors = 5
+
+// Frontier is the map underlying a DT's data timestamp (§5.3): the version
+// of each source table the DT has consumed, plus the refresh timestamp.
+type Frontier struct {
+	// DataTS is the data timestamp: the DT's contents equal the defining
+	// query evaluated as of this time.
+	DataTS time.Time
+	// Versions pins the consumed version per source storage-table ID.
+	Versions ivm.VersionMap
+}
+
+// Clone copies the frontier.
+func (f Frontier) Clone() Frontier {
+	return Frontier{DataTS: f.DataTS, Versions: f.Versions.Clone()}
+}
+
+// RefreshAction is the action a refresh took (§3.3.2).
+type RefreshAction uint8
+
+// The refresh actions.
+const (
+	ActionNoData RefreshAction = iota
+	ActionFull
+	ActionIncremental
+	ActionReinitialize
+	ActionInitialize
+	ActionSkip
+	ActionError
+)
+
+// String names the action.
+func (a RefreshAction) String() string {
+	switch a {
+	case ActionNoData:
+		return "NO_DATA"
+	case ActionFull:
+		return "FULL"
+	case ActionIncremental:
+		return "INCREMENTAL"
+	case ActionReinitialize:
+		return "REINITIALIZE"
+	case ActionInitialize:
+		return "INITIALIZE"
+	case ActionSkip:
+		return "SKIP"
+	case ActionError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("ACTION(%d)", uint8(a))
+	}
+}
+
+// RefreshRecord describes one refresh attempt; the scheduler and the
+// experiment harness consume these.
+type RefreshRecord struct {
+	DataTS   time.Time
+	Action   RefreshAction
+	Inserted int
+	Deleted  int
+	// RowsAfter is the DT's row count after the refresh.
+	RowsAfter int
+	// SourceRowsScanned approximates the work done reading sources.
+	SourceRowsScanned int64
+	Err               error
+}
+
+// DynamicTable is the engine-side state of one DT. The catalog stores it
+// as an Entry payload. All mutating access goes through the Controller,
+// which serializes refreshes per DT with the refresh lock (§5.3: "Each
+// Dynamic Table is locked when a refresh operation begins").
+type DynamicTable struct {
+	Name string
+	// EntryID is the catalog identity; set at registration.
+	EntryID int64
+	// Text is the defining query's SQL text; re-parsed and re-bound at
+	// every refresh (§5.4).
+	Text string
+	// Lag is the TARGET_LAG setting.
+	Lag sql.TargetLag
+	// Warehouse names the virtual warehouse refreshes run in.
+	Warehouse string
+	// DeclaredMode is the user's REFRESH_MODE; EffectiveMode is the
+	// resolved FULL or INCREMENTAL (§3.3.2).
+	DeclaredMode  sql.RefreshMode
+	EffectiveMode sql.RefreshMode
+	// Storage holds the DT's materialized contents.
+	Storage *storage.Table
+
+	mu sync.Mutex
+	// refreshing guards against concurrent refreshes of the same DT.
+	refreshing bool
+
+	state       State
+	initialized bool
+	errorCount  int
+	frontier    Frontier
+	// deps records the catalog generation of each dependency at the last
+	// successful bind; a generation bump signals replacement → REINITIALIZE
+	// (§5.4).
+	deps map[int64]int64
+	// schemaFingerprint detects output schema changes from upstream DDL.
+	schemaFingerprint string
+
+	// versionByDataTS maps a data timestamp (µs) to the storage version
+	// sequence holding the corresponding contents, and commitByDataTS to
+	// the commit timestamp — the mapping §5.3 describes for resolving
+	// upstream DT versions by refresh timestamp.
+	versionByDataTS map[int64]int64
+	commitByDataTS  map[int64]hlc.Timestamp
+
+	history []RefreshRecord
+}
+
+// ObjectKind implements catalog.Object.
+func (dt *DynamicTable) ObjectKind() catalog.ObjectKind { return catalog.KindDynamicTable }
+
+// State returns the lifecycle state.
+func (dt *DynamicTable) State() State {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.state
+}
+
+// Initialized reports whether the DT has been initialized; querying an
+// uninitialized DT is an error (§3.1).
+func (dt *DynamicTable) Initialized() bool {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.initialized
+}
+
+// Suspend pauses refreshes.
+func (dt *DynamicTable) Suspend() {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.state = StateSuspended
+}
+
+// Resume reactivates the DT and clears the error counter; after the root
+// cause is addressed the DT resumes from where it left off (§3.3.3).
+func (dt *DynamicTable) Resume() {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.state = StateActive
+	dt.errorCount = 0
+}
+
+// ErrorCount returns the consecutive-failure counter.
+func (dt *DynamicTable) ErrorCount() int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.errorCount
+}
+
+// Frontier returns a copy of the current frontier.
+func (dt *DynamicTable) Frontier() Frontier {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.frontier.Clone()
+}
+
+// DataTimestamp returns the DT's data timestamp (§3.1.1).
+func (dt *DynamicTable) DataTimestamp() time.Time {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.frontier.DataTS
+}
+
+// CurrentLag returns now minus the data timestamp (§3.2).
+func (dt *DynamicTable) CurrentLag(now time.Time) time.Duration {
+	return now.Sub(dt.DataTimestamp())
+}
+
+// VersionAtDataTS resolves the storage version holding the contents for
+// an exact data timestamp. The refresh of a downstream DT fails when the
+// exact version is missing — the first §6.1 production validation.
+func (dt *DynamicTable) VersionAtDataTS(ts time.Time) (int64, bool) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	seq, ok := dt.versionByDataTS[ts.UnixMicro()]
+	return seq, ok
+}
+
+// History returns a copy of the refresh records.
+func (dt *DynamicTable) History() []RefreshRecord {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	out := make([]RefreshRecord, len(dt.history))
+	copy(out, dt.history)
+	return out
+}
+
+// LastRecord returns the most recent refresh record.
+func (dt *DynamicTable) LastRecord() (RefreshRecord, bool) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if len(dt.history) == 0 {
+		return RefreshRecord{}, false
+	}
+	return dt.history[len(dt.history)-1], true
+}
+
+// CloneAt returns a zero-copy clone of the DT (§3.4): the storage version
+// chain is shared up to the clone point, and the frontier and
+// data-timestamp mappings are copied so the clone avoids reinitialization.
+// The clone is unregistered and unnamed; the engine assigns both.
+func (dt *DynamicTable) CloneAt(at hlc.Timestamp) (*DynamicTable, error) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	st, err := dt.Storage.Clone(at)
+	if err != nil {
+		return nil, err
+	}
+	clone := &DynamicTable{
+		Name:              dt.Name,
+		Text:              dt.Text,
+		Lag:               dt.Lag,
+		Warehouse:         dt.Warehouse,
+		DeclaredMode:      dt.DeclaredMode,
+		EffectiveMode:     dt.EffectiveMode,
+		Storage:           st,
+		state:             dt.state,
+		initialized:       dt.initialized,
+		frontier:          dt.frontier.Clone(),
+		deps:              make(map[int64]int64, len(dt.deps)),
+		versionByDataTS:   make(map[int64]int64, len(dt.versionByDataTS)),
+		commitByDataTS:    make(map[int64]hlc.Timestamp, len(dt.commitByDataTS)),
+		schemaFingerprint: dt.schemaFingerprint,
+	}
+	for k, v := range dt.deps {
+		clone.deps[k] = v
+	}
+	maxSeq := int64(st.VersionCount())
+	for k, v := range dt.versionByDataTS {
+		if v <= maxSeq {
+			clone.versionByDataTS[k] = v
+		}
+	}
+	for k, v := range dt.commitByDataTS {
+		clone.commitByDataTS[k] = v
+	}
+	return clone, nil
+}
+
+// RecordSkip logs a scheduler-initiated skip (§3.3.3) in the refresh
+// history.
+func (dt *DynamicTable) RecordSkip(dataTS time.Time) {
+	dt.record(RefreshRecord{DataTS: dataTS, Action: ActionSkip})
+}
+
+// record appends a refresh record (callers hold no locks).
+func (dt *DynamicTable) record(r RefreshRecord) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.history = append(dt.history, r)
+}
+
+// tryBeginRefresh acquires the per-DT refresh lock without blocking; a
+// false return means a refresh is already running and the caller should
+// skip (§3.3.3: no concurrent refreshes of the same DT).
+func (dt *DynamicTable) tryBeginRefresh() bool {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if dt.refreshing {
+		return false
+	}
+	dt.refreshing = true
+	return true
+}
+
+func (dt *DynamicTable) endRefresh() {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.refreshing = false
+}

@@ -1,0 +1,295 @@
+// Package delta defines the change model used throughout the IVM engine:
+// signed change rows carrying the $ROW_ID and $ACTION metadata columns of
+// §5.5, change sets, the consolidation step that guarantees at most one row
+// per ($ROW_ID, $ACTION) pair, and helpers for applying changes to stored
+// results.
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"dyntables/internal/types"
+)
+
+// Action is the $ACTION metadata column: whether a change row represents an
+// insertion into or a deletion from the maintained result. Updates are
+// represented as a deletion and an insertion sharing a $ROW_ID.
+type Action uint8
+
+// The two change actions.
+const (
+	Insert Action = iota
+	Delete
+)
+
+// String returns "INSERT" or "DELETE".
+func (a Action) String() string {
+	if a == Insert {
+		return "INSERT"
+	}
+	return "DELETE"
+}
+
+// Change is one change row: the $ROW_ID identifying the affected result
+// row, the $ACTION, and the row contents.
+type Change struct {
+	RowID  string
+	Action Action
+	Row    types.Row
+}
+
+// String renders the change for diagnostics.
+func (c Change) String() string {
+	sign := "+"
+	if c.Action == Delete {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s%s %s", sign, c.RowID, c.Row)
+}
+
+// ChangeSet is an ordered collection of change rows.
+type ChangeSet struct {
+	Changes []Change
+}
+
+// Len returns the number of change rows.
+func (cs *ChangeSet) Len() int { return len(cs.Changes) }
+
+// Empty reports whether the change set carries no changes.
+func (cs *ChangeSet) Empty() bool { return len(cs.Changes) == 0 }
+
+// Add appends a change row.
+func (cs *ChangeSet) Add(c Change) { cs.Changes = append(cs.Changes, c) }
+
+// AddInsert appends an insertion.
+func (cs *ChangeSet) AddInsert(rowID string, row types.Row) {
+	cs.Add(Change{RowID: rowID, Action: Insert, Row: row})
+}
+
+// AddDelete appends a deletion.
+func (cs *ChangeSet) AddDelete(rowID string, row types.Row) {
+	cs.Add(Change{RowID: rowID, Action: Delete, Row: row})
+}
+
+// Append concatenates another change set.
+func (cs *ChangeSet) Append(o ChangeSet) {
+	cs.Changes = append(cs.Changes, o.Changes...)
+}
+
+// InsertOnly reports whether the set contains no deletions.
+func (cs *ChangeSet) InsertOnly() bool {
+	for _, c := range cs.Changes {
+		if c.Action == Delete {
+			return false
+		}
+	}
+	return true
+}
+
+// Counts returns the number of insertions and deletions.
+func (cs *ChangeSet) Counts() (inserts, deletes int) {
+	for _, c := range cs.Changes {
+		if c.Action == Insert {
+			inserts++
+		} else {
+			deletes++
+		}
+	}
+	return inserts, deletes
+}
+
+// Clone returns a deep-enough copy: the slice is copied, rows are shared
+// (rows are treated as immutable throughout the engine).
+func (cs *ChangeSet) Clone() ChangeSet {
+	out := make([]Change, len(cs.Changes))
+	copy(out, cs.Changes)
+	return ChangeSet{Changes: out}
+}
+
+// Consolidate folds the change set, treating it as an ordered sequence of
+// changes, into its net effect: at most one row per ($ROW_ID, $ACTION)
+// pair, with intermediate states eliminated. A row inserted and later
+// deleted within the set vanishes entirely; a row inserted and later
+// updated nets to a single insertion of the final contents; a deletion
+// followed by a re-insertion of identical contents cancels out. This is
+// what makes consolidation suitable both for intra-refresh duplicate
+// elimination (§5.5) and for collapsing a sequence of per-version change
+// sets into the change interval of a refresh that follows skips (§3.3.3).
+//
+// The result preserves a deterministic order: deletions first, then
+// insertions, each sorted by $ROW_ID.
+func (cs ChangeSet) Consolidate() ChangeSet {
+	type state struct {
+		deletedOld  types.Row // pre-interval row this interval deletes
+		hasDel      bool
+		insertedNew types.Row // post-interval row this interval installs
+		hasIns      bool
+	}
+	byID := make(map[string]*state, len(cs.Changes))
+	order := make([]string, 0, len(cs.Changes))
+	for _, c := range cs.Changes {
+		st, ok := byID[c.RowID]
+		if !ok {
+			st = &state{}
+			byID[c.RowID] = st
+			order = append(order, c.RowID)
+		}
+		if c.Action == Insert {
+			// A later insert supersedes any pending insert for the rowid.
+			st.insertedNew, st.hasIns = c.Row, true
+		} else {
+			if st.hasIns {
+				// Deleting a row this very interval inserted: they cancel,
+				// leaving any earlier pre-interval deletion in place.
+				st.insertedNew, st.hasIns = nil, false
+			} else if !st.hasDel {
+				// First deletion removes the pre-interval row.
+				st.deletedOld, st.hasDel = c.Row, true
+			}
+		}
+	}
+	sort.Strings(order)
+	var out ChangeSet
+	noOp := func(st *state) bool {
+		return st.hasDel && st.hasIns && st.deletedOld.Equal(st.insertedNew)
+	}
+	// Deletions first so merges never insert before clearing a row.
+	for _, id := range order {
+		st := byID[id]
+		if noOp(st) {
+			continue
+		}
+		if st.hasDel {
+			out.AddDelete(id, st.deletedOld)
+		}
+	}
+	for _, id := range order {
+		st := byID[id]
+		if noOp(st) {
+			continue
+		}
+		if st.hasIns {
+			out.AddInsert(id, st.insertedNew)
+		}
+	}
+	return out
+}
+
+// ConsolidateSigned consolidates the change set as a signed multiset: each
+// (row ID, row value) pair accumulates +1 per insertion and −1 per
+// deletion, and pairs with a zero sum vanish. This is the consolidation
+// the differentiation algebra requires (§5.5): the bilinear join rule can
+// emit an insertion and a deletion of the same (ID, value) from different
+// terms, which must cancel exactly, independent of emission order —
+// unlike Consolidate, which folds an ordered operation log.
+//
+// The result lists deletions before insertions, each sorted by row ID then
+// value key.
+func (cs ChangeSet) ConsolidateSigned() ChangeSet {
+	type entry struct {
+		rowID string
+		vkey  string
+		row   types.Row
+		count int
+	}
+	sums := make(map[string]*entry, len(cs.Changes))
+	var order []string
+	for _, c := range cs.Changes {
+		key := c.RowID + "\x00" + c.Row.Key()
+		e, ok := sums[key]
+		if !ok {
+			e = &entry{rowID: c.RowID, vkey: c.Row.Key(), row: c.Row}
+			sums[key] = e
+			order = append(order, key)
+		}
+		if c.Action == Insert {
+			e.count++
+		} else {
+			e.count--
+		}
+	}
+	sort.Strings(order)
+	var out ChangeSet
+	for _, key := range order {
+		e := sums[key]
+		for i := 0; i > e.count; i-- {
+			out.AddDelete(e.rowID, e.row)
+		}
+	}
+	for _, key := range order {
+		e := sums[key]
+		for i := 0; i < e.count; i++ {
+			out.AddInsert(e.rowID, e.row)
+		}
+	}
+	return out
+}
+
+// ValidateWellFormed checks the §6.1 production invariant that a change set
+// contains at most one row per ($ROW_ID, $ACTION) pair. It returns an error
+// naming the first offending pair.
+func (cs *ChangeSet) ValidateWellFormed() error {
+	seen := make(map[string]struct{}, len(cs.Changes))
+	var key []byte
+	for _, c := range cs.Changes {
+		key = key[:0]
+		key = append(key, byte(c.Action))
+		key = append(key, c.RowID...)
+		k := string(key)
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("delta: duplicate (%s, %s) in change set", c.RowID, c.Action)
+		}
+		seen[k] = struct{}{}
+	}
+	return nil
+}
+
+// Invert returns the change set that undoes cs: insertions become
+// deletions and vice versa.
+func (cs ChangeSet) Invert() ChangeSet {
+	out := ChangeSet{Changes: make([]Change, len(cs.Changes))}
+	for i, c := range cs.Changes {
+		inv := c
+		if c.Action == Insert {
+			inv.Action = Delete
+		} else {
+			inv.Action = Insert
+		}
+		out.Changes[i] = inv
+	}
+	return out
+}
+
+// Diff computes the change set transforming the row map `from` into `to`.
+// Rows present in both with equal contents produce no change; rows present
+// in both with different contents produce a delete+insert pair.
+func Diff(from, to map[string]types.Row) ChangeSet {
+	var cs ChangeSet
+	ids := make([]string, 0, len(from)+len(to))
+	for id := range from {
+		ids = append(ids, id)
+	}
+	for id := range to {
+		if _, ok := from[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		oldRow, hadOld := from[id]
+		newRow, hasNew := to[id]
+		switch {
+		case hadOld && hasNew:
+			if !oldRow.Equal(newRow) {
+				cs.AddDelete(id, oldRow)
+				cs.AddInsert(id, newRow)
+			}
+		case hadOld:
+			cs.AddDelete(id, oldRow)
+		default:
+			cs.AddInsert(id, newRow)
+		}
+	}
+	return cs
+}

@@ -1,0 +1,210 @@
+package delta
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dyntables/internal/types"
+)
+
+func row(vals ...int64) types.Row {
+	r := make(types.Row, len(vals))
+	for i, v := range vals {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+func TestConsolidateCancelsNoOpUpdate(t *testing.T) {
+	var cs ChangeSet
+	cs.AddDelete("r1", row(1))
+	cs.AddInsert("r1", row(1))
+	out := cs.Consolidate()
+	if !out.Empty() {
+		t.Errorf("no-op update should cancel, got %v", out.Changes)
+	}
+}
+
+func TestConsolidateKeepsRealUpdate(t *testing.T) {
+	var cs ChangeSet
+	cs.AddDelete("r1", row(1))
+	cs.AddInsert("r1", row(2))
+	out := cs.Consolidate()
+	if out.Len() != 2 {
+		t.Fatalf("want delete+insert, got %v", out.Changes)
+	}
+	if out.Changes[0].Action != Delete || out.Changes[1].Action != Insert {
+		t.Errorf("deletes must precede inserts: %v", out.Changes)
+	}
+}
+
+func TestConsolidateDeduplicates(t *testing.T) {
+	var cs ChangeSet
+	cs.AddInsert("r1", row(1))
+	cs.AddInsert("r1", row(2)) // later wins
+	out := cs.Consolidate()
+	if out.Len() != 1 {
+		t.Fatalf("want 1 change, got %v", out.Changes)
+	}
+	if out.Changes[0].Row[0].Int() != 2 {
+		t.Errorf("later insert should win: %v", out.Changes[0])
+	}
+	if err := out.ValidateWellFormed(); err != nil {
+		t.Errorf("consolidated set must be well-formed: %v", err)
+	}
+}
+
+func TestConsolidateOrderingDeterministic(t *testing.T) {
+	var cs ChangeSet
+	cs.AddInsert("b", row(2))
+	cs.AddInsert("a", row(1))
+	cs.AddDelete("c", row(3))
+	out := cs.Consolidate()
+	if out.Changes[0].RowID != "c" {
+		t.Errorf("delete first: %v", out.Changes)
+	}
+	if out.Changes[1].RowID != "a" || out.Changes[2].RowID != "b" {
+		t.Errorf("inserts sorted by rowid: %v", out.Changes)
+	}
+}
+
+func TestValidateWellFormed(t *testing.T) {
+	var cs ChangeSet
+	cs.AddInsert("r1", row(1))
+	cs.AddDelete("r1", row(0))
+	if err := cs.ValidateWellFormed(); err != nil {
+		t.Errorf("insert+delete same rowid is legal (an update): %v", err)
+	}
+	cs.AddInsert("r1", row(2))
+	if err := cs.ValidateWellFormed(); err == nil {
+		t.Error("duplicate (rowid, INSERT) must be rejected")
+	}
+}
+
+func TestInsertOnlyAndCounts(t *testing.T) {
+	var cs ChangeSet
+	cs.AddInsert("a", row(1))
+	cs.AddInsert("b", row(2))
+	if !cs.InsertOnly() {
+		t.Error("insert-only detection failed")
+	}
+	cs.AddDelete("a", row(1))
+	if cs.InsertOnly() {
+		t.Error("set with delete is not insert-only")
+	}
+	ins, del := cs.Counts()
+	if ins != 2 || del != 1 {
+		t.Errorf("counts = %d,%d", ins, del)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	var cs ChangeSet
+	cs.AddInsert("a", row(1))
+	cs.AddDelete("b", row(2))
+	inv := cs.Invert()
+	if inv.Changes[0].Action != Delete || inv.Changes[1].Action != Insert {
+		t.Errorf("invert: %v", inv.Changes)
+	}
+	// Double inversion is identity.
+	back := inv.Invert()
+	for i := range cs.Changes {
+		if back.Changes[i].Action != cs.Changes[i].Action {
+			t.Error("double inversion should restore actions")
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	from := map[string]types.Row{
+		"a": row(1),
+		"b": row(2),
+		"c": row(3),
+	}
+	to := map[string]types.Row{
+		"a": row(1),  // unchanged
+		"b": row(20), // updated
+		"d": row(4),  // new
+	}
+	cs := Diff(from, to)
+	ins, del := cs.Counts()
+	if ins != 2 || del != 2 {
+		t.Fatalf("diff counts = %d inserts, %d deletes; want 2,2: %v", ins, del, cs.Changes)
+	}
+	if err := cs.ValidateWellFormed(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffRoundTripProperty(t *testing.T) {
+	// Applying Diff(from, to) to `from` must yield `to`.
+	f := func(keys []uint8, vals []int64) bool {
+		from := map[string]types.Row{}
+		to := map[string]types.Row{}
+		for i, k := range keys {
+			id := string(rune('a' + k%16))
+			v := int64(i)
+			if len(vals) > 0 {
+				v = vals[i%len(vals)]
+			}
+			if i%3 != 0 {
+				from[id] = row(v)
+			}
+			if i%2 == 0 {
+				to[id] = row(v + 1)
+			}
+		}
+		cs := Diff(from, to)
+		got := map[string]types.Row{}
+		for id, r := range from {
+			got[id] = r
+		}
+		for _, c := range cs.Changes {
+			if c.Action == Delete {
+				delete(got, c.RowID)
+			}
+		}
+		for _, c := range cs.Changes {
+			if c.Action == Insert {
+				got[c.RowID] = c.Row
+			}
+		}
+		if len(got) != len(to) {
+			return false
+		}
+		for id, r := range to {
+			g, ok := got[id]
+			if !ok || !g.Equal(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	c := Change{RowID: "r1", Action: Insert, Row: row(1)}
+	if c.String() == "" {
+		t.Error("empty render")
+	}
+	d := Change{RowID: "r1", Action: Delete, Row: row(1)}
+	if d.String() == c.String() {
+		t.Error("insert and delete must render differently")
+	}
+	if Insert.String() != "INSERT" || Delete.String() != "DELETE" {
+		t.Error("action names wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var cs ChangeSet
+	cs.AddInsert("a", row(1))
+	cl := cs.Clone()
+	cl.AddInsert("b", row(2))
+	if cs.Len() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+}

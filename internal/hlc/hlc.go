@@ -1,0 +1,121 @@
+// Package hlc implements Hybrid Logical Clocks (Kulkarni et al., "Logical
+// Physical Clocks", OPODIS 2014), which the transaction manager uses to
+// issue commit timestamps that are totally ordered and close to physical
+// time (§5.3 of the paper).
+package hlc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dyntables/internal/clock"
+)
+
+// Timestamp is a hybrid logical timestamp: physical wall time in
+// microseconds plus a logical counter that breaks ties within the same
+// microsecond while preserving causality.
+type Timestamp struct {
+	WallMicros int64
+	Logical    int32
+}
+
+// Zero is the minimal timestamp.
+var Zero = Timestamp{}
+
+// Compare orders two timestamps.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.WallMicros < o.WallMicros:
+		return -1
+	case t.WallMicros > o.WallMicros:
+		return 1
+	case t.Logical < o.Logical:
+		return -1
+	case t.Logical > o.Logical:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether t orders strictly before o.
+func (t Timestamp) Less(o Timestamp) bool { return t.Compare(o) < 0 }
+
+// LessEq reports whether t orders at or before o.
+func (t Timestamp) LessEq(o Timestamp) bool { return t.Compare(o) <= 0 }
+
+// IsZero reports whether t is the minimal timestamp.
+func (t Timestamp) IsZero() bool { return t == Zero }
+
+// Time returns the physical component as a time.Time.
+func (t Timestamp) Time() time.Time { return time.UnixMicro(t.WallMicros).UTC() }
+
+// String renders the timestamp as "wall.logical".
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%d", t.WallMicros, t.Logical)
+}
+
+// FromTime returns the timestamp at physical time tm with logical counter 0.
+func FromTime(tm time.Time) Timestamp {
+	return Timestamp{WallMicros: tm.UTC().UnixMicro()}
+}
+
+// Clock issues monotonically increasing hybrid logical timestamps.
+// It is safe for concurrent use.
+type Clock struct {
+	mu     sync.Mutex
+	source clock.Clock
+	last   Timestamp
+}
+
+// New returns an HLC driven by the given time source.
+func New(source clock.Clock) *Clock {
+	return &Clock{source: source}
+}
+
+// Now returns a timestamp for a local or send event. Successive calls
+// return strictly increasing timestamps even if the physical clock stalls
+// or moves backwards.
+func (c *Clock) Now() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := c.source.Now().UnixMicro()
+	if phys > c.last.WallMicros {
+		c.last = Timestamp{WallMicros: phys}
+	} else {
+		c.last.Logical++
+	}
+	return c.last
+}
+
+// Update merges a timestamp received from another participant, preserving
+// causality: the returned timestamp is greater than both the local clock
+// and the received timestamp.
+func (c *Clock) Update(received Timestamp) Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys := c.source.Now().UnixMicro()
+	switch {
+	case phys > c.last.WallMicros && phys > received.WallMicros:
+		c.last = Timestamp{WallMicros: phys}
+	case received.WallMicros > c.last.WallMicros:
+		c.last = Timestamp{WallMicros: received.WallMicros, Logical: received.Logical + 1}
+	case c.last.WallMicros > received.WallMicros:
+		c.last.Logical++
+	default: // equal wall components
+		if received.Logical > c.last.Logical {
+			c.last.Logical = received.Logical
+		}
+		c.last.Logical++
+	}
+	return c.last
+}
+
+// Last returns the most recently issued timestamp without advancing the
+// clock.
+func (c *Clock) Last() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}

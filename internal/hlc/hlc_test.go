@@ -1,0 +1,123 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dyntables/internal/clock"
+)
+
+func TestMonotonicWithFrozenPhysicalClock(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1000, 0))
+	c := New(vc)
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		cur := c.Now()
+		if !prev.Less(cur) {
+			t.Fatalf("timestamps not strictly increasing: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestPhysicalAdvanceResetsLogical(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1000, 0))
+	c := New(vc)
+	for i := 0; i < 5; i++ {
+		c.Now()
+	}
+	if c.Last().Logical == 0 {
+		t.Fatal("expected logical ticks while physical clock frozen")
+	}
+	vc.Advance(time.Second)
+	ts := c.Now()
+	if ts.Logical != 0 {
+		t.Errorf("logical should reset after physical advance, got %d", ts.Logical)
+	}
+	if ts.WallMicros != time.Unix(1001, 0).UnixMicro() {
+		t.Errorf("wall component wrong: %d", ts.WallMicros)
+	}
+}
+
+func TestUpdatePreservesCausality(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1000, 0))
+	c := New(vc)
+	local := c.Now()
+	remote := Timestamp{WallMicros: local.WallMicros + 5_000_000, Logical: 3}
+	merged := c.Update(remote)
+	if !remote.Less(merged) {
+		t.Errorf("merged %v must exceed remote %v", merged, remote)
+	}
+	if !local.Less(merged) {
+		t.Errorf("merged %v must exceed local %v", merged, local)
+	}
+	next := c.Now()
+	if !merged.Less(next) {
+		t.Errorf("post-merge Now %v must exceed merged %v", next, merged)
+	}
+}
+
+func TestUpdateEqualWallComponents(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1000, 0))
+	c := New(vc)
+	local := c.Now()
+	remote := Timestamp{WallMicros: local.WallMicros, Logical: local.Logical + 10}
+	merged := c.Update(remote)
+	if !remote.Less(merged) {
+		t.Errorf("merged %v must exceed remote %v", merged, remote)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Timestamp{WallMicros: 1, Logical: 0}
+	b := Timestamp{WallMicros: 1, Logical: 1}
+	c := Timestamp{WallMicros: 2, Logical: 0}
+	if !(a.Less(b) && b.Less(c) && a.Less(c)) {
+		t.Error("ordering broken")
+	}
+	if a.Compare(a) != 0 || !a.LessEq(a) {
+		t.Error("reflexive compare broken")
+	}
+	if !Zero.IsZero() || b.IsZero() {
+		t.Error("IsZero broken")
+	}
+}
+
+func TestConcurrentNowStrictlyIncreasing(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(1000, 0))
+	c := New(vc)
+	const goroutines = 8
+	const perG = 500
+	results := make([][]Timestamp, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]Timestamp, perG)
+			for i := range out {
+				out[i] = c.Now()
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, goroutines*perG)
+	for _, rs := range results {
+		for _, ts := range rs {
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp issued: %v", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+func TestFromTimeAndTime(t *testing.T) {
+	tm := time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+	ts := FromTime(tm)
+	if !ts.Time().Equal(tm) {
+		t.Errorf("roundtrip: %v != %v", ts.Time(), tm)
+	}
+}

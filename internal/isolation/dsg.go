@@ -1,0 +1,431 @@
+package isolation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DepKind classifies DSG edges.
+type DepKind uint8
+
+// The dependency kinds.
+const (
+	// DepWrite is a write dependency (ww): Tj installs the version after
+	// one installed by Ti, directly or through derivations.
+	DepWrite DepKind = iota
+	// DepRead is a read dependency (wr): Tj reads a version Ti installed,
+	// directly or through derivations.
+	DepRead
+	// DepAnti is an anti-dependency (rw): Ti read a version whose
+	// (possibly derived) source was later overwritten by Tj.
+	DepAnti
+)
+
+// String renders ww/wr/rw notation.
+func (k DepKind) String() string {
+	switch k {
+	case DepWrite:
+		return "ww"
+	case DepRead:
+		return "wr"
+	case DepAnti:
+		return "rw"
+	default:
+		return "?"
+	}
+}
+
+// Edge is one DSG edge between committed transactions.
+type Edge struct {
+	From, To int
+	Kind     DepKind
+	// Via explains the edge for diagnostics (e.g. "T5 read y3 ⊑ x1").
+	Via string
+}
+
+// DSG is the Direct Serialization Graph of a history: nodes are committed
+// transactions; derivations contribute no nodes, only paths (§4,
+// Transaction Invariance).
+type DSG struct {
+	Nodes []int
+	Edges []Edge
+}
+
+// String renders the graph.
+func (g *DSG) String() string {
+	var b strings.Builder
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "T%d -%s-> T%d (%s)\n", e.From, e.Kind, e.To, e.Via)
+	}
+	return b.String()
+}
+
+// Canonical renders the edge set without the explanatory annotations,
+// suitable for structural comparison (the Transaction Invariance theorem
+// speaks about dependencies, not their provenance text).
+func (g *DSG) Canonical() string {
+	var b strings.Builder
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "T%d -%s-> T%d\n", e.From, e.Kind, e.To)
+	}
+	return b.String()
+}
+
+// edgeSet deduplicates edges by (from, to, kind).
+type edgeSet struct {
+	seen  map[[3]int]bool
+	edges []Edge
+}
+
+func newEdgeSet() *edgeSet { return &edgeSet{seen: make(map[[3]int]bool)} }
+
+func (s *edgeSet) add(e Edge) {
+	if e.From == e.To {
+		return // self-dependencies are not DSG edges
+	}
+	key := [3]int{e.From, e.To, int(e.Kind)}
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.edges = append(s.edges, e)
+}
+
+// BuildDSG constructs the DSG with the paper's extended dependency
+// definitions. Only committed transactions appear.
+func (h *History) BuildDSG() *DSG {
+	set := newEdgeSet()
+	committed := func(txn int) bool { return h.status[txn] == StatusCommitted }
+
+	// Read dependencies: Tj reads x_i. Direct: Ti wrote x_i. Extended: x_i
+	// derives from y_k written by Ti.
+	for _, op := range h.ops {
+		if op.Kind != OpRead || !committed(op.Txn) {
+			continue
+		}
+		for _, src := range h.writtenClosure(op.Version) {
+			installer, ok := h.installedBy(src)
+			if !ok || !committed(installer.Txn) {
+				continue
+			}
+			via := fmt.Sprintf("T%d read %s", op.Txn, op.Version)
+			if src != op.Version {
+				via += fmt.Sprintf(" which derives from %s", src)
+			}
+			set.add(Edge{From: installer.Txn, To: op.Txn, Kind: DepRead, Via: via})
+		}
+	}
+
+	// Anti-dependencies: Ti reads x_k; x_k derives from y_m (or is y_m);
+	// Tj installs y's next written version after y_m.
+	for _, op := range h.ops {
+		if op.Kind != OpRead || !committed(op.Txn) {
+			continue
+		}
+		for _, src := range h.writtenClosure(op.Version) {
+			next, ok := h.nextWrittenVersion(src)
+			if !ok {
+				continue
+			}
+			overwriter, ok := h.installedBy(next)
+			if !ok || !committed(overwriter.Txn) {
+				continue
+			}
+			via := fmt.Sprintf("T%d read %s; T%d installed %s after %s",
+				op.Txn, op.Version, overwriter.Txn, next, src)
+			set.add(Edge{From: op.Txn, To: overwriter.Txn, Kind: DepAnti, Via: via})
+		}
+	}
+
+	// Write dependencies. Direct: Ti installs x_i, Tj installs x's next
+	// written version.
+	for v, op := range h.installed {
+		if op.Kind != OpWrite || !committed(op.Txn) {
+			continue
+		}
+		next, ok := h.nextWrittenVersion(v)
+		if !ok {
+			continue
+		}
+		overwriter, okT := h.installedBy(next)
+		if !okT || !committed(overwriter.Txn) {
+			continue
+		}
+		set.add(Edge{
+			From: op.Txn, To: overwriter.Txn, Kind: DepWrite,
+			Via: fmt.Sprintf("%s ≪ %s", v, next),
+		})
+	}
+	// Extended: consecutive versions z_k ≪ z_m with z_k deriving from
+	// Ti's write and z_m from Tj's write.
+	for _, pair := range h.consecutivePairs() {
+		zk, zm := pair[0], pair[1]
+		for _, u := range h.writtenClosure(zk) {
+			ui, okU := h.installedBy(u)
+			if !okU || !committed(ui.Txn) {
+				continue
+			}
+			for _, w := range h.writtenClosure(zm) {
+				wi, okW := h.installedBy(w)
+				if !okW || !committed(wi.Txn) {
+					continue
+				}
+				if ui.Txn == wi.Txn {
+					continue
+				}
+				set.add(Edge{
+					From: ui.Txn, To: wi.Txn, Kind: DepWrite,
+					Via: fmt.Sprintf("%s ≪ %s via derivations from %s and %s", zk, zm, u, w),
+				})
+			}
+		}
+	}
+
+	var nodes []int
+	for txn, st := range h.status {
+		if st == StatusCommitted {
+			nodes = append(nodes, txn)
+		}
+	}
+	sort.Ints(nodes)
+	sort.Slice(set.edges, func(i, j int) bool {
+		a, b := set.edges[i], set.edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Kind < b.Kind
+	})
+	return &DSG{Nodes: nodes, Edges: set.edges}
+}
+
+// HasCycle reports whether the subgraph restricted to the given edge kinds
+// contains a cycle, and returns one cycle's nodes if so.
+func (g *DSG) HasCycle(kinds ...DepKind) (bool, []int) {
+	allowed := make(map[DepKind]bool, len(kinds))
+	for _, k := range kinds {
+		allowed[k] = true
+	}
+	adj := make(map[int][]int)
+	for _, e := range g.Edges {
+		if allowed[e.Kind] {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var stack []int
+	var cycle []int
+	var dfs func(n int) bool
+	dfs = func(n int) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			if color[m] == gray {
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append([]int{stack[i]}, cycle...)
+					if stack[i] == m {
+						break
+					}
+				}
+				return true
+			}
+			if color[m] == white && dfs(m) {
+				return true
+			}
+		}
+		color[n] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	for _, n := range g.Nodes {
+		if color[n] == white && dfs(n) {
+			return true, cycle
+		}
+	}
+	return false, nil
+}
+
+// hasCycleWithExactlyOneAnti reports a G-single cycle: a cycle containing
+// exactly one anti-dependency edge. It checks, for each anti edge a→b,
+// whether b reaches a through non-anti edges.
+func (g *DSG) hasCycleWithExactlyOneAnti() (bool, Edge) {
+	adj := make(map[int][]int)
+	for _, e := range g.Edges {
+		if e.Kind != DepAnti {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	reaches := func(from, to int) bool {
+		seen := map[int]bool{from: true}
+		queue := []int{from}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n == to {
+				return true
+			}
+			for _, m := range adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range g.Edges {
+		if e.Kind == DepAnti && reaches(e.To, e.From) {
+			return true, e
+		}
+	}
+	return false, Edge{}
+}
+
+// Phenomena records which Adya phenomena (extended with derivations, §4) a
+// history exhibits.
+type Phenomena struct {
+	G0      bool // write cycle
+	G1a     bool // aborted read
+	G1b     bool // intermediate read
+	G1c     bool // circular information flow
+	G2      bool // cycle in the full DSG (anti-dependency cycle)
+	GSingle bool // cycle with exactly one anti-dependency
+	// Details holds human-readable explanations.
+	Details []string
+}
+
+// G1 reports whether any G1 phenomenon occurs.
+func (p Phenomena) G1() bool { return p.G1a || p.G1b || p.G1c }
+
+// Level is an isolation level (Adya's portable levels).
+type Level string
+
+// The levels, weakest to strongest.
+const (
+	PL0     Level = "PL-0"
+	PL1     Level = "PL-1"
+	PL2     Level = "PL-2 (Read Committed)"
+	PL2Plus Level = "PL-2+ (Basic Consistency)"
+	PL3     Level = "PL-3 (Serializable)"
+)
+
+// Level classifies the strongest level whose proscribed phenomena are all
+// absent.
+func (p Phenomena) Level() Level {
+	switch {
+	case !p.G1() && !p.G2:
+		return PL3
+	case !p.G1() && !p.GSingle:
+		return PL2Plus
+	case !p.G1():
+		return PL2
+	case !p.G0:
+		return PL1
+	default:
+		return PL0
+	}
+}
+
+// Analyze detects every phenomenon in the history.
+func (h *History) Analyze() Phenomena {
+	g := h.BuildDSG()
+	var p Phenomena
+
+	// G0: cycle of write dependencies only.
+	if ok, cyc := g.HasCycle(DepWrite); ok {
+		p.G0 = true
+		p.Details = append(p.Details, fmt.Sprintf("G0: write cycle %v", cyc))
+	}
+
+	// G1a: a committed transaction read a version installed by an aborted
+	// transaction, directly or through derivations.
+	for _, op := range h.ops {
+		if op.Kind != OpRead || h.status[op.Txn] != StatusCommitted {
+			continue
+		}
+		for _, src := range h.writtenClosure(op.Version) {
+			if installer, ok := h.installedBy(src); ok && h.status[installer.Txn] == StatusAborted {
+				p.G1a = true
+				p.Details = append(p.Details, fmt.Sprintf(
+					"G1a: T%d read %s deriving from %s written by aborted T%d",
+					op.Txn, op.Version, src, installer.Txn))
+			}
+		}
+	}
+
+	// G1b: a committed transaction read a version that is not the final
+	// version its writer installed for that object (or derives from one).
+	for _, op := range h.ops {
+		if op.Kind != OpRead || h.status[op.Txn] != StatusCommitted {
+			continue
+		}
+		for _, src := range h.writtenClosure(op.Version) {
+			installer, ok := h.installedBy(src)
+			if !ok || h.status[installer.Txn] != StatusCommitted {
+				continue
+			}
+			if final, has := h.finalWrite(installer.Txn, src.Object); has && final != src {
+				p.G1b = true
+				p.Details = append(p.Details, fmt.Sprintf(
+					"G1b: T%d read %s deriving from intermediate %s (T%d later wrote %s)",
+					op.Txn, op.Version, src, installer.Txn, final))
+			}
+		}
+	}
+
+	// G1c: cycle of read- and write-dependencies only.
+	if ok, cyc := g.HasCycle(DepWrite, DepRead); ok {
+		p.G1c = true
+		p.Details = append(p.Details, fmt.Sprintf("G1c: information-flow cycle %v", cyc))
+	}
+
+	// G2: a cycle containing at least one anti-dependency — for each anti
+	// edge a→b, check whether b reaches a in the full graph.
+	fullAdj := make(map[int][]int)
+	for _, e := range g.Edges {
+		fullAdj[e.From] = append(fullAdj[e.From], e.To)
+	}
+	reachesFull := func(from, to int) bool {
+		seen := map[int]bool{from: true}
+		queue := []int{from}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n == to {
+				return true
+			}
+			for _, m := range fullAdj[n] {
+				if !seen[m] {
+					seen[m] = true
+					queue = append(queue, m)
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range g.Edges {
+		if e.Kind == DepAnti && reachesFull(e.To, e.From) {
+			p.G2 = true
+			p.Details = append(p.Details, fmt.Sprintf(
+				"G2: cycle through anti-dependency T%d→T%d (%s)", e.From, e.To, e.Via))
+			break
+		}
+	}
+
+	// G-single.
+	if ok, e := g.hasCycleWithExactlyOneAnti(); ok {
+		p.GSingle = true
+		p.Details = append(p.Details, fmt.Sprintf(
+			"G-single: cycle closing anti-dependency T%d→T%d (%s)", e.From, e.To, e.Via))
+	}
+	return p
+}

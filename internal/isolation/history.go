@@ -1,0 +1,309 @@
+// Package isolation implements §4 of the paper: Adya's generalized
+// isolation framework (histories, version orders, the Direct Serialization
+// Graph, and the G0/G1/G2 phenomena) extended with *derivation* operations
+// d_i(x_i | y_j, …, z_k) that create derived values and record their
+// provenance. Dependencies traverse derivation paths, which is what lets
+// the framework expose anomalies (like the read skew of Figures 1 and 2)
+// that vanish when DT refreshes are modelled as ordinary transactions.
+package isolation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ver identifies a specific version of an object: x₂ is Ver{"x", 2}.
+// Indexes order versions of the same object (the version order ≪).
+type Ver struct {
+	Object string
+	Index  int
+}
+
+// V is shorthand for building a Ver.
+func V(object string, index int) Ver { return Ver{Object: object, Index: index} }
+
+// String renders x2-style notation.
+func (v Ver) String() string { return fmt.Sprintf("%s%d", v.Object, v.Index) }
+
+// OpKind enumerates history operations (§4: read, write, commit, abort,
+// plus the new derivation).
+type OpKind uint8
+
+// The operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpDerive
+	OpCommit
+	OpAbort
+)
+
+// Op is one event in a history.
+type Op struct {
+	Txn     int
+	Kind    OpKind
+	Version Ver   // read/write/derive target
+	Sources []Ver // derive: the versions the value is computed from
+}
+
+// String renders the operation in the paper's notation.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRead:
+		return fmt.Sprintf("r%d(%s)", o.Txn, o.Version)
+	case OpWrite:
+		return fmt.Sprintf("w%d(%s)", o.Txn, o.Version)
+	case OpDerive:
+		s := ""
+		for i, src := range o.Sources {
+			if i > 0 {
+				s += ","
+			}
+			s += src.String()
+		}
+		return fmt.Sprintf("d%d(%s|%s)", o.Txn, o.Version, s)
+	case OpCommit:
+		return fmt.Sprintf("c%d", o.Txn)
+	case OpAbort:
+		return fmt.Sprintf("a%d", o.Txn)
+	default:
+		return "?"
+	}
+}
+
+// TxnStatus tracks transaction outcomes.
+type TxnStatus uint8
+
+// The transaction statuses.
+const (
+	StatusActive TxnStatus = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// History is a transaction history: a sequence of operations plus the
+// per-object version order implied by version indexes.
+type History struct {
+	ops    []Op
+	status map[int]TxnStatus
+
+	// installed maps each version to the op that created it (write or
+	// derivation).
+	installed map[Ver]*Op
+	// versions lists each object's version indexes in order.
+	versions map[string][]int
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{
+		status:    make(map[int]TxnStatus),
+		installed: make(map[Ver]*Op),
+		versions:  make(map[string][]int),
+	}
+}
+
+func (h *History) touch(txn int) {
+	if _, ok := h.status[txn]; !ok {
+		h.status[txn] = StatusActive
+	}
+}
+
+func (h *History) install(op *Op) error {
+	v := op.Version
+	if _, dup := h.installed[v]; dup {
+		return fmt.Errorf("isolation: version %s installed twice", v)
+	}
+	h.installed[v] = op
+	h.versions[v.Object] = append(h.versions[v.Object], v.Index)
+	sort.Ints(h.versions[v.Object])
+	return nil
+}
+
+// Write appends w_txn(object_index).
+func (h *History) Write(txn int, object string, index int) error {
+	h.touch(txn)
+	op := Op{Txn: txn, Kind: OpWrite, Version: V(object, index)}
+	h.ops = append(h.ops, op)
+	return h.install(&h.ops[len(h.ops)-1])
+}
+
+// Read appends r_txn(object_index). The version must exist.
+func (h *History) Read(txn int, object string, index int) error {
+	h.touch(txn)
+	v := V(object, index)
+	if _, ok := h.installed[v]; !ok {
+		return fmt.Errorf("isolation: read of uninstalled version %s", v)
+	}
+	h.ops = append(h.ops, Op{Txn: txn, Kind: OpRead, Version: v})
+	return nil
+}
+
+// Derive appends d_txn(object_index | sources...): a derivation creating a
+// derived value from already-installed versions (§4).
+func (h *History) Derive(txn int, object string, index int, sources ...Ver) error {
+	h.touch(txn)
+	for _, src := range sources {
+		if _, ok := h.installed[src]; !ok {
+			return fmt.Errorf("isolation: derivation source %s not installed", src)
+		}
+	}
+	op := Op{Txn: txn, Kind: OpDerive, Version: V(object, index), Sources: sources}
+	h.ops = append(h.ops, op)
+	return h.install(&h.ops[len(h.ops)-1])
+}
+
+// Commit appends c_txn.
+func (h *History) Commit(txn int) {
+	h.touch(txn)
+	h.ops = append(h.ops, Op{Txn: txn, Kind: OpCommit})
+	h.status[txn] = StatusCommitted
+}
+
+// Abort appends a_txn.
+func (h *History) Abort(txn int) {
+	h.touch(txn)
+	h.ops = append(h.ops, Op{Txn: txn, Kind: OpAbort})
+	h.status[txn] = StatusAborted
+}
+
+// Ops returns a copy of the operation sequence.
+func (h *History) Ops() []Op {
+	out := make([]Op, len(h.ops))
+	copy(out, h.ops)
+	return out
+}
+
+// Status returns a transaction's outcome.
+func (h *History) Status(txn int) TxnStatus { return h.status[txn] }
+
+// String renders the history.
+func (h *History) String() string {
+	s := ""
+	for i, op := range h.ops {
+		if i > 0 {
+			s += " "
+		}
+		s += op.String()
+	}
+	return s
+}
+
+// installedBy returns the op that created the version, if any.
+func (h *History) installedBy(v Ver) (*Op, bool) {
+	op, ok := h.installed[v]
+	return op, ok
+}
+
+// isWritten reports whether the version was created by a write (not a
+// derivation).
+func (h *History) isWritten(v Ver) bool {
+	op, ok := h.installed[v]
+	return ok && op.Kind == OpWrite
+}
+
+// writtenClosure returns the set of *written* versions that v derives
+// from, following derivation paths transitively. A written version's
+// closure is itself.
+func (h *History) writtenClosure(v Ver) []Ver {
+	seen := make(map[Ver]bool)
+	var out []Ver
+	var walk func(Ver)
+	walk = func(cur Ver) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		op, ok := h.installed[cur]
+		if !ok {
+			return
+		}
+		if op.Kind == OpWrite {
+			out = append(out, cur)
+			return
+		}
+		for _, src := range op.Sources {
+			walk(src)
+		}
+	}
+	walk(v)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// derivationClosure returns every version (written or derived) reachable
+// from v through derivation sources, including v.
+func (h *History) derivationClosure(v Ver) []Ver {
+	seen := make(map[Ver]bool)
+	var out []Ver
+	var walk func(Ver)
+	walk = func(cur Ver) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		out = append(out, cur)
+		op, ok := h.installed[cur]
+		if !ok || op.Kind != OpDerive {
+			return
+		}
+		for _, src := range op.Sources {
+			walk(src)
+		}
+	}
+	walk(v)
+	return out
+}
+
+// nextWrittenVersion returns the next version of v's object after v (in
+// the version order) that was installed by a write.
+func (h *History) nextWrittenVersion(v Ver) (Ver, bool) {
+	idxs := h.versions[v.Object]
+	for _, idx := range idxs {
+		if idx <= v.Index {
+			continue
+		}
+		cand := V(v.Object, idx)
+		if h.isWritten(cand) {
+			return cand, true
+		}
+	}
+	return Ver{}, false
+}
+
+// consecutivePairs returns each object's consecutive version pairs
+// (z_k ≪ z_m with no version between) across the full version order.
+func (h *History) consecutivePairs() [][2]Ver {
+	var out [][2]Ver
+	objects := make([]string, 0, len(h.versions))
+	for obj := range h.versions {
+		objects = append(objects, obj)
+	}
+	sort.Strings(objects)
+	for _, obj := range objects {
+		idxs := h.versions[obj]
+		for i := 0; i+1 < len(idxs); i++ {
+			out = append(out, [2]Ver{V(obj, idxs[i]), V(obj, idxs[i+1])})
+		}
+	}
+	return out
+}
+
+// finalWrite returns the last version of an object written by txn, if any.
+func (h *History) finalWrite(txn int, object string) (Ver, bool) {
+	best := Ver{}
+	found := false
+	for _, op := range h.ops {
+		if op.Kind == OpWrite && op.Txn == txn && op.Version.Object == object {
+			if !found || op.Version.Index > best.Index {
+				best, found = op.Version, true
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,417 @@
+package isolation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// must is a test helper that fails on history construction errors.
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// figure1History models the paper's Figure 1: persisted table semantics,
+// where DT refreshes are ordinary transactions (T3, T4) that read the base
+// table and write the derived table.
+//
+//	T1: w1(x1) c1
+//	T3: r3(x1) w3(y3) c3      (refresh 1)
+//	T2: w2(x2) c2
+//	T4: r4(x2) w4(y4) c4      (refresh 2)
+//	T5: r5(y3) r5(x2) c5      (observes read skew)
+func figure1History(t *testing.T) *History {
+	t.Helper()
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	h.Commit(1)
+	must(t, h.Read(3, "x", 1))
+	must(t, h.Write(3, "y", 3))
+	h.Commit(3)
+	must(t, h.Write(2, "x", 2))
+	h.Commit(2)
+	must(t, h.Read(4, "x", 2))
+	must(t, h.Write(4, "y", 4))
+	h.Commit(4)
+	must(t, h.Read(5, "y", 3))
+	must(t, h.Read(5, "x", 2))
+	h.Commit(5)
+	return h
+}
+
+// figure2History models Figure 2: the same events under delayed view
+// semantics, with refreshes represented as derivations.
+//
+//	T1: w1(x1) c1
+//	T3: d3(y3|x1) c3
+//	T2: w2(x2) c2
+//	T4: d4(y4|x2) c4
+//	T5: r5(y3) r5(x2) c5
+func figure2History(t *testing.T) *History {
+	t.Helper()
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	h.Commit(1)
+	must(t, h.Derive(3, "y", 3, V("x", 1)))
+	h.Commit(3)
+	must(t, h.Write(2, "x", 2))
+	h.Commit(2)
+	must(t, h.Derive(4, "y", 4, V("x", 2)))
+	h.Commit(4)
+	must(t, h.Read(5, "y", 3))
+	must(t, h.Read(5, "x", 2))
+	h.Commit(5)
+	return h
+}
+
+// TestFigure1PersistedTableSemantics reproduces E1: the DSG is acyclic
+// (the history is "serializable") even though the application observes
+// read skew — the framework cannot see the anomaly.
+func TestFigure1PersistedTableSemantics(t *testing.T) {
+	h := figure1History(t)
+	p := h.Analyze()
+	if p.G2 || p.GSingle || p.G1() || p.G0 {
+		t.Errorf("Figure 1 history must exhibit no phenomena, got %+v\n%s",
+			p, h.BuildDSG())
+	}
+	if p.Level() != PL3 {
+		t.Errorf("Figure 1 classifies as %s, want PL-3 (the masking)", p.Level())
+	}
+}
+
+// TestFigure2DerivationsExposeReadSkew reproduces E2: with derivations,
+// the same events yield a DSG cycle through T5's anti-dependency on T2 —
+// the read skew becomes visible as G2 (and G-single).
+func TestFigure2DerivationsExposeReadSkew(t *testing.T) {
+	h := figure2History(t)
+	p := h.Analyze()
+	if !p.G2 {
+		t.Errorf("Figure 2 must exhibit G2, got %+v\n%s", p, h.BuildDSG())
+	}
+	if !p.GSingle {
+		t.Errorf("Figure 2 must exhibit G-single, got %+v", p)
+	}
+	if p.G1() {
+		t.Errorf("Figure 2 must not exhibit G1, got %+v", p)
+	}
+	if p.Level() == PL3 || p.Level() == PL2Plus {
+		t.Errorf("Figure 2 must not classify above PL-2, got %s", p.Level())
+	}
+}
+
+// TestFigure2DSGShape checks the specific edges the paper describes: the
+// derivation transactions vanish from the DSG and an anti-dependency runs
+// from T5 to T2.
+func TestFigure2DSGShape(t *testing.T) {
+	h := figure2History(t)
+	g := h.BuildDSG()
+	hasEdge := func(from, to int, kind DepKind) bool {
+		for _, e := range g.Edges {
+			if e.From == from && e.To == to && e.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(5, 2, DepAnti) {
+		t.Errorf("missing anti-dependency T5→T2 (read of y3 ⊑ x1 overwritten by T2)\n%s", g)
+	}
+	if !hasEdge(2, 5, DepRead) {
+		t.Errorf("missing read dependency T2→T5 (T5 read x2)\n%s", g)
+	}
+	if !hasEdge(1, 5, DepRead) {
+		t.Errorf("missing derived read dependency T1→T5 (T5 read y3 which derives from x1)\n%s", g)
+	}
+	// The derivation transactions T3/T4 contribute no edges.
+	for _, e := range g.Edges {
+		if e.From == 3 || e.To == 3 || e.From == 4 || e.To == 4 {
+			t.Errorf("derivation transaction appears in DSG: %+v", e)
+		}
+	}
+}
+
+// TestTransactionInvariance checks Theorem 1: moving a derivation to a
+// different transaction leaves the dependency graph unchanged.
+func TestTransactionInvariance(t *testing.T) {
+	build := func(derivTxn int) *History {
+		h := NewHistory()
+		must(t, h.Write(1, "x", 1))
+		h.Commit(1)
+		must(t, h.Derive(derivTxn, "y", 1, V("x", 1)))
+		h.Commit(derivTxn)
+		must(t, h.Write(2, "x", 2))
+		h.Commit(2)
+		must(t, h.Read(5, "y", 1))
+		h.Commit(5)
+		return h
+	}
+	renderEdges := func(h *History) string {
+		return h.BuildDSG().Canonical()
+	}
+	a := build(7) // derivation in its own transaction T7
+	b := build(1) // derivation colocated with the writer
+	c := build(5) // derivation colocated with the reader
+	if renderEdges(a) != renderEdges(b) || renderEdges(b) != renderEdges(c) {
+		t.Errorf("dependencies must be invariant to the derivation's transaction:\nT7:\n%s\nT1:\n%s\nT5:\n%s",
+			renderEdges(a), renderEdges(b), renderEdges(c))
+	}
+}
+
+// TestEncapsulation checks Corollary 2: removing an encapsulated
+// derivation (value never read outside its transaction) leaves
+// dependencies unchanged.
+func TestEncapsulation(t *testing.T) {
+	with := NewHistory()
+	must(t, with.Write(1, "x", 1))
+	must(t, with.Derive(1, "tmp", 1, V("x", 1))) // encapsulated: never read elsewhere
+	h := with
+	h.Commit(1)
+	must(t, h.Write(2, "x", 2))
+	h.Commit(2)
+	must(t, h.Read(3, "x", 2))
+	h.Commit(3)
+
+	without := NewHistory()
+	must(t, without.Write(1, "x", 1))
+	without.Commit(1)
+	must(t, without.Write(2, "x", 2))
+	without.Commit(2)
+	must(t, without.Read(3, "x", 2))
+	without.Commit(3)
+
+	if with.BuildDSG().Canonical() != without.BuildDSG().Canonical() {
+		t.Errorf("encapsulated derivation changed dependencies:\nwith:\n%s\nwithout:\n%s",
+			with.BuildDSG(), without.BuildDSG())
+	}
+}
+
+func TestG0WriteCycle(t *testing.T) {
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	must(t, h.Write(2, "x", 2))
+	must(t, h.Write(2, "y", 1))
+	must(t, h.Write(1, "y", 2))
+	h.Commit(1)
+	h.Commit(2)
+	p := h.Analyze()
+	if !p.G0 {
+		t.Errorf("interleaved writes must be G0: %+v\n%s", p, h.BuildDSG())
+	}
+	if p.Level() != PL0 {
+		t.Errorf("level: %s", p.Level())
+	}
+}
+
+func TestG1aAbortedRead(t *testing.T) {
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	h.Abort(1)
+	must(t, h.Read(2, "x", 1))
+	h.Commit(2)
+	p := h.Analyze()
+	if !p.G1a {
+		t.Errorf("reading aborted write must be G1a: %+v", p)
+	}
+}
+
+func TestG1aThroughDerivation(t *testing.T) {
+	// A DT refresh that derived from an aborted write, later read: the
+	// derivation path must propagate the aborted read.
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	must(t, h.Derive(3, "y", 1, V("x", 1)))
+	h.Commit(3)
+	h.Abort(1)
+	must(t, h.Read(2, "y", 1))
+	h.Commit(2)
+	p := h.Analyze()
+	if !p.G1a {
+		t.Errorf("derived aborted read must be G1a: %+v", p)
+	}
+}
+
+func TestG1bIntermediateRead(t *testing.T) {
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	must(t, h.Write(1, "x", 2)) // final version is x2
+	h.Commit(1)
+	must(t, h.Read(2, "x", 1)) // reads the intermediate x1
+	h.Commit(2)
+	p := h.Analyze()
+	if !p.G1b {
+		t.Errorf("intermediate read must be G1b: %+v", p)
+	}
+}
+
+func TestG1bThroughDerivation(t *testing.T) {
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	must(t, h.Derive(3, "y", 1, V("x", 1)))
+	h.Commit(3)
+	must(t, h.Write(1, "x", 2))
+	h.Commit(1)
+	must(t, h.Read(2, "y", 1)) // derives from intermediate x1
+	h.Commit(2)
+	p := h.Analyze()
+	if !p.G1b {
+		t.Errorf("read deriving from intermediate version must be G1b: %+v", p)
+	}
+}
+
+func TestG1cInformationFlowCycle(t *testing.T) {
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	must(t, h.Write(2, "y", 1))
+	must(t, h.Read(1, "y", 1))
+	must(t, h.Read(2, "x", 1))
+	h.Commit(1)
+	h.Commit(2)
+	p := h.Analyze()
+	if !p.G1c {
+		t.Errorf("mutual reads of uncommitted data must be G1c: %+v\n%s", p, h.BuildDSG())
+	}
+}
+
+func TestSerializableHistoryIsClean(t *testing.T) {
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	h.Commit(1)
+	must(t, h.Read(2, "x", 1))
+	must(t, h.Write(2, "y", 1))
+	h.Commit(2)
+	must(t, h.Read(3, "y", 1))
+	h.Commit(3)
+	p := h.Analyze()
+	if p.G0 || p.G1() || p.G2 || p.GSingle {
+		t.Errorf("serial history must be clean: %+v", p)
+	}
+	if p.Level() != PL3 {
+		t.Errorf("level: %s", p.Level())
+	}
+}
+
+func TestSnapshotStyleDerivedReadsAreClean(t *testing.T) {
+	// Reading a DT together with base data at the SAME data timestamp
+	// (the single-DT SI guarantee of §4) yields no cycle.
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	h.Commit(1)
+	must(t, h.Derive(3, "y", 1, V("x", 1)))
+	h.Commit(3)
+	must(t, h.Read(5, "y", 1))
+	must(t, h.Read(5, "x", 1)) // consistent: same x version the DT derives from
+	h.Commit(5)
+	must(t, h.Write(2, "x", 2))
+	h.Commit(2)
+	p := h.Analyze()
+	if p.G2 || p.GSingle {
+		t.Errorf("aligned reads must not cycle: %+v\n%s", p, h.BuildDSG())
+	}
+}
+
+func TestUncommittedTransactionsExcluded(t *testing.T) {
+	h := NewHistory()
+	must(t, h.Write(1, "x", 1))
+	h.Commit(1)
+	must(t, h.Read(9, "x", 1)) // T9 never commits
+	g := h.BuildDSG()
+	for _, n := range g.Nodes {
+		if n == 9 {
+			t.Error("active transaction appears in DSG")
+		}
+	}
+	for _, e := range g.Edges {
+		if e.From == 9 || e.To == 9 {
+			t.Errorf("active transaction has edges: %+v", e)
+		}
+	}
+}
+
+func TestHistoryValidation(t *testing.T) {
+	h := NewHistory()
+	if err := h.Read(1, "x", 1); err == nil {
+		t.Error("reading uninstalled version must fail")
+	}
+	must(t, h.Write(1, "x", 1))
+	if err := h.Write(2, "x", 1); err == nil {
+		t.Error("double-install must fail")
+	}
+	if err := h.Derive(3, "y", 1, V("z", 9)); err == nil {
+		t.Error("deriving from uninstalled version must fail")
+	}
+}
+
+func TestHistoryRendering(t *testing.T) {
+	h := figure2History(t)
+	s := h.String()
+	for _, want := range []string{"w1(x1)", "d3(y3|x1)", "r5(y3)", "c5"} {
+		if !contains(s, want) {
+			t.Errorf("history rendering missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+// TestTransactionInvarianceRandomized is a property test of Theorem 1 over
+// random histories: relocating every derivation to a fresh transaction
+// never changes the DSG.
+func TestTransactionInvarianceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objects := []string{"x", "y", "z"}
+	for trial := 0; trial < 50; trial++ {
+		h1 := NewHistory()
+		h2 := NewHistory()
+		version := map[string]int{}
+		derivedVersion := map[string]int{} // object -> last derived-source version
+		freshTxn := 100
+
+		for step := 0; step < 12; step++ {
+			txn := 1 + rng.Intn(4)
+			obj := objects[rng.Intn(len(objects))]
+			switch rng.Intn(3) {
+			case 0: // write
+				version[obj]++
+				must(t, h1.Write(txn, obj, version[obj]))
+				must(t, h2.Write(txn, obj, version[obj]))
+			case 1: // read latest (if any)
+				if version[obj] > 0 {
+					must(t, h1.Read(txn, obj, version[obj]))
+					must(t, h2.Read(txn, obj, version[obj]))
+				}
+			case 2: // derive from latest version of another object
+				src := objects[rng.Intn(len(objects))]
+				if version[src] == 0 {
+					continue
+				}
+				derivedVersion[obj] = version[obj] + 1000 + step
+				// h1: derivation inside a participating transaction.
+				must(t, h1.Derive(txn, obj+"_d", derivedVersion[obj], V(src, version[src])))
+				// h2: derivation in a fresh transaction of its own.
+				freshTxn++
+				must(t, h2.Derive(freshTxn, obj+"_d", derivedVersion[obj], V(src, version[src])))
+				h2.Commit(freshTxn)
+			}
+		}
+		for txn := 1; txn <= 4; txn++ {
+			h1.Commit(txn)
+			h2.Commit(txn)
+		}
+		if h1.BuildDSG().Canonical() != h2.BuildDSG().Canonical() {
+			t.Fatalf("trial %d: DSGs differ\nh1: %s\n%s\nh2: %s\n%s",
+				trial, h1, h1.BuildDSG(), h2, h2.BuildDSG())
+		}
+	}
+}

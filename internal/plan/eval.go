@@ -1,0 +1,865 @@
+// eval.go implements scalar expression evaluation with SQL NULL semantics.
+// It lives in the plan package so the optimizer can fold constants with
+// exactly the runtime semantics the executor uses.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"dyntables/internal/sql"
+	"dyntables/internal/types"
+)
+
+// EvalContext carries the ambient evaluation state.
+type EvalContext struct {
+	// Now is the value of CURRENT_TIMESTAMP for this evaluation. Pinning
+	// it per refresh keeps context functions deterministic within a
+	// refresh (§3.4).
+	Now time.Time
+}
+
+// Eval evaluates a bound expression over a row.
+func Eval(e Expr, row types.Row, ctx *EvalContext) (types.Value, error) {
+	switch x := e.(type) {
+	case *ColIdx:
+		if x.Idx < 0 || x.Idx >= len(row) {
+			return types.Null, fmt.Errorf("plan: column ordinal %d out of range (row width %d)", x.Idx, len(row))
+		}
+		return row[x.Idx], nil
+	case *Lit:
+		return x.Val, nil
+	case *BinOp:
+		return evalBinOp(x, row, ctx)
+	case *Not:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			return types.Null, nil
+		}
+		if v.Kind() != types.KindBool {
+			return types.Null, fmt.Errorf("plan: NOT requires BOOL, got %s", v.Kind())
+		}
+		return types.NewBool(!v.Bool()), nil
+	case *Neg:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		switch v.Kind() {
+		case types.KindNull:
+			return types.Null, nil
+		case types.KindInt:
+			return types.NewInt(-v.Int()), nil
+		case types.KindFloat:
+			return types.NewFloat(-v.Float()), nil
+		case types.KindInterval:
+			return types.NewInterval(-v.Interval()), nil
+		default:
+			return types.Null, fmt.Errorf("plan: cannot negate %s", v.Kind())
+		}
+	case *Func:
+		return evalFunc(x, row, ctx)
+	case *Cast:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.Cast(v, x.Target)
+	case *Path:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.VariantGet(v, x.Field)
+	case *Index:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		iv, err := Eval(x.I, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		if iv.IsNull() {
+			return types.Null, nil
+		}
+		idx, err := types.Cast(iv, types.KindInt)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.VariantIndex(v, int(idx.Int()))
+	case *Case:
+		return evalCase(x, row, ctx)
+	case *IsNull:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(v.IsNull() != x.Negate), nil
+	case *InList:
+		return evalInList(x, row, ctx)
+	default:
+		return types.Null, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// EvalBool evaluates e and reports whether it is TRUE (SQL three-valued
+// semantics: NULL counts as not-true).
+func EvalBool(e Expr, row types.Row, ctx *EvalContext) (bool, error) {
+	v, err := Eval(e, row, ctx)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.Kind() != types.KindBool {
+		return false, fmt.Errorf("plan: predicate must be BOOL, got %s", v.Kind())
+	}
+	return v.Bool(), nil
+}
+
+func evalBinOp(x *BinOp, row types.Row, ctx *EvalContext) (types.Value, error) {
+	// AND/OR implement three-valued logic with short-circuiting.
+	if x.Op == sql.OpAnd || x.Op == sql.OpOr {
+		return evalLogic(x, row, ctx)
+	}
+	l, err := Eval(x.L, row, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := Eval(x.R, row, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	switch x.Op {
+	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		return evalComparison(x.Op, l, r)
+	case sql.OpConcat:
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		ls, err := types.Cast(l, types.KindString)
+		if err != nil {
+			return types.Null, err
+		}
+		rs, err := types.Cast(r, types.KindString)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewString(ls.Str() + rs.Str()), nil
+	default:
+		return evalArith(x.Op, l, r)
+	}
+}
+
+func evalLogic(x *BinOp, row types.Row, ctx *EvalContext) (types.Value, error) {
+	l, err := Eval(x.L, row, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	lNull := l.IsNull()
+	if !lNull && l.Kind() != types.KindBool {
+		return types.Null, fmt.Errorf("plan: %s requires BOOL, got %s", x.Op, l.Kind())
+	}
+	if x.Op == sql.OpAnd && !lNull && !l.Bool() {
+		return types.NewBool(false), nil
+	}
+	if x.Op == sql.OpOr && !lNull && l.Bool() {
+		return types.NewBool(true), nil
+	}
+	r, err := Eval(x.R, row, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	rNull := r.IsNull()
+	if !rNull && r.Kind() != types.KindBool {
+		return types.Null, fmt.Errorf("plan: %s requires BOOL, got %s", x.Op, r.Kind())
+	}
+	if x.Op == sql.OpAnd {
+		if !rNull && !r.Bool() {
+			return types.NewBool(false), nil
+		}
+		if lNull || rNull {
+			return types.Null, nil
+		}
+		return types.NewBool(true), nil
+	}
+	if !rNull && r.Bool() {
+		return types.NewBool(true), nil
+	}
+	if lNull || rNull {
+		return types.Null, nil
+	}
+	return types.NewBool(false), nil
+}
+
+// evalComparison implements SQL comparison with NULL propagation and
+// lightweight coercion: strings compare against timestamps and intervals by
+// casting the string, and variant scalars unwrap to the other side's kind.
+func evalComparison(op sql.BinaryOp, l, r types.Value) (types.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return types.Null, nil
+	}
+	l, r, err := coercePair(l, r)
+	if err != nil {
+		return types.Null, err
+	}
+	c, err := types.Compare(l, r)
+	if err != nil {
+		return types.Null, err
+	}
+	var out bool
+	switch op {
+	case sql.OpEq:
+		out = c == 0
+	case sql.OpNe:
+		out = c != 0
+	case sql.OpLt:
+		out = c < 0
+	case sql.OpLe:
+		out = c <= 0
+	case sql.OpGt:
+		out = c > 0
+	case sql.OpGe:
+		out = c >= 0
+	}
+	return types.NewBool(out), nil
+}
+
+// coercePair reconciles mixed-kind operands before comparison.
+func coercePair(l, r types.Value) (types.Value, types.Value, error) {
+	lk, rk := l.Kind(), r.Kind()
+	if lk == rk || (l.Numeric() && r.Numeric()) {
+		return l, r, nil
+	}
+	// Variant scalars unwrap toward the concrete side.
+	if lk == types.KindVariant {
+		cast, err := types.Cast(l, rk)
+		if err != nil {
+			return l, r, err
+		}
+		return cast, r, nil
+	}
+	if rk == types.KindVariant {
+		cast, err := types.Cast(r, lk)
+		if err != nil {
+			return l, r, err
+		}
+		return l, cast, nil
+	}
+	// Strings cast toward temporal kinds.
+	if lk == types.KindString && (rk == types.KindTimestamp || rk == types.KindInterval) {
+		cast, err := types.Cast(l, rk)
+		if err != nil {
+			return l, r, err
+		}
+		return cast, r, nil
+	}
+	if rk == types.KindString && (lk == types.KindTimestamp || lk == types.KindInterval) {
+		cast, err := types.Cast(r, lk)
+		if err != nil {
+			return l, r, err
+		}
+		return l, cast, nil
+	}
+	return l, r, nil // let types.Compare report the mismatch
+}
+
+func evalArith(op sql.BinaryOp, l, r types.Value) (types.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return types.Null, nil
+	}
+	lk, rk := l.Kind(), r.Kind()
+
+	// Temporal arithmetic.
+	switch {
+	case lk == types.KindTimestamp && rk == types.KindTimestamp && op == sql.OpSub:
+		return types.NewInterval(time.Duration(l.Micros()-r.Micros()) * time.Microsecond), nil
+	case lk == types.KindTimestamp && rk == types.KindInterval:
+		switch op {
+		case sql.OpAdd:
+			return types.NewTimestampMicros(l.Micros() + r.Interval().Microseconds()), nil
+		case sql.OpSub:
+			return types.NewTimestampMicros(l.Micros() - r.Interval().Microseconds()), nil
+		}
+	case lk == types.KindInterval && rk == types.KindTimestamp && op == sql.OpAdd:
+		return types.NewTimestampMicros(r.Micros() + l.Interval().Microseconds()), nil
+	case lk == types.KindInterval && rk == types.KindInterval:
+		switch op {
+		case sql.OpAdd:
+			return types.NewInterval(l.Interval() + r.Interval()), nil
+		case sql.OpSub:
+			return types.NewInterval(l.Interval() - r.Interval()), nil
+		}
+	case lk == types.KindInterval && r.Numeric():
+		switch op {
+		case sql.OpMul:
+			return types.NewInterval(time.Duration(float64(l.Interval()) * r.AsFloat())), nil
+		case sql.OpDiv:
+			if r.AsFloat() == 0 {
+				return types.Null, fmt.Errorf("plan: division by zero")
+			}
+			return types.NewInterval(time.Duration(float64(l.Interval()) / r.AsFloat())), nil
+		}
+	case l.Numeric() && rk == types.KindInterval && op == sql.OpMul:
+		return types.NewInterval(time.Duration(l.AsFloat() * float64(r.Interval()))), nil
+	// Strings cast toward temporal arithmetic: ts - '1 hour'.
+	case lk == types.KindTimestamp && rk == types.KindString:
+		cast, err := types.Cast(r, types.KindInterval)
+		if err != nil {
+			return types.Null, err
+		}
+		return evalArith(op, l, cast)
+	case lk == types.KindString && rk == types.KindTimestamp:
+		cast, err := types.Cast(l, types.KindInterval)
+		if err != nil {
+			return types.Null, err
+		}
+		return evalArith(op, cast, r)
+	}
+
+	// Variant scalars unwrap to numerics.
+	if lk == types.KindVariant {
+		cast, err := types.Cast(l, types.KindFloat)
+		if err != nil {
+			return types.Null, err
+		}
+		return evalArith(op, cast, r)
+	}
+	if rk == types.KindVariant {
+		cast, err := types.Cast(r, types.KindFloat)
+		if err != nil {
+			return types.Null, err
+		}
+		return evalArith(op, l, cast)
+	}
+
+	if !l.Numeric() || !r.Numeric() {
+		return types.Null, fmt.Errorf("plan: cannot apply %s to %s and %s", op, lk, rk)
+	}
+
+	// Integer arithmetic stays integral except division.
+	if lk == types.KindInt && rk == types.KindInt && op != sql.OpDiv {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case sql.OpAdd:
+			return types.NewInt(a + b), nil
+		case sql.OpSub:
+			return types.NewInt(a - b), nil
+		case sql.OpMul:
+			return types.NewInt(a * b), nil
+		case sql.OpMod:
+			if b == 0 {
+				return types.Null, fmt.Errorf("plan: division by zero")
+			}
+			return types.NewInt(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case sql.OpAdd:
+		return types.NewFloat(a + b), nil
+	case sql.OpSub:
+		return types.NewFloat(a - b), nil
+	case sql.OpMul:
+		return types.NewFloat(a * b), nil
+	case sql.OpDiv:
+		if b == 0 {
+			return types.Null, fmt.Errorf("plan: division by zero")
+		}
+		return types.NewFloat(a / b), nil
+	case sql.OpMod:
+		if b == 0 {
+			return types.Null, fmt.Errorf("plan: division by zero")
+		}
+		return types.NewFloat(math.Mod(a, b)), nil
+	}
+	return types.Null, fmt.Errorf("plan: unsupported arithmetic operator %s", op)
+}
+
+func evalCase(x *Case, row types.Row, ctx *EvalContext) (types.Value, error) {
+	if x.Operand != nil {
+		op, err := Eval(x.Operand, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		for _, w := range x.Whens {
+			wv, err := Eval(w.When, row, ctx)
+			if err != nil {
+				return types.Null, err
+			}
+			eq, err := evalComparison(sql.OpEq, op, wv)
+			if err != nil {
+				return types.Null, err
+			}
+			if !eq.IsNull() && eq.Bool() {
+				return Eval(w.Then, row, ctx)
+			}
+		}
+	} else {
+		for _, w := range x.Whens {
+			ok, err := EvalBool(w.When, row, ctx)
+			if err != nil {
+				return types.Null, err
+			}
+			if ok {
+				return Eval(w.Then, row, ctx)
+			}
+		}
+	}
+	if x.Else != nil {
+		return Eval(x.Else, row, ctx)
+	}
+	return types.Null, nil
+}
+
+func evalInList(x *InList, row types.Row, ctx *EvalContext) (types.Value, error) {
+	v, err := Eval(x.E, row, ctx)
+	if err != nil {
+		return types.Null, err
+	}
+	if v.IsNull() {
+		return types.Null, nil
+	}
+	sawNull := false
+	for _, le := range x.List {
+		lv, err := Eval(le, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		eq, err := evalComparison(sql.OpEq, v, lv)
+		if err != nil {
+			return types.Null, err
+		}
+		if eq.IsNull() {
+			sawNull = true
+			continue
+		}
+		if eq.Bool() {
+			return types.NewBool(!x.Negate), nil
+		}
+	}
+	if sawNull {
+		return types.Null, nil
+	}
+	return types.NewBool(x.Negate), nil
+}
+
+// ---------------------------------------------------------------------------
+// scalar functions
+// ---------------------------------------------------------------------------
+
+func evalFunc(x *Func, row types.Row, ctx *EvalContext) (types.Value, error) {
+	args := make([]types.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := Eval(a, row, ctx)
+		if err != nil {
+			return types.Null, err
+		}
+		args[i] = v
+	}
+	return CallScalar(x.Name, args, ctx)
+}
+
+// CallScalar dispatches a scalar function by (upper-cased) name.
+func CallScalar(name string, args []types.Value, ctx *EvalContext) (types.Value, error) {
+	switch name {
+	case "CURRENT_TIMESTAMP":
+		return types.NewTimestamp(ctx.Now), nil
+	case "DATE_TRUNC":
+		return fnDateTrunc(args)
+	case "TO_TIMESTAMP":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		return types.Cast(args[0], types.KindTimestamp)
+	case "DATEADD":
+		return fnDateAdd(args)
+	case "DATEDIFF":
+		return fnDateDiff(args)
+	case "HOUR", "MINUTE":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		ts, err := types.Cast(args[0], types.KindTimestamp)
+		if err != nil {
+			return types.Null, err
+		}
+		if name == "HOUR" {
+			return types.NewInt(int64(ts.Time().Hour())), nil
+		}
+		return types.NewInt(int64(ts.Time().Minute())), nil
+	case "UPPER", "LOWER":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		s, err := types.Cast(args[0], types.KindString)
+		if err != nil {
+			return types.Null, err
+		}
+		if name == "UPPER" {
+			return types.NewString(strings.ToUpper(s.Str())), nil
+		}
+		return types.NewString(strings.ToLower(s.Str())), nil
+	case "CONCAT":
+		var b strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				return types.Null, nil
+			}
+			s, err := types.Cast(a, types.KindString)
+			if err != nil {
+				return types.Null, err
+			}
+			b.WriteString(s.Str())
+		}
+		return types.NewString(b.String()), nil
+	case "SUBSTR":
+		return fnSubstr(args)
+	case "LENGTH":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		s, err := types.Cast(args[0], types.KindString)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewInt(int64(len(s.Str()))), nil
+	case "ABS":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		v := args[0]
+		switch {
+		case v.IsNull():
+			return types.Null, nil
+		case v.Kind() == types.KindInt:
+			if v.Int() < 0 {
+				return types.NewInt(-v.Int()), nil
+			}
+			return v, nil
+		case v.Kind() == types.KindFloat:
+			return types.NewFloat(math.Abs(v.Float())), nil
+		default:
+			return types.Null, fmt.Errorf("plan: ABS requires a numeric argument")
+		}
+	case "FLOOR", "CEIL":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		f, err := types.Cast(args[0], types.KindFloat)
+		if err != nil {
+			return types.Null, err
+		}
+		if name == "FLOOR" {
+			return types.NewInt(int64(math.Floor(f.Float()))), nil
+		}
+		return types.NewInt(int64(math.Ceil(f.Float()))), nil
+	case "ROUND":
+		if len(args) == 0 || len(args) > 2 {
+			return types.Null, fmt.Errorf("plan: ROUND takes 1 or 2 arguments")
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		f, err := types.Cast(args[0], types.KindFloat)
+		if err != nil {
+			return types.Null, err
+		}
+		digits := int64(0)
+		if len(args) == 2 && !args[1].IsNull() {
+			d, err := types.Cast(args[1], types.KindInt)
+			if err != nil {
+				return types.Null, err
+			}
+			digits = d.Int()
+		}
+		scale := math.Pow(10, float64(digits))
+		return types.NewFloat(math.Round(f.Float()*scale) / scale), nil
+	case "MOD":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null, err
+		}
+		return evalArith(sql.OpMod, args[0], args[1])
+	case "SQRT":
+		return fnFloat1(name, args, math.Sqrt)
+	case "LN":
+		return fnFloat1(name, args, math.Log)
+	case "EXP":
+		return fnFloat1(name, args, math.Exp)
+	case "POWER":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return types.Null, nil
+		}
+		a, err := types.Cast(args[0], types.KindFloat)
+		if err != nil {
+			return types.Null, err
+		}
+		b, err := types.Cast(args[1], types.KindFloat)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewFloat(math.Pow(a.Float(), b.Float())), nil
+	case "SIGN":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		f, err := types.Cast(args[0], types.KindFloat)
+		if err != nil {
+			return types.Null, err
+		}
+		switch {
+		case f.Float() > 0:
+			return types.NewInt(1), nil
+		case f.Float() < 0:
+			return types.NewInt(-1), nil
+		default:
+			return types.NewInt(0), nil
+		}
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return types.Null, nil
+	case "IFF":
+		if err := arity(name, args, 3); err != nil {
+			return types.Null, err
+		}
+		cond := args[0]
+		if !cond.IsNull() && cond.Kind() == types.KindBool && cond.Bool() {
+			return args[1], nil
+		}
+		return args[2], nil
+	case "NULLIF":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null, err
+		}
+		eq, err := evalComparison(sql.OpEq, args[0], args[1])
+		if err != nil {
+			return types.Null, err
+		}
+		if !eq.IsNull() && eq.Bool() {
+			return types.Null, nil
+		}
+		return args[0], nil
+	case "GREATEST", "LEAST":
+		if len(args) == 0 {
+			return types.Null, fmt.Errorf("plan: %s requires arguments", name)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if a.IsNull() || best.IsNull() {
+				return types.Null, nil
+			}
+			c, err := types.Compare(a, best)
+			if err != nil {
+				return types.Null, err
+			}
+			if (name == "GREATEST" && c > 0) || (name == "LEAST" && c < 0) {
+				best = a
+			}
+		}
+		return best, nil
+	default:
+		return types.Null, fmt.Errorf("plan: unknown function %q", name)
+	}
+}
+
+func arity(name string, args []types.Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("plan: %s takes %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func fnFloat1(name string, args []types.Value, f func(float64) float64) (types.Value, error) {
+	if err := arity(name, args, 1); err != nil {
+		return types.Null, err
+	}
+	if args[0].IsNull() {
+		return types.Null, nil
+	}
+	v, err := types.Cast(args[0], types.KindFloat)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewFloat(f(v.Float())), nil
+}
+
+func fnDateTrunc(args []types.Value) (types.Value, error) {
+	if len(args) != 2 {
+		return types.Null, fmt.Errorf("plan: DATE_TRUNC takes 2 arguments")
+	}
+	if args[0].IsNull() || args[1].IsNull() {
+		return types.Null, nil
+	}
+	unit, err := types.Cast(args[0], types.KindString)
+	if err != nil {
+		return types.Null, err
+	}
+	ts, err := types.Cast(args[1], types.KindTimestamp)
+	if err != nil {
+		return types.Null, err
+	}
+	t := ts.Time()
+	switch strings.ToLower(unit.Str()) {
+	case "second":
+		t = t.Truncate(time.Second)
+	case "minute":
+		t = t.Truncate(time.Minute)
+	case "hour":
+		t = t.Truncate(time.Hour)
+	case "day":
+		t = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	case "week":
+		t = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		for t.Weekday() != time.Monday {
+			t = t.AddDate(0, 0, -1)
+		}
+	case "month":
+		t = time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+	case "year":
+		t = time.Date(t.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+	default:
+		return types.Null, fmt.Errorf("plan: DATE_TRUNC: unknown unit %q", unit.Str())
+	}
+	return types.NewTimestamp(t), nil
+}
+
+func unitDuration(unit string) (time.Duration, error) {
+	switch strings.ToLower(unit) {
+	case "microsecond":
+		return time.Microsecond, nil
+	case "millisecond":
+		return time.Millisecond, nil
+	case "second":
+		return time.Second, nil
+	case "minute":
+		return time.Minute, nil
+	case "hour":
+		return time.Hour, nil
+	case "day":
+		return 24 * time.Hour, nil
+	case "week":
+		return 7 * 24 * time.Hour, nil
+	default:
+		return 0, fmt.Errorf("plan: unknown time unit %q", unit)
+	}
+}
+
+func fnDateAdd(args []types.Value) (types.Value, error) {
+	if len(args) != 3 {
+		return types.Null, fmt.Errorf("plan: DATEADD takes 3 arguments")
+	}
+	if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+		return types.Null, nil
+	}
+	unit, err := types.Cast(args[0], types.KindString)
+	if err != nil {
+		return types.Null, err
+	}
+	n, err := types.Cast(args[1], types.KindInt)
+	if err != nil {
+		return types.Null, err
+	}
+	ts, err := types.Cast(args[2], types.KindTimestamp)
+	if err != nil {
+		return types.Null, err
+	}
+	d, err := unitDuration(unit.Str())
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewTimestampMicros(ts.Micros() + n.Int()*d.Microseconds()), nil
+}
+
+func fnDateDiff(args []types.Value) (types.Value, error) {
+	if len(args) != 3 {
+		return types.Null, fmt.Errorf("plan: DATEDIFF takes 3 arguments")
+	}
+	if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+		return types.Null, nil
+	}
+	unit, err := types.Cast(args[0], types.KindString)
+	if err != nil {
+		return types.Null, err
+	}
+	from, err := types.Cast(args[1], types.KindTimestamp)
+	if err != nil {
+		return types.Null, err
+	}
+	to, err := types.Cast(args[2], types.KindTimestamp)
+	if err != nil {
+		return types.Null, err
+	}
+	d, err := unitDuration(unit.Str())
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewInt((to.Micros() - from.Micros()) / d.Microseconds()), nil
+}
+
+func fnSubstr(args []types.Value) (types.Value, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return types.Null, fmt.Errorf("plan: SUBSTR takes 2 or 3 arguments")
+	}
+	if args[0].IsNull() || args[1].IsNull() {
+		return types.Null, nil
+	}
+	s, err := types.Cast(args[0], types.KindString)
+	if err != nil {
+		return types.Null, err
+	}
+	start, err := types.Cast(args[1], types.KindInt)
+	if err != nil {
+		return types.Null, err
+	}
+	str := s.Str()
+	begin := int(start.Int()) - 1 // SQL is 1-based
+	if begin < 0 {
+		begin = 0
+	}
+	if begin >= len(str) {
+		return types.NewString(""), nil
+	}
+	end := len(str)
+	if len(args) == 3 && !args[2].IsNull() {
+		n, err := types.Cast(args[2], types.KindInt)
+		if err != nil {
+			return types.Null, err
+		}
+		if e := begin + int(n.Int()); e < end {
+			end = e
+		}
+	}
+	if end < begin {
+		end = begin
+	}
+	return types.NewString(str[begin:end]), nil
+}

@@ -1,0 +1,215 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dyntables/internal/types"
+)
+
+func ev() *EvalContext {
+	return &EvalContext{Now: time.Date(2025, 4, 1, 12, 30, 45, 0, time.UTC)}
+}
+
+func call(t *testing.T, name string, args ...types.Value) types.Value {
+	t.Helper()
+	v, err := CallScalar(name, args, ev())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func callErr(t *testing.T, name string, args ...types.Value) error {
+	t.Helper()
+	_, err := CallScalar(name, args, ev())
+	return err
+}
+
+func tsVal(s string) types.Value {
+	v, err := types.Cast(types.NewString(s), types.KindTimestamp)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestDateTruncUnits(t *testing.T) {
+	in := tsVal("2025-04-16 13:47:21")
+	cases := map[string]string{
+		"second": "2025-04-16 13:47:21.000000",
+		"minute": "2025-04-16 13:47:00.000000",
+		"hour":   "2025-04-16 13:00:00.000000",
+		"day":    "2025-04-16 00:00:00.000000",
+		"week":   "2025-04-14 00:00:00.000000", // Monday
+		"month":  "2025-04-01 00:00:00.000000",
+		"year":   "2025-01-01 00:00:00.000000",
+	}
+	for unit, want := range cases {
+		got := call(t, "DATE_TRUNC", types.NewString(unit), in)
+		if got.String() != want {
+			t.Errorf("DATE_TRUNC(%s) = %s, want %s", unit, got, want)
+		}
+	}
+	if callErr(t, "DATE_TRUNC", types.NewString("fortnight"), in) == nil {
+		t.Error("unknown unit must fail")
+	}
+}
+
+func TestDateAddDiff(t *testing.T) {
+	base := tsVal("2025-04-01 10:00:00")
+	later := call(t, "DATEADD", types.NewString("hour"), types.NewInt(3), base)
+	if later.Time().Hour() != 13 {
+		t.Errorf("DATEADD: %v", later)
+	}
+	diff := call(t, "DATEDIFF", types.NewString("minute"), base, later)
+	if diff.Int() != 180 {
+		t.Errorf("DATEDIFF: %v", diff)
+	}
+	neg := call(t, "DATEDIFF", types.NewString("hour"), later, base)
+	if neg.Int() != -3 {
+		t.Errorf("negative DATEDIFF: %v", neg)
+	}
+}
+
+func TestHourMinute(t *testing.T) {
+	in := tsVal("2025-04-01 09:41:00")
+	if call(t, "HOUR", in).Int() != 9 || call(t, "MINUTE", in).Int() != 41 {
+		t.Error("HOUR/MINUTE")
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	if call(t, "UPPER", types.NewString("abc")).Str() != "ABC" {
+		t.Error("UPPER")
+	}
+	if call(t, "LOWER", types.NewString("AbC")).Str() != "abc" {
+		t.Error("LOWER")
+	}
+	if call(t, "LENGTH", types.NewString("héllo")).Int() != 6 { // bytes
+		t.Error("LENGTH")
+	}
+	got := call(t, "CONCAT", types.NewString("a"), types.NewInt(1), types.NewString("b"))
+	if got.Str() != "a1b" {
+		t.Errorf("CONCAT: %v", got)
+	}
+	// NULL propagation.
+	if !call(t, "CONCAT", types.NewString("a"), types.Null).IsNull() {
+		t.Error("CONCAT with NULL")
+	}
+}
+
+func TestSubstrBounds(t *testing.T) {
+	s := types.NewString("abcdef")
+	cases := []struct {
+		start, length int64
+		want          string
+	}{
+		{1, 3, "abc"},
+		{4, 10, "def"},
+		{7, 2, ""},
+		{0, 2, "ab"}, // clamped to start
+	}
+	for _, tc := range cases {
+		got := call(t, "SUBSTR", s, types.NewInt(tc.start), types.NewInt(tc.length))
+		if got.Str() != tc.want {
+			t.Errorf("SUBSTR(%d,%d) = %q, want %q", tc.start, tc.length, got.Str(), tc.want)
+		}
+	}
+	whole := call(t, "SUBSTR", s, types.NewInt(3))
+	if whole.Str() != "cdef" {
+		t.Errorf("SUBSTR without length: %q", whole.Str())
+	}
+}
+
+func TestMathFunctions(t *testing.T) {
+	if call(t, "ABS", types.NewInt(-5)).Int() != 5 {
+		t.Error("ABS int")
+	}
+	if call(t, "ABS", types.NewFloat(-2.5)).Float() != 2.5 {
+		t.Error("ABS float")
+	}
+	if call(t, "FLOOR", types.NewFloat(2.9)).Int() != 2 {
+		t.Error("FLOOR")
+	}
+	if call(t, "CEIL", types.NewFloat(2.1)).Int() != 3 {
+		t.Error("CEIL")
+	}
+	if call(t, "ROUND", types.NewFloat(2.456), types.NewInt(2)).Float() != 2.46 {
+		t.Error("ROUND with digits")
+	}
+	if call(t, "SIGN", types.NewInt(-9)).Int() != -1 || call(t, "SIGN", types.NewInt(0)).Int() != 0 {
+		t.Error("SIGN")
+	}
+	if call(t, "SQRT", types.NewInt(16)).Float() != 4 {
+		t.Error("SQRT")
+	}
+	if call(t, "POWER", types.NewInt(2), types.NewInt(10)).Float() != 1024 {
+		t.Error("POWER")
+	}
+	if call(t, "MOD", types.NewInt(10), types.NewInt(3)).Int() != 1 {
+		t.Error("MOD")
+	}
+	if callErr(t, "MOD", types.NewInt(10), types.NewInt(0)) == nil {
+		t.Error("MOD by zero must fail")
+	}
+}
+
+func TestConditionalFunctions(t *testing.T) {
+	if call(t, "COALESCE", types.Null, types.Null, types.NewInt(3)).Int() != 3 {
+		t.Error("COALESCE")
+	}
+	if !call(t, "COALESCE", types.Null, types.Null).IsNull() {
+		t.Error("COALESCE all null")
+	}
+	if call(t, "IFF", types.NewBool(true), types.NewInt(1), types.NewInt(2)).Int() != 1 {
+		t.Error("IFF true")
+	}
+	if call(t, "IFF", types.Null, types.NewInt(1), types.NewInt(2)).Int() != 2 {
+		t.Error("IFF null -> else")
+	}
+	if !call(t, "NULLIF", types.NewInt(5), types.NewInt(5)).IsNull() {
+		t.Error("NULLIF equal")
+	}
+	if call(t, "NULLIF", types.NewInt(5), types.NewInt(6)).Int() != 5 {
+		t.Error("NULLIF unequal")
+	}
+	if call(t, "GREATEST", types.NewInt(1), types.NewInt(9), types.NewInt(4)).Int() != 9 {
+		t.Error("GREATEST")
+	}
+	if call(t, "LEAST", types.NewInt(1), types.NewInt(9), types.NewInt(4)).Int() != 1 {
+		t.Error("LEAST")
+	}
+	if !call(t, "GREATEST", types.NewInt(1), types.Null).IsNull() {
+		t.Error("GREATEST with NULL")
+	}
+}
+
+func TestCurrentTimestampUsesContext(t *testing.T) {
+	ctx := ev()
+	got, err := CallScalar("CURRENT_TIMESTAMP", nil, ctx)
+	if err != nil || !got.Time().Equal(ctx.Now) {
+		t.Errorf("CURRENT_TIMESTAMP: %v %v", got, err)
+	}
+}
+
+func TestToTimestamp(t *testing.T) {
+	got := call(t, "TO_TIMESTAMP", types.NewString("2025-04-01 08:00:00"))
+	if got.Time().Hour() != 8 {
+		t.Errorf("TO_TIMESTAMP: %v", got)
+	}
+	fromInt := call(t, "TO_TIMESTAMP", types.NewInt(1700000000))
+	if fromInt.Time().Unix() != 1700000000 {
+		t.Errorf("TO_TIMESTAMP(int): %v", fromInt)
+	}
+}
+
+func TestUnknownFunctionAndArity(t *testing.T) {
+	if callErr(t, "FROBNICATE") == nil {
+		t.Error("unknown function must fail")
+	}
+	if err := callErr(t, "UPPER"); err == nil || !strings.Contains(err.Error(), "argument") {
+		t.Errorf("arity error: %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"dyntables/internal/sql"
+	"dyntables/internal/types"
+)
+
+func col(i int, kind types.Kind) *ColIdx { return &ColIdx{Idx: i, Kind: kind} }
+
+func TestFingerprintStableAndDistinct(t *testing.T) {
+	a := &BinOp{Op: sql.OpAdd, L: col(0, types.KindInt), R: &Lit{Val: types.NewInt(1)}}
+	b := &BinOp{Op: sql.OpAdd, L: col(0, types.KindInt), R: &Lit{Val: types.NewInt(1)}}
+	c := &BinOp{Op: sql.OpAdd, L: col(1, types.KindInt), R: &Lit{Val: types.NewInt(1)}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal expressions must share fingerprints")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different columns must differ")
+	}
+	// Literal kind matters: 1 vs '1'.
+	li := &Lit{Val: types.NewInt(1)}
+	ls := &Lit{Val: types.NewString("1")}
+	if li.Fingerprint() == ls.Fingerprint() {
+		t.Error("int and string literals must differ")
+	}
+}
+
+func TestRemapAndShiftColumns(t *testing.T) {
+	e := &BinOp{Op: sql.OpEq, L: col(2, types.KindInt), R: col(5, types.KindInt)}
+	shifted := ShiftColumns(e, -2).(*BinOp)
+	if shifted.L.(*ColIdx).Idx != 0 || shifted.R.(*ColIdx).Idx != 3 {
+		t.Errorf("shift: %v", shifted.Fingerprint())
+	}
+	// Original untouched.
+	if e.L.(*ColIdx).Idx != 2 {
+		t.Error("ShiftColumns must not mutate the original")
+	}
+}
+
+func TestColumnsUsedAndMaxColumn(t *testing.T) {
+	e := &Func{Name: "COALESCE", Args: []Expr{col(1, types.KindInt), col(4, types.KindInt)}}
+	used := ColumnsUsed(e)
+	if !used[1] || !used[4] || len(used) != 2 {
+		t.Errorf("used: %v", used)
+	}
+	if MaxColumn(e) != 4 {
+		t.Errorf("max: %d", MaxColumn(e))
+	}
+	if MaxColumn(&Lit{Val: types.Null}) != -1 {
+		t.Error("literal max should be -1")
+	}
+}
+
+func TestSplitJoinKeys(t *testing.T) {
+	// (l0 = r0) AND (l1 > 5): first conjunct is a key pair, second a
+	// left-side residual.
+	on := &BinOp{Op: sql.OpAnd,
+		L: &BinOp{Op: sql.OpEq, L: col(0, types.KindInt), R: col(2, types.KindInt)},
+		R: &BinOp{Op: sql.OpGt, L: col(1, types.KindInt), R: &Lit{Val: types.NewInt(5)}},
+	}
+	lk, rk, residual := SplitJoinKeys(on, 2)
+	if len(lk) != 1 || len(rk) != 1 {
+		t.Fatalf("keys: %d/%d", len(lk), len(rk))
+	}
+	if lk[0].(*ColIdx).Idx != 0 || rk[0].(*ColIdx).Idx != 0 {
+		t.Errorf("key rebasing: %s / %s", lk[0].Fingerprint(), rk[0].Fingerprint())
+	}
+	if residual == nil {
+		t.Error("residual missing")
+	}
+
+	// Reversed equality (r = l) still extracts.
+	on2 := &BinOp{Op: sql.OpEq, L: col(3, types.KindInt), R: col(1, types.KindInt)}
+	lk, rk, residual = SplitJoinKeys(on2, 2)
+	if len(lk) != 1 || residual != nil {
+		t.Errorf("reversed: %d keys, residual %v", len(lk), residual)
+	}
+	if lk[0].(*ColIdx).Idx != 1 || rk[0].(*ColIdx).Idx != 1 {
+		t.Errorf("reversed rebasing: %s / %s", lk[0].Fingerprint(), rk[0].Fingerprint())
+	}
+
+	// TRUE literal vanishes entirely.
+	lk, rk, residual = SplitJoinKeys(&Lit{Val: types.NewBool(true)}, 2)
+	if len(lk) != 0 || residual != nil {
+		t.Error("TRUE should produce no keys and no residual")
+	}
+}
+
+func TestInferKind(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want types.Kind
+	}{
+		{&Lit{Val: types.NewInt(1)}, types.KindInt},
+		{&BinOp{Op: sql.OpEq, L: col(0, types.KindInt), R: col(1, types.KindInt)}, types.KindBool},
+		{&BinOp{Op: sql.OpDiv, L: col(0, types.KindInt), R: col(1, types.KindInt)}, types.KindFloat},
+		{&BinOp{Op: sql.OpAdd, L: col(0, types.KindInt), R: col(1, types.KindInt)}, types.KindInt},
+		{&BinOp{Op: sql.OpSub, L: col(0, types.KindTimestamp), R: col(1, types.KindTimestamp)}, types.KindInterval},
+		{&BinOp{Op: sql.OpAdd, L: col(0, types.KindTimestamp), R: col(1, types.KindInterval)}, types.KindTimestamp},
+		{&Cast{E: col(0, types.KindVariant), Target: types.KindInt}, types.KindInt},
+		{&IsNull{E: col(0, types.KindInt)}, types.KindBool},
+		{&Func{Name: "DATE_TRUNC", Args: []Expr{&Lit{Val: types.NewString("hour")}, col(0, types.KindTimestamp)}}, types.KindTimestamp},
+		{&Func{Name: "IFF", Args: []Expr{col(0, types.KindBool), &Lit{Val: types.NewInt(1)}, &Lit{Val: types.NewInt(0)}}}, types.KindInt},
+	}
+	for i, tc := range cases {
+		if got := InferKind(tc.e); got != tc.want {
+			t.Errorf("case %d: got %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestEvalConstantFolding(t *testing.T) {
+	e := &BinOp{Op: sql.OpMul,
+		L: &BinOp{Op: sql.OpAdd, L: &Lit{Val: types.NewInt(1)}, R: &Lit{Val: types.NewInt(2)}},
+		R: &Lit{Val: types.NewInt(3)},
+	}
+	folded := FoldConstants(e)
+	lit, ok := folded.(*Lit)
+	if !ok || lit.Val.Int() != 9 {
+		t.Errorf("folded: %v", folded.Fingerprint())
+	}
+
+	// Volatile functions never fold.
+	now := &Func{Name: "CURRENT_TIMESTAMP"}
+	if _, ok := FoldConstants(now).(*Lit); ok {
+		t.Error("CURRENT_TIMESTAMP must not fold")
+	}
+
+	// Runtime errors (1/0) stay unfolded for the executor to raise.
+	div := &BinOp{Op: sql.OpDiv, L: &Lit{Val: types.NewInt(1)}, R: &Lit{Val: types.NewInt(0)}}
+	if _, ok := FoldConstants(div).(*Lit); ok {
+		t.Error("division by zero must not fold to a literal")
+	}
+}
+
+func TestEvalScalarDirect(t *testing.T) {
+	ev := &EvalContext{Now: time.Date(2025, 4, 1, 12, 0, 0, 0, time.UTC)}
+	v, err := Eval(&Func{Name: "CURRENT_TIMESTAMP"}, nil, ev)
+	if err != nil || !v.Time().Equal(ev.Now) {
+		t.Errorf("current_timestamp: %v %v", v, err)
+	}
+	row := types.Row{types.NewInt(6), types.NewInt(3)}
+	v, err = Eval(&BinOp{Op: sql.OpDiv, L: col(0, types.KindInt), R: col(1, types.KindInt)}, row, ev)
+	if err != nil || v.Float() != 2.0 {
+		t.Errorf("div: %v %v", v, err)
+	}
+}
+
+func TestOperatorCountsAndExplain(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "a", Kind: types.KindInt})
+	values := NewValues(schema, []types.Row{{types.NewInt(1)}})
+	filter := &Filter{Input: values, Pred: &BinOp{Op: sql.OpGt, L: col(0, types.KindInt), R: &Lit{Val: types.NewInt(0)}}}
+	proj := NewProject(filter, []Expr{col(0, types.KindInt)}, []string{"a"})
+	counts := OperatorCounts(proj)
+	if counts["Project"] != 1 || counts["Filter"] != 1 {
+		t.Errorf("counts: %v", counts)
+	}
+	explain := Explain(proj)
+	if explain == "" || len(explain) < 10 {
+		t.Errorf("explain: %q", explain)
+	}
+}
+
+func TestAggAndWindowResultKinds(t *testing.T) {
+	if (AggExpr{Kind: AggCount}).ResultKind() != types.KindInt {
+		t.Error("count kind")
+	}
+	if (AggExpr{Kind: AggAvg, Arg: col(0, types.KindInt)}).ResultKind() != types.KindFloat {
+		t.Error("avg kind")
+	}
+	if (AggExpr{Kind: AggSum, Arg: col(0, types.KindFloat)}).ResultKind() != types.KindFloat {
+		t.Error("sum float kind")
+	}
+	if (WindowFunc{Kind: WinRowNumber}).ResultKind() != types.KindInt {
+		t.Error("row_number kind")
+	}
+	if (WindowFunc{Kind: WinMax, Arg: col(0, types.KindTimestamp)}).ResultKind() != types.KindTimestamp {
+		t.Error("max kind")
+	}
+}

@@ -1,0 +1,429 @@
+// Package sched implements the refresh scheduler (§3.2, §5.2): it renders
+// the DT dependency graph, resolves DOWNSTREAM target lags, chooses
+// canonical refresh periods (48·2ⁿ seconds with a shared phase so data
+// timestamps align across the graph), issues refreshes in dependency
+// order, skips refreshes that would overlap a still-running one (§3.3.3),
+// and records the lag sawtooth of Figure 4.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dyntables/internal/clock"
+	"dyntables/internal/core"
+	"dyntables/internal/sql"
+	"dyntables/internal/warehouse"
+)
+
+// MinCanonicalPeriod is 48 seconds — the n=0 canonical period (§5.2).
+const MinCanonicalPeriod = 48 * time.Second
+
+// NoLag marks a DT with no effective lag requirement (a DOWNSTREAM DT with
+// no downstream consumers); it is refreshed only manually (§3.2).
+const NoLag = time.Duration(1<<62 - 1)
+
+// CanonicalPeriod returns the largest canonical period 48·2ⁿ that fits the
+// target lag, leaving headroom for waiting and refresh duration
+// (peak lag = p + w + d < t, §5.2). The heuristic reserves half the target
+// lag for p, matching the paper's observation that the chosen period can
+// be "substantially smaller than the provided target lag".
+func CanonicalPeriod(targetLag time.Duration) time.Duration {
+	if targetLag >= NoLag {
+		return NoLag
+	}
+	budget := targetLag / 2
+	if budget < MinCanonicalPeriod {
+		return MinCanonicalPeriod
+	}
+	p := MinCanonicalPeriod
+	for p*2 <= budget {
+		p *= 2
+	}
+	return p
+}
+
+// LagPoint is one measurement of a DT's lag sawtooth (Figure 4).
+type LagPoint struct {
+	// At is the measurement time (a refresh commit).
+	At time.Time
+	// PeakLag is the lag immediately before the commit: e_i − v_{i−1}.
+	PeakLag time.Duration
+	// TroughLag is the lag immediately after: e_i − v_i.
+	TroughLag time.Duration
+	// DataTS is the refresh's data timestamp v_i.
+	DataTS time.Time
+}
+
+// Stats aggregates scheduler activity for the experiments.
+type Stats struct {
+	Scheduled              int // refresh attempts issued
+	NoData                 int
+	Incremental            int
+	Full                   int
+	Reinit                 int
+	Initialize             int
+	Skips                  int
+	Errors                 int
+	ExtraUpstreamRefreshes int // misaligned-period ablation (E11)
+}
+
+// Scheduler drives refreshes against virtual time.
+type Scheduler struct {
+	clk   *clock.Virtual
+	ctrl  *core.Controller
+	pool  *warehouse.Pool
+	model warehouse.CostModel
+
+	// phase is the account-wide constant phase for canonical periods
+	// (§5.2: "we choose a constant phase for each customer").
+	phase time.Duration
+	epoch time.Time
+	// cursor is the last processed fire instant; Step processes fire
+	// instants in (cursor, limit] even when the clock has already been
+	// advanced past them (a scheduler running late issues refreshes with
+	// the data timestamps it should have used).
+	cursor time.Time
+
+	dts []*core.DynamicTable
+
+	// busyUntil tracks each DT's simulated refresh completion; a fire
+	// instant inside a busy window is skipped (§3.3.3).
+	busyUntil map[*core.DynamicTable]time.Time
+	// lastDataTS remembers the previous data timestamp for peak-lag
+	// measurement.
+	lastDataTS map[*core.DynamicTable]time.Time
+
+	lagSeries map[*core.DynamicTable][]LagPoint
+	stats     Stats
+
+	// DisableSkip runs overlapping refreshes back-to-back instead of
+	// skipping (ablation E10).
+	DisableSkip bool
+	// ExactPeriods uses the raw target lag as the refresh period instead
+	// of canonical periods, breaking timestamp alignment (ablation E11).
+	ExactPeriods bool
+}
+
+// New creates a scheduler over the controller's DTs.
+func New(clk *clock.Virtual, ctrl *core.Controller, pool *warehouse.Pool, model warehouse.CostModel, epoch time.Time, phase time.Duration) *Scheduler {
+	return &Scheduler{
+		clk:        clk,
+		ctrl:       ctrl,
+		pool:       pool,
+		model:      model,
+		epoch:      epoch,
+		phase:      phase,
+		cursor:     epoch,
+		busyUntil:  make(map[*core.DynamicTable]time.Time),
+		lastDataTS: make(map[*core.DynamicTable]time.Time),
+		lagSeries:  make(map[*core.DynamicTable][]LagPoint),
+	}
+}
+
+// Track registers a DT with the scheduler.
+func (s *Scheduler) Track(dt *core.DynamicTable) {
+	for _, existing := range s.dts {
+		if existing == dt {
+			return
+		}
+	}
+	s.dts = append(s.dts, dt)
+}
+
+// Untrack removes a DT (dropped).
+func (s *Scheduler) Untrack(dt *core.DynamicTable) {
+	for i, existing := range s.dts {
+		if existing == dt {
+			s.dts = append(s.dts[:i], s.dts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats returns aggregate counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// LagSeries returns the recorded sawtooth for a DT.
+func (s *Scheduler) LagSeries(dt *core.DynamicTable) []LagPoint {
+	return append([]LagPoint(nil), s.lagSeries[dt]...)
+}
+
+// EffectiveLag resolves a DT's effective target lag: its own duration, or
+// for DOWNSTREAM, the minimum effective lag among its downstream
+// dependents (§3.2). A DOWNSTREAM DT with no dependents has no lag
+// requirement.
+func (s *Scheduler) EffectiveLag(dt *core.DynamicTable) time.Duration {
+	return s.effectiveLag(dt, make(map[*core.DynamicTable]bool))
+}
+
+func (s *Scheduler) effectiveLag(dt *core.DynamicTable, visiting map[*core.DynamicTable]bool) time.Duration {
+	if dt.Lag.Kind == sql.LagDuration {
+		return dt.Lag.Duration
+	}
+	if visiting[dt] {
+		return NoLag // defensive: cycles are rejected at creation
+	}
+	visiting[dt] = true
+	defer delete(visiting, dt)
+	min := NoLag
+	for _, down := range s.downstreams(dt) {
+		if l := s.effectiveLag(down, visiting); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// downstreams finds tracked DTs that read dt.
+func (s *Scheduler) downstreams(dt *core.DynamicTable) []*core.DynamicTable {
+	var out []*core.DynamicTable
+	for _, other := range s.dts {
+		if other == dt {
+			continue
+		}
+		ups, err := s.ctrl.Upstreams(other)
+		if err != nil {
+			continue
+		}
+		for _, up := range ups {
+			if up == dt {
+				out = append(out, other)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Period returns the refresh period chosen for the DT.
+func (s *Scheduler) Period(dt *core.DynamicTable) time.Duration {
+	lag := s.EffectiveLag(dt)
+	if s.ExactPeriods {
+		if lag >= NoLag {
+			return NoLag
+		}
+		return lag
+	}
+	return CanonicalPeriod(lag)
+}
+
+// nextFire returns the first fire time strictly after `after` for the DT.
+func (s *Scheduler) nextFire(dt *core.DynamicTable, after time.Time) (time.Time, bool) {
+	p := s.Period(dt)
+	if p >= NoLag {
+		return time.Time{}, false
+	}
+	elapsed := after.Sub(s.epoch.Add(s.phase))
+	if elapsed < 0 {
+		return s.epoch.Add(s.phase), true
+	}
+	k := elapsed / p
+	next := s.epoch.Add(s.phase + (k+1)*p)
+	return next, true
+}
+
+// Step processes the next pending fire instant in (cursor, limit],
+// refreshing every DT due at that instant upstream-first. It reports
+// whether anything was processed.
+func (s *Scheduler) Step(limit time.Time) (bool, error) {
+	var earliest time.Time
+	found := false
+	for _, dt := range s.dts {
+		if dt.State() == core.StateSuspended {
+			continue
+		}
+		next, ok := s.nextFire(dt, s.cursor)
+		if !ok || next.After(limit) {
+			continue
+		}
+		if !found || next.Before(earliest) {
+			earliest, found = next, true
+		}
+	}
+	if !found {
+		if limit.After(s.cursor) {
+			s.cursor = limit
+		}
+		return false, nil
+	}
+	s.cursor = earliest
+	s.clk.AdvanceTo(earliest)
+	return true, s.fireAt(earliest)
+}
+
+// RunUntil processes every pending fire instant up to t.
+func (s *Scheduler) RunUntil(t time.Time) error {
+	for {
+		processed, err := s.Step(t)
+		if err != nil {
+			return err
+		}
+		if !processed {
+			return nil
+		}
+	}
+}
+
+// fireAt refreshes every DT whose fire schedule includes the instant, in
+// dependency order.
+func (s *Scheduler) fireAt(at time.Time) error {
+	var due []*core.DynamicTable
+	for _, dt := range s.dts {
+		if dt.State() == core.StateSuspended {
+			continue
+		}
+		p := s.Period(dt)
+		if p >= NoLag {
+			continue
+		}
+		offset := at.Sub(s.epoch.Add(s.phase))
+		if offset >= 0 && offset%p == 0 {
+			due = append(due, dt)
+		}
+	}
+	ordered, err := s.topoOrder(due)
+	if err != nil {
+		return err
+	}
+	for _, dt := range ordered {
+		s.refreshOne(dt, at)
+	}
+	return nil
+}
+
+// refreshOne performs one scheduled refresh, honoring skip semantics and
+// charging the warehouse.
+func (s *Scheduler) refreshOne(dt *core.DynamicTable, dataTS time.Time) {
+	s.stats.Scheduled++
+
+	// Skip if the previous refresh is still running (§3.3.3). The skipped
+	// interval folds into the next refresh via the frontier.
+	busy := s.busyUntil[dt]
+	start := dataTS
+	if busy.After(start) {
+		if !s.DisableSkip {
+			s.stats.Skips++
+			dt.RecordSkip(dataTS)
+			return
+		}
+		start = busy // queue behind the running refresh instead
+	}
+
+	// Under exact periods, upstream data timestamps misalign; repair by
+	// issuing extra upstream refreshes at this timestamp (the cost the
+	// canonical periods avoid, §5.2 / E11).
+	if s.ExactPeriods {
+		ups, err := s.ctrl.Upstreams(dt)
+		if err == nil {
+			for _, up := range ups {
+				if _, ok := up.VersionAtDataTS(dataTS); !ok {
+					if _, err := s.ctrl.Refresh(up, dataTS); err == nil {
+						s.stats.ExtraUpstreamRefreshes++
+					}
+				}
+			}
+		}
+	}
+
+	prevDataTS := dt.DataTimestamp()
+	rec, err := s.ctrl.Refresh(dt, dataTS)
+	s.tally(rec, err)
+	if err != nil {
+		return
+	}
+
+	// Charge the warehouse and simulate the duration (§3.3.1): NO_DATA
+	// consumes no compute.
+	end := start
+	if rec.Action != core.ActionNoData {
+		if wh, werr := s.pool.Get(dt.Warehouse); werr == nil {
+			job := wh.Submit(start, rec.SourceRowsScanned, s.model, dt.Name)
+			end = job.End
+		} else {
+			end = start.Add(s.model.Duration(rec.SourceRowsScanned, warehouse.SizeXSmall))
+		}
+	}
+	s.busyUntil[dt] = end
+
+	// Record the Figure 4 sawtooth point.
+	peakBase := prevDataTS
+	if peakBase.IsZero() {
+		peakBase = dataTS
+	}
+	s.lagSeries[dt] = append(s.lagSeries[dt], LagPoint{
+		At:        end,
+		PeakLag:   end.Sub(peakBase),
+		TroughLag: end.Sub(dataTS),
+		DataTS:    dataTS,
+	})
+	s.lastDataTS[dt] = dataTS
+}
+
+func (s *Scheduler) tally(rec core.RefreshRecord, err error) {
+	switch {
+	case err != nil && errors.Is(err, core.ErrSkipped):
+		s.stats.Skips++
+	case err != nil:
+		s.stats.Errors++
+	default:
+		switch rec.Action {
+		case core.ActionNoData:
+			s.stats.NoData++
+		case core.ActionIncremental:
+			s.stats.Incremental++
+		case core.ActionFull:
+			s.stats.Full++
+		case core.ActionReinitialize:
+			s.stats.Reinit++
+		case core.ActionInitialize:
+			s.stats.Initialize++
+		}
+	}
+}
+
+// topoOrder sorts DTs upstream-first. It is stable for independent DTs
+// (sorted by name) so simulations are deterministic.
+func (s *Scheduler) topoOrder(dts []*core.DynamicTable) ([]*core.DynamicTable, error) {
+	inSet := make(map[*core.DynamicTable]bool, len(dts))
+	for _, dt := range dts {
+		inSet[dt] = true
+	}
+	sorted := append([]*core.DynamicTable(nil), dts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	visited := make(map[*core.DynamicTable]uint8) // 1=visiting, 2=done
+	var out []*core.DynamicTable
+	var visit func(dt *core.DynamicTable) error
+	visit = func(dt *core.DynamicTable) error {
+		switch visited[dt] {
+		case 1:
+			return fmt.Errorf("sched: dependency cycle through %s", dt.Name)
+		case 2:
+			return nil
+		}
+		visited[dt] = 1
+		ups, err := s.ctrl.Upstreams(dt)
+		if err == nil {
+			sort.Slice(ups, func(i, j int) bool { return ups[i].Name < ups[j].Name })
+			for _, up := range ups {
+				if inSet[up] {
+					if err := visit(up); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		visited[dt] = 2
+		out = append(out, dt)
+		return nil
+	}
+	for _, dt := range sorted {
+		if err := visit(dt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

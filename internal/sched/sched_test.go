@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCanonicalPeriods(t *testing.T) {
+	cases := []struct {
+		lag  time.Duration
+		want time.Duration
+	}{
+		{time.Minute, 48 * time.Second},       // budget 30s -> floor 48s
+		{2 * time.Minute, 48 * time.Second},   // budget 60s
+		{4 * time.Minute, 96 * time.Second},   // budget 120s
+		{10 * time.Minute, 192 * time.Second}, // budget 300s -> 48*4=192
+		{time.Hour, 1536 * time.Second},       // budget 1800s -> 48*32=1536
+		{16 * time.Hour, 24576 * time.Second}, // 48*512
+		{NoLag, NoLag},
+	}
+	for _, tc := range cases {
+		got := CanonicalPeriod(tc.lag)
+		if got != tc.want {
+			t.Errorf("CanonicalPeriod(%v) = %v, want %v", tc.lag, got, tc.want)
+		}
+	}
+}
+
+func TestCanonicalPeriodsArePowersOfTwoMultiples(t *testing.T) {
+	// Any two canonical periods divide each other, which is what aligns
+	// data timestamps across a DT graph (§5.2).
+	lags := []time.Duration{time.Minute, 5 * time.Minute, time.Hour, 8 * time.Hour, 24 * time.Hour}
+	periods := make([]time.Duration, len(lags))
+	for i, l := range lags {
+		periods[i] = CanonicalPeriod(l)
+	}
+	for i := 0; i < len(periods); i++ {
+		for j := i + 1; j < len(periods); j++ {
+			a, b := periods[i], periods[j]
+			if a > b {
+				a, b = b, a
+			}
+			if b%a != 0 {
+				t.Errorf("periods %v and %v do not align", periods[i], periods[j])
+			}
+		}
+	}
+}
+
+func TestCanonicalPeriodAtMostHalfTargetLag(t *testing.T) {
+	// Peak lag = p + w + d < t requires headroom beyond the period.
+	for _, lag := range []time.Duration{2 * time.Minute, 7 * time.Minute, 3 * time.Hour, 26 * time.Hour} {
+		p := CanonicalPeriod(lag)
+		if p > lag/2 && p != MinCanonicalPeriod {
+			t.Errorf("period %v exceeds half the target lag %v", p, lag)
+		}
+	}
+}

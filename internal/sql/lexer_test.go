@@ -1,0 +1,175 @@
+package sql
+
+import (
+	"testing"
+)
+
+func kinds(tokens []Token) []TokenKind {
+	out := make([]TokenKind, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(tokens []Token) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	tokens, err := Lex(`SELECT a, 42, 'str' FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "a", ",", "42", ",", "str", "FROM", "t", ";", ""}
+	got := texts(tokens)
+	if len(got) != len(want) {
+		t.Fatalf("tokens: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+	if tokens[len(tokens)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexMultiCharOperators(t *testing.T) {
+	tokens, err := Lex(`a::int <> b <= c >= d != e || f => g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var symbols []string
+	for _, tok := range tokens {
+		if tok.Kind == TokSymbol {
+			symbols = append(symbols, tok.Text)
+		}
+	}
+	want := []string{"::", "<>", "<=", ">=", "!=", "||", "=>"}
+	if len(symbols) != len(want) {
+		t.Fatalf("symbols: %v", symbols)
+	}
+	for i := range want {
+		if symbols[i] != want[i] {
+			t.Errorf("symbol %d: %q, want %q", i, symbols[i], want[i])
+		}
+	}
+}
+
+func TestLexColonVsDoubleColon(t *testing.T) {
+	tokens, err := Lex(`payload:time::timestamp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(tokens[:5])
+	want := []string{"payload", ":", "time", "::", "timestamp"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		`42`:     "42",
+		`3.14`:   "3.14",
+		`1e6`:    "1e6",
+		`2.5E-3`: "2.5E-3",
+	}
+	for src, want := range cases {
+		tokens, err := Lex(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if tokens[0].Kind != TokNumber || tokens[0].Text != want {
+			t.Errorf("%s: got %q kind %d", src, tokens[0].Text, tokens[0].Kind)
+		}
+	}
+	// `1.x` must not swallow the dot (path access off a number literal is
+	// nonsense, but `t1.col` relies on dot separation).
+	tokens, err := Lex(`t1.col`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 4 || tokens[1].Text != "." {
+		t.Errorf("dot separation: %v", texts(tokens))
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	tokens, err := Lex(`'a''b'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens[0].Kind != TokString || tokens[0].Text != "a'b" {
+		t.Errorf("escape: %q", tokens[0].Text)
+	}
+	if _, err := Lex(`'unterminated`); err == nil {
+		t.Error("unterminated string must fail")
+	}
+}
+
+func TestLexQuotedIdents(t *testing.T) {
+	tokens, err := Lex(`"My ""Weird"" Table"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens[0].Kind != TokIdent || tokens[0].Text != `My "Weird" Table` {
+		t.Errorf("quoted ident: %q", tokens[0].Text)
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Error("unterminated quoted ident must fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	tokens, err := Lex(`a -- trailing comment
+	b /* block
+	comment */ c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := texts(tokens[:3])
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("comments not skipped: %v", got)
+	}
+	// Unterminated block comment consumes the rest without error.
+	tokens, err = Lex(`a /* open`)
+	if err != nil || len(tokens) != 2 {
+		t.Errorf("open block comment: %v %v", texts(tokens), err)
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	if _, err := Lex("a ~ b"); err == nil {
+		t.Error("unexpected character must fail")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	tokens, err := Lex(`ab cd`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens[0].Pos != 0 || tokens[1].Pos != 3 {
+		t.Errorf("positions: %d %d", tokens[0].Pos, tokens[1].Pos)
+	}
+}
+
+func TestLexDollarIdentifiers(t *testing.T) {
+	tokens, err := Lex(`$ROW_ID $ACTION`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokens[0].Text != "$ROW_ID" || tokens[1].Text != "$ACTION" {
+		t.Errorf("metadata column names: %v", texts(tokens))
+	}
+	_ = kinds(tokens)
+}

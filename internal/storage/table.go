@@ -1,0 +1,425 @@
+// Package storage implements the versioned table store underneath the
+// engine: copy-on-write table versions indexed by HLC commit timestamp,
+// change-set logs with periodic snapshots for time travel (§5.3), change
+// intervals for incremental refreshes (§5.5), zero-copy cloning (§3.4) and
+// data-equivalent maintenance versions that incremental readers skip
+// (§5.5.2).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"dyntables/internal/delta"
+	"dyntables/internal/hlc"
+	"dyntables/internal/types"
+)
+
+// DefaultSnapshotInterval is how many versions may accumulate between full
+// snapshots; time travel replays at most this many change sets.
+const DefaultSnapshotInterval = 32
+
+// Version is one committed version of a table. Versions are immutable once
+// committed.
+type Version struct {
+	// Seq is the 1-based position in the table's version chain.
+	Seq int64
+	// Commit is the HLC timestamp of the committing transaction; versions
+	// are totally ordered by it.
+	Commit hlc.Timestamp
+	// Changes transforms the previous version into this one. Empty for
+	// snapshots taken at creation and for data-equivalent versions.
+	Changes delta.ChangeSet
+	// Overwrite marks an INSERT OVERWRITE: the version's contents replace
+	// everything before it. Snapshot holds the full contents.
+	Overwrite bool
+	// DataEquivalent marks background maintenance (reclustering,
+	// defragmentation) that rewrote storage without changing logical
+	// contents; incremental readers skip these versions (§5.5.2).
+	DataEquivalent bool
+	// Snapshot, when non-nil, is the fully materialized contents at this
+	// version. Present on overwrites and on periodic snapshot versions.
+	Snapshot map[string]types.Row
+	// RowCount is the number of live rows at this version.
+	RowCount int
+}
+
+var tableIDs atomic.Int64
+
+// Table is a versioned collection of rows keyed by row ID. All methods are
+// safe for concurrent use.
+type Table struct {
+	mu sync.RWMutex
+
+	id     int64
+	schema types.Schema
+
+	versions []*Version // ordered by Seq (and Commit)
+
+	// rowSeq allocates row IDs for plain inserts.
+	rowSeq atomic.Int64
+
+	snapshotInterval int
+	sinceSnapshot    int
+
+	// tip caches the materialized latest contents.
+	tip map[string]types.Row
+}
+
+// NewTable creates an empty table with the given schema. The table begins
+// with a single empty version committed at the supplied timestamp so that
+// reads as of any later time resolve to a defined version.
+func NewTable(schema types.Schema, createdAt hlc.Timestamp) *Table {
+	t := &Table{
+		id:               tableIDs.Add(1),
+		schema:           schema,
+		snapshotInterval: DefaultSnapshotInterval,
+	}
+	t.versions = []*Version{{
+		Seq:      1,
+		Commit:   createdAt,
+		Snapshot: map[string]types.Row{},
+	}}
+	t.tip = map[string]types.Row{}
+	return t
+}
+
+// ID returns the table's unique storage identifier.
+func (t *Table) ID() int64 { return t.id }
+
+// Schema returns the table schema.
+func (t *Table) Schema() types.Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema
+}
+
+// SetSchema replaces the schema; used by REPLACE TABLE DDL. Contents are
+// not converted — callers overwrite contents in the same operation.
+func (t *Table) SetSchema(s types.Schema) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.schema = s
+}
+
+// NextRowID allocates a fresh row ID with the table's plaintext prefix
+// (§5.5.2 notes DT row IDs use plaintext prefixes; base tables share the
+// scheme).
+func (t *Table) NextRowID() string {
+	return "t" + strconv.FormatInt(t.id, 10) + ":" + strconv.FormatInt(t.rowSeq.Add(1), 10)
+}
+
+// LatestVersion returns the most recent version.
+func (t *Table) LatestVersion() *Version {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.versions[len(t.versions)-1]
+}
+
+// VersionBySeq returns the version with the given sequence number.
+func (t *Table) VersionBySeq(seq int64) (*Version, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.versionBySeqLocked(seq)
+}
+
+func (t *Table) versionBySeqLocked(seq int64) (*Version, error) {
+	if seq < 1 || seq > int64(len(t.versions)) {
+		return nil, fmt.Errorf("storage: table %d has no version %d", t.id, seq)
+	}
+	return t.versions[seq-1], nil
+}
+
+// VersionAsOf returns the latest version whose commit timestamp is <= ts,
+// implementing time travel. It errors when ts precedes the table's first
+// version.
+func (t *Table) VersionAsOf(ts hlc.Timestamp) (*Version, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx := sort.Search(len(t.versions), func(i int) bool {
+		return ts.Less(t.versions[i].Commit)
+	})
+	if idx == 0 {
+		return nil, fmt.Errorf("storage: table %d has no version at or before %s", t.id, ts)
+	}
+	return t.versions[idx-1], nil
+}
+
+// VersionByCommit returns the version committed exactly at ts, used by the
+// §6.1 validation that an upstream DT has a version for the exact refresh
+// timestamp.
+func (t *Table) VersionByCommit(ts hlc.Timestamp) (*Version, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx := sort.Search(len(t.versions), func(i int) bool {
+		return ts.LessEq(t.versions[i].Commit)
+	})
+	if idx < len(t.versions) && t.versions[idx].Commit == ts {
+		return t.versions[idx], true
+	}
+	return nil, false
+}
+
+// Rows materializes the full contents at the given version sequence.
+// The returned map must not be mutated.
+func (t *Table) Rows(seq int64) (map[string]types.Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rowsLocked(seq)
+}
+
+func (t *Table) rowsLocked(seq int64) (map[string]types.Row, error) {
+	if seq == int64(len(t.versions)) && t.tip != nil {
+		return t.tip, nil
+	}
+	if _, err := t.versionBySeqLocked(seq); err != nil {
+		return nil, err
+	}
+	// Find the nearest snapshot at or before seq.
+	base := int64(0)
+	for i := seq - 1; i >= 0; i-- {
+		if t.versions[i].Snapshot != nil {
+			base = i + 1
+			break
+		}
+	}
+	if base == 0 {
+		return nil, fmt.Errorf("storage: table %d has no snapshot at or before version %d", t.id, seq)
+	}
+	rows := t.versions[base-1].Snapshot
+	if base == seq {
+		return rows, nil
+	}
+	out := make(map[string]types.Row, len(rows))
+	for id, r := range rows {
+		out[id] = r
+	}
+	for i := base; i < seq; i++ {
+		applyChanges(out, t.versions[i].Changes)
+	}
+	if seq == int64(len(t.versions)) {
+		t.tip = out
+	}
+	return out, nil
+}
+
+func applyChanges(rows map[string]types.Row, cs delta.ChangeSet) {
+	for _, c := range cs.Changes {
+		if c.Action == delta.Delete {
+			delete(rows, c.RowID)
+		}
+	}
+	for _, c := range cs.Changes {
+		if c.Action == delta.Insert {
+			rows[c.RowID] = c.Row
+		}
+	}
+}
+
+// RowCount returns the number of live rows at the latest version.
+func (t *Table) RowCount() int {
+	return t.LatestVersion().RowCount
+}
+
+// Apply commits a change set as a new version with the given commit
+// timestamp and returns the new version. It validates the §6.1 invariant
+// that no change set deletes a row that does not exist.
+func (t *Table) Apply(cs delta.ChangeSet, commit hlc.Timestamp) (*Version, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	last := t.versions[len(t.versions)-1]
+	if !last.Commit.Less(commit) {
+		return nil, fmt.Errorf("storage: commit %s does not advance past %s", commit, last.Commit)
+	}
+	tip, err := t.rowsLocked(last.Seq)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cs.Changes {
+		if c.Action == delta.Delete {
+			if _, ok := tip[c.RowID]; !ok {
+				return nil, fmt.Errorf("storage: change set deletes nonexistent row %s", c.RowID)
+			}
+		}
+	}
+	newTip := make(map[string]types.Row, len(tip)+len(cs.Changes))
+	for id, r := range tip {
+		newTip[id] = r
+	}
+	applyChanges(newTip, cs)
+
+	v := &Version{
+		Seq:      last.Seq + 1,
+		Commit:   commit,
+		Changes:  cs,
+		RowCount: len(newTip),
+	}
+	t.sinceSnapshot++
+	if t.sinceSnapshot >= t.snapshotInterval {
+		v.Snapshot = newTip
+		t.sinceSnapshot = 0
+	}
+	t.versions = append(t.versions, v)
+	t.tip = newTip
+	return v, nil
+}
+
+// Overwrite commits a full replacement of the table's contents (INSERT
+// OVERWRITE, used by FULL refreshes and reinitializations, §5.4).
+func (t *Table) Overwrite(rows map[string]types.Row, commit hlc.Timestamp) (*Version, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	last := t.versions[len(t.versions)-1]
+	if !last.Commit.Less(commit) {
+		return nil, fmt.Errorf("storage: commit %s does not advance past %s", commit, last.Commit)
+	}
+	snap := make(map[string]types.Row, len(rows))
+	for id, r := range rows {
+		snap[id] = r
+	}
+	v := &Version{
+		Seq:       last.Seq + 1,
+		Commit:    commit,
+		Overwrite: true,
+		Snapshot:  snap,
+		RowCount:  len(snap),
+	}
+	t.versions = append(t.versions, v)
+	t.tip = snap
+	t.sinceSnapshot = 0
+	return v, nil
+}
+
+// AppendDataEquivalent commits a version that does not change logical
+// contents (background reclustering). Incremental readers skip it.
+func (t *Table) AppendDataEquivalent(commit hlc.Timestamp) (*Version, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	last := t.versions[len(t.versions)-1]
+	if !last.Commit.Less(commit) {
+		return nil, fmt.Errorf("storage: commit %s does not advance past %s", commit, last.Commit)
+	}
+	v := &Version{
+		Seq:            last.Seq + 1,
+		Commit:         commit,
+		DataEquivalent: true,
+		RowCount:       last.RowCount,
+	}
+	t.versions = append(t.versions, v)
+	t.sinceSnapshot++
+	return v, nil
+}
+
+// ErrOverwritten signals that a change interval crosses an INSERT OVERWRITE
+// or table replacement, so a purely incremental read is unsound and the
+// caller must REINITIALIZE (§3.3.2).
+type ErrOverwritten struct {
+	TableID int64
+	Seq     int64
+}
+
+// Error implements error.
+func (e *ErrOverwritten) Error() string {
+	return fmt.Sprintf("storage: table %d version %d overwrote contents; change interval is invalid", e.TableID, e.Seq)
+}
+
+// Changes returns the consolidated change set transforming version fromSeq
+// into version toSeq. Data-equivalent versions contribute nothing. When the
+// interval crosses an overwrite, Changes returns *ErrOverwritten and the
+// caller falls back to reinitialization.
+func (t *Table) Changes(fromSeq, toSeq int64) (delta.ChangeSet, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if fromSeq > toSeq {
+		return delta.ChangeSet{}, fmt.Errorf("storage: invalid change interval [%d,%d]", fromSeq, toSeq)
+	}
+	if fromSeq < 1 || toSeq > int64(len(t.versions)) {
+		return delta.ChangeSet{}, fmt.Errorf("storage: change interval [%d,%d] out of range", fromSeq, toSeq)
+	}
+	var out delta.ChangeSet
+	for i := fromSeq; i < toSeq; i++ {
+		v := t.versions[i]
+		if v.Overwrite {
+			return delta.ChangeSet{}, &ErrOverwritten{TableID: t.id, Seq: v.Seq}
+		}
+		if v.DataEquivalent {
+			continue
+		}
+		out.Append(v.Changes)
+	}
+	if fromSeq != toSeq {
+		out = out.Consolidate()
+	}
+	return out, nil
+}
+
+// ChangedSince reports whether any version in (fromSeq, toSeq] changed
+// logical contents; data-equivalent versions do not count. Used to decide
+// NO_DATA refreshes (§3.3.2) without materializing change sets.
+func (t *Table) ChangedSince(fromSeq, toSeq int64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if toSeq > int64(len(t.versions)) {
+		toSeq = int64(len(t.versions))
+	}
+	for i := fromSeq; i < toSeq; i++ {
+		v := t.versions[i]
+		if v.DataEquivalent {
+			continue
+		}
+		if v.Overwrite || v.Changes.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a zero-copy clone: a new table whose version chain shares
+// every committed version with the original. Subsequent writes to either
+// table diverge (§3.4). The clone's first own version is stamped at the
+// clone time.
+func (t *Table) Clone(at hlc.Timestamp) (*Table, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	src, err := func() (*Version, error) {
+		idx := sort.Search(len(t.versions), func(i int) bool {
+			return at.Less(t.versions[i].Commit)
+		})
+		if idx == 0 {
+			return nil, fmt.Errorf("storage: table %d has no version at or before %s", t.id, at)
+		}
+		return t.versions[idx-1], nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	clone := &Table{
+		id:               tableIDs.Add(1),
+		schema:           t.schema,
+		snapshotInterval: t.snapshotInterval,
+	}
+	// Share the version chain prefix (metadata-only copy).
+	clone.versions = make([]*Version, src.Seq)
+	copy(clone.versions, t.versions[:src.Seq])
+	clone.rowSeq.Store(t.rowSeq.Load())
+	return clone, nil
+}
+
+// VersionCount returns the number of committed versions.
+func (t *Table) VersionCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.versions)
+}
+
+// SetSnapshotInterval overrides the snapshot cadence (testing knob).
+func (t *Table) SetSnapshotInterval(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > 0 {
+		t.snapshotInterval = n
+	}
+}

@@ -1,0 +1,299 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"dyntables/internal/delta"
+	"dyntables/internal/hlc"
+	"dyntables/internal/types"
+)
+
+func ts(n int64) hlc.Timestamp { return hlc.Timestamp{WallMicros: n} }
+
+func intRow(vals ...int64) types.Row {
+	r := make(types.Row, len(vals))
+	for i, v := range vals {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+func newTestTable() *Table {
+	schema := types.NewSchema(types.Column{Name: "v", Kind: types.KindInt})
+	return NewTable(schema, ts(1))
+}
+
+func apply(t *testing.T, tb *Table, commit int64, f func(cs *delta.ChangeSet)) *Version {
+	t.Helper()
+	var cs delta.ChangeSet
+	f(&cs)
+	v, err := tb.Apply(cs, ts(commit))
+	if err != nil {
+		t.Fatalf("apply at %d: %v", commit, err)
+	}
+	return v
+}
+
+func TestEmptyTableHasVersionOne(t *testing.T) {
+	tb := newTestTable()
+	if tb.VersionCount() != 1 {
+		t.Fatalf("want 1 version, got %d", tb.VersionCount())
+	}
+	rows, err := tb.Rows(1)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("empty table: %v rows, %v", rows, err)
+	}
+}
+
+func TestApplyAndTimeTravel(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) {
+		cs.AddInsert("a", intRow(1))
+	})
+	apply(t, tb, 20, func(cs *delta.ChangeSet) {
+		cs.AddInsert("b", intRow(2))
+		cs.AddDelete("a", intRow(1))
+	})
+
+	v, err := tb.VersionAsOf(ts(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tb.Rows(v.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows["a"][0].Int() != 1 {
+		t.Errorf("as-of 15: %v", rows)
+	}
+
+	v, _ = tb.VersionAsOf(ts(100))
+	rows, _ = tb.Rows(v.Seq)
+	if len(rows) != 1 {
+		t.Errorf("latest: %v", rows)
+	}
+	if _, ok := rows["b"]; !ok {
+		t.Errorf("latest should contain b: %v", rows)
+	}
+
+	if _, err := tb.VersionAsOf(ts(0)); err == nil {
+		t.Error("as-of before creation must fail")
+	}
+}
+
+func TestVersionByCommitExact(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	if _, ok := tb.VersionByCommit(ts(10)); !ok {
+		t.Error("exact commit lookup failed")
+	}
+	if _, ok := tb.VersionByCommit(ts(11)); ok {
+		t.Error("lookup at non-commit time must fail (§6.1 validation)")
+	}
+}
+
+func TestDeleteNonexistentRowRejected(t *testing.T) {
+	tb := newTestTable()
+	var cs delta.ChangeSet
+	cs.AddDelete("ghost", intRow(0))
+	if _, err := tb.Apply(cs, ts(5)); err == nil {
+		t.Error("deleting a nonexistent row must fail (§6.1 validation)")
+	}
+}
+
+func TestCommitMustAdvance(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	var cs delta.ChangeSet
+	cs.AddInsert("b", intRow(2))
+	if _, err := tb.Apply(cs, ts(10)); err == nil {
+		t.Error("commit at same timestamp must fail")
+	}
+	if _, err := tb.Apply(cs, ts(9)); err == nil {
+		t.Error("commit in the past must fail")
+	}
+}
+
+func TestChangesInterval(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	apply(t, tb, 20, func(cs *delta.ChangeSet) { cs.AddInsert("b", intRow(2)) })
+	apply(t, tb, 30, func(cs *delta.ChangeSet) {
+		cs.AddDelete("a", intRow(1))
+		cs.AddInsert("a", intRow(10))
+	})
+
+	cs, err := tb.Changes(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: inserted then updated -> consolidated to single insert of 10.
+	// b: inserted.
+	ins, del := cs.Counts()
+	if ins != 2 || del != 0 {
+		t.Errorf("interval changes: %d ins %d del: %v", ins, del, cs.Changes)
+	}
+
+	// Sub-interval spanning only the update.
+	cs, err = tb.Changes(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, del = cs.Counts()
+	if ins != 1 || del != 1 {
+		t.Errorf("update interval: %d ins %d del", ins, del)
+	}
+
+	// Empty interval.
+	cs, err = tb.Changes(2, 2)
+	if err != nil || !cs.Empty() {
+		t.Errorf("empty interval: %v %v", cs.Changes, err)
+	}
+}
+
+func TestChangesAcrossOverwriteFails(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	if _, err := tb.Overwrite(map[string]types.Row{"x": intRow(9)}, ts(20)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tb.Changes(1, 3)
+	var over *ErrOverwritten
+	if !errors.As(err, &over) {
+		t.Fatalf("want ErrOverwritten, got %v", err)
+	}
+	if over.Error() == "" {
+		t.Error("error message empty")
+	}
+	// Interval after the overwrite is fine.
+	apply(t, tb, 30, func(cs *delta.ChangeSet) { cs.AddInsert("y", intRow(2)) })
+	if _, err := tb.Changes(3, 4); err != nil {
+		t.Errorf("post-overwrite interval should work: %v", err)
+	}
+}
+
+func TestDataEquivalentVersionsSkipped(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	if _, err := tb.AppendDataEquivalent(ts(15)); err != nil {
+		t.Fatal(err)
+	}
+	if tb.ChangedSince(2, 3) {
+		t.Error("data-equivalent version must not count as change (§5.5.2)")
+	}
+	cs, err := tb.Changes(2, 3)
+	if err != nil || !cs.Empty() {
+		t.Errorf("data-equivalent interval must be empty: %v %v", cs.Changes, err)
+	}
+	// Contents survive.
+	rows, _ := tb.Rows(3)
+	if len(rows) != 1 {
+		t.Errorf("contents after recluster: %v", rows)
+	}
+}
+
+func TestSnapshotReplayCorrectness(t *testing.T) {
+	tb := newTestTable()
+	tb.SetSnapshotInterval(4)
+	for i := int64(0); i < 20; i++ {
+		commit := 10 + i
+		apply(t, tb, commit, func(cs *delta.ChangeSet) {
+			cs.AddInsert(tb.NextRowID(), intRow(i))
+		})
+	}
+	// Every historical version must materialize with exactly i rows.
+	for seq := int64(1); seq <= int64(tb.VersionCount()); seq++ {
+		rows, err := tb.Rows(seq)
+		if err != nil {
+			t.Fatalf("rows at %d: %v", seq, err)
+		}
+		if int64(len(rows)) != seq-1 {
+			t.Errorf("version %d: %d rows, want %d", seq, len(rows), seq-1)
+		}
+	}
+}
+
+func TestCloneSharesHistoryThenDiverges(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	clone, err := tb.Clone(ts(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.ID() == tb.ID() {
+		t.Error("clone must have its own identity")
+	}
+	// Clone sees the original's data.
+	rows, err := clone.Rows(int64(clone.VersionCount()))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("clone contents: %v %v", rows, err)
+	}
+	// Writes diverge.
+	var cs delta.ChangeSet
+	cs.AddInsert("b", intRow(2))
+	if _, err := clone.Apply(cs, ts(20)); err != nil {
+		t.Fatal(err)
+	}
+	origRows, _ := tb.Rows(int64(tb.VersionCount()))
+	cloneRows, _ := clone.Rows(int64(clone.VersionCount()))
+	if len(origRows) != 1 || len(cloneRows) != 2 {
+		t.Errorf("divergence failed: orig %d, clone %d", len(origRows), len(cloneRows))
+	}
+}
+
+func TestCloneAtHistoricalTimestamp(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	apply(t, tb, 20, func(cs *delta.ChangeSet) { cs.AddInsert("b", intRow(2)) })
+	clone, err := tb.Clone(ts(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := clone.Rows(int64(clone.VersionCount()))
+	if len(rows) != 1 {
+		t.Errorf("historical clone should have 1 row, got %d", len(rows))
+	}
+}
+
+func TestRowCountTracked(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) {
+		cs.AddInsert("a", intRow(1))
+		cs.AddInsert("b", intRow(2))
+	})
+	if tb.RowCount() != 2 {
+		t.Errorf("RowCount = %d", tb.RowCount())
+	}
+	apply(t, tb, 20, func(cs *delta.ChangeSet) { cs.AddDelete("a", intRow(1)) })
+	if tb.RowCount() != 1 {
+		t.Errorf("RowCount after delete = %d", tb.RowCount())
+	}
+}
+
+func TestOverwriteSetsSnapshotAndRowCount(t *testing.T) {
+	tb := newTestTable()
+	apply(t, tb, 10, func(cs *delta.ChangeSet) { cs.AddInsert("a", intRow(1)) })
+	v, err := tb.Overwrite(map[string]types.Row{"x": intRow(1), "y": intRow(2)}, ts(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Overwrite || v.Snapshot == nil || v.RowCount != 2 {
+		t.Errorf("overwrite version malformed: %+v", v)
+	}
+	rows, _ := tb.Rows(v.Seq)
+	if len(rows) != 2 {
+		t.Errorf("contents after overwrite: %v", rows)
+	}
+}
+
+func TestNextRowIDUniqueAndPrefixed(t *testing.T) {
+	tb := newTestTable()
+	a, b := tb.NextRowID(), tb.NextRowID()
+	if a == b {
+		t.Error("row IDs must be unique")
+	}
+	if a[0] != 't' {
+		t.Errorf("row ID should carry plaintext table prefix: %q", a)
+	}
+}

@@ -1,0 +1,306 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindFromName(t *testing.T) {
+	cases := map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt, "BigInt": KindInt,
+		"float": KindFloat, "DOUBLE": KindFloat,
+		"text": KindString, "VARCHAR": KindString,
+		"bool": KindBool, "BOOLEAN": KindBool,
+		"timestamp": KindTimestamp,
+		"variant":   KindVariant,
+		"interval":  KindInterval,
+	}
+	for name, want := range cases {
+		got, err := KindFromName(name)
+		if err != nil {
+			t.Fatalf("KindFromName(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("KindFromName(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := KindFromName("blob"); err == nil {
+		t.Error("KindFromName(blob) should fail")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if !Null.IsNull() {
+		t.Error("zero Value must be NULL")
+	}
+	if NewInt(7).Int() != 7 {
+		t.Error("Int roundtrip failed")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float roundtrip failed")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str roundtrip failed")
+	}
+	if !NewBool(true).Bool() {
+		t.Error("Bool roundtrip failed")
+	}
+	ts := time.Date(2025, 4, 1, 12, 0, 0, 123456000, time.UTC)
+	if !NewTimestamp(ts).Time().Equal(ts) {
+		t.Error("Timestamp roundtrip failed")
+	}
+	if NewInterval(90*time.Second).Interval() != 90*time.Second {
+		t.Error("Interval roundtrip failed")
+	}
+}
+
+func TestValuePanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic accessing Int of a string value")
+		}
+	}()
+	_ = NewString("not an int").Int()
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	c, err := Compare(NewInt(2), NewFloat(2.0))
+	if err != nil || c != 0 {
+		t.Errorf("Compare(2, 2.0) = %d, %v; want 0, nil", c, err)
+	}
+	c, _ = Compare(NewInt(1), NewFloat(1.5))
+	if c != -1 {
+		t.Errorf("Compare(1, 1.5) = %d, want -1", c)
+	}
+	c, _ = Compare(NewFloat(3.5), NewInt(3))
+	if c != 1 {
+		t.Errorf("Compare(3.5, 3) = %d, want 1", c)
+	}
+}
+
+func TestCompareNulls(t *testing.T) {
+	if c, err := Compare(Null, Null); err != nil || c != 0 {
+		t.Errorf("NULL vs NULL = %d, %v", c, err)
+	}
+	if c, _ := Compare(Null, NewInt(0)); c != -1 {
+		t.Errorf("NULL should sort before values, got %d", c)
+	}
+	if c, _ := Compare(NewString(""), Null); c != 1 {
+		t.Errorf("values should sort after NULL, got %d", c)
+	}
+}
+
+func TestCompareIncompatible(t *testing.T) {
+	if _, err := Compare(NewString("a"), NewInt(1)); err == nil {
+		t.Error("string vs int must error")
+	}
+	if _, err := Compare(NewBool(true), NewTimestamp(time.Now())); err == nil {
+		t.Error("bool vs timestamp must error")
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	vals := []Value{
+		NewInt(1), NewInt(2), NewFloat(1.5), Null,
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			ab, err1 := Compare(a, b)
+			ba, err2 := Compare(b, a)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("unexpected error: %v %v", err1, err2)
+			}
+			if ab != -ba {
+				t.Errorf("Compare(%v,%v)=%d but Compare(%v,%v)=%d", a, b, ab, b, a, ba)
+			}
+		}
+	}
+}
+
+func TestCastIntString(t *testing.T) {
+	v, err := Cast(NewString("42"), KindInt)
+	if err != nil || v.Int() != 42 {
+		t.Errorf("cast '42' to int: %v, %v", v, err)
+	}
+	v, err = Cast(NewString("3.9"), KindInt)
+	if err != nil || v.Int() != 3 {
+		t.Errorf("cast '3.9' to int: %v, %v", v, err)
+	}
+	if _, err := Cast(NewString("xyz"), KindInt); err == nil {
+		t.Error("cast 'xyz' to int should fail")
+	}
+}
+
+func TestCastNullAnyKind(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindFloat, KindString, KindBool, KindTimestamp, KindVariant} {
+		v, err := Cast(Null, k)
+		if err != nil || !v.IsNull() {
+			t.Errorf("Cast(NULL, %v) = %v, %v", k, v, err)
+		}
+	}
+}
+
+func TestCastTimestamp(t *testing.T) {
+	v, err := Cast(NewString("2025-04-01 09:30:00"), KindTimestamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2025, 4, 1, 9, 30, 0, 0, time.UTC)
+	if !v.Time().Equal(want) {
+		t.Errorf("got %v want %v", v.Time(), want)
+	}
+	// int seconds since epoch
+	v, err = Cast(NewInt(1700000000), KindTimestamp)
+	if err != nil || v.Time().Unix() != 1700000000 {
+		t.Errorf("int cast: %v, %v", v, err)
+	}
+}
+
+func TestVariantPathAccess(t *testing.T) {
+	v, err := ParseVariant(`{"train_id": 12, "time": "2025-04-01 10:00:00", "tags": ["a","b"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := VariantGet(v, "train_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asInt, err := Cast(id, KindInt)
+	if err != nil || asInt.Int() != 12 {
+		t.Errorf("payload:train_id::int = %v, %v", asInt, err)
+	}
+	ts, _ := VariantGet(v, "time")
+	asTs, err := Cast(ts, KindTimestamp)
+	if err != nil || asTs.Time().Hour() != 10 {
+		t.Errorf("payload:time::timestamp = %v, %v", asTs, err)
+	}
+	missing, err := VariantGet(v, "nope")
+	if err != nil || !missing.IsNull() {
+		t.Errorf("missing member should be NULL, got %v, %v", missing, err)
+	}
+	tags, _ := VariantGet(v, "tags")
+	el, err := VariantIndex(tags, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Cast(el, KindString)
+	if s.Str() != "b" {
+		t.Errorf("tags[1] = %v", s)
+	}
+	out, err := VariantIndex(tags, 99)
+	if err != nil || !out.IsNull() {
+		t.Errorf("out-of-range index should be NULL, got %v, %v", out, err)
+	}
+}
+
+func TestParseIntervalText(t *testing.T) {
+	cases := map[string]time.Duration{
+		"1 minute":   time.Minute,
+		"10 minutes": 10 * time.Minute,
+		"2 hours":    2 * time.Hour,
+		"30 seconds": 30 * time.Second,
+		"1 day":      24 * time.Hour,
+		"90s":        90 * time.Second,
+		"16 hours":   16 * time.Hour,
+	}
+	for in, want := range cases {
+		got, err := ParseIntervalText(in)
+		if err != nil {
+			t.Fatalf("ParseIntervalText(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("ParseIntervalText(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := ParseIntervalText("three bananas"); err == nil {
+		t.Error("invalid interval should fail")
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	// Values that stringify identically must still have distinct keys.
+	a := NewString("1")
+	b := NewInt(1)
+	if string(a.EncodeKey(nil)) == string(b.EncodeKey(nil)) {
+		t.Error("'1' and 1 must encode to different keys")
+	}
+	// Adjacent strings must not be confusable.
+	r1 := Row{NewString("ab"), NewString("c")}
+	r2 := Row{NewString("a"), NewString("bc")}
+	if r1.Key() == r2.Key() {
+		t.Error("row keys must be injective across boundaries")
+	}
+}
+
+func TestEncodeKeyQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := NewInt(a).EncodeKey(nil)
+		kb := NewInt(b).EncodeKey(nil)
+		return (a == b) == (string(ka) == string(kb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		ka := NewString(a).EncodeKey(nil)
+		kb := NewString(b).EncodeKey(nil)
+		return (a == b) == (string(ka) == string(kb))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaIndexCaseInsensitive(t *testing.T) {
+	s := NewSchema(Column{"Train_ID", KindInt}, Column{"arrival_time", KindTimestamp})
+	if s.Index("train_id") != 0 || s.Index("ARRIVAL_TIME") != 1 {
+		t.Error("schema lookup should be case-insensitive")
+	}
+	if s.Index("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestSchemaEqualAndConcat(t *testing.T) {
+	a := NewSchema(Column{"a", KindInt})
+	b := NewSchema(Column{"A", KindInt})
+	if !a.Equal(b) {
+		t.Error("case-insensitive equal failed")
+	}
+	c := a.Concat(NewSchema(Column{"b", KindString}))
+	if c.Len() != 2 || c.Column(1).Name != "b" {
+		t.Errorf("concat: %v", c)
+	}
+}
+
+func TestRowEqualCloneConcat(t *testing.T) {
+	r := Row{NewInt(1), Null}
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Error("clone should be equal")
+	}
+	c[0] = NewInt(2)
+	if r.Equal(c) {
+		t.Error("mutating clone must not affect original")
+	}
+	joined := r.Concat(Row{NewString("x")})
+	if len(joined) != 3 || joined[2].Str() != "x" {
+		t.Errorf("concat: %v", joined)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null,
+		"42":    NewInt(42),
+		"true":  NewBool(true),
+		"false": NewBool(false),
+		"x":     NewString("x"),
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("String() = %q, want %q", v.String(), want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package validate packages the production validations of §6.1 — the
+// checks Snowflake runs on every refresh to catch corruption before it
+// reaches customers — plus consistency checks over refresh histories. The
+// three core validations:
+//
+//  1. An upstream DT must have a version for the exact data timestamp of
+//     the refresh (otherwise the scheduler violated snapshot isolation).
+//  2. A change set never contains more than one row per ($ROW_ID, $ACTION).
+//  3. A change set never deletes a row that does not exist.
+//
+// The package also exposes the delayed-view-semantics oracle used by
+// randomized testing: DT contents ≡ defining query as of the data
+// timestamp.
+package validate
+
+import (
+	"fmt"
+	"time"
+
+	"dyntables/internal/core"
+	"dyntables/internal/delta"
+	"dyntables/internal/sql"
+	"dyntables/internal/types"
+)
+
+// UpstreamVersionExists is validation 1: the upstream DT has a version at
+// exactly the given data timestamp.
+func UpstreamVersionExists(up *core.DynamicTable, dataTS time.Time) error {
+	if _, ok := up.VersionAtDataTS(dataTS); !ok {
+		return fmt.Errorf("validate: %s has no version for data timestamp %s (scheduler bug)",
+			up.Name, dataTS.UTC().Format(time.RFC3339))
+	}
+	return nil
+}
+
+// WellFormed is validation 2: at most one row per ($ROW_ID, $ACTION).
+func WellFormed(cs delta.ChangeSet) error {
+	return cs.ValidateWellFormed()
+}
+
+// NoPhantomDeletes is validation 3: every deleted row exists in the
+// current contents.
+func NoPhantomDeletes(cs delta.ChangeSet, current map[string]types.Row) error {
+	for _, c := range cs.Changes {
+		if c.Action == delta.Delete {
+			if _, ok := current[c.RowID]; !ok {
+				return fmt.Errorf("validate: change set deletes nonexistent row %s", c.RowID)
+			}
+		}
+	}
+	return nil
+}
+
+// DVS is the delayed-view-semantics oracle (§6.1): stored contents equal
+// the defining query evaluated as of the data timestamp.
+func DVS(ctrl *core.Controller, dt *core.DynamicTable) error {
+	return ctrl.CheckDVS(dt)
+}
+
+// MonotoneHistory checks that successful refreshes carry strictly
+// increasing data timestamps — the forward movement delayed view semantics
+// requires (§3.1.1).
+func MonotoneHistory(dt *core.DynamicTable) error {
+	var last time.Time
+	for i, rec := range dt.History() {
+		switch rec.Action {
+		case core.ActionSkip, core.ActionError:
+			continue
+		}
+		if rec.Action == core.ActionNoData && !rec.DataTS.After(last) {
+			// Idempotent re-refresh at the same timestamp is permitted.
+			continue
+		}
+		if !last.IsZero() && !rec.DataTS.After(last) {
+			return fmt.Errorf("validate: %s refresh %d regressed data timestamp %s -> %s",
+				dt.Name, i, last, rec.DataTS)
+		}
+		last = rec.DataTS
+	}
+	return nil
+}
+
+// LagWithinTarget checks the liveness property the scheduler aims for: at
+// measurement time, the DT's lag does not exceed its target lag plus the
+// allowed slack (§6.2 frames this as a shared responsibility; slack covers
+// refresh duration).
+func LagWithinTarget(dt *core.DynamicTable, now time.Time, slack time.Duration) error {
+	if dt.Lag.Kind == sql.LagDownstream {
+		return nil // no requirement of its own (§3.2)
+	}
+	lag := dt.CurrentLag(now)
+	target := dt.Lag.Duration
+	if lag > target+slack {
+		return fmt.Errorf("validate: %s lag %v exceeds target %v (+%v slack)", dt.Name, lag, target, slack)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package validate_test
+
+import (
+	"testing"
+	"time"
+
+	"dyntables"
+	"dyntables/internal/delta"
+	"dyntables/internal/types"
+	"dyntables/internal/validate"
+)
+
+func intRow(v int64) types.Row { return types.Row{types.NewInt(v)} }
+
+func TestWellFormed(t *testing.T) {
+	var cs delta.ChangeSet
+	cs.AddInsert("a", intRow(1))
+	cs.AddDelete("a", intRow(0))
+	if err := validate.WellFormed(cs); err != nil {
+		t.Errorf("update pair is well-formed: %v", err)
+	}
+	cs.AddInsert("a", intRow(2))
+	if err := validate.WellFormed(cs); err == nil {
+		t.Error("duplicate (rowid, INSERT) must be rejected")
+	}
+}
+
+func TestNoPhantomDeletes(t *testing.T) {
+	current := map[string]types.Row{"a": intRow(1)}
+	var ok delta.ChangeSet
+	ok.AddDelete("a", intRow(1))
+	if err := validate.NoPhantomDeletes(ok, current); err != nil {
+		t.Errorf("existing delete rejected: %v", err)
+	}
+	var bad delta.ChangeSet
+	bad.AddDelete("ghost", intRow(0))
+	if err := validate.NoPhantomDeletes(bad, current); err == nil {
+		t.Error("phantom delete must be rejected")
+	}
+}
+
+// engineWithDT builds a tiny pipeline for the DT-level validations.
+func engineWithDT(t *testing.T) *dyntables.Engine {
+	t.Helper()
+	e := dyntables.New()
+	e.MustExec(`CREATE WAREHOUSE wh`)
+	e.MustExec(`CREATE TABLE t (a INT)`)
+	e.MustExec(`INSERT INTO t VALUES (1), (2)`)
+	e.MustExec(`CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT a, a * 2 b FROM t`)
+	return e
+}
+
+func TestUpstreamVersionExists(t *testing.T) {
+	e := engineWithDT(t)
+	entry, err := e.Catalog().Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, ok := e.Controller().LookupByStorage(entryStorageID(t, e, entry.Name))
+	if !ok {
+		t.Fatal("controller does not know the DT")
+	}
+	if err := validate.UpstreamVersionExists(dt, dt.DataTimestamp()); err != nil {
+		t.Errorf("version at own data timestamp must exist: %v", err)
+	}
+	if err := validate.UpstreamVersionExists(dt, dt.DataTimestamp().Add(time.Second)); err == nil {
+		t.Error("missing exact version must be reported (§6.1 validation 1)")
+	}
+}
+
+// entryStorageID digs out the DT's storage ID via Describe + controller.
+func entryStorageID(t *testing.T, e *dyntables.Engine, name string) int64 {
+	t.Helper()
+	dt, err := e.DynamicTableHandle(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt.Storage.ID()
+}
+
+func TestDVSAndMonotoneHistory(t *testing.T) {
+	e := engineWithDT(t)
+	dt, err := e.DynamicTableHandle("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.DVS(e.Controller(), dt); err != nil {
+		t.Errorf("DVS after init: %v", err)
+	}
+	e.MustExec(`INSERT INTO t VALUES (3)`)
+	e.AdvanceTime(2 * time.Minute)
+	if err := e.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.DVS(e.Controller(), dt); err != nil {
+		t.Errorf("DVS after refresh: %v", err)
+	}
+	if err := validate.MonotoneHistory(dt); err != nil {
+		t.Errorf("monotone history: %v", err)
+	}
+}
+
+func TestLagWithinTarget(t *testing.T) {
+	e := engineWithDT(t)
+	dt, err := e.DynamicTableHandle("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AdvanceTime(90 * time.Second)
+	if err := e.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.LagWithinTarget(dt, e.Now(), time.Minute); err != nil {
+		t.Errorf("lag within target: %v", err)
+	}
+	// Suspend and fall far behind: the check fires.
+	e.MustExec(`ALTER DYNAMIC TABLE d SUSPEND`)
+	e.AdvanceTime(time.Hour)
+	if err := validate.LagWithinTarget(dt, e.Now(), time.Minute); err == nil {
+		t.Error("stale DT must violate the lag check")
+	}
+}

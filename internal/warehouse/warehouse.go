@@ -1,0 +1,249 @@
+// Package warehouse simulates Snowflake virtual warehouses (§3.3.1): named
+// compute clusters that execute refresh jobs serially, bill per second
+// while active, auto-suspend after idling, and auto-resume when work
+// arrives. The simulation is driven by virtual time: submitting a job
+// advances the warehouse's busy horizon and accrues billing, so schedulers
+// and benches can measure cost and queueing without wall-clock time.
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Size is a warehouse size; each step doubles the node count (§3.3.1).
+type Size int
+
+// The warehouse sizes.
+const (
+	SizeXSmall Size = iota
+	SizeSmall
+	SizeMedium
+	SizeLarge
+	SizeXLarge
+	Size2XLarge
+	Size3XLarge
+	Size4XLarge
+)
+
+// ParseSize parses a size name.
+func ParseSize(s string) (Size, error) {
+	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
+	case "XSMALL", "XS":
+		return SizeXSmall, nil
+	case "SMALL", "S":
+		return SizeSmall, nil
+	case "MEDIUM", "M":
+		return SizeMedium, nil
+	case "LARGE", "L":
+		return SizeLarge, nil
+	case "XLARGE", "XL":
+		return SizeXLarge, nil
+	case "X2LARGE", "2XLARGE", "XXL":
+		return Size2XLarge, nil
+	case "X3LARGE", "3XLARGE":
+		return Size3XLarge, nil
+	case "X4LARGE", "4XLARGE":
+		return Size4XLarge, nil
+	default:
+		return 0, fmt.Errorf("warehouse: unknown size %q", s)
+	}
+}
+
+// String names the size.
+func (s Size) String() string {
+	names := []string{"XSMALL", "SMALL", "MEDIUM", "LARGE", "XLARGE", "2XLARGE", "3XLARGE", "4XLARGE"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("SIZE(%d)", int(s))
+}
+
+// Nodes returns the cluster's node count (doubles per size step).
+func (s Size) Nodes() int { return 1 << uint(s) }
+
+// CreditsPerHour returns the billing rate; like the node count it doubles
+// per size step.
+func (s Size) CreditsPerHour() float64 { return float64(s.Nodes()) }
+
+// CostModel converts refresh work into execution time (§3.3.2: fixed plus
+// variable costs, variable scaling linearly with changed data).
+type CostModel struct {
+	// Fixed is the per-refresh overhead (compile, commit, queueing).
+	Fixed time.Duration
+	// PerRow is the single-node time per source row processed.
+	PerRow time.Duration
+}
+
+// DefaultCostModel matches the scale used by the experiments: a couple of
+// seconds of fixed overhead plus a millisecond per row on one node.
+var DefaultCostModel = CostModel{Fixed: 2 * time.Second, PerRow: time.Millisecond}
+
+// Duration computes the job duration on a warehouse of the given size.
+func (m CostModel) Duration(rows int64, size Size) time.Duration {
+	variable := time.Duration(rows) * m.PerRow / time.Duration(size.Nodes())
+	return m.Fixed + variable
+}
+
+// Job is one unit of submitted work.
+type Job struct {
+	// Submit is when the job became ready to run.
+	Submit time.Time
+	// Start is when the warehouse actually began it (after queueing).
+	Start time.Time
+	// End is when it finished.
+	End time.Time
+	// Rows is the work driver used for the duration.
+	Rows int64
+	// Label identifies the job in stats (usually the DT name).
+	Label string
+}
+
+// Queued returns how long the job waited behind earlier jobs.
+func (j Job) Queued() time.Duration { return j.Start.Sub(j.Submit) }
+
+// Warehouse simulates one virtual warehouse.
+type Warehouse struct {
+	Name        string
+	Size        Size
+	AutoSuspend time.Duration // 0 = suspend immediately when idle
+
+	mu sync.Mutex
+	// busyUntil is the end of the last scheduled job.
+	busyUntil time.Time
+	// everUsed marks whether any job ran.
+	everUsed bool
+	// billed accumulates active (billable) time.
+	billed time.Duration
+	// resumes counts suspend→resume transitions.
+	resumes int
+	jobs    []Job
+}
+
+// New creates a warehouse.
+func New(name string, size Size, autoSuspend time.Duration) *Warehouse {
+	return &Warehouse{Name: name, Size: size, AutoSuspend: autoSuspend}
+}
+
+// Submit schedules a job that becomes ready at `at` and processes `rows`
+// rows under the cost model. Jobs run serially in submission order: the
+// job starts at max(at, previous end). Billing accrues for run time plus
+// any idle time shorter than the auto-suspend threshold; longer gaps
+// suspend the warehouse (billing stops) and resume it when the job starts.
+func (w *Warehouse) Submit(at time.Time, rows int64, m CostModel, label string) Job {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start := at
+	if w.everUsed && w.busyUntil.After(start) {
+		start = w.busyUntil
+	}
+	if !w.everUsed {
+		w.resumes++
+	} else {
+		idle := start.Sub(w.busyUntil)
+		if idle > 0 {
+			if idle >= w.AutoSuspend {
+				// Suspended after the grace period; bill only the grace.
+				w.billed += w.AutoSuspend
+				w.resumes++
+			} else {
+				w.billed += idle
+			}
+		}
+	}
+	dur := m.Duration(rows, w.Size)
+	end := start.Add(dur)
+	w.billed += dur
+	w.busyUntil = end
+	w.everUsed = true
+	job := Job{Submit: at, Start: start, End: end, Rows: rows, Label: label}
+	w.jobs = append(w.jobs, job)
+	return job
+}
+
+// BusyUntil returns the end of the last scheduled job.
+func (w *Warehouse) BusyUntil() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.busyUntil
+}
+
+// BilledTime returns the total active time accrued.
+func (w *Warehouse) BilledTime() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.billed
+}
+
+// Credits converts billed time to credits at the size's hourly rate,
+// metered per second (§3.3.1: "granularity of seconds").
+func (w *Warehouse) Credits() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seconds := float64((w.billed + time.Second - 1) / time.Second)
+	return seconds / 3600 * w.Size.CreditsPerHour()
+}
+
+// Resumes counts how many times the warehouse resumed from suspension.
+func (w *Warehouse) Resumes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.resumes
+}
+
+// Jobs returns a copy of the job log.
+func (w *Warehouse) Jobs() []Job {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Job, len(w.jobs))
+	copy(out, w.jobs)
+	return out
+}
+
+// Pool is a named set of warehouses.
+type Pool struct {
+	mu     sync.Mutex
+	byName map[string]*Warehouse
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{byName: make(map[string]*Warehouse)}
+}
+
+// Create adds a warehouse; replacing an existing name is an error.
+func (p *Pool) Create(name string, size Size, autoSuspend time.Duration) (*Warehouse, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := strings.ToUpper(name)
+	if _, exists := p.byName[key]; exists {
+		return nil, fmt.Errorf("warehouse: %q already exists", name)
+	}
+	w := New(name, size, autoSuspend)
+	p.byName[key] = w
+	return w, nil
+}
+
+// Get resolves a warehouse by name.
+func (p *Pool) Get(name string) (*Warehouse, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.byName[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: %q does not exist", name)
+	}
+	return w, nil
+}
+
+// All returns every warehouse.
+func (p *Pool) All() []*Warehouse {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Warehouse, 0, len(p.byName))
+	for _, w := range p.byName {
+		out = append(out, w)
+	}
+	return out
+}

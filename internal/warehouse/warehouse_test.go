@@ -1,0 +1,129 @@
+package warehouse
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]Size{
+		"XSMALL": SizeXSmall, "xs": SizeXSmall,
+		"SMALL": SizeSmall, "MEDIUM": SizeMedium, "LARGE": SizeLarge,
+		"XLARGE": SizeXLarge, "2XLARGE": Size2XLarge,
+		"3XLARGE": Size3XLarge, "4XLARGE": Size4XLarge,
+		"X-LARGE": SizeXLarge,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSize("ENORMOUS"); err == nil {
+		t.Error("unknown size should fail")
+	}
+}
+
+func TestSizeNodesDoubling(t *testing.T) {
+	if SizeXSmall.Nodes() != 1 || SizeSmall.Nodes() != 2 || Size4XLarge.Nodes() != 128 {
+		t.Errorf("node counts: %d %d %d", SizeXSmall.Nodes(), SizeSmall.Nodes(), Size4XLarge.Nodes())
+	}
+	if SizeMedium.CreditsPerHour() != 4 {
+		t.Errorf("credits: %f", SizeMedium.CreditsPerHour())
+	}
+}
+
+func TestCostModelScalesWithSizeAndRows(t *testing.T) {
+	m := CostModel{Fixed: 2 * time.Second, PerRow: time.Millisecond}
+	d1 := m.Duration(10_000, SizeXSmall)
+	d2 := m.Duration(10_000, SizeLarge) // 8 nodes
+	if d1 != 12*time.Second {
+		t.Errorf("xsmall duration: %v", d1)
+	}
+	if d2 != 2*time.Second+1250*time.Millisecond {
+		t.Errorf("large duration: %v", d2)
+	}
+	// Variable cost linear in rows (§3.3.2).
+	dHalf := m.Duration(5_000, SizeXSmall)
+	if (d1 - m.Fixed) != 2*(dHalf-m.Fixed) {
+		t.Errorf("variable cost not linear: %v vs %v", d1, dHalf)
+	}
+}
+
+func TestJobsRunSerially(t *testing.T) {
+	w := New("wh", SizeXSmall, time.Minute)
+	m := CostModel{Fixed: 10 * time.Second}
+	j1 := w.Submit(t0, 0, m, "a")
+	j2 := w.Submit(t0, 0, m, "b") // submitted while j1 runs
+	if !j1.Start.Equal(t0) {
+		t.Errorf("j1 start: %v", j1.Start)
+	}
+	if !j2.Start.Equal(j1.End) {
+		t.Errorf("j2 must queue behind j1: start %v, j1 end %v", j2.Start, j1.End)
+	}
+	if j2.Queued() != 10*time.Second {
+		t.Errorf("queue time: %v", j2.Queued())
+	}
+}
+
+func TestBillingIdleVsSuspend(t *testing.T) {
+	w := New("wh", SizeXSmall, time.Minute)
+	m := CostModel{Fixed: 10 * time.Second}
+	w.Submit(t0, 0, m, "a")
+	// Short idle (30s < auto-suspend 60s): billed.
+	w.Submit(t0.Add(40*time.Second), 0, m, "b")
+	if got := w.BilledTime(); got != 10*time.Second+30*time.Second+10*time.Second {
+		t.Errorf("billed with short idle: %v", got)
+	}
+	// Long idle (10 min): only the auto-suspend grace is billed.
+	w.Submit(t0.Add(20*time.Minute), 0, m, "c")
+	want := 50*time.Second + time.Minute + 10*time.Second
+	if got := w.BilledTime(); got != want {
+		t.Errorf("billed after suspend: %v, want %v", got, want)
+	}
+	if w.Resumes() != 2 { // initial resume + resume after suspend
+		t.Errorf("resumes: %d", w.Resumes())
+	}
+}
+
+func TestCreditsPerSecondGranularity(t *testing.T) {
+	w := New("wh", SizeSmall, time.Minute) // 2 credits/hour
+	m := CostModel{Fixed: 1500 * time.Millisecond}
+	w.Submit(t0, 0, m, "a")
+	// 1.5s bills as 2s at 2 credits/hour.
+	want := 2.0 / 3600 * 2
+	if got := w.Credits(); got != want {
+		t.Errorf("credits: %f, want %f", got, want)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool()
+	if _, err := p.Create("wh", SizeXSmall, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Create("WH", SizeXSmall, time.Minute); err == nil {
+		t.Error("duplicate (case-insensitive) name should fail")
+	}
+	w, err := p.Get("wH")
+	if err != nil || w.Name != "wh" {
+		t.Errorf("get: %v %v", w, err)
+	}
+	if _, err := p.Get("missing"); err == nil {
+		t.Error("missing warehouse should fail")
+	}
+	if len(p.All()) != 1 {
+		t.Errorf("all: %d", len(p.All()))
+	}
+}
+
+func TestJobLog(t *testing.T) {
+	w := New("wh", SizeXSmall, time.Minute)
+	w.Submit(t0, 5, DefaultCostModel, "x")
+	jobs := w.Jobs()
+	if len(jobs) != 1 || jobs[0].Label != "x" || jobs[0].Rows != 5 {
+		t.Errorf("jobs: %+v", jobs)
+	}
+}

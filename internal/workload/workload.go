@@ -1,0 +1,319 @@
+// Package workload generates synthetic workloads shaped like the paper's
+// production population (§6.3): random DT defining queries with the
+// operator mix of Figure 6, target lags drawn from the distribution of
+// Figure 5, and source-change processes (steady, bursty, nightly batch)
+// that reproduce the refresh-action and change-volume statistics.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// target lag distribution (Figure 5)
+// ---------------------------------------------------------------------------
+
+// LagBucket is one bucket of the target-lag distribution.
+type LagBucket struct {
+	Lag    time.Duration
+	Weight float64
+}
+
+// Figure5Distribution approximates the paper's Figure 5: nearly 20% of DTs
+// below 5 minutes, more than 25% at or above 16 hours, and the majority in
+// between — the underserved middle ground the paper calls out.
+var Figure5Distribution = []LagBucket{
+	{Lag: time.Minute, Weight: 0.10},
+	{Lag: 2 * time.Minute, Weight: 0.08},
+	{Lag: 10 * time.Minute, Weight: 0.14},
+	{Lag: 30 * time.Minute, Weight: 0.14},
+	{Lag: time.Hour, Weight: 0.11},
+	{Lag: 4 * time.Hour, Weight: 0.10},
+	{Lag: 8 * time.Hour, Weight: 0.07},
+	{Lag: 16 * time.Hour, Weight: 0.13},
+	{Lag: 24 * time.Hour, Weight: 0.13},
+}
+
+// SampleLag draws a target lag from the distribution.
+func SampleLag(rng *rand.Rand, dist []LagBucket) time.Duration {
+	total := 0.0
+	for _, b := range dist {
+		total += b.Weight
+	}
+	x := rng.Float64() * total
+	for _, b := range dist {
+		x -= b.Weight
+		if x <= 0 {
+			return b.Lag
+		}
+	}
+	return dist[len(dist)-1].Lag
+}
+
+// LagShare computes the fraction of lags in [lo, hi).
+func LagShare(lags []time.Duration, lo, hi time.Duration) float64 {
+	if len(lags) == 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range lags {
+		if l >= lo && l < hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(lags))
+}
+
+// ---------------------------------------------------------------------------
+// random query generation (Figure 6 / randomized DVS testing)
+// ---------------------------------------------------------------------------
+
+// TableSpec describes a base table the generator can reference.
+type TableSpec struct {
+	Name string
+	// IntColumns are usable as keys, filters, and aggregate inputs.
+	IntColumns []string
+}
+
+// DefaultTables is the schema the generator uses unless told otherwise.
+// The engine-side seeding helper creates matching tables.
+var DefaultTables = []TableSpec{
+	{Name: "events", IntColumns: []string{"id", "grp", "val"}},
+	{Name: "dims", IntColumns: []string{"id", "tier"}},
+	{Name: "facts", IntColumns: []string{"k", "v"}},
+}
+
+// GeneratorConfig sets the operator probabilities, tuned so the generated
+// population's operator frequencies resemble Figure 6 (filters and
+// projections near-universal; joins on most DTs; aggregates common;
+// window functions, union-all and outer joins present but rarer).
+type GeneratorConfig struct {
+	PFilter    float64
+	PJoin      float64
+	POuterJoin float64 // given a join, probability it is LEFT OUTER
+	PAggregate float64
+	PWindow    float64
+	PUnionAll  float64
+	PDistinct  float64
+	// PFullOnly is the probability of a query outside the
+	// incrementalizable subset (scalar aggregate or ORDER BY/LIMIT),
+	// which forces FULL refresh mode — the paper reports ~30% of active
+	// DTs refresh fully (§6.3).
+	PFullOnly float64
+}
+
+// DefaultGeneratorConfig mirrors the Figure 6 shape.
+var DefaultGeneratorConfig = GeneratorConfig{
+	PFilter:    0.85,
+	PJoin:      0.65,
+	POuterJoin: 0.30,
+	PAggregate: 0.55,
+	PWindow:    0.18,
+	PUnionAll:  0.10,
+	PDistinct:  0.08,
+	PFullOnly:  0.30,
+}
+
+// Query is a generated defining query plus the features it contains.
+type Query struct {
+	SQL      string
+	Features map[string]bool // Filter, InnerJoin, OuterJoin, Aggregate, Window, UnionAll, Distinct
+}
+
+// Generator produces random incrementalizable DT defining queries.
+type Generator struct {
+	rng    *rand.Rand
+	cfg    GeneratorConfig
+	tables []TableSpec
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(seed int64, cfg GeneratorConfig, tables []TableSpec) *Generator {
+	if len(tables) == 0 {
+		tables = DefaultTables
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), cfg: cfg, tables: tables}
+}
+
+// Next generates one query.
+func (g *Generator) Next() Query {
+	q := Query{Features: map[string]bool{}}
+	rng := g.rng
+
+	// A slice of the population is outside the incrementalizable subset
+	// (§3.3.2): scalar aggregates or top-k queries, refreshed fully.
+	if rng.Float64() < g.cfg.PFullOnly {
+		t := g.tables[rng.Intn(len(g.tables))]
+		col := t.IntColumns[rng.Intn(len(t.IntColumns))]
+		q.Features["FullOnly"] = true
+		if rng.Intn(2) == 0 {
+			q.Features["Aggregate"] = true
+			q.SQL = fmt.Sprintf("SELECT count(*) cnt, sum(%s) total FROM %s", col, t.Name)
+		} else {
+			q.SQL = fmt.Sprintf("SELECT %s a FROM %s ORDER BY a DESC LIMIT %d",
+				col, t.Name, 10+rng.Intn(90))
+		}
+		return q
+	}
+
+	base := g.tables[rng.Intn(len(g.tables))]
+	fromClause := base.Name + " t0"
+	cols := qualify("t0", base.IntColumns)
+
+	// Optional join.
+	if rng.Float64() < g.cfg.PJoin {
+		other := g.tables[rng.Intn(len(g.tables))]
+		joinKind := "JOIN"
+		if rng.Float64() < g.cfg.POuterJoin {
+			joinKind = "LEFT JOIN"
+			q.Features["OuterJoin"] = true
+		} else {
+			q.Features["InnerJoin"] = true
+		}
+		leftKey := cols[rng.Intn(len(cols))]
+		rightKey := "t1." + other.IntColumns[rng.Intn(len(other.IntColumns))]
+		fromClause += fmt.Sprintf(" %s %s t1 ON %s = %s", joinKind, other.Name, leftKey, rightKey)
+		cols = append(cols, qualify("t1", other.IntColumns)...)
+	}
+
+	where := ""
+	if rng.Float64() < g.cfg.PFilter {
+		col := cols[rng.Intn(len(cols))]
+		where = fmt.Sprintf(" WHERE %s %% %d = %d", col, 2+rng.Intn(4), rng.Intn(2))
+		q.Features["Filter"] = true
+	}
+
+	var selectList string
+	groupBy := ""
+	switch {
+	case rng.Float64() < g.cfg.PAggregate:
+		q.Features["Aggregate"] = true
+		key := cols[rng.Intn(len(cols))]
+		aggCol := cols[rng.Intn(len(cols))]
+		aggs := []string{
+			fmt.Sprintf("count(*) cnt"),
+			fmt.Sprintf("sum(%s) total", aggCol),
+			fmt.Sprintf("count_if(%s > %d) hits", aggCol, rng.Intn(50)),
+			fmt.Sprintf("max(%s) peak", aggCol),
+		}
+		selectList = fmt.Sprintf("%s grp_key, %s", key, aggs[rng.Intn(len(aggs))])
+		groupBy = " GROUP BY " + key
+	case rng.Float64() < g.cfg.PWindow:
+		q.Features["Window"] = true
+		part := cols[rng.Intn(len(cols))]
+		order := cols[rng.Intn(len(cols))]
+		selectList = fmt.Sprintf("%s a, %s b, row_number() OVER (PARTITION BY %s ORDER BY %s) rn",
+			cols[0], part, part, order)
+	default:
+		// Plain projection.
+		a := cols[rng.Intn(len(cols))]
+		b := cols[rng.Intn(len(cols))]
+		selectList = fmt.Sprintf("%s a, %s b, %s + %s c", a, b, a, b)
+	}
+
+	sql := fmt.Sprintf("SELECT %s FROM %s%s%s", selectList, fromClause, where, groupBy)
+
+	if q.Features["Aggregate"] == false && q.Features["Window"] == false &&
+		rng.Float64() < g.cfg.PDistinct {
+		sql = strings.Replace(sql, "SELECT ", "SELECT DISTINCT ", 1)
+		q.Features["Distinct"] = true
+	}
+
+	if rng.Float64() < g.cfg.PUnionAll && !q.Features["Aggregate"] && !q.Features["Window"] && !q.Features["Distinct"] {
+		other := g.tables[rng.Intn(len(g.tables))]
+		k := other.IntColumns
+		branch := fmt.Sprintf("SELECT %s a, %s b, %s + %s c FROM %s",
+			"u0."+k[0], "u0."+k[len(k)-1], "u0."+k[0], "u0."+k[len(k)-1], other.Name+" u0")
+		sql = sql + " UNION ALL " + branch
+		q.Features["UnionAll"] = true
+	}
+
+	q.SQL = sql
+	return q
+}
+
+func qualify(alias string, cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = alias + "." + c
+	}
+	return out
+}
+
+// FeatureCounts tallies features over a population of generated queries.
+func FeatureCounts(queries []Query) map[string]int {
+	out := map[string]int{}
+	for _, q := range queries {
+		for f, on := range q.Features {
+			if on {
+				out[f]++
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// source-change processes (§6.3 statistics)
+// ---------------------------------------------------------------------------
+
+// ChangeKind classifies how a source table's data arrives.
+type ChangeKind uint8
+
+// The change process kinds.
+const (
+	// Steady sources trickle small batches at a fixed cadence.
+	Steady ChangeKind = iota
+	// Bursty sources change rarely but in large batches.
+	Bursty
+	// NightlyBatch sources change once per day.
+	NightlyBatch
+	// Quiet sources almost never change — the §6.3 explanation for >90%
+	// NO_DATA refreshes (target lag set below the data refresh rate).
+	Quiet
+)
+
+// ChangeProcess drives inserts/updates against a source table over
+// simulated time.
+type ChangeProcess struct {
+	Kind ChangeKind
+	// Period between change batches.
+	Period time.Duration
+	// BatchRows per change event.
+	BatchRows int
+	// UpdateFraction of each batch that updates existing rows instead of
+	// inserting new ones.
+	UpdateFraction float64
+}
+
+// StandardProcesses is a population of change processes matching the
+// §6.3 narrative: most sources change far less often than their consumers
+// refresh.
+func StandardProcesses(rng *rand.Rand) ChangeProcess {
+	switch x := rng.Float64(); {
+	case x < 0.50:
+		return ChangeProcess{Kind: Quiet, Period: 8 * time.Hour, BatchRows: 20, UpdateFraction: 0.2}
+	case x < 0.75:
+		return ChangeProcess{Kind: Steady, Period: 30 * time.Minute, BatchRows: 5, UpdateFraction: 0.3}
+	case x < 0.90:
+		return ChangeProcess{Kind: Bursty, Period: 4 * time.Hour, BatchRows: 200, UpdateFraction: 0.1}
+	default:
+		return ChangeProcess{Kind: NightlyBatch, Period: 24 * time.Hour, BatchRows: 500, UpdateFraction: 0.5}
+	}
+}
+
+// Due reports whether a change batch lands in the window (from, to].
+func (p ChangeProcess) Due(epoch, from, to time.Time) bool {
+	if !to.After(from) {
+		return false
+	}
+	// Change events at epoch + k*Period.
+	elapsedFrom := from.Sub(epoch)
+	elapsedTo := to.Sub(epoch)
+	kFrom := elapsedFrom / p.Period
+	kTo := elapsedTo / p.Period
+	return kTo > kFrom
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dyntables/internal/sql"
+)
+
+func TestSampleLagMatchesFigure5Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	lags := make([]time.Duration, n)
+	for i := range lags {
+		lags[i] = SampleLag(rng, Figure5Distribution)
+	}
+	under5m := LagShare(lags, 0, 5*time.Minute)
+	over16h := LagShare(lags, 16*time.Hour, 1<<62)
+	middle := LagShare(lags, 5*time.Minute, 16*time.Hour)
+
+	// Paper: "nearly 20% ... less than 5 minutes".
+	if under5m < 0.12 || under5m > 0.28 {
+		t.Errorf("share under 5m = %.3f, want ≈0.18", under5m)
+	}
+	// Paper: "More than 25% ... at least 16 hours".
+	if over16h < 0.20 || over16h > 0.35 {
+		t.Errorf("share at/above 16h = %.3f, want ≈0.26", over16h)
+	}
+	// Paper: "The 55% of DTs between these".
+	if middle < 0.45 || middle > 0.65 {
+		t.Errorf("middle share = %.3f, want ≈0.55", middle)
+	}
+}
+
+func TestGeneratedQueriesParse(t *testing.T) {
+	g := NewGenerator(42, DefaultGeneratorConfig, nil)
+	for i := 0; i < 500; i++ {
+		q := g.Next()
+		stmt, err := sql.Parse(q.SQL)
+		if err != nil {
+			t.Fatalf("query %d does not parse: %v\n%s", i, err, q.SQL)
+		}
+		if _, ok := stmt.(*sql.SelectStmt); !ok {
+			t.Fatalf("query %d is not a SELECT", i)
+		}
+	}
+}
+
+func TestGeneratedFeatureMixResemblesFigure6(t *testing.T) {
+	g := NewGenerator(7, DefaultGeneratorConfig, nil)
+	const n = 5000
+	// Figure 6 reports operators over *incremental* DT definitions, so
+	// exclude the full-only slice of the population.
+	var queries []Query
+	fullOnly := 0
+	for len(queries) < n {
+		q := g.Next()
+		if q.Features["FullOnly"] {
+			fullOnly++
+			continue
+		}
+		queries = append(queries, q)
+	}
+	// The full-only slice approximates the paper's ~30% FULL-mode share.
+	fullShare := float64(fullOnly) / float64(fullOnly+n)
+	if fullShare < 0.2 || fullShare > 0.4 {
+		t.Errorf("full-only share %.2f, want ≈0.30", fullShare)
+	}
+	counts := FeatureCounts(queries)
+	frac := func(f string) float64 { return float64(counts[f]) / n }
+
+	// Figure 6 shape: filters very common, joins on a majority,
+	// aggregates common, windows/union-all/outer joins present but rarer.
+	if frac("Filter") < 0.7 {
+		t.Errorf("Filter fraction %.2f too low", frac("Filter"))
+	}
+	joins := frac("InnerJoin") + frac("OuterJoin")
+	if joins < 0.5 || joins > 0.8 {
+		t.Errorf("join fraction %.2f out of range", joins)
+	}
+	if frac("Aggregate") < 0.35 {
+		t.Errorf("aggregate fraction %.2f too low", frac("Aggregate"))
+	}
+	if frac("Window") == 0 || frac("Window") > frac("Aggregate") {
+		t.Errorf("window fraction %.2f out of shape", frac("Window"))
+	}
+	if frac("UnionAll") == 0 || frac("UnionAll") > 0.2 {
+		t.Errorf("union-all fraction %.2f out of shape", frac("UnionAll"))
+	}
+	if frac("OuterJoin") == 0 || frac("OuterJoin") > frac("InnerJoin") {
+		t.Errorf("outer joins should be rarer than inner: %.2f vs %.2f",
+			frac("OuterJoin"), frac("InnerJoin"))
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	a := NewGenerator(9, DefaultGeneratorConfig, nil)
+	b := NewGenerator(9, DefaultGeneratorConfig, nil)
+	for i := 0; i < 50; i++ {
+		if a.Next().SQL != b.Next().SQL {
+			t.Fatal("same seed must generate the same stream")
+		}
+	}
+}
+
+func TestChangeProcessDue(t *testing.T) {
+	epoch := time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+	p := ChangeProcess{Kind: Steady, Period: time.Hour, BatchRows: 5}
+	if p.Due(epoch, epoch, epoch.Add(30*time.Minute)) {
+		t.Error("no event within the first half hour")
+	}
+	if !p.Due(epoch, epoch.Add(30*time.Minute), epoch.Add(90*time.Minute)) {
+		t.Error("event at +1h missed")
+	}
+	if p.Due(epoch, epoch.Add(time.Hour), epoch.Add(time.Hour)) {
+		t.Error("empty window must not fire")
+	}
+}
+
+func TestStandardProcessesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kinds := map[ChangeKind]int{}
+	for i := 0; i < 2000; i++ {
+		kinds[StandardProcesses(rng).Kind]++
+	}
+	if kinds[Quiet] < 800 {
+		t.Errorf("quiet sources should dominate (§6.3 NO_DATA stat): %v", kinds)
+	}
+	for _, k := range []ChangeKind{Steady, Bursty, NightlyBatch} {
+		if kinds[k] == 0 {
+			t.Errorf("kind %d never sampled", k)
+		}
+	}
+}
+
+func TestQualify(t *testing.T) {
+	got := qualify("t0", []string{"a", "b"})
+	if strings.Join(got, ",") != "t0.a,t0.b" {
+		t.Errorf("qualify: %v", got)
+	}
+}

@@ -1,0 +1,780 @@
+package dyntables
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/core"
+	"dyntables/internal/delta"
+	"dyntables/internal/exec"
+	"dyntables/internal/plan"
+	"dyntables/internal/sql"
+	"dyntables/internal/storage"
+	"dyntables/internal/types"
+	"dyntables/internal/warehouse"
+)
+
+// Result is the outcome of an Exec call.
+type Result struct {
+	// Kind names the executed statement (SELECT, CREATE TABLE, ...).
+	Kind string
+	// Columns and Rows carry SELECT output.
+	Columns []string
+	Rows    [][]types.Value
+	// RowsAffected counts DML changes.
+	RowsAffected int
+	// Message carries informational output for DDL.
+	Message string
+}
+
+// Exec parses and executes a single SQL statement.
+func (e *Engine) Exec(text string) (*Result, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt)
+}
+
+// MustExec runs Exec and panics on error; intended for examples and tests.
+func (e *Engine) MustExec(text string) *Result {
+	res, err := e.Exec(text)
+	if err != nil {
+		panic(fmt.Sprintf("dyntables: %v", err))
+	}
+	return res
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error.
+func (e *Engine) ExecScript(text string) ([]*Result, error) {
+	stmts, err := sql.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for i, stmt := range stmts {
+		res, err := e.execStmt(stmt)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Query executes a SELECT and returns its result.
+func (e *Engine) Query(text string) (*Result, error) {
+	res, err := e.Exec(text)
+	if err != nil {
+		return nil, err
+	}
+	if res.Kind != "SELECT" {
+		return nil, fmt.Errorf("dyntables: Query requires a SELECT, got %s", res.Kind)
+	}
+	return res, nil
+}
+
+func (e *Engine) execStmt(stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return e.execSelect(s)
+	case *sql.CreateTableStmt:
+		return e.execCreateTable(s)
+	case *sql.CreateViewStmt:
+		return e.execCreateView(s)
+	case *sql.CreateWarehouseStmt:
+		return e.execCreateWarehouse(s)
+	case *sql.CreateDynamicTableStmt:
+		return e.execCreateDynamicTable(s)
+	case *sql.InsertStmt:
+		return e.execInsert(s)
+	case *sql.UpdateStmt:
+		return e.execUpdate(s)
+	case *sql.DeleteStmt:
+		return e.execDelete(s)
+	case *sql.DropStmt:
+		return e.execDrop(s)
+	case *sql.UndropStmt:
+		return e.execUndrop(s)
+	case *sql.AlterStmt:
+		return e.execAlter(s)
+	default:
+		return nil, fmt.Errorf("dyntables: unsupported statement %T", stmt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+// execSelect implements the §4 read path: queries read the latest
+// committed version of every source (Read Committed). A query whose only
+// source is a single DT therefore observes one consistent snapshot as of
+// that DT's data timestamp (Snapshot Isolation); queries mixing several
+// DTs may observe different data timestamps per DT.
+func (e *Engine) execSelect(stmt *sql.SelectStmt) (*Result, error) {
+	bound, err := plan.NewBinder(e).BindSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkSelectPrivileges(bound); err != nil {
+		return nil, err
+	}
+	p := plan.Optimize(bound.Plan)
+	rows, err := exec.Run(p, &exec.Context{
+		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
+			return s.Table.Rows(int64(s.Table.VersionCount()))
+		},
+		Now: e.clk.Now(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: "SELECT", Columns: p.Schema().Names()}
+	for _, tr := range rows {
+		res.Rows = append(res.Rows, tr.Row)
+	}
+	return res, nil
+}
+
+func (e *Engine) checkSelectPrivileges(bound *plan.Bound) error {
+	for entryID := range bound.Deps {
+		if !e.cat.HasPrivilege(entryID, catalog.PrivSelect, e.role) {
+			entry, err := e.cat.GetByID(entryID)
+			name := fmt.Sprintf("object %d", entryID)
+			if err == nil {
+				name = entry.Name
+			}
+			return fmt.Errorf("dyntables: role %q lacks SELECT on %s", e.role, name)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// CREATE
+// ---------------------------------------------------------------------------
+
+func (e *Engine) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
+	now := e.txns.Now()
+	var table *storage.Table
+	var rows []exec.TRow
+	switch {
+	case stmt.CloneOf != "":
+		src, err := e.cat.Get(stmt.CloneOf)
+		if err != nil {
+			return nil, err
+		}
+		var srcTable *storage.Table
+		switch payload := src.Payload.(type) {
+		case *tableObject:
+			srcTable = payload.table
+		case *core.DynamicTable:
+			srcTable = payload.Storage
+		default:
+			return nil, fmt.Errorf("dyntables: cannot clone %s", src.Kind)
+		}
+		clone, err := srcTable.Clone(now)
+		if err != nil {
+			return nil, err
+		}
+		table = clone
+	case stmt.AsSelect != nil:
+		res, err := e.execSelect(stmt.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		bound, err := plan.NewBinder(e).BindSelect(stmt.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		table = storage.NewTable(plan.Optimize(bound.Plan).Schema(), now)
+		for _, r := range res.Rows {
+			rows = append(rows, exec.TRow{ID: table.NextRowID(), Row: r})
+		}
+	default:
+		schema := types.Schema{}
+		for _, col := range stmt.Columns {
+			kind, err := types.KindFromName(col.TypeName)
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns = append(schema.Columns, types.Column{Name: col.Name, Kind: kind})
+		}
+		table = storage.NewTable(schema, now)
+	}
+
+	payload := &tableObject{table: table}
+	var err error
+	if stmt.OrReplace {
+		_, err = e.cat.Replace(stmt.Name, payload, e.role, nil, e.txns.Now())
+	} else {
+		_, err = e.cat.Create(stmt.Name, payload, e.role, nil, e.txns.Now())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) > 0 {
+		tx := e.txns.Begin()
+		var cs delta.ChangeSet
+		for _, tr := range rows {
+			cs.AddInsert(tr.ID, tr.Row)
+		}
+		if err := tx.Write(table, cs); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+		if _, err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Kind: "CREATE TABLE", Message: fmt.Sprintf("table %s created", stmt.Name)}, nil
+}
+
+func (e *Engine) execCreateView(stmt *sql.CreateViewStmt) (*Result, error) {
+	// Validate the definition and capture dependencies.
+	bound, err := plan.NewBinder(e).BindSelect(stmt.Query)
+	if err != nil {
+		return nil, fmt.Errorf("dyntables: invalid view definition: %w", err)
+	}
+	deps := depIDs(bound.Deps)
+	payload := &viewObject{text: stmt.Text}
+	if stmt.OrReplace {
+		_, err = e.cat.Replace(stmt.Name, payload, e.role, deps, e.txns.Now())
+	} else {
+		_, err = e.cat.Create(stmt.Name, payload, e.role, deps, e.txns.Now())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "CREATE VIEW", Message: fmt.Sprintf("view %s created", stmt.Name)}, nil
+}
+
+func depIDs(deps map[int64]int64) []int64 {
+	out := make([]int64, 0, len(deps))
+	for id := range deps {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (e *Engine) execCreateWarehouse(stmt *sql.CreateWarehouseStmt) (*Result, error) {
+	size, err := warehouse.ParseSize(stmt.Size)
+	if err != nil {
+		return nil, err
+	}
+	autoSuspend := stmt.AutoSuspend
+	if autoSuspend == 0 {
+		autoSuspend = 10 * time.Minute
+	}
+	wh, err := e.pool.Create(stmt.Name, size, autoSuspend)
+	if err != nil {
+		if stmt.OrReplace {
+			// Replacement keeps the existing warehouse identity; billing
+			// history is retained.
+			existing, gerr := e.pool.Get(stmt.Name)
+			if gerr != nil {
+				return nil, err
+			}
+			existing.Size = size
+			existing.AutoSuspend = autoSuspend
+			return &Result{Kind: "CREATE WAREHOUSE", Message: "warehouse replaced"}, nil
+		}
+		return nil, err
+	}
+	if !e.cat.Exists(stmt.Name) {
+		if _, err := e.cat.Create(stmt.Name, &warehouseObject{wh: wh}, e.role, nil, e.txns.Now()); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Kind: "CREATE WAREHOUSE", Message: fmt.Sprintf("warehouse %s created", stmt.Name)}, nil
+}
+
+func (e *Engine) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result, error) {
+	if stmt.CloneOf != "" {
+		return e.cloneDynamicTable(stmt)
+	}
+	if stmt.Warehouse == "" {
+		return nil, fmt.Errorf("dyntables: dynamic table %s requires WAREHOUSE", stmt.Name)
+	}
+	if _, err := e.pool.Get(stmt.Warehouse); err != nil {
+		return nil, err
+	}
+	if stmt.Lag.Kind == sql.LagDuration && stmt.Lag.Duration < time.Minute {
+		return nil, fmt.Errorf("dyntables: TARGET_LAG below the 1 minute minimum (§3.2)")
+	}
+
+	dt, err := e.ctrl.Build(stmt, e.txns.Now())
+	if err != nil {
+		return nil, err
+	}
+
+	// Dependencies and cycle check (§3.1.1: cycles are not allowed).
+	bound, err := plan.NewBinder(e).BindSelect(stmt.Query)
+	if err != nil {
+		return nil, err
+	}
+	deps := depIDs(bound.Deps)
+
+	var entry *catalog.Entry
+	if stmt.OrReplace {
+		if old, derr := e.cat.Get(stmt.Name); derr == nil {
+			if oldDT, ok := old.Payload.(*core.DynamicTable); ok {
+				e.sch.Untrack(oldDT)
+				e.ctrl.Unregister(oldDT)
+			}
+		}
+		entry, err = e.cat.Replace(stmt.Name, dt, e.role, deps, e.txns.Now())
+	} else {
+		entry, err = e.cat.Create(stmt.Name, dt, e.role, deps, e.txns.Now())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.cat.WouldCycle(entry.ID, deps) {
+		_ = e.cat.Drop(stmt.Name, e.txns.Now())
+		return nil, fmt.Errorf("dyntables: dynamic table %s would create a dependency cycle", stmt.Name)
+	}
+	dt.EntryID = entry.ID
+	e.ctrl.Register(dt)
+	e.sch.Track(dt)
+
+	// Initialization (§3.1.2): synchronous by default, reusing a recent
+	// upstream data timestamp when possible.
+	if stmt.Initialize != "ON_SCHEDULE" {
+		initTS, err := e.ctrl.ChooseInitTimestamp(dt, e.clk.Now())
+		if err != nil {
+			return nil, err
+		}
+		if err := e.refreshAt(dt, initTS); err != nil {
+			return nil, fmt.Errorf("dyntables: initializing %s: %w", stmt.Name, err)
+		}
+	}
+	return &Result{Kind: "CREATE DYNAMIC TABLE",
+		Message: fmt.Sprintf("dynamic table %s created (%s refresh mode)", stmt.Name, dt.EffectiveMode)}, nil
+}
+
+// cloneDynamicTable implements CREATE DYNAMIC TABLE x CLONE y (§3.4):
+// metadata-only copy of contents; the clone keeps the source's frontier so
+// it avoids reinitialization.
+func (e *Engine) cloneDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result, error) {
+	_, src, err := e.dynamicTable(stmt.CloneOf)
+	if err != nil {
+		return nil, err
+	}
+	clone, err := src.CloneAt(e.txns.Now())
+	if err != nil {
+		return nil, err
+	}
+	clone.Name = stmt.Name
+	if stmt.Lag.Kind == sql.LagDuration || stmt.Lag.Kind == sql.LagDownstream {
+		// CLONE statements may override nothing; keep the source's lag.
+		clone.Lag = src.Lag
+	}
+	bound, err := plan.NewBinder(e).BindSelect(mustParseSelect(clone.Text))
+	if err != nil {
+		return nil, err
+	}
+	entry, err := e.cat.Create(stmt.Name, clone, e.role, depIDs(bound.Deps), e.txns.Now())
+	if err != nil {
+		return nil, err
+	}
+	clone.EntryID = entry.ID
+	e.ctrl.Register(clone)
+	e.sch.Track(clone)
+	return &Result{Kind: "CREATE DYNAMIC TABLE",
+		Message: fmt.Sprintf("dynamic table %s cloned from %s", stmt.Name, stmt.CloneOf)}, nil
+}
+
+func mustParseSelect(text string) *sql.SelectStmt {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		panic(fmt.Sprintf("dyntables: stored defining query failed to parse: %v", err))
+	}
+	return stmt.(*sql.SelectStmt)
+}
+
+// refreshAt refreshes the DT at the given data timestamp, first ensuring
+// every upstream DT has a version at exactly that timestamp (manual
+// refresh semantics, §3.1.2).
+func (e *Engine) refreshAt(dt *core.DynamicTable, dataTS time.Time) error {
+	ups, err := e.ctrl.Upstreams(dt)
+	if err != nil {
+		return err
+	}
+	for _, up := range ups {
+		if _, ok := up.VersionAtDataTS(dataTS); !ok {
+			if err := e.refreshAt(up, dataTS); err != nil {
+				return err
+			}
+		}
+	}
+	rec, err := e.ctrl.Refresh(dt, dataTS)
+	if err != nil {
+		return err
+	}
+	// Charge the warehouse for non-trivial work.
+	if rec.Action != core.ActionNoData && rec.Action != core.ActionSkip {
+		if wh, werr := e.pool.Get(dt.Warehouse); werr == nil {
+			wh.Submit(dataTS, rec.SourceRowsScanned, e.model, dt.Name)
+		}
+	}
+	return nil
+}
+
+// ManualRefresh refreshes a DT (and, as needed, its upstream DTs) at a
+// data timestamp chosen after the command was issued (§3.1.2). Requires
+// the OPERATE privilege.
+func (e *Engine) ManualRefresh(name string) error {
+	entry, dt, err := e.dynamicTable(name)
+	if err != nil {
+		return err
+	}
+	if !e.cat.HasPrivilege(entry.ID, catalog.PrivOperate, e.role) {
+		return fmt.Errorf("dyntables: role %q lacks OPERATE on %s", e.role, name)
+	}
+	return e.refreshAt(dt, e.clk.Now())
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+func (e *Engine) execInsert(stmt *sql.InsertStmt) (*Result, error) {
+	_, table, err := e.baseTable(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+
+	// Column targets default to the full schema.
+	targets := make([]int, 0, schema.Len())
+	if len(stmt.Columns) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, name := range stmt.Columns {
+			idx := schema.Index(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("dyntables: table %s has no column %q", stmt.Table, name)
+			}
+			targets = append(targets, idx)
+		}
+	}
+
+	var newRows []types.Row
+	switch {
+	case len(stmt.Rows) > 0:
+		binder := plan.NewBinder(e)
+		for _, exprs := range stmt.Rows {
+			if len(exprs) != len(targets) {
+				return nil, fmt.Errorf("dyntables: INSERT has %d values for %d columns", len(exprs), len(targets))
+			}
+			row := make(types.Row, schema.Len())
+			for i, expr := range exprs {
+				bound, err := binder.BindConstExpr(expr)
+				if err != nil {
+					return nil, err
+				}
+				v, err := plan.Eval(bound, nil, &plan.EvalContext{Now: e.clk.Now()})
+				if err != nil {
+					return nil, err
+				}
+				coerced, err := coerce(v, schema.Column(targets[i]).Kind)
+				if err != nil {
+					return nil, fmt.Errorf("dyntables: column %s: %w", schema.Column(targets[i]).Name, err)
+				}
+				row[targets[i]] = coerced
+			}
+			newRows = append(newRows, row)
+		}
+	case stmt.Query != nil:
+		res, err := e.execSelect(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res.Rows {
+			if len(r) != len(targets) {
+				return nil, fmt.Errorf("dyntables: INSERT SELECT produces %d columns for %d targets", len(r), len(targets))
+			}
+			row := make(types.Row, schema.Len())
+			for i, v := range r {
+				coerced, err := coerce(v, schema.Column(targets[i]).Kind)
+				if err != nil {
+					return nil, err
+				}
+				row[targets[i]] = coerced
+			}
+			newRows = append(newRows, row)
+		}
+	default:
+		return nil, fmt.Errorf("dyntables: INSERT requires VALUES or SELECT")
+	}
+
+	tx := e.txns.Begin()
+	if stmt.Overwrite {
+		contents := make(map[string]types.Row, len(newRows))
+		for _, r := range newRows {
+			contents[table.NextRowID()] = r
+		}
+		if err := tx.Overwrite(table, contents); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	} else {
+		var cs delta.ChangeSet
+		for _, r := range newRows {
+			cs.AddInsert(table.NextRowID(), r)
+		}
+		if err := tx.Write(table, cs); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "INSERT", RowsAffected: len(newRows)}, nil
+}
+
+// coerce casts a value to the column kind, tolerating NULL and exact
+// matches.
+func coerce(v types.Value, kind types.Kind) (types.Value, error) {
+	if v.IsNull() || v.Kind() == kind {
+		return v, nil
+	}
+	return types.Cast(v, kind)
+}
+
+func (e *Engine) execUpdate(stmt *sql.UpdateStmt) (*Result, error) {
+	_, table, err := e.baseTable(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := table.Schema()
+	binder := plan.NewBinder(e)
+	where, assignments, err := binder.BindDMLExprs(stmt.Table, schema, stmt.Where, stmt.Set)
+	if err != nil {
+		return nil, err
+	}
+
+	tx := e.txns.Begin()
+	rows, err := tx.Read(table)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	ev := &plan.EvalContext{Now: e.clk.Now()}
+	var cs delta.ChangeSet
+	affected := 0
+	for id, row := range rows {
+		if where != nil {
+			ok, err := plan.EvalBool(where, row, ev)
+			if err != nil {
+				tx.Abort()
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		newRow := row.Clone()
+		for _, a := range assignments {
+			v, err := plan.Eval(a.Expr, row, ev)
+			if err != nil {
+				tx.Abort()
+				return nil, err
+			}
+			coerced, err := coerce(v, schema.Column(a.ColumnIdx).Kind)
+			if err != nil {
+				tx.Abort()
+				return nil, err
+			}
+			newRow[a.ColumnIdx] = coerced
+		}
+		if !newRow.Equal(row) {
+			cs.AddDelete(id, row)
+			cs.AddInsert(id, newRow)
+			affected++
+		}
+	}
+	if err := tx.Write(table, cs); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "UPDATE", RowsAffected: affected}, nil
+}
+
+func (e *Engine) execDelete(stmt *sql.DeleteStmt) (*Result, error) {
+	_, table, err := e.baseTable(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	binder := plan.NewBinder(e)
+	where, _, err := binder.BindDMLExprs(stmt.Table, table.Schema(), stmt.Where, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	tx := e.txns.Begin()
+	rows, err := tx.Read(table)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	ev := &plan.EvalContext{Now: e.clk.Now()}
+	var cs delta.ChangeSet
+	for id, row := range rows {
+		if where != nil {
+			ok, err := plan.EvalBool(where, row, ev)
+			if err != nil {
+				tx.Abort()
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		cs.AddDelete(id, row)
+	}
+	affected := cs.Len()
+	if err := tx.Write(table, cs); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "DELETE", RowsAffected: affected}, nil
+}
+
+// ---------------------------------------------------------------------------
+// DROP / UNDROP / ALTER
+// ---------------------------------------------------------------------------
+
+func (e *Engine) execDrop(stmt *sql.DropStmt) (*Result, error) {
+	entry, err := e.cat.Get(stmt.Name)
+	if err != nil {
+		return nil, err
+	}
+	if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+		e.sch.Untrack(dt)
+	}
+	if err := e.cat.Drop(stmt.Name, e.txns.Now()); err != nil {
+		return nil, err
+	}
+	return &Result{Kind: "DROP", Message: fmt.Sprintf("%s %s dropped", stmt.Kind, stmt.Name)}, nil
+}
+
+func (e *Engine) execUndrop(stmt *sql.UndropStmt) (*Result, error) {
+	entry, err := e.cat.Undrop(stmt.Name, e.txns.Now())
+	if err != nil {
+		return nil, err
+	}
+	if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+		e.sch.Track(dt)
+	}
+	return &Result{Kind: "UNDROP", Message: fmt.Sprintf("%s %s restored", stmt.Kind, stmt.Name)}, nil
+}
+
+func (e *Engine) execAlter(stmt *sql.AlterStmt) (*Result, error) {
+	switch stmt.Action {
+	case "RENAME":
+		if entry, err := e.cat.Get(stmt.Name); err == nil {
+			if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+				dt.Name = stmt.Target
+			}
+		}
+		if err := e.cat.Rename(stmt.Name, stmt.Target, e.txns.Now()); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: "ALTER", Message: "renamed"}, nil
+	case "SWAP":
+		if err := e.cat.Swap(stmt.Name, stmt.Target, e.txns.Now()); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: "ALTER", Message: "swapped"}, nil
+	case "SUSPEND", "RESUME", "REFRESH", "SET_LAG":
+		entry, dt, err := e.dynamicTable(stmt.Name)
+		if err != nil {
+			return nil, err
+		}
+		if !e.cat.HasPrivilege(entry.ID, catalog.PrivOperate, e.role) {
+			return nil, fmt.Errorf("dyntables: role %q lacks OPERATE on %s", e.role, stmt.Name)
+		}
+		switch stmt.Action {
+		case "SUSPEND":
+			dt.Suspend()
+		case "RESUME":
+			dt.Resume()
+		case "REFRESH":
+			if err := e.refreshAt(dt, e.clk.Now()); err != nil {
+				return nil, err
+			}
+		case "SET_LAG":
+			dt.Lag = *stmt.Lag
+		}
+		return &Result{Kind: "ALTER", Message: stmt.Action}, nil
+	default:
+		return nil, fmt.Errorf("dyntables: unsupported ALTER action %q", stmt.Action)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// observability
+// ---------------------------------------------------------------------------
+
+// DynamicTableStatus is a monitoring snapshot; retrieving it requires the
+// MONITOR privilege (§3.4).
+type DynamicTableStatus struct {
+	Name          string
+	State         string
+	EffectiveMode string
+	DataTimestamp time.Time
+	Lag           time.Duration
+	TargetLag     sql.TargetLag
+	Rows          int
+	ErrorCount    int
+	History       []core.RefreshRecord
+}
+
+// Describe returns a DT's monitoring snapshot.
+func (e *Engine) Describe(name string) (*DynamicTableStatus, error) {
+	entry, dt, err := e.dynamicTable(name)
+	if err != nil {
+		return nil, err
+	}
+	if !e.cat.HasPrivilege(entry.ID, catalog.PrivMonitor, e.role) {
+		return nil, fmt.Errorf("dyntables: role %q lacks MONITOR on %s", e.role, name)
+	}
+	return &DynamicTableStatus{
+		Name:          dt.Name,
+		State:         dt.State().String(),
+		EffectiveMode: dt.EffectiveMode.String(),
+		DataTimestamp: dt.DataTimestamp(),
+		Lag:           dt.CurrentLag(e.clk.Now()),
+		TargetLag:     dt.Lag,
+		Rows:          dt.Storage.RowCount(),
+		ErrorCount:    dt.ErrorCount(),
+		History:       dt.History(),
+	}, nil
+}
+
+// CheckDVS verifies delayed view semantics for a DT: its stored contents
+// must equal its defining query evaluated as of its data timestamp — the
+// randomized-testing oracle of §6.1.
+func (e *Engine) CheckDVS(name string) error {
+	_, dt, err := e.dynamicTable(name)
+	if err != nil {
+		return err
+	}
+	return e.ctrl.CheckDVS(dt)
+}
