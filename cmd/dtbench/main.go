@@ -15,6 +15,7 @@
 //	dtbench -exp window      # window derivative ablation (§5.5.1)
 //	dtbench -exp fig1 | fig2 # isolation DSGs (§4)
 //	dtbench -exp oracle      # randomized DVS property test (§6.1)
+//	dtbench -exp concurrent  # mixed traffic over parallel sessions
 package main
 
 import (
@@ -31,30 +32,32 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1,fig2,fig4,fig5,fig6,actions,changevol,cost,init,skips,periods,outerjoin,window,oracle,all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1,fig2,fig4,fig5,fig6,actions,changevol,cost,init,skips,periods,outerjoin,window,oracle,concurrent,all)")
 	dts := flag.Int("dts", dyntables.DefaultFleetConfig.DTs, "fleet size for fleet experiments")
 	hours := flag.Int("hours", dyntables.DefaultFleetConfig.Hours, "simulated hours for fleet experiments")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
 	runners := map[string]func() error{
-		"fig1":      fig1,
-		"fig2":      fig2,
-		"fig4":      fig4,
-		"fig5":      func() error { return fleetFigures(*dts, *hours, *seed, "fig5") },
-		"fig6":      func() error { return fleetFigures(*dts, *hours, *seed, "fig6") },
-		"actions":   func() error { return fleetFigures(*dts, *hours, *seed, "actions") },
-		"changevol": func() error { return fleetFigures(*dts, *hours, *seed, "changevol") },
-		"cost":      cost,
-		"init":      initStrategy,
-		"skips":     skips,
-		"periods":   periods,
-		"outerjoin": outerjoin,
-		"window":    window,
-		"oracle":    func() error { return oracle(*seed) },
+		"fig1":       fig1,
+		"fig2":       fig2,
+		"fig4":       fig4,
+		"fig5":       func() error { return fleetFigures(*dts, *hours, *seed, "fig5") },
+		"fig6":       func() error { return fleetFigures(*dts, *hours, *seed, "fig6") },
+		"actions":    func() error { return fleetFigures(*dts, *hours, *seed, "actions") },
+		"changevol":  func() error { return fleetFigures(*dts, *hours, *seed, "changevol") },
+		"cost":       cost,
+		"init":       initStrategy,
+		"skips":      skips,
+		"periods":    periods,
+		"outerjoin":  outerjoin,
+		"window":     window,
+		"oracle":     func() error { return oracle(*seed) },
+		"concurrent": concurrent,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "actions",
-		"changevol", "cost", "init", "skips", "periods", "outerjoin", "window", "oracle"}
+		"changevol", "cost", "init", "skips", "periods", "outerjoin", "window", "oracle",
+		"concurrent"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -325,6 +328,22 @@ func oracle(seed int64) error {
 			fmt.Println("  VIOLATION:", v)
 		}
 	}
+	return nil
+}
+
+func concurrent() error {
+	fmt.Println("concurrent sessions — mixed SELECT / INSERT / refresh traffic")
+	fmt.Println("sessions  queries  inserts  refreshes  conflicts  elapsed")
+	for _, n := range []int{1, 4, 16} {
+		res, err := dyntables.RunConcurrentSessions(n, 60)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d  %7d  %7d  %9d  %9d  %s\n",
+			res.Sessions, res.Queries, res.Inserts, res.Refreshes, res.Conflicts,
+			res.Elapsed.Truncate(time.Millisecond))
+	}
+	fmt.Println("queries and DML run in parallel across sessions, serializing against DDL only")
 	return nil
 }
 

@@ -6,17 +6,24 @@
 //	.refresh name      manually refresh a dynamic table
 //	.status name       print a dynamic table's state and history
 //	.dvs name          check delayed view semantics for a dynamic table
+//	.role name         switch the session role
 //	.warehouses        print warehouse billing
+//
+// Statements run on a session with a cancelable context: Ctrl-C aborts
+// the running statement (the scan stops mid-stream) without killing the
+// shell.
 //
 // Usage: dtshell [script.sql]   (reads stdin when no file is given)
 package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -35,6 +42,7 @@ func main() {
 	}
 
 	eng := dyntables.New()
+	sess := eng.NewSession()
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -51,20 +59,20 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(trimmed, ".") {
-			directive(eng, trimmed)
+			directive(eng, sess, trimmed)
 			prompt(interactive, &pending)
 			continue
 		}
 		pending.WriteString(line)
 		pending.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			execute(eng, pending.String())
+			execute(sess, pending.String())
 			pending.Reset()
 		}
 		prompt(interactive, &pending)
 	}
 	if strings.TrimSpace(pending.String()) != "" {
-		execute(eng, pending.String())
+		execute(sess, pending.String())
 	}
 	if err := scanner.Err(); err != nil {
 		log.Fatal(err)
@@ -82,12 +90,12 @@ func prompt(interactive bool, pending *strings.Builder) {
 	}
 }
 
-func execute(eng *dyntables.Engine, text string) {
-	results, err := eng.ExecScript(text)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
+// execute runs a script under a context canceled by Ctrl-C, so a
+// long-running statement aborts instead of killing the shell.
+func execute(sess *dyntables.Session, text string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := sess.ExecScriptContext(ctx, text)
 	for _, res := range results {
 		switch {
 		case res.Kind == "SELECT":
@@ -99,6 +107,13 @@ func execute(eng *dyntables.Engine, text string) {
 		default:
 			fmt.Println(res.Kind, "ok")
 		}
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("canceled")
+			return
+		}
+		fmt.Println("error:", err)
 	}
 }
 
@@ -115,7 +130,7 @@ func printTable(res *dyntables.Result) {
 	fmt.Printf("(%d rows)\n", len(res.Rows))
 }
 
-func directive(eng *dyntables.Engine, line string) {
+func directive(eng *dyntables.Engine, sess *dyntables.Session, line string) {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ".advance":
@@ -139,7 +154,10 @@ func directive(eng *dyntables.Engine, line string) {
 			fmt.Println("usage: .refresh <dynamic table>")
 			return
 		}
-		if err := eng.ManualRefresh(fields[1]); err != nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		err := sess.ManualRefreshContext(ctx, fields[1])
+		stop()
+		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
@@ -149,7 +167,7 @@ func directive(eng *dyntables.Engine, line string) {
 			fmt.Println("usage: .status <dynamic table>")
 			return
 		}
-		st, err := eng.Describe(fields[1])
+		st, err := sess.Describe(fields[1])
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -175,6 +193,13 @@ func directive(eng *dyntables.Engine, line string) {
 			return
 		}
 		fmt.Println("DVS holds for", fields[1])
+	case ".role":
+		if len(fields) < 2 {
+			fmt.Println("usage: .role <name>")
+			return
+		}
+		sess.SetRole(fields[1])
+		fmt.Println("role set to", fields[1])
 	case ".warehouses":
 		for _, wh := range eng.Warehouses().All() {
 			fmt.Printf("%s: size=%s billed=%s credits=%.4f resumes=%d\n",

@@ -11,17 +11,35 @@
 // Dynamic tables refresh automatically under a target lag via the
 // scheduler, incrementally when the defining query is incrementalizable.
 //
-// A quickstart:
+// Work happens through sessions, which carry per-session state (role,
+// bind parameters) and are cheap to create — one per goroutine, one per
+// request, as needed. An Engine is safe for concurrent use across
+// sessions: queries and DML run in parallel, serializing against DDL
+// only. A quickstart:
 //
 //	eng := dyntables.New()
-//	eng.MustExec(`CREATE TABLE events (id INT, payload VARIANT)`)
-//	eng.MustExec(`CREATE WAREHOUSE wh`)
-//	eng.MustExec(`CREATE DYNAMIC TABLE totals TARGET_LAG = '1 minute' WAREHOUSE = wh
-//	              AS SELECT id, count(*) c FROM events GROUP BY id`)
-//	eng.MustExec(`INSERT INTO events VALUES (1, '{"x": 1}')`)
+//	sess := eng.NewSession()
+//	ctx := context.Background()
+//	sess.MustExec(`CREATE TABLE events (id INT, payload VARIANT)`)
+//	sess.MustExec(`CREATE WAREHOUSE wh`)
+//	sess.MustExec(`CREATE DYNAMIC TABLE totals TARGET_LAG = '1 minute' WAREHOUSE = wh
+//	               AS SELECT id, count(*) c FROM events GROUP BY id`)
+//	sess.ExecContext(ctx, `INSERT INTO events VALUES (?, ?)`, 1, `{"x": 1}`)
 //	eng.AdvanceTime(2 * time.Minute)
 //	eng.RunScheduler()
-//	rows, _ := eng.Query(`SELECT * FROM totals`)
+//	rows, _ := sess.QueryContext(ctx, `SELECT * FROM totals WHERE id = :id`,
+//	                             dyntables.Named("id", 1))
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var id, c int64
+//	    rows.Scan(&id, &c)
+//	}
+//
+// Statements take `?` (positional) and `:name` (named) placeholders;
+// Prepare parses once for repeated execution. QueryContext returns a
+// streaming Rows cursor that honors context cancellation mid-scan. The
+// Engine-level Exec/Query/MustExec helpers remain as thin wrappers over a
+// default session.
 //
 // By default the engine runs on a deterministic virtual clock advanced
 // with AdvanceTime; pass WithWallClock to track real time instead.
@@ -29,6 +47,8 @@ package dyntables
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyntables/internal/catalog"
@@ -44,9 +64,11 @@ import (
 // DefaultOrigin is the virtual clock's start time.
 var DefaultOrigin = time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
 
-// Engine is an embedded database instance. Engines are safe for use from a
-// single goroutine; refreshes and queries coordinate through the
-// transaction manager internally.
+// Engine is an embedded database instance. Engines are safe for
+// concurrent use: create one Session per goroutine with NewSession and
+// issue statements through it. Queries and DML from different sessions
+// run in parallel; DDL takes an exclusive statement lock so readers never
+// observe half-applied catalog changes.
 type Engine struct {
 	vclk  *clock.Virtual
 	clk   clock.Clock
@@ -56,9 +78,17 @@ type Engine struct {
 	pool  *warehouse.Pool
 	sch   *sched.Scheduler
 	model warehouse.CostModel
-	role  string
 	// schPhase is the account-wide canonical-period phase (§5.2).
 	schPhase time.Duration
+
+	// stmtMu serializes DDL (writers) against queries, DML and refreshes
+	// (readers); parallel readers proceed without blocking one another.
+	stmtMu sync.RWMutex
+	// def is the default session backing the legacy Engine-level
+	// Exec/Query/SetRole helpers.
+	def *Session
+	// cursors counts open Rows cursors, for leak detection.
+	cursors atomic.Int64
 }
 
 // Option configures an Engine.
@@ -99,7 +129,6 @@ func WithSchedulerPhase(d time.Duration) Option {
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		model: warehouse.DefaultCostModel,
-		role:  "ADMIN",
 	}
 	e.vclk = clock.NewVirtual(DefaultOrigin)
 	e.clk = e.vclk
@@ -123,6 +152,7 @@ func New(opts ...Option) *Engine {
 	}
 	e.pool = warehouse.NewPool()
 	e.sch = sched.New(vclk, e.ctrl, e.pool, e.model, e.clk.Now(), e.schPhase)
+	e.def = e.NewSession()
 	return e
 }
 
@@ -150,16 +180,29 @@ func (e *Engine) Warehouses() *warehouse.Pool { return e.pool }
 // Catalog exposes the catalog (RBAC administration, DDL log).
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
-// RunScheduler runs scheduled refreshes up to the current time.
+// RunScheduler runs scheduled refreshes up to the current time. Refreshes
+// run as statement readers: they proceed in parallel with queries and DML
+// but serialize against DDL.
 func (e *Engine) RunScheduler() error {
+	e.stmtMu.RLock()
+	defer e.stmtMu.RUnlock()
 	return e.sch.RunUntil(e.clk.Now())
 }
 
-// SetRole switches the session role used for privilege checks.
-func (e *Engine) SetRole(role string) { e.role = role }
+// SetRole switches the role of the engine's default session.
+//
+// Deprecated: roles are per-session state; use NewSession and
+// Session.SetRole so concurrent sessions can hold different roles.
+func (e *Engine) SetRole(role string) { e.def.SetRole(role) }
 
-// Role returns the session role.
-func (e *Engine) Role() string { return e.role }
+// Role returns the default session's role.
+//
+// Deprecated: use Session.Role.
+func (e *Engine) Role() string { return e.def.Role() }
+
+// OpenCursors reports the number of Rows cursors not yet released, for
+// leak detection in tests and monitoring.
+func (e *Engine) OpenCursors() int64 { return e.cursors.Load() }
 
 // ---------------------------------------------------------------------------
 // catalog payloads
@@ -216,6 +259,8 @@ func (e *Engine) ResolveTable(name string) (*plan.Source, error) {
 // is rewritten but logical contents are unchanged, and incremental readers
 // skip the version entirely (downstream DTs take NO_DATA refreshes).
 func (e *Engine) Recluster(tableName string) error {
+	e.stmtMu.RLock()
+	defer e.stmtMu.RUnlock()
 	_, table, err := e.baseTable(tableName)
 	if err != nil {
 		return err

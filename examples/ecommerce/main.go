@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,16 +17,18 @@ import (
 
 func main() {
 	eng := dyntables.New()
+	sess := eng.NewSession()
+	ctx := context.Background()
 
-	eng.MustExec(`CREATE WAREHOUSE etl_wh WAREHOUSE_SIZE = 'SMALL' AUTO_SUSPEND = 120`)
-	eng.MustExec(`CREATE TABLE products (id INT, name TEXT, price INT)`)
-	eng.MustExec(`CREATE TABLE orders (id INT, product_id INT, quantity INT, status TEXT, ts TIMESTAMP)`)
+	sess.MustExec(`CREATE WAREHOUSE etl_wh WAREHOUSE_SIZE = 'SMALL' AUTO_SUSPEND = 120`)
+	sess.MustExec(`CREATE TABLE products (id INT, name TEXT, price INT)`)
+	sess.MustExec(`CREATE TABLE orders (id INT, product_id INT, quantity INT, status TEXT, ts TIMESTAMP)`)
 
-	eng.MustExec(`INSERT INTO products VALUES
+	sess.MustExec(`INSERT INTO products VALUES
 		(1, 'keyboard', 80), (2, 'mouse', 40), (3, 'monitor', 300), (4, 'dock', 150)`)
 
 	// Level 1: enriched orders (DOWNSTREAM: refreshes when consumers need it).
-	eng.MustExec(`
+	sess.MustExec(`
 		CREATE DYNAMIC TABLE enriched_orders
 		TARGET_LAG = DOWNSTREAM
 		WAREHOUSE = etl_wh
@@ -35,7 +38,7 @@ func main() {
 		WHERE o.status = 'COMPLETE'`)
 
 	// Level 2: hourly revenue (5-minute lag: the batch/stream middle ground).
-	eng.MustExec(`
+	sess.MustExec(`
 		CREATE DYNAMIC TABLE hourly_revenue
 		TARGET_LAG = '5 minutes'
 		WAREHOUSE = etl_wh
@@ -45,7 +48,7 @@ func main() {
 		GROUP BY date_trunc(hour, ts), product_id, name`)
 
 	// Level 3: per-hour product ranking via a partitioned window function.
-	eng.MustExec(`
+	sess.MustExec(`
 		CREATE DYNAMIC TABLE product_ranks
 		TARGET_LAG = '10 minutes'
 		WAREHOUSE = etl_wh
@@ -53,7 +56,12 @@ func main() {
 		          rank() OVER (PARTITION BY hour ORDER BY revenue DESC) AS rnk
 		FROM hourly_revenue`)
 
-	// Simulate a morning of order traffic.
+	// Simulate a morning of order traffic through a prepared statement
+	// with bind parameters (parse once, execute per order).
+	ins, err := sess.Prepare(`INSERT INTO orders VALUES (?, ?, ?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(7))
 	id := 1
 	start := eng.Now()
@@ -64,10 +72,10 @@ func main() {
 			if rng.Intn(5) == 0 {
 				status = "PENDING"
 			}
-			eng.MustExec(fmt.Sprintf(
-				`INSERT INTO orders VALUES (%d, %d, %d, '%s', '%s')`,
-				id, 1+rng.Intn(4), 1+rng.Intn(3), status,
-				eng.Now().Format("2006-01-02 15:04:05")))
+			if _, err := ins.ExecContext(ctx, id, 1+rng.Intn(4), 1+rng.Intn(3),
+				status, eng.Now().Format("2006-01-02 15:04:05")); err != nil {
+				log.Fatal(err)
+			}
 			id++
 		}
 		eng.AdvanceTime(7 * time.Minute)
@@ -78,24 +86,31 @@ func main() {
 
 	// A late correction: an order flips from PENDING to COMPLETE, and the
 	// whole pipeline repairs incrementally.
-	eng.MustExec(`UPDATE orders SET status = 'COMPLETE' WHERE status = 'PENDING'`)
+	sess.MustExec(`UPDATE orders SET status = 'COMPLETE' WHERE status = 'PENDING'`)
 	eng.AdvanceTime(10 * time.Minute)
 	if err := eng.RunScheduler(); err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := eng.Query(`SELECT hour, name, revenue FROM product_ranks WHERE rnk = 1 ORDER BY hour`)
+	rows, err := sess.QueryContext(ctx,
+		`SELECT hour, name, revenue FROM product_ranks WHERE rnk = :r ORDER BY hour`,
+		dyntables.Named("r", 1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 	fmt.Println("top product per hour:")
-	for _, row := range res.Rows {
+	for rows.Next() {
+		row := rows.Row()
 		fmt.Printf("  %-22s %-10s revenue=%s\n", row[0], row[1], row[2])
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("\npipeline health:")
 	for _, name := range []string{"enriched_orders", "hourly_revenue", "product_ranks"} {
-		st, err := eng.Describe(name)
+		st, err := sess.Describe(name)
 		if err != nil {
 			log.Fatal(err)
 		}

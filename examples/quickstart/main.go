@@ -1,10 +1,12 @@
-// Command quickstart shows the minimal Dynamic Tables workflow: create a
-// base table and a warehouse, define a dynamic table over an aggregation,
-// insert data, advance time, run the scheduler, and query the maintained
-// result.
+// Command quickstart shows the minimal Dynamic Tables workflow on the
+// session API: create a base table and a warehouse, define a dynamic
+// table over an aggregation, insert data through bind parameters, advance
+// time, run the scheduler, and stream the maintained result through a
+// Rows cursor.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,23 +16,40 @@ import (
 
 func main() {
 	eng := dyntables.New()
+	sess := eng.NewSession()
+	ctx := context.Background()
 
-	eng.MustExec(`CREATE WAREHOUSE wh`)
-	eng.MustExec(`CREATE TABLE clicks (user_id INT, page TEXT, ts TIMESTAMP)`)
+	sess.MustExec(`CREATE WAREHOUSE wh`)
+	sess.MustExec(`CREATE TABLE clicks (user_id INT, page TEXT, ts TIMESTAMP)`)
 
 	// A dynamic table: just a query plus a target lag. The engine picks
 	// INCREMENTAL refresh mode automatically because the query is
 	// incrementalizable.
-	eng.MustExec(`
+	sess.MustExec(`
 		CREATE DYNAMIC TABLE clicks_per_user
 		TARGET_LAG = '1 minute'
 		WAREHOUSE = wh
 		AS SELECT user_id, count(*) AS clicks FROM clicks GROUP BY user_id`)
 
-	eng.MustExec(`INSERT INTO clicks VALUES
-		(1, 'home',    '2025-04-01 00:00:01'),
-		(1, 'search',  '2025-04-01 00:00:02'),
-		(2, 'home',    '2025-04-01 00:00:03')`)
+	// Prepared statement with positional placeholders: parse once,
+	// execute per row.
+	ins, err := sess.Prepare(`INSERT INTO clicks VALUES (?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range []struct {
+		user int
+		page string
+		ts   string
+	}{
+		{1, "home", "2025-04-01 00:00:01"},
+		{1, "search", "2025-04-01 00:00:02"},
+		{2, "home", "2025-04-01 00:00:03"},
+	} {
+		if _, err := ins.ExecContext(ctx, c.user, c.page, c.ts); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// Time is virtual: advance it and let the scheduler meet the lag.
 	eng.AdvanceTime(2 * time.Minute)
@@ -38,16 +57,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := eng.Query(`SELECT user_id, clicks FROM clicks_per_user ORDER BY user_id`)
+	// Stream the result through a cursor instead of materializing it.
+	rows, err := sess.QueryContext(ctx,
+		`SELECT user_id, clicks FROM clicks_per_user ORDER BY user_id`)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 	fmt.Println("clicks_per_user:")
-	for _, row := range res.Rows {
-		fmt.Printf("  user %s -> %s clicks\n", row[0], row[1])
+	for rows.Next() {
+		var user, clicks int64
+		if err := rows.Scan(&user, &clicks); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  user %d -> %d clicks\n", user, clicks)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 
-	status, err := eng.Describe("clicks_per_user")
+	// Named placeholders bind with dyntables.Named; the Seq adapter turns
+	// the cursor into a range-over-func iterator.
+	one, err := sess.QueryContext(ctx,
+		`SELECT clicks FROM clicks_per_user WHERE user_id = :u`, dyntables.Named("u", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for row, err := range one.Seq() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user 1 has %s clicks\n", row[0])
+	}
+
+	status, err := sess.Describe("clicks_per_user")
 	if err != nil {
 		log.Fatal(err)
 	}

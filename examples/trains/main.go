@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,14 +15,16 @@ import (
 
 func main() {
 	eng := dyntables.New()
+	sess := eng.NewSession()
+	ctx := context.Background()
 
-	eng.MustExec(`CREATE WAREHOUSE trains_wh`)
-	eng.MustExec(`CREATE TABLE trains (id INT, name TEXT)`)
-	eng.MustExec(`CREATE TABLE train_events (type TEXT, payload VARIANT)`)
-	eng.MustExec(`CREATE TABLE schedule (id INT, expected_arrival_time TIMESTAMP)`)
+	sess.MustExec(`CREATE WAREHOUSE trains_wh`)
+	sess.MustExec(`CREATE TABLE trains (id INT, name TEXT)`)
+	sess.MustExec(`CREATE TABLE train_events (type TEXT, payload VARIANT)`)
+	sess.MustExec(`CREATE TABLE schedule (id INT, expected_arrival_time TIMESTAMP)`)
 
-	eng.MustExec(`INSERT INTO trains VALUES (1, 'Coastal Express'), (2, 'Valley Local')`)
-	eng.MustExec(`INSERT INTO schedule VALUES
+	sess.MustExec(`INSERT INTO trains VALUES (1, 'Coastal Express'), (2, 'Valley Local')`)
+	sess.MustExec(`INSERT INTO schedule VALUES
 		(10, '2025-04-01 08:00:00'),
 		(11, '2025-04-01 09:00:00'),
 		(12, '2025-04-01 10:00:00')`)
@@ -29,7 +32,7 @@ func main() {
 	// Listing 1, first dynamic table: extract arrivals from JSON events.
 	// TARGET_LAG = DOWNSTREAM means "refresh only when my consumers need
 	// me" (§3.2).
-	eng.MustExec(`
+	sess.MustExec(`
 		CREATE DYNAMIC TABLE train_arrivals
 		TARGET_LAG = DOWNSTREAM
 		WAREHOUSE = trains_wh
@@ -43,7 +46,7 @@ func main() {
 
 	// Listing 1, second dynamic table: count arrivals more than 10
 	// minutes late, per train and hour.
-	eng.MustExec(`
+	sess.MustExec(`
 		CREATE DYNAMIC TABLE delayed_trains
 		TARGET_LAG = '1 minute'
 		WAREHOUSE = trains_wh
@@ -54,34 +57,47 @@ func main() {
 		JOIN schedule s ON a.schedule_id = s.id
 		GROUP BY ALL`)
 
-	// Events stream in over the day.
-	arrivals := []string{
-		`('ARRIVAL', '{"train_id": 1, "time": "2025-04-01 08:03:00", "schedule_id": 10}')`, // 3m late
-		`('ARRIVAL', '{"train_id": 2, "time": "2025-04-01 09:25:00", "schedule_id": 11}')`, // 25m late
-		`('DEPARTURE', '{"train_id": 2, "time": "2025-04-01 09:40:00", "schedule_id": 11}')`,
-		`('ARRIVAL', '{"train_id": 1, "time": "2025-04-01 10:14:00", "schedule_id": 12}')`, // 14m late
+	// Events stream in over the day, bound as VARIANT parameters through
+	// a prepared statement.
+	ins, err := sess.Prepare(`INSERT INTO train_events VALUES (?, ?::variant)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrivals := []struct {
+		typ, payload string
+	}{
+		{"ARRIVAL", `{"train_id": 1, "time": "2025-04-01 08:03:00", "schedule_id": 10}`}, // 3m late
+		{"ARRIVAL", `{"train_id": 2, "time": "2025-04-01 09:25:00", "schedule_id": 11}`}, // 25m late
+		{"DEPARTURE", `{"train_id": 2, "time": "2025-04-01 09:40:00", "schedule_id": 11}`},
+		{"ARRIVAL", `{"train_id": 1, "time": "2025-04-01 10:14:00", "schedule_id": 12}`}, // 14m late
 	}
 	for _, ev := range arrivals {
-		eng.MustExec(`INSERT INTO train_events VALUES ` + ev)
+		if _, err := ins.ExecContext(ctx, ev.typ, ev.payload); err != nil {
+			log.Fatal(err)
+		}
 		eng.AdvanceTime(90 * time.Second)
 		if err := eng.RunScheduler(); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	res, err := eng.Query(`SELECT train_id, hour, num_delays FROM delayed_trains ORDER BY train_id, hour`)
+	rows, err := sess.QueryContext(ctx,
+		`SELECT train_id, hour, num_delays FROM delayed_trains ORDER BY train_id, hour`)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("delayed_trains:")
 	fmt.Println("  train  hour                        late arrivals")
-	for _, row := range res.Rows {
+	for row, err := range rows.Seq() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-6s %-27s %s\n", row[0], row[1], row[2])
 	}
 
 	// Show how the pipeline refreshed: upstream follows downstream's lag.
 	for _, name := range []string{"train_arrivals", "delayed_trains"} {
-		status, err := eng.Describe(name)
+		status, err := sess.Describe(name)
 		if err != nil {
 			log.Fatal(err)
 		}

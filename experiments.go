@@ -1,9 +1,13 @@
 package dyntables
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyntables/internal/core"
@@ -11,6 +15,7 @@ import (
 	"dyntables/internal/plan"
 	"dyntables/internal/sched"
 	"dyntables/internal/sql"
+	"dyntables/internal/txn"
 	"dyntables/internal/warehouse"
 	"dyntables/internal/workload"
 )
@@ -811,6 +816,105 @@ func RunDVSOracle(dtCount, rounds int, seed int64) (*DVSOracleResult, error) {
 		}
 	}
 	return result, nil
+}
+
+// ---------------------------------------------------------------------------
+// concurrent sessions throughput
+// ---------------------------------------------------------------------------
+
+// ConcurrentResult summarizes a mixed-workload run over parallel sessions.
+type ConcurrentResult struct {
+	Sessions  int
+	Queries   int64
+	Inserts   int64
+	Refreshes int64
+	Conflicts int64
+	Elapsed   time.Duration
+}
+
+// RunConcurrentSessions exercises the concurrent session API: N sessions
+// issue mixed SELECT / INSERT / manual-refresh traffic against a shared
+// DT pipeline for the given number of operations each. Write-write
+// conflicts are expected under first-committer-wins and counted rather
+// than failed.
+func RunConcurrentSessions(sessions, opsPerSession int) (*ConcurrentResult, error) {
+	e := New()
+	boot := e.NewSession()
+	boot.MustExec(`CREATE WAREHOUSE wh`)
+	boot.MustExec(`CREATE TABLE events (id INT, sess INT, amount INT)`)
+	boot.MustExec(`CREATE DYNAMIC TABLE totals TARGET_LAG = '1 minute' WAREHOUSE = wh
+	               AS SELECT sess, count(*) c, sum(amount) total FROM events GROUP BY sess`)
+
+	res := &ConcurrentResult{Sessions: sessions}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var queries, inserts, refreshes, conflicts atomic.Int64
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := e.NewSession()
+			ins, err := s.Prepare(`INSERT INTO events VALUES (?, ?, ?)`)
+			if err != nil {
+				errs <- err
+				return
+			}
+			q, err := s.Prepare(`SELECT count(*) FROM events WHERE sess = :sess`)
+			if err != nil {
+				errs <- err
+				return
+			}
+			ctx := context.Background()
+			for op := 0; op < opsPerSession; op++ {
+				switch op % 3 {
+				case 0:
+					if _, err := ins.ExecContext(ctx, op, id, op%97); err != nil {
+						errs <- err
+						return
+					}
+					inserts.Add(1)
+				case 1:
+					rows, err := q.QueryContext(ctx, Named("sess", id))
+					if err != nil {
+						errs <- err
+						return
+					}
+					for rows.Next() {
+					}
+					rows.Close()
+					if err := rows.Err(); err != nil {
+						errs <- err
+						return
+					}
+					queries.Add(1)
+				case 2:
+					if err := s.ManualRefreshContext(ctx, "totals"); err != nil {
+						// First-committer-wins conflicts and overlapping
+						// refreshes are expected under contention.
+						if errors.Is(err, txn.ErrConflict) || errors.Is(err, core.ErrSkipped) {
+							conflicts.Add(1)
+							continue
+						}
+						errs <- err
+						return
+					}
+					refreshes.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	res.Queries = queries.Load()
+	res.Inserts = inserts.Load()
+	res.Refreshes = refreshes.Load()
+	res.Conflicts = conflicts.Load()
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,3 @@
+module dyntables
+
+go 1.24

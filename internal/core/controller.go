@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"dyntables/internal/delta"
@@ -41,7 +42,9 @@ type Controller struct {
 
 	// byStorageID maps a storage table ID to the DT whose contents it
 	// holds, so version resolution can use data-timestamp mappings for
-	// upstream DTs (§5.3).
+	// upstream DTs (§5.3). regMu guards it: sessions register/unregister
+	// DTs via DDL while refreshes resolve versions concurrently.
+	regMu       sync.RWMutex
 	byStorageID map[int64]*DynamicTable
 
 	// depGeneration looks up the current catalog generation of an entry;
@@ -65,16 +68,22 @@ func NewController(txns *txn.Manager, resolver plan.Resolver, depGeneration func
 
 // Register makes the controller aware of a DT (after catalog creation).
 func (c *Controller) Register(dt *DynamicTable) {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
 	c.byStorageID[dt.Storage.ID()] = dt
 }
 
 // Unregister removes a dropped DT's storage mapping.
 func (c *Controller) Unregister(dt *DynamicTable) {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
 	delete(c.byStorageID, dt.Storage.ID())
 }
 
 // LookupByStorage resolves the DT owning a storage table, if any.
 func (c *Controller) LookupByStorage(id int64) (*DynamicTable, bool) {
+	c.regMu.RLock()
+	defer c.regMu.RUnlock()
 	dt, ok := c.byStorageID[id]
 	return dt, ok
 }
@@ -152,7 +161,7 @@ func (c *Controller) resolveVersions(p plan.Node, dataTS time.Time) (ivm.Version
 		if _, done := vm[id]; done {
 			continue
 		}
-		if up, isDT := c.byStorageID[id]; isDT {
+		if up, isDT := c.LookupByStorage(id); isDT {
 			seq, ok := up.VersionAtDataTS(dataTS)
 			if !ok {
 				return nil, fmt.Errorf("%w: %s has no version for %s",
@@ -437,7 +446,7 @@ func (c *Controller) ChooseInitTimestamp(dt *DynamicTable, now time.Time) (time.
 	}
 	var best time.Time
 	for _, scan := range plan.Scans(bound.Plan) {
-		up, isDT := c.byStorageID[scan.Table.ID()]
+		up, isDT := c.LookupByStorage(scan.Table.ID())
 		if !isDT {
 			continue
 		}
@@ -504,7 +513,7 @@ func (c *Controller) Upstreams(dt *DynamicTable) ([]*DynamicTable, error) {
 	var out []*DynamicTable
 	seen := map[int64]bool{}
 	for _, scan := range plan.Scans(bound.Plan) {
-		if up, isDT := c.byStorageID[scan.Table.ID()]; isDT && !seen[up.Storage.ID()] {
+		if up, isDT := c.LookupByStorage(scan.Table.ID()); isDT && !seen[up.Storage.ID()] {
 			seen[up.Storage.ID()] = true
 			out = append(out, up)
 		}

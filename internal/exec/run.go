@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -39,9 +40,38 @@ type Context struct {
 	Now time.Time
 	// Counters, when non-nil, accumulates execution statistics.
 	Counters *Counters
+	// Params carries bind-parameter values for placeholder expressions.
+	Params *plan.Params
+	// Ctx, when non-nil, cancels execution: operators check it between
+	// rows and abort with its error.
+	Ctx context.Context
 }
 
-func (c *Context) eval() *plan.EvalContext { return &plan.EvalContext{Now: c.Now} }
+func (c *Context) eval() *plan.EvalContext {
+	return &plan.EvalContext{Now: c.Now, Params: c.Params}
+}
+
+// canceled returns the cancellation error, if any.
+func (c *Context) canceled() error {
+	if c.Ctx != nil {
+		return c.Ctx.Err()
+	}
+	return nil
+}
+
+// tickEvery is how many rows a hot operator loop may process between
+// cancellation checks: frequent enough that heavy joins and aggregations
+// abort promptly, rare enough to stay off the profile.
+const tickEvery = 4096
+
+// tick counts loop iterations and polls for cancellation periodically.
+func (c *Context) tick(n *int) error {
+	*n++
+	if *n%tickEvery == 0 {
+		return c.canceled()
+	}
+	return nil
+}
 
 func (c *Context) count(f func(*Counters)) {
 	if c.Counters != nil {
@@ -52,6 +82,9 @@ func (c *Context) count(f func(*Counters)) {
 // Run executes a logical plan and returns the result rows with derived row
 // IDs. Result order is unspecified except beneath Sort.
 func Run(n plan.Node, ctx *Context) ([]TRow, error) {
+	if err := ctx.canceled(); err != nil {
+		return nil, err
+	}
 	ctx.count(func(c *Counters) { c.NodesVisited++ })
 	switch x := n.(type) {
 	case *plan.Scan:
@@ -106,7 +139,11 @@ func runFilter(f *plan.Filter, ctx *Context) ([]TRow, error) {
 	}
 	ev := ctx.eval()
 	out := in[:0:0]
+	ticks := 0
 	for _, tr := range in {
+		if err := ctx.tick(&ticks); err != nil {
+			return nil, err
+		}
 		ok, err := plan.EvalBool(f.Pred, tr.Row, ev)
 		if err != nil {
 			return nil, err
@@ -125,7 +162,11 @@ func runProject(p *plan.Project, ctx *Context) ([]TRow, error) {
 	}
 	ev := ctx.eval()
 	out := make([]TRow, len(in))
+	ticks := 0
 	for i, tr := range in {
+		if err := ctx.tick(&ticks); err != nil {
+			return nil, err
+		}
 		row := make(types.Row, len(p.Exprs))
 		for j, e := range p.Exprs {
 			v, err := plan.Eval(e, tr.Row, ev)
@@ -235,6 +276,7 @@ func JoinRows(j *plan.Join, left, right []TRow, ctx *Context) ([]TRow, error) {
 	nullRight := make(types.Row, rWidth)
 	nullLeft := make(types.Row, lWidth)
 
+	ticks := 0
 	for _, ltr := range left {
 		key, ok, err := evalKey(j.LeftKeys, ltr.Row, ev)
 		if err != nil {
@@ -244,6 +286,9 @@ func JoinRows(j *plan.Join, left, right []TRow, ctx *Context) ([]TRow, error) {
 		if ok || len(j.LeftKeys) == 0 {
 			if b := build[key]; b != nil {
 				for _, ri := range b.rows {
+					if err := ctx.tick(&ticks); err != nil {
+						return nil, err
+					}
 					ctx.count(func(c *Counters) { c.JoinProbes++ })
 					rtr := right[ri]
 					combined := ltr.Row.Concat(rtr.Row)
@@ -463,7 +508,11 @@ func AggregateRows(a *plan.Aggregate, in []TRow, ctx *Context) ([]TRow, error) {
 	groups := make(map[string]*group)
 	order := []string{}
 
+	ticks := 0
 	for _, tr := range in {
+		if err := ctx.tick(&ticks); err != nil {
+			return nil, err
+		}
 		vals := make(types.Row, len(a.GroupBy))
 		var buf []byte
 		for i, g := range a.GroupBy {
@@ -547,7 +596,11 @@ func WindowRows(w *plan.Window, in []TRow, ctx *Context) ([]TRow, error) {
 	ev := ctx.eval()
 	partitions := make(map[string][]*partRow)
 	var keys []string
+	ticks := 0
 	for _, tr := range in {
+		if err := ctx.tick(&ticks); err != nil {
+			return nil, err
+		}
 		var buf []byte
 		for _, pe := range w.PartitionBy {
 			v, err := plan.Eval(pe, tr.Row, ev)
@@ -910,7 +963,11 @@ func runSort(s *plan.Sort, ctx *Context) ([]TRow, error) {
 		keys []types.Value
 	}
 	rows := make([]keyed, len(in))
+	ticks := 0
 	for i, tr := range in {
+		if err := ctx.tick(&ticks); err != nil {
+			return nil, err
+		}
 		ks := make([]types.Value, len(s.Items))
 		for j, item := range s.Items {
 			v, err := plan.Eval(item.Expr, tr.Row, ev)

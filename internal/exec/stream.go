@@ -1,0 +1,336 @@
+package exec
+
+import (
+	"strconv"
+
+	"dyntables/internal/plan"
+	"dyntables/internal/types"
+)
+
+// RowIter is a pull-based cursor over plan execution output. Next returns
+// the next row, or ok=false once the input is exhausted or Close has been
+// called. Iterators are not safe for concurrent use.
+type RowIter interface {
+	Next() (TRow, bool, error)
+	Close()
+}
+
+// Stream returns a cursor over the plan's result rows. Pipelined operators
+// (Scan, Filter, Project, Limit, UnionAll, Flatten, Values) produce rows
+// incrementally; blocking operators (Join, Aggregate, Window, Sort,
+// Distinct) materialize their input on first Next. Every operator checks
+// ctx.Ctx between rows, so abandoning the cursor via context cancellation
+// stops execution promptly.
+func Stream(n plan.Node, ctx *Context) RowIter {
+	switch x := n.(type) {
+	case *plan.Filter:
+		return &filterIter{in: Stream(x.Input, ctx), pred: x.Pred, ctx: ctx, ev: ctx.eval()}
+	case *plan.Project:
+		return &projectIter{in: Stream(x.Input, ctx), exprs: x.Exprs, ctx: ctx, ev: ctx.eval()}
+	case *plan.Limit:
+		return &limitIter{in: Stream(x.Input, ctx), n: x.N, ctx: ctx}
+	case *plan.UnionAll:
+		return &unionIter{u: x, ctx: ctx}
+	case *plan.Flatten:
+		return &flattenIter{in: Stream(x.Input, ctx), f: x, ctx: ctx}
+	case *plan.Scan:
+		return &scanIter{s: x, ctx: ctx}
+	case *plan.Values:
+		out := make([]TRow, len(x.Rows))
+		for i, r := range x.Rows {
+			out[i] = TRow{ID: "v:" + strconv.Itoa(i), Row: r}
+		}
+		return &sliceIter{rows: out, ctx: ctx}
+	default:
+		// Blocking operator: materialize via the recursive executor. The
+		// per-node cancellation check in Run bounds the work done after a
+		// cancellation arrives.
+		return &deferredIter{n: n, ctx: ctx}
+	}
+}
+
+// Collect drains a cursor into a slice, closing it.
+func Collect(it RowIter) ([]TRow, error) {
+	defer it.Close()
+	var out []TRow
+	for {
+		tr, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, tr)
+	}
+}
+
+// sliceIter yields pre-computed rows.
+type sliceIter struct {
+	rows   []TRow
+	pos    int
+	ctx    *Context
+	closed bool
+}
+
+func (it *sliceIter) Next() (TRow, bool, error) {
+	if it.closed || it.pos >= len(it.rows) {
+		return TRow{}, false, nil
+	}
+	if err := it.ctx.canceled(); err != nil {
+		it.Close()
+		return TRow{}, false, err
+	}
+	tr := it.rows[it.pos]
+	it.pos++
+	return tr, true, nil
+}
+
+func (it *sliceIter) Close() { it.closed = true; it.rows = nil }
+
+// deferredIter materializes a blocking operator's output on first Next.
+type deferredIter struct {
+	n      plan.Node
+	ctx    *Context
+	inner  *sliceIter
+	closed bool
+}
+
+func (it *deferredIter) Next() (TRow, bool, error) {
+	if it.closed {
+		return TRow{}, false, nil
+	}
+	if it.inner == nil {
+		rows, err := Run(it.n, it.ctx)
+		if err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		it.inner = &sliceIter{rows: rows, ctx: it.ctx}
+	}
+	return it.inner.Next()
+}
+
+func (it *deferredIter) Close() {
+	it.closed = true
+	if it.inner != nil {
+		it.inner.Close()
+	}
+}
+
+// scanIter streams a table scan, resolving the pinned contents lazily on
+// first Next.
+type scanIter struct {
+	s      *plan.Scan
+	ctx    *Context
+	rows   []TRow
+	opened bool
+	pos    int
+	closed bool
+}
+
+func (it *scanIter) Next() (TRow, bool, error) {
+	if it.closed {
+		return TRow{}, false, nil
+	}
+	if err := it.ctx.canceled(); err != nil {
+		it.Close()
+		return TRow{}, false, err
+	}
+	if !it.opened {
+		it.opened = true
+		contents, err := it.ctx.RowsOf(it.s)
+		if err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		it.rows = make([]TRow, 0, len(contents))
+		for id, r := range contents {
+			it.rows = append(it.rows, TRow{ID: id, Row: r})
+		}
+		it.ctx.count(func(c *Counters) {
+			c.ScanCalls++
+			c.ScanRows += int64(len(it.rows))
+		})
+	}
+	if it.pos >= len(it.rows) {
+		return TRow{}, false, nil
+	}
+	tr := it.rows[it.pos]
+	it.pos++
+	return tr, true, nil
+}
+
+func (it *scanIter) Close() { it.closed = true; it.rows = nil }
+
+type filterIter struct {
+	in     RowIter
+	pred   plan.Expr
+	ctx    *Context
+	ev     *plan.EvalContext
+	closed bool
+}
+
+func (it *filterIter) Next() (TRow, bool, error) {
+	if it.closed {
+		return TRow{}, false, nil
+	}
+	ev := it.ev
+	for {
+		if err := it.ctx.canceled(); err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		tr, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return TRow{}, false, err
+		}
+		pass, err := plan.EvalBool(it.pred, tr.Row, ev)
+		if err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		if pass {
+			return tr, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.closed = true; it.in.Close() }
+
+type projectIter struct {
+	in     RowIter
+	exprs  []plan.Expr
+	ctx    *Context
+	ev     *plan.EvalContext
+	closed bool
+}
+
+func (it *projectIter) Next() (TRow, bool, error) {
+	if it.closed {
+		return TRow{}, false, nil
+	}
+	if err := it.ctx.canceled(); err != nil {
+		it.Close()
+		return TRow{}, false, err
+	}
+	tr, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return TRow{}, false, err
+	}
+	row := make(types.Row, len(it.exprs))
+	for j, e := range it.exprs {
+		v, err := plan.Eval(e, tr.Row, it.ev)
+		if err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		row[j] = v
+	}
+	return TRow{ID: tr.ID, Row: row}, true, nil
+}
+
+func (it *projectIter) Close() { it.closed = true; it.in.Close() }
+
+type limitIter struct {
+	in     RowIter
+	n      int64
+	seen   int64
+	ctx    *Context
+	closed bool
+}
+
+func (it *limitIter) Next() (TRow, bool, error) {
+	if it.closed || it.seen >= it.n {
+		it.Close()
+		return TRow{}, false, nil
+	}
+	tr, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return TRow{}, false, err
+	}
+	it.seen++
+	return tr, true, nil
+}
+
+func (it *limitIter) Close() { it.closed = true; it.in.Close() }
+
+// unionIter streams each branch in order, opening branches lazily.
+type unionIter struct {
+	u      *plan.UnionAll
+	ctx    *Context
+	branch int
+	cur    RowIter
+	closed bool
+}
+
+func (it *unionIter) Next() (TRow, bool, error) {
+	if it.closed {
+		return TRow{}, false, nil
+	}
+	for {
+		if it.cur == nil {
+			if it.branch >= len(it.u.Inputs) {
+				return TRow{}, false, nil
+			}
+			it.cur = Stream(it.u.Inputs[it.branch], it.ctx)
+		}
+		tr, ok, err := it.cur.Next()
+		if err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		if ok {
+			return TRow{ID: UnionBranchID(it.branch, tr.ID), Row: tr.Row}, true, nil
+		}
+		it.cur.Close()
+		it.cur = nil
+		it.branch++
+	}
+}
+
+func (it *unionIter) Close() {
+	it.closed = true
+	if it.cur != nil {
+		it.cur.Close()
+		it.cur = nil
+	}
+}
+
+// flattenIter unnests variant arrays one input row at a time.
+type flattenIter struct {
+	in      RowIter
+	f       *plan.Flatten
+	ctx     *Context
+	pending []TRow
+	closed  bool
+}
+
+func (it *flattenIter) Next() (TRow, bool, error) {
+	if it.closed {
+		return TRow{}, false, nil
+	}
+	for {
+		if len(it.pending) > 0 {
+			tr := it.pending[0]
+			it.pending = it.pending[1:]
+			return tr, true, nil
+		}
+		if err := it.ctx.canceled(); err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		tr, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return TRow{}, false, err
+		}
+		out, err := FlattenRows(it.f, []TRow{tr}, it.ctx)
+		if err != nil {
+			it.Close()
+			return TRow{}, false, err
+		}
+		it.pending = out
+	}
+}
+
+func (it *flattenIter) Close() { it.closed = true; it.pending = nil; it.in.Close() }

@@ -1,0 +1,168 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"dyntables/internal/exec"
+	"dyntables/internal/plan"
+	"dyntables/internal/sql"
+	"dyntables/internal/types"
+)
+
+// stream plans a SELECT and returns a cursor plus the exec context.
+func (h *harness) stream(query string, ctx context.Context) (exec.RowIter, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := plan.NewBinder(h).BindSelect(stmt.(*sql.SelectStmt))
+	if err != nil {
+		return nil, err
+	}
+	p := plan.Optimize(bound.Plan)
+	ec := &exec.Context{
+		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
+			return s.Table.Rows(int64(s.Table.VersionCount()))
+		},
+		Now: time.Date(2025, 4, 1, 12, 0, 0, 0, time.UTC),
+		Ctx: ctx,
+	}
+	return exec.Stream(p, ec), nil
+}
+
+// TestStreamMatchesRun checks that the cursor produces exactly the rows
+// the materializing executor produces, across pipelined and blocking
+// operators.
+func TestStreamMatchesRun(t *testing.T) {
+	h := newHarness(t)
+	h.table("t", "a int, b int",
+		ints(1, 10), ints(2, 20), ints(3, 30), ints(4, 40))
+	h.table("u", "a int, c int", ints(1, 100), ints(3, 300))
+
+	queries := []string{
+		`SELECT a, b FROM t WHERE a > 1`,
+		`SELECT a, b FROM t ORDER BY a DESC LIMIT 2`,
+		`SELECT t.a, b, c FROM t JOIN u ON t.a = u.a`,
+		`SELECT a FROM t UNION ALL SELECT a FROM u`,
+		`SELECT count(*), sum(b) FROM t`,
+		`SELECT DISTINCT a / a FROM t`,
+	}
+	for _, q := range queries {
+		want := sortedRender(h.run(q))
+		it, err := h.stream(q, context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		rows, err := exec.Collect(it)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got := sortedRender(rows)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %v, want %v", q, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d: got %s, want %s", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamCancellation checks that a canceled context stops the cursor
+// with the context's error.
+func TestStreamCancellation(t *testing.T) {
+	h := newHarness(t)
+	var rows []types.Row
+	for i := int64(0); i < 200; i++ {
+		rows = append(rows, ints(i, i*2))
+	}
+	h.table("big", "a int, b int", rows...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	it, err := h.stream(`SELECT a FROM big WHERE b >= 0`, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	for i := 0; i < 5; i++ {
+		if _, ok, err := it.Next(); err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	cancel()
+	_, ok, err := it.Next()
+	if ok {
+		t.Fatal("Next produced a row after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The iterator stays closed afterwards.
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("iterator produced rows after Close")
+	}
+}
+
+// TestStreamLimitShortCircuits checks that Limit stops pulling from its
+// input once satisfied (pipelined, not materialized).
+func TestStreamLimitShortCircuits(t *testing.T) {
+	h := newHarness(t)
+	var rows []types.Row
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, ints(i))
+	}
+	h.table("t", "a int", rows...)
+
+	it, err := h.stream(`SELECT a FROM t LIMIT 3`, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(out))
+	}
+}
+
+// TestStreamParams checks bind-parameter evaluation through the cursor.
+func TestStreamParams(t *testing.T) {
+	h := newHarness(t)
+	h.table("t", "a int", ints(1), ints(2), ints(3))
+
+	stmt, err := sql.Parse(`SELECT a FROM t WHERE a >= ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := plan.NewBinder(h).BindSelect(stmt.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := &exec.Context{
+		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
+			return s.Table.Rows(int64(s.Table.VersionCount()))
+		},
+		Now:    time.Now(),
+		Params: &plan.Params{Positional: []types.Value{types.NewInt(2)}},
+	}
+	out, err := exec.Collect(exec.Stream(plan.Optimize(bound.Plan), ec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(out))
+	}
+
+	// Unbound parameters surface as evaluation errors, not wrong results.
+	ec.Params = nil
+	if _, err := exec.Collect(exec.Stream(plan.Optimize(bound.Plan), ec)); err == nil {
+		t.Fatal("want unbound-parameter error")
+	}
+}

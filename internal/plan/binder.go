@@ -899,7 +899,7 @@ func colNameOf(e sql.Expr) string {
 // rebuild recurses into a composite expression under aggregation.
 func (rw *rewriter) rebuild(e sql.Expr) (Expr, error) {
 	switch x := e.(type) {
-	case *sql.Literal:
+	case *sql.Literal, *sql.Placeholder:
 		return rw.binder.bindScalar(x, rw.preAggScope)
 	case *sql.BinaryExpr:
 		l, err := rw.rewriteNoWindow(x.L)
@@ -1019,6 +1019,8 @@ func (b *Binder) bindScalar(e sql.Expr, sc *scope) (Expr, error) {
 	switch x := e.(type) {
 	case *sql.Literal:
 		return &Lit{Val: literalValue(x)}, nil
+	case *sql.Placeholder:
+		return &Param{Ordinal: x.Ordinal, Name: x.Name}, nil
 	case *sql.ColumnRef:
 		idx, kind, err := sc.resolve(x.Table, x.Name)
 		if err != nil {

@@ -13,12 +13,39 @@ import (
 	"dyntables/internal/types"
 )
 
+// Params carries the bind-parameter values for one execution: positional
+// values for `?` placeholders (index Ordinal-1) and named values for
+// `:name` placeholders (upper-cased keys).
+type Params struct {
+	Positional []types.Value
+	Named      map[string]types.Value
+}
+
+// Lookup resolves a Param expression against the bound values.
+func (p *Params) Lookup(e *Param) (types.Value, error) {
+	if e.Name != "" {
+		if p != nil {
+			if v, ok := p.Named[e.Name]; ok {
+				return v, nil
+			}
+		}
+		return types.Null, fmt.Errorf("plan: no value bound for parameter :%s", e.Name)
+	}
+	if p == nil || e.Ordinal < 1 || e.Ordinal > len(p.Positional) {
+		return types.Null, fmt.Errorf("plan: no value bound for parameter ?%d", e.Ordinal)
+	}
+	return p.Positional[e.Ordinal-1], nil
+}
+
 // EvalContext carries the ambient evaluation state.
 type EvalContext struct {
 	// Now is the value of CURRENT_TIMESTAMP for this evaluation. Pinning
 	// it per refresh keeps context functions deterministic within a
 	// refresh (§3.4).
 	Now time.Time
+	// Params holds the bind-parameter values; nil when the statement has
+	// no placeholders.
+	Params *Params
 }
 
 // Eval evaluates a bound expression over a row.
@@ -31,6 +58,8 @@ func Eval(e Expr, row types.Row, ctx *EvalContext) (types.Value, error) {
 		return row[x.Idx], nil
 	case *Lit:
 		return x.Val, nil
+	case *Param:
+		return ctx.Params.Lookup(x)
 	case *BinOp:
 		return evalBinOp(x, row, ctx)
 	case *Not:

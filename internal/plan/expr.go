@@ -33,6 +33,13 @@ type Lit struct {
 	Val types.Value
 }
 
+// Param is a bind parameter supplied at execution time: positional
+// (`?`, 1-based Ordinal) or named (`:name`, upper-cased Name).
+type Param struct {
+	Ordinal int
+	Name    string
+}
+
 // BinOp is a binary operation, reusing the parser's operator enum.
 type BinOp struct {
 	Op   sql.BinaryOp
@@ -101,6 +108,7 @@ type InList struct {
 
 func (*ColIdx) exprNode() {}
 func (*Lit) exprNode()    {}
+func (*Param) exprNode()  {}
 func (*BinOp) exprNode()  {}
 func (*Not) exprNode()    {}
 func (*Neg) exprNode()    {}
@@ -117,6 +125,12 @@ func (*InList) exprNode() {}
 func (e *ColIdx) Fingerprint() string { return fmt.Sprintf("#%d", e.Idx) }
 func (e *Lit) Fingerprint() string {
 	return fmt.Sprintf("lit<%s:%s>", e.Val.Kind(), e.Val.String())
+}
+func (e *Param) Fingerprint() string {
+	if e.Name != "" {
+		return "param<:" + e.Name + ">"
+	}
+	return fmt.Sprintf("param<?%d>", e.Ordinal)
 }
 func (e *BinOp) Fingerprint() string {
 	return fmt.Sprintf("(%s %s %s)", e.L.Fingerprint(), e.Op, e.R.Fingerprint())
@@ -251,6 +265,8 @@ func RemapColumns(e Expr, f func(int) int) Expr {
 		return &ColIdx{Idx: f(x.Idx), Name: x.Name, Kind: x.Kind}
 	case *Lit:
 		return x
+	case *Param:
+		return x
 	case *BinOp:
 		return &BinOp{Op: x.Op, L: RemapColumns(x.L, f), R: RemapColumns(x.R, f)}
 	case *Not:
@@ -338,6 +354,8 @@ func InferKind(e Expr) types.Kind {
 		return x.Kind
 	case *Lit:
 		return x.Val.Kind()
+	case *Param:
+		return types.KindVariant // value kind is unknown until execution
 	case *BinOp:
 		switch x.Op {
 		case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe,

@@ -236,6 +236,8 @@ func isConstant(e Expr) bool {
 		switch x := sub.(type) {
 		case *ColIdx:
 			constant = false
+		case *Param:
+			constant = false // value arrives at execution time
 		case *Func:
 			if x.Name == "CURRENT_TIMESTAMP" {
 				constant = false

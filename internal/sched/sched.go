@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"dyntables/internal/clock"
@@ -70,8 +71,12 @@ type Stats struct {
 	ExtraUpstreamRefreshes int // misaligned-period ablation (E11)
 }
 
-// Scheduler drives refreshes against virtual time.
+// Scheduler drives refreshes against virtual time. All methods are safe
+// for concurrent use: a single mutex serializes scheduler passes and
+// tracking changes, so concurrent sessions can run the scheduler and issue
+// DDL without racing on its internal state.
 type Scheduler struct {
+	mu    sync.Mutex
 	clk   *clock.Virtual
 	ctrl  *core.Controller
 	pool  *warehouse.Pool
@@ -125,6 +130,8 @@ func New(clk *clock.Virtual, ctrl *core.Controller, pool *warehouse.Pool, model 
 
 // Track registers a DT with the scheduler.
 func (s *Scheduler) Track(dt *core.DynamicTable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, existing := range s.dts {
 		if existing == dt {
 			return
@@ -135,6 +142,8 @@ func (s *Scheduler) Track(dt *core.DynamicTable) {
 
 // Untrack removes a DT (dropped).
 func (s *Scheduler) Untrack(dt *core.DynamicTable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, existing := range s.dts {
 		if existing == dt {
 			s.dts = append(s.dts[:i], s.dts[i+1:]...)
@@ -144,10 +153,16 @@ func (s *Scheduler) Untrack(dt *core.DynamicTable) {
 }
 
 // Stats returns aggregate counters.
-func (s *Scheduler) Stats() Stats { return s.stats }
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // LagSeries returns the recorded sawtooth for a DT.
 func (s *Scheduler) LagSeries(dt *core.DynamicTable) []LagPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]LagPoint(nil), s.lagSeries[dt]...)
 }
 
@@ -156,6 +171,8 @@ func (s *Scheduler) LagSeries(dt *core.DynamicTable) []LagPoint {
 // dependents (§3.2). A DOWNSTREAM DT with no dependents has no lag
 // requirement.
 func (s *Scheduler) EffectiveLag(dt *core.DynamicTable) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.effectiveLag(dt, make(map[*core.DynamicTable]bool))
 }
 
@@ -200,7 +217,14 @@ func (s *Scheduler) downstreams(dt *core.DynamicTable) []*core.DynamicTable {
 
 // Period returns the refresh period chosen for the DT.
 func (s *Scheduler) Period(dt *core.DynamicTable) time.Duration {
-	lag := s.EffectiveLag(dt)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.period(dt)
+}
+
+// period is Period with the scheduler lock held.
+func (s *Scheduler) period(dt *core.DynamicTable) time.Duration {
+	lag := s.effectiveLag(dt, make(map[*core.DynamicTable]bool))
 	if s.ExactPeriods {
 		if lag >= NoLag {
 			return NoLag
@@ -212,7 +236,7 @@ func (s *Scheduler) Period(dt *core.DynamicTable) time.Duration {
 
 // nextFire returns the first fire time strictly after `after` for the DT.
 func (s *Scheduler) nextFire(dt *core.DynamicTable, after time.Time) (time.Time, bool) {
-	p := s.Period(dt)
+	p := s.period(dt)
 	if p >= NoLag {
 		return time.Time{}, false
 	}
@@ -229,6 +253,13 @@ func (s *Scheduler) nextFire(dt *core.DynamicTable, after time.Time) (time.Time,
 // refreshing every DT due at that instant upstream-first. It reports
 // whether anything was processed.
 func (s *Scheduler) Step(limit time.Time) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.step(limit)
+}
+
+// step is Step with the scheduler lock held.
+func (s *Scheduler) step(limit time.Time) (bool, error) {
 	var earliest time.Time
 	found := false
 	for _, dt := range s.dts {
@@ -256,8 +287,10 @@ func (s *Scheduler) Step(limit time.Time) (bool, error) {
 
 // RunUntil processes every pending fire instant up to t.
 func (s *Scheduler) RunUntil(t time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for {
-		processed, err := s.Step(t)
+		processed, err := s.step(t)
 		if err != nil {
 			return err
 		}
@@ -275,7 +308,7 @@ func (s *Scheduler) fireAt(at time.Time) error {
 		if dt.State() == core.StateSuspended {
 			continue
 		}
-		p := s.Period(dt)
+		p := s.period(dt)
 		if p >= NoLag {
 			continue
 		}

@@ -177,6 +177,14 @@ type CaseWhen struct {
 	Then Expr
 }
 
+// Placeholder is a bind parameter: `?` (positional, 1-based Ordinal in
+// order of appearance) or `:name` (named, Ordinal 0). Values are supplied
+// at execution time through the session layer.
+type Placeholder struct {
+	Ordinal int    // 1-based position for `?`; 0 for named placeholders
+	Name    string // upper-cased name for `:name`; "" for positional
+}
+
 // IsNullExpr is expr IS [NOT] NULL.
 type IsNullExpr struct {
 	Expr   Expr
@@ -190,18 +198,19 @@ type InListExpr struct {
 	Negate bool
 }
 
-func (*Literal) expr()    {}
-func (*ColumnRef) expr()  {}
-func (*Star) expr()       {}
-func (*BinaryExpr) expr() {}
-func (*UnaryExpr) expr()  {}
-func (*FuncCall) expr()   {}
-func (*CastExpr) expr()   {}
-func (*PathExpr) expr()   {}
-func (*IndexExpr) expr()  {}
-func (*CaseExpr) expr()   {}
-func (*IsNullExpr) expr() {}
-func (*InListExpr) expr() {}
+func (*Literal) expr()     {}
+func (*ColumnRef) expr()   {}
+func (*Star) expr()        {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*FuncCall) expr()    {}
+func (*CastExpr) expr()    {}
+func (*PathExpr) expr()    {}
+func (*IndexExpr) expr()   {}
+func (*CaseExpr) expr()    {}
+func (*Placeholder) expr() {}
+func (*IsNullExpr) expr()  {}
+func (*InListExpr) expr()  {}
 
 // ---------------------------------------------------------------------------
 // Table expressions
@@ -529,6 +538,103 @@ func ContainsAggregate(e Expr) bool {
 		}
 	})
 	return found
+}
+
+// WalkStatementExprs applies f to every scalar expression reachable from
+// the statement, including expressions nested in subqueries, join
+// conditions and UNION ALL branches. The session layer uses it to collect
+// bind placeholders before execution.
+func WalkStatementExprs(stmt Statement, f func(Expr)) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		walkSelectExprs(s, f)
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				WalkExprs(e, f)
+			}
+		}
+		if s.Query != nil {
+			walkSelectExprs(s.Query, f)
+		}
+	case *UpdateStmt:
+		for _, a := range s.Set {
+			WalkExprs(a.Expr, f)
+		}
+		WalkExprs(s.Where, f)
+	case *DeleteStmt:
+		WalkExprs(s.Where, f)
+	case *CreateTableStmt:
+		if s.AsSelect != nil {
+			walkSelectExprs(s.AsSelect, f)
+		}
+	case *CreateViewStmt:
+		if s.Query != nil {
+			walkSelectExprs(s.Query, f)
+		}
+	case *CreateDynamicTableStmt:
+		if s.Query != nil {
+			walkSelectExprs(s.Query, f)
+		}
+	}
+}
+
+func walkSelectExprs(s *SelectStmt, f func(Expr)) {
+	for _, it := range s.Items {
+		WalkExprs(it.Expr, f)
+	}
+	walkTableExprExprs(s.From, f)
+	WalkExprs(s.Where, f)
+	for _, g := range s.GroupBy {
+		WalkExprs(g, f)
+	}
+	WalkExprs(s.Having, f)
+	for _, o := range s.OrderBy {
+		WalkExprs(o.Expr, f)
+	}
+	for _, u := range s.Unions {
+		walkSelectExprs(u, f)
+	}
+}
+
+func walkTableExprExprs(te TableExpr, f func(Expr)) {
+	switch t := te.(type) {
+	case nil:
+	case *TableRef:
+	case *JoinExpr:
+		walkTableExprExprs(t.L, f)
+		walkTableExprExprs(t.R, f)
+		WalkExprs(t.On, f)
+	case *SubqueryRef:
+		walkSelectExprs(t.Select, f)
+	case *FlattenRef:
+		walkTableExprExprs(t.Input, f)
+		WalkExprs(t.Expr, f)
+	}
+}
+
+// CollectPlaceholders scans a statement for bind parameters, returning the
+// number of positional `?` placeholders and the distinct `:name` names in
+// first-appearance order.
+func CollectPlaceholders(stmt Statement) (positional int, names []string) {
+	seen := map[string]bool{}
+	WalkStatementExprs(stmt, func(e Expr) {
+		ph, ok := e.(*Placeholder)
+		if !ok {
+			return
+		}
+		if ph.Name == "" {
+			if ph.Ordinal > positional {
+				positional = ph.Ordinal
+			}
+			return
+		}
+		if !seen[ph.Name] {
+			seen[ph.Name] = true
+			names = append(names, ph.Name)
+		}
+	})
+	return positional, names
 }
 
 // ContainsWindow reports whether e contains a window function call.

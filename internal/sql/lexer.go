@@ -186,7 +186,7 @@ func (l *lexer) lexString() error {
 var symbols = []string{
 	"::", "<>", "!=", "<=", ">=", "||", "=>",
 	"(", ")", ",", ".", ";", ":", "+", "-", "*", "/", "%",
-	"<", ">", "=", "[", "]",
+	"<", ">", "=", "[", "]", "?",
 }
 
 func (l *lexer) lexSymbol() bool {

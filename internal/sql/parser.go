@@ -14,6 +14,9 @@ type Parser struct {
 	src    string
 	tokens []Token
 	pos    int
+	// params counts positional `?` placeholders seen so far, assigning
+	// 1-based ordinals in order of appearance.
+	params int
 }
 
 // Parse parses a single statement (a trailing semicolon is allowed).
@@ -1216,6 +1219,21 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		if t.Text == "*" {
 			p.pos++
 			return &Star{}, nil
+		}
+		if t.Text == "?" {
+			p.pos++
+			p.params++
+			return &Placeholder{Ordinal: p.params}, nil
+		}
+		// A `:` in primary position is a named placeholder; `expr:field`
+		// variant path access is handled as a postfix operator instead.
+		if t.Text == ":" {
+			p.pos++
+			name, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Placeholder{Name: strings.ToUpper(name)}, nil
 		}
 		return nil, p.errorf("unexpected token %q", t.Text)
 	case TokIdent:

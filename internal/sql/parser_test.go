@@ -32,6 +32,67 @@ FROM train_arrivals a
 JOIN schedule s ON a.schedule_id = s.id
 GROUP BY ALL`
 
+func TestParsePlaceholders(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE a > ? AND b = ? AND c = :name`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pos, names := CollectPlaceholders(stmt)
+	if pos != 2 {
+		t.Fatalf("want 2 positional placeholders, got %d", pos)
+	}
+	if len(names) != 1 || names[0] != "NAME" {
+		t.Fatalf("want names [NAME], got %v", names)
+	}
+
+	// Ordinals follow appearance order, including inside nested selects
+	// and VALUES lists.
+	stmt, err = Parse(`INSERT INTO t (a, b) VALUES (?, ?), (?, ?)`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ins := stmt.(*InsertStmt)
+	got := []int{}
+	for _, row := range ins.Rows {
+		for _, e := range row {
+			got = append(got, e.(*Placeholder).Ordinal)
+		}
+	}
+	for i, o := range got {
+		if o != i+1 {
+			t.Fatalf("ordinals: %v", got)
+		}
+	}
+
+	// A `:` after an expression is still variant path access, not a
+	// placeholder.
+	stmt, err = Parse(`SELECT payload:field FROM t WHERE x = :p`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pos, names = CollectPlaceholders(stmt)
+	if pos != 0 || len(names) != 1 || names[0] != "P" {
+		t.Fatalf("path/placeholder disambiguation: pos=%d names=%v", pos, names)
+	}
+	sel := stmt.(*SelectStmt)
+	if _, ok := sel.Items[0].Expr.(*PathExpr); !ok {
+		t.Fatalf("payload:field parsed as %T, want *PathExpr", sel.Items[0].Expr)
+	}
+}
+
+func TestParsePlaceholdersInSubqueries(t *testing.T) {
+	stmt, err := Parse(`SELECT x FROM (SELECT a x FROM t WHERE a > ?) s
+		JOIN u ON s.x = u.a AND u.b = :b
+		WHERE x IN (?, ?)`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pos, names := CollectPlaceholders(stmt)
+	if pos != 3 || len(names) != 1 {
+		t.Fatalf("want 3 positional + 1 named, got %d + %v", pos, names)
+	}
+}
+
 func TestParseListing1First(t *testing.T) {
 	stmt, err := Parse(listing1TrainArrivals)
 	if err != nil {

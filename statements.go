@@ -1,6 +1,7 @@
 package dyntables
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -29,78 +30,72 @@ type Result struct {
 	Message string
 }
 
-// Exec parses and executes a single SQL statement.
-func (e *Engine) Exec(text string) (*Result, error) {
-	stmt, err := sql.Parse(text)
-	if err != nil {
-		return nil, err
-	}
-	return e.execStmt(stmt)
-}
+// Exec parses and executes a single SQL statement on the default session.
+func (e *Engine) Exec(text string) (*Result, error) { return e.def.Exec(text) }
 
 // MustExec runs Exec and panics on error; intended for examples and tests.
-func (e *Engine) MustExec(text string) *Result {
-	res, err := e.Exec(text)
-	if err != nil {
-		panic(fmt.Sprintf("dyntables: %v", err))
-	}
-	return res
+func (e *Engine) MustExec(text string) *Result { return e.def.MustExec(text) }
+
+// ExecScript executes a semicolon-separated script on the default
+// session, stopping at the first error.
+func (e *Engine) ExecScript(text string) ([]*Result, error) { return e.def.ExecScript(text) }
+
+// Query executes a SELECT on the default session and returns its result.
+func (e *Engine) Query(text string) (*Result, error) { return e.def.Query(text) }
+
+// ManualRefresh refreshes a DT (and, as needed, its upstream DTs) at a
+// data timestamp chosen after the command was issued (§3.1.2), using the
+// default session's role. Requires the OPERATE privilege.
+func (e *Engine) ManualRefresh(name string) error { return e.def.ManualRefresh(name) }
+
+// Describe returns a DT's monitoring snapshot using the default session's
+// role.
+func (e *Engine) Describe(name string) (*DynamicTableStatus, error) { return e.def.Describe(name) }
+
+// executor runs one statement for one session: it carries the execution
+// context, the session (for role checks) and the bound parameters.
+type executor struct {
+	e      *Engine
+	s      *Session
+	ctx    context.Context
+	params *plan.Params
 }
 
-// ExecScript executes a semicolon-separated script, stopping at the first
-// error.
-func (e *Engine) ExecScript(text string) ([]*Result, error) {
-	stmts, err := sql.ParseScript(text)
-	if err != nil {
+// canceled returns the context's error, if any.
+func (x *executor) canceled() error {
+	if x.ctx != nil {
+		return x.ctx.Err()
+	}
+	return nil
+}
+
+func (x *executor) execStmt(stmt sql.Statement) (*Result, error) {
+	if err := x.canceled(); err != nil {
 		return nil, err
 	}
-	var out []*Result
-	for i, stmt := range stmts {
-		res, err := e.execStmt(stmt)
-		if err != nil {
-			return out, fmt.Errorf("statement %d: %w", i+1, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
-}
-
-// Query executes a SELECT and returns its result.
-func (e *Engine) Query(text string) (*Result, error) {
-	res, err := e.Exec(text)
-	if err != nil {
-		return nil, err
-	}
-	if res.Kind != "SELECT" {
-		return nil, fmt.Errorf("dyntables: Query requires a SELECT, got %s", res.Kind)
-	}
-	return res, nil
-}
-
-func (e *Engine) execStmt(stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.SelectStmt:
-		return e.execSelect(s)
+		return x.execSelect(s)
 	case *sql.CreateTableStmt:
-		return e.execCreateTable(s)
+		return x.execCreateTable(s)
 	case *sql.CreateViewStmt:
-		return e.execCreateView(s)
+		return x.execCreateView(s)
 	case *sql.CreateWarehouseStmt:
-		return e.execCreateWarehouse(s)
+		return x.execCreateWarehouse(s)
 	case *sql.CreateDynamicTableStmt:
-		return e.execCreateDynamicTable(s)
+		return x.execCreateDynamicTable(s)
 	case *sql.InsertStmt:
-		return e.execInsert(s)
+		return x.execInsert(s)
 	case *sql.UpdateStmt:
-		return e.execUpdate(s)
+		return x.execUpdate(s)
 	case *sql.DeleteStmt:
-		return e.execDelete(s)
+		return x.execDelete(s)
 	case *sql.DropStmt:
-		return e.execDrop(s)
+		return x.execDrop(s)
 	case *sql.UndropStmt:
-		return e.execUndrop(s)
+		return x.execUndrop(s)
 	case *sql.AlterStmt:
-		return e.execAlter(s)
+		return x.execAlter(s)
 	default:
 		return nil, fmt.Errorf("dyntables: unsupported statement %T", stmt)
 	}
@@ -110,26 +105,70 @@ func (e *Engine) execStmt(stmt sql.Statement) (*Result, error) {
 // SELECT
 // ---------------------------------------------------------------------------
 
-// execSelect implements the §4 read path: queries read the latest
-// committed version of every source (Read Committed). A query whose only
-// source is a single DT therefore observes one consistent snapshot as of
-// that DT's data timestamp (Snapshot Isolation); queries mixing several
-// DTs may observe different data timestamps per DT.
-func (e *Engine) execSelect(stmt *sql.SelectStmt) (*Result, error) {
-	bound, err := plan.NewBinder(e).BindSelect(stmt)
+// planSelect implements the §4 read path: queries read the latest
+// committed version of every source (Read Committed). Binding, privilege
+// checks and version pinning happen while the statement lock is held;
+// the returned pins let the cursor keep reading a consistent snapshot
+// after the lock is released. A query whose only source is a single DT
+// therefore observes one consistent snapshot as of that DT's data
+// timestamp (Snapshot Isolation); queries mixing several DTs may observe
+// different data timestamps per DT.
+func (x *executor) planSelect(stmt *sql.SelectStmt) (plan.Node, map[int64]int64, error) {
+	bound, err := plan.NewBinder(x.e).BindSelect(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := x.checkSelectPrivileges(bound); err != nil {
+		return nil, nil, err
+	}
+	p := plan.Optimize(bound.Plan)
+	pins := make(map[int64]int64)
+	for _, scan := range plan.Scans(p) {
+		id := scan.Table.ID()
+		if _, done := pins[id]; !done {
+			pins[id] = int64(scan.Table.VersionCount())
+		}
+	}
+	return p, pins, nil
+}
+
+// runContext builds the executor environment reading the pinned versions.
+func (x *executor) runContext(pins map[int64]int64) *exec.Context {
+	return &exec.Context{
+		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
+			seq, ok := pins[s.Table.ID()]
+			if !ok {
+				seq = int64(s.Table.VersionCount())
+			}
+			return s.Table.Rows(seq)
+		},
+		Now:    x.e.clk.Now(),
+		Params: x.params,
+		Ctx:    x.ctx,
+	}
+}
+
+// selectCursor opens a streaming cursor over a SELECT.
+func (x *executor) selectCursor(stmt *sql.SelectStmt) (*Rows, error) {
+	p, pins, err := x.planSelect(stmt)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.checkSelectPrivileges(bound); err != nil {
+	x.e.cursors.Add(1)
+	return &Rows{
+		cols: p.Schema().Names(),
+		it:   exec.Stream(p, x.runContext(pins)),
+		eng:  x.e,
+	}, nil
+}
+
+// execSelect materializes a SELECT into a Result.
+func (x *executor) execSelect(stmt *sql.SelectStmt) (*Result, error) {
+	p, pins, err := x.planSelect(stmt)
+	if err != nil {
 		return nil, err
 	}
-	p := plan.Optimize(bound.Plan)
-	rows, err := exec.Run(p, &exec.Context{
-		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
-			return s.Table.Rows(int64(s.Table.VersionCount()))
-		},
-		Now: e.clk.Now(),
-	})
+	rows, err := exec.Collect(exec.Stream(p, x.runContext(pins)))
 	if err != nil {
 		return nil, err
 	}
@@ -140,15 +179,16 @@ func (e *Engine) execSelect(stmt *sql.SelectStmt) (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) checkSelectPrivileges(bound *plan.Bound) error {
+func (x *executor) checkSelectPrivileges(bound *plan.Bound) error {
+	role := x.s.Role()
 	for entryID := range bound.Deps {
-		if !e.cat.HasPrivilege(entryID, catalog.PrivSelect, e.role) {
-			entry, err := e.cat.GetByID(entryID)
+		if !x.e.cat.HasPrivilege(entryID, catalog.PrivSelect, role) {
+			entry, err := x.e.cat.GetByID(entryID)
 			name := fmt.Sprintf("object %d", entryID)
 			if err == nil {
 				name = entry.Name
 			}
-			return fmt.Errorf("dyntables: role %q lacks SELECT on %s", e.role, name)
+			return fmt.Errorf("dyntables: role %q lacks SELECT on %s", role, name)
 		}
 	}
 	return nil
@@ -158,7 +198,8 @@ func (e *Engine) checkSelectPrivileges(bound *plan.Bound) error {
 // CREATE
 // ---------------------------------------------------------------------------
 
-func (e *Engine) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
+func (x *executor) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
+	e := x.e
 	now := e.txns.Now()
 	var table *storage.Table
 	var rows []exec.TRow
@@ -183,7 +224,7 @@ func (e *Engine) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
 		}
 		table = clone
 	case stmt.AsSelect != nil:
-		res, err := e.execSelect(stmt.AsSelect)
+		res, err := x.execSelect(stmt.AsSelect)
 		if err != nil {
 			return nil, err
 		}
@@ -210,9 +251,9 @@ func (e *Engine) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
 	payload := &tableObject{table: table}
 	var err error
 	if stmt.OrReplace {
-		_, err = e.cat.Replace(stmt.Name, payload, e.role, nil, e.txns.Now())
+		_, err = e.cat.Replace(stmt.Name, payload, x.s.Role(), nil, e.txns.Now())
 	} else {
-		_, err = e.cat.Create(stmt.Name, payload, e.role, nil, e.txns.Now())
+		_, err = e.cat.Create(stmt.Name, payload, x.s.Role(), nil, e.txns.Now())
 	}
 	if err != nil {
 		return nil, err
@@ -234,7 +275,8 @@ func (e *Engine) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
 	return &Result{Kind: "CREATE TABLE", Message: fmt.Sprintf("table %s created", stmt.Name)}, nil
 }
 
-func (e *Engine) execCreateView(stmt *sql.CreateViewStmt) (*Result, error) {
+func (x *executor) execCreateView(stmt *sql.CreateViewStmt) (*Result, error) {
+	e := x.e
 	// Validate the definition and capture dependencies.
 	bound, err := plan.NewBinder(e).BindSelect(stmt.Query)
 	if err != nil {
@@ -243,9 +285,9 @@ func (e *Engine) execCreateView(stmt *sql.CreateViewStmt) (*Result, error) {
 	deps := depIDs(bound.Deps)
 	payload := &viewObject{text: stmt.Text}
 	if stmt.OrReplace {
-		_, err = e.cat.Replace(stmt.Name, payload, e.role, deps, e.txns.Now())
+		_, err = e.cat.Replace(stmt.Name, payload, x.s.Role(), deps, e.txns.Now())
 	} else {
-		_, err = e.cat.Create(stmt.Name, payload, e.role, deps, e.txns.Now())
+		_, err = e.cat.Create(stmt.Name, payload, x.s.Role(), deps, e.txns.Now())
 	}
 	if err != nil {
 		return nil, err
@@ -262,7 +304,8 @@ func depIDs(deps map[int64]int64) []int64 {
 	return out
 }
 
-func (e *Engine) execCreateWarehouse(stmt *sql.CreateWarehouseStmt) (*Result, error) {
+func (x *executor) execCreateWarehouse(stmt *sql.CreateWarehouseStmt) (*Result, error) {
+	e := x.e
 	size, err := warehouse.ParseSize(stmt.Size)
 	if err != nil {
 		return nil, err
@@ -287,16 +330,17 @@ func (e *Engine) execCreateWarehouse(stmt *sql.CreateWarehouseStmt) (*Result, er
 		return nil, err
 	}
 	if !e.cat.Exists(stmt.Name) {
-		if _, err := e.cat.Create(stmt.Name, &warehouseObject{wh: wh}, e.role, nil, e.txns.Now()); err != nil {
+		if _, err := e.cat.Create(stmt.Name, &warehouseObject{wh: wh}, x.s.Role(), nil, e.txns.Now()); err != nil {
 			return nil, err
 		}
 	}
 	return &Result{Kind: "CREATE WAREHOUSE", Message: fmt.Sprintf("warehouse %s created", stmt.Name)}, nil
 }
 
-func (e *Engine) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result, error) {
+func (x *executor) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result, error) {
+	e := x.e
 	if stmt.CloneOf != "" {
-		return e.cloneDynamicTable(stmt)
+		return x.cloneDynamicTable(stmt)
 	}
 	if stmt.Warehouse == "" {
 		return nil, fmt.Errorf("dyntables: dynamic table %s requires WAREHOUSE", stmt.Name)
@@ -328,9 +372,9 @@ func (e *Engine) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Resu
 				e.ctrl.Unregister(oldDT)
 			}
 		}
-		entry, err = e.cat.Replace(stmt.Name, dt, e.role, deps, e.txns.Now())
+		entry, err = e.cat.Replace(stmt.Name, dt, x.s.Role(), deps, e.txns.Now())
 	} else {
-		entry, err = e.cat.Create(stmt.Name, dt, e.role, deps, e.txns.Now())
+		entry, err = e.cat.Create(stmt.Name, dt, x.s.Role(), deps, e.txns.Now())
 	}
 	if err != nil {
 		return nil, err
@@ -361,7 +405,8 @@ func (e *Engine) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Resu
 // cloneDynamicTable implements CREATE DYNAMIC TABLE x CLONE y (§3.4):
 // metadata-only copy of contents; the clone keeps the source's frontier so
 // it avoids reinitialization.
-func (e *Engine) cloneDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result, error) {
+func (x *executor) cloneDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result, error) {
+	e := x.e
 	_, src, err := e.dynamicTable(stmt.CloneOf)
 	if err != nil {
 		return nil, err
@@ -379,7 +424,7 @@ func (e *Engine) cloneDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	entry, err := e.cat.Create(stmt.Name, clone, e.role, depIDs(bound.Deps), e.txns.Now())
+	entry, err := e.cat.Create(stmt.Name, clone, x.s.Role(), depIDs(bound.Deps), e.txns.Now())
 	if err != nil {
 		return nil, err
 	}
@@ -426,16 +471,16 @@ func (e *Engine) refreshAt(dt *core.DynamicTable, dataTS time.Time) error {
 	return nil
 }
 
-// ManualRefresh refreshes a DT (and, as needed, its upstream DTs) at a
-// data timestamp chosen after the command was issued (§3.1.2). Requires
-// the OPERATE privilege.
-func (e *Engine) ManualRefresh(name string) error {
+// manualRefresh implements Session.ManualRefresh under the statement lock.
+func (x *executor) manualRefresh(name string) error {
+	e := x.e
 	entry, dt, err := e.dynamicTable(name)
 	if err != nil {
 		return err
 	}
-	if !e.cat.HasPrivilege(entry.ID, catalog.PrivOperate, e.role) {
-		return fmt.Errorf("dyntables: role %q lacks OPERATE on %s", e.role, name)
+	role := x.s.Role()
+	if !e.cat.HasPrivilege(entry.ID, catalog.PrivOperate, role) {
+		return fmt.Errorf("dyntables: role %q lacks OPERATE on %s", role, name)
 	}
 	return e.refreshAt(dt, e.clk.Now())
 }
@@ -444,7 +489,8 @@ func (e *Engine) ManualRefresh(name string) error {
 // DML
 // ---------------------------------------------------------------------------
 
-func (e *Engine) execInsert(stmt *sql.InsertStmt) (*Result, error) {
+func (x *executor) execInsert(stmt *sql.InsertStmt) (*Result, error) {
+	e := x.e
 	_, table, err := e.baseTable(stmt.Table)
 	if err != nil {
 		return nil, err
@@ -467,11 +513,15 @@ func (e *Engine) execInsert(stmt *sql.InsertStmt) (*Result, error) {
 		}
 	}
 
+	ev := &plan.EvalContext{Now: e.clk.Now(), Params: x.params}
 	var newRows []types.Row
 	switch {
 	case len(stmt.Rows) > 0:
 		binder := plan.NewBinder(e)
 		for _, exprs := range stmt.Rows {
+			if err := x.canceled(); err != nil {
+				return nil, err
+			}
 			if len(exprs) != len(targets) {
 				return nil, fmt.Errorf("dyntables: INSERT has %d values for %d columns", len(exprs), len(targets))
 			}
@@ -481,7 +531,7 @@ func (e *Engine) execInsert(stmt *sql.InsertStmt) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				v, err := plan.Eval(bound, nil, &plan.EvalContext{Now: e.clk.Now()})
+				v, err := plan.Eval(bound, nil, ev)
 				if err != nil {
 					return nil, err
 				}
@@ -494,7 +544,7 @@ func (e *Engine) execInsert(stmt *sql.InsertStmt) (*Result, error) {
 			newRows = append(newRows, row)
 		}
 	case stmt.Query != nil:
-		res, err := e.execSelect(stmt.Query)
+		res, err := x.execSelect(stmt.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -551,7 +601,8 @@ func coerce(v types.Value, kind types.Kind) (types.Value, error) {
 	return types.Cast(v, kind)
 }
 
-func (e *Engine) execUpdate(stmt *sql.UpdateStmt) (*Result, error) {
+func (x *executor) execUpdate(stmt *sql.UpdateStmt) (*Result, error) {
+	e := x.e
 	_, table, err := e.baseTable(stmt.Table)
 	if err != nil {
 		return nil, err
@@ -569,10 +620,14 @@ func (e *Engine) execUpdate(stmt *sql.UpdateStmt) (*Result, error) {
 		tx.Abort()
 		return nil, err
 	}
-	ev := &plan.EvalContext{Now: e.clk.Now()}
+	ev := &plan.EvalContext{Now: e.clk.Now(), Params: x.params}
 	var cs delta.ChangeSet
 	affected := 0
 	for id, row := range rows {
+		if err := x.canceled(); err != nil {
+			tx.Abort()
+			return nil, err
+		}
 		if where != nil {
 			ok, err := plan.EvalBool(where, row, ev)
 			if err != nil {
@@ -613,7 +668,8 @@ func (e *Engine) execUpdate(stmt *sql.UpdateStmt) (*Result, error) {
 	return &Result{Kind: "UPDATE", RowsAffected: affected}, nil
 }
 
-func (e *Engine) execDelete(stmt *sql.DeleteStmt) (*Result, error) {
+func (x *executor) execDelete(stmt *sql.DeleteStmt) (*Result, error) {
+	e := x.e
 	_, table, err := e.baseTable(stmt.Table)
 	if err != nil {
 		return nil, err
@@ -630,9 +686,13 @@ func (e *Engine) execDelete(stmt *sql.DeleteStmt) (*Result, error) {
 		tx.Abort()
 		return nil, err
 	}
-	ev := &plan.EvalContext{Now: e.clk.Now()}
+	ev := &plan.EvalContext{Now: e.clk.Now(), Params: x.params}
 	var cs delta.ChangeSet
 	for id, row := range rows {
+		if err := x.canceled(); err != nil {
+			tx.Abort()
+			return nil, err
+		}
 		if where != nil {
 			ok, err := plan.EvalBool(where, row, ev)
 			if err != nil {
@@ -660,7 +720,8 @@ func (e *Engine) execDelete(stmt *sql.DeleteStmt) (*Result, error) {
 // DROP / UNDROP / ALTER
 // ---------------------------------------------------------------------------
 
-func (e *Engine) execDrop(stmt *sql.DropStmt) (*Result, error) {
+func (x *executor) execDrop(stmt *sql.DropStmt) (*Result, error) {
+	e := x.e
 	entry, err := e.cat.Get(stmt.Name)
 	if err != nil {
 		return nil, err
@@ -674,7 +735,8 @@ func (e *Engine) execDrop(stmt *sql.DropStmt) (*Result, error) {
 	return &Result{Kind: "DROP", Message: fmt.Sprintf("%s %s dropped", stmt.Kind, stmt.Name)}, nil
 }
 
-func (e *Engine) execUndrop(stmt *sql.UndropStmt) (*Result, error) {
+func (x *executor) execUndrop(stmt *sql.UndropStmt) (*Result, error) {
+	e := x.e
 	entry, err := e.cat.Undrop(stmt.Name, e.txns.Now())
 	if err != nil {
 		return nil, err
@@ -685,7 +747,8 @@ func (e *Engine) execUndrop(stmt *sql.UndropStmt) (*Result, error) {
 	return &Result{Kind: "UNDROP", Message: fmt.Sprintf("%s %s restored", stmt.Kind, stmt.Name)}, nil
 }
 
-func (e *Engine) execAlter(stmt *sql.AlterStmt) (*Result, error) {
+func (x *executor) execAlter(stmt *sql.AlterStmt) (*Result, error) {
+	e := x.e
 	switch stmt.Action {
 	case "RENAME":
 		if entry, err := e.cat.Get(stmt.Name); err == nil {
@@ -707,8 +770,9 @@ func (e *Engine) execAlter(stmt *sql.AlterStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !e.cat.HasPrivilege(entry.ID, catalog.PrivOperate, e.role) {
-			return nil, fmt.Errorf("dyntables: role %q lacks OPERATE on %s", e.role, stmt.Name)
+		role := x.s.Role()
+		if !e.cat.HasPrivilege(entry.ID, catalog.PrivOperate, role) {
+			return nil, fmt.Errorf("dyntables: role %q lacks OPERATE on %s", role, stmt.Name)
 		}
 		switch stmt.Action {
 		case "SUSPEND":
@@ -746,14 +810,16 @@ type DynamicTableStatus struct {
 	History       []core.RefreshRecord
 }
 
-// Describe returns a DT's monitoring snapshot.
-func (e *Engine) Describe(name string) (*DynamicTableStatus, error) {
+// describe implements Session.Describe under the statement lock.
+func (x *executor) describe(name string) (*DynamicTableStatus, error) {
+	e := x.e
 	entry, dt, err := e.dynamicTable(name)
 	if err != nil {
 		return nil, err
 	}
-	if !e.cat.HasPrivilege(entry.ID, catalog.PrivMonitor, e.role) {
-		return nil, fmt.Errorf("dyntables: role %q lacks MONITOR on %s", e.role, name)
+	role := x.s.Role()
+	if !e.cat.HasPrivilege(entry.ID, catalog.PrivMonitor, role) {
+		return nil, fmt.Errorf("dyntables: role %q lacks MONITOR on %s", role, name)
 	}
 	return &DynamicTableStatus{
 		Name:          dt.Name,
@@ -772,6 +838,8 @@ func (e *Engine) Describe(name string) (*DynamicTableStatus, error) {
 // must equal its defining query evaluated as of its data timestamp — the
 // randomized-testing oracle of §6.1.
 func (e *Engine) CheckDVS(name string) error {
+	e.stmtMu.RLock()
+	defer e.stmtMu.RUnlock()
 	_, dt, err := e.dynamicTable(name)
 	if err != nil {
 		return err
