@@ -8,17 +8,23 @@
 //	.dvs name          check delayed view semantics for a dynamic table
 //	.role name         switch the session role
 //	.warehouses        print warehouse billing
+//	.checkpoint        force a snapshot checkpoint (durable engines)
 //
 // Statements run on a session with a cancelable context: Ctrl-C aborts
 // the running statement (the scan stops mid-stream) without killing the
 // shell.
 //
-// Usage: dtshell [script.sql]   (reads stdin when no file is given)
+// With -data DIR the engine is durable: state is write-ahead-logged and
+// checkpointed under DIR, survives exit, and is recovered on the next
+// start.
+//
+// Usage: dtshell [-data dir] [script.sql]   (reads stdin when no file is given)
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -31,9 +37,12 @@ import (
 )
 
 func main() {
+	dataDir := flag.String("data", "", "data directory for a durable engine (empty = in-memory)")
+	flag.Parse()
+
 	var in io.Reader = os.Stdin
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,13 +50,28 @@ func main() {
 		in = f
 	}
 
-	eng := dyntables.New()
+	var eng *dyntables.Engine
+	if *dataDir != "" {
+		var err error
+		eng, err = dyntables.Open(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("durable engine at %s (recovered to %s)\n", *dataDir, eng.Now().Format(time.RFC3339))
+	} else {
+		eng = dyntables.New()
+	}
+	defer func() {
+		if err := eng.Close(); err != nil {
+			log.Println("close:", err)
+		}
+	}()
 	sess := eng.NewSession()
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 
 	var pending strings.Builder
-	interactive := len(os.Args) == 1
+	interactive := flag.NArg() == 0
 	if interactive {
 		fmt.Print("dyntables> ")
 	}
@@ -75,7 +99,8 @@ func main() {
 		execute(sess, pending.String())
 	}
 	if err := scanner.Err(); err != nil {
-		log.Fatal(err)
+		// Not log.Fatal: the deferred Close must still flush the WAL.
+		log.Println(err)
 	}
 }
 
@@ -205,6 +230,12 @@ func directive(eng *dyntables.Engine, sess *dyntables.Session, line string) {
 			fmt.Printf("%s: size=%s billed=%s credits=%.4f resumes=%d\n",
 				wh.Name, wh.Size, wh.BilledTime().Truncate(time.Second), wh.Credits(), wh.Resumes())
 		}
+	case ".checkpoint":
+		if err := eng.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("checkpoint written")
 	default:
 		fmt.Println("unknown directive", fields[0])
 	}

@@ -1,0 +1,1159 @@
+package dyntables
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/core"
+	"dyntables/internal/hlc"
+	"dyntables/internal/ivm"
+	"dyntables/internal/persist"
+	"dyntables/internal/sql"
+	"dyntables/internal/storage"
+	"dyntables/internal/types"
+	"dyntables/internal/warehouse"
+)
+
+// DefaultCheckpointEvery is how many WAL records may accumulate before a
+// durable engine folds them into a snapshot checkpoint.
+const DefaultCheckpointEvery = 256
+
+// ErrClosed is returned by operations on a closed engine or session.
+var ErrClosed = errors.New("dyntables: engine is closed")
+
+func (e *Engine) checkOpen() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// persister is the engine-side durability glue: it assigns stable table
+// keys (process-local storage IDs change across restarts), observes
+// storage commits, frontier advances and grants, and appends WAL records
+// for them. It also owns checkpoint assembly and WAL replay.
+type persister struct {
+	eng *Engine
+	wal *persist.WAL
+	dir string
+
+	mu             sync.Mutex
+	keyByStorageID map[int64]int64
+	tableByKey     map[int64]*storage.Table
+	nextKey        int64
+	// err is the first WAL append failure; surfaced at Close/Checkpoint
+	// because commit hooks have no error channel.
+	err error
+
+	// replaying suppresses record emission while recovery replays the
+	// log through the very same engine mutation paths.
+	replaying atomic.Bool
+}
+
+// registerTable assigns a fresh stable key to a storage table and hooks
+// its commit sink.
+func (p *persister) registerTable(t *storage.Table) int64 {
+	p.mu.Lock()
+	p.nextKey++
+	key := p.nextKey
+	p.keyByStorageID[t.ID()] = key
+	p.tableByKey[key] = t
+	p.mu.Unlock()
+	t.SetCommitSink(p)
+	return key
+}
+
+// registerRestoredTable installs a recovered table under its original key.
+func (p *persister) registerRestoredTable(key int64, t *storage.Table) {
+	p.mu.Lock()
+	p.keyByStorageID[t.ID()] = key
+	p.tableByKey[key] = t
+	if key > p.nextKey {
+		p.nextKey = key
+	}
+	p.mu.Unlock()
+	t.SetCommitSink(p)
+}
+
+// deregisterTable forgets a storage table superseded by CREATE OR
+// REPLACE: its chain stops being checkpointed and its commits stop being
+// logged (nothing can reference it again — replaced entries have no
+// graveyard).
+func (p *persister) deregisterTable(t *storage.Table) {
+	t.SetCommitSink(nil)
+	p.mu.Lock()
+	if key, ok := p.keyByStorageID[t.ID()]; ok {
+		delete(p.keyByStorageID, t.ID())
+		delete(p.tableByKey, key)
+	}
+	p.mu.Unlock()
+}
+
+// deregisterReplacedPayload drops the storage table behind a catalog
+// entry that is about to be replaced, if any.
+func (e *Engine) deregisterReplacedPayload(name string) {
+	if e.pers == nil {
+		return
+	}
+	entry, err := e.cat.Get(name)
+	if err != nil {
+		return
+	}
+	switch payload := entry.Payload.(type) {
+	case *tableObject:
+		e.pers.deregisterTable(payload.table)
+	case *core.DynamicTable:
+		e.pers.deregisterTable(payload.Storage)
+	}
+}
+
+func (p *persister) keyOf(storageID int64) (int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key, ok := p.keyByStorageID[storageID]
+	return key, ok
+}
+
+func (p *persister) table(key int64) (*storage.Table, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tableByKey[key]
+	return t, ok
+}
+
+// append writes a record, capturing the first failure.
+func (p *persister) append(rec *persist.Record) {
+	if p.replaying.Load() {
+		return
+	}
+	if err := p.wal.Append(rec); err != nil {
+		p.mu.Lock()
+		if p.err == nil {
+			p.err = err
+		}
+		p.mu.Unlock()
+	}
+}
+
+// TableCommitted implements storage.CommitSink: every committed version
+// becomes a WAL commit record. Called with the table lock held.
+func (p *persister) TableCommitted(t *storage.Table, v *storage.Version, schema types.Schema) {
+	if p.replaying.Load() {
+		return
+	}
+	key, ok := p.keyOf(t.ID())
+	if !ok {
+		return // table never registered (not reachable from the catalog)
+	}
+	rec := &persist.Record{Kind: persist.KindCommit, Commit: &persist.CommitRecord{
+		TableKey: key,
+		Commit:   v.Commit,
+		Schema:   persist.EncodeSchema(schema),
+	}}
+	switch {
+	case v.Overwrite:
+		rec.Commit.Kind = persist.CommitOverwrite
+		rows, err := persist.EncodeRowMap(v.Snapshot)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		rec.Commit.Rows = rows
+	case v.DataEquivalent:
+		rec.Commit.Kind = persist.CommitDataEquiv
+	default:
+		rec.Commit.Kind = persist.CommitApply
+		changes, err := persist.EncodeChangeSet(v.Changes)
+		if err != nil {
+			p.fail(err)
+			return
+		}
+		rec.Commit.Changes = changes
+	}
+	p.append(rec)
+}
+
+// FrontierAdvanced implements core.FrontierSink: every refresh completion
+// becomes a WAL frontier record keyed by stable table keys.
+func (p *persister) FrontierAdvanced(dt *core.DynamicTable, u core.FrontierUpdate) {
+	if p.replaying.Load() {
+		return
+	}
+	versions := make(map[int64]int64, len(u.Versions))
+	for storageID, seq := range u.Versions {
+		if key, ok := p.keyOf(storageID); ok {
+			versions[key] = seq
+		}
+	}
+	p.append(&persist.Record{Kind: persist.KindFrontier, Frontier: &persist.FrontierRecord{
+		EntryID:           dt.EntryID,
+		DataTSMicros:      u.DataTS.UnixMicro(),
+		Versions:          versions,
+		VersionSeq:        u.VersionSeq,
+		Commit:            u.Commit,
+		Deps:              u.Deps,
+		SchemaFingerprint: u.SchemaFingerprint,
+		Initialized:       u.Initialized,
+	}})
+}
+
+// grantChanged implements catalog.GrantSink.
+func (p *persister) grantChanged(objectID int64, priv catalog.Privilege, role string, revoked bool) {
+	p.append(&persist.Record{Kind: persist.KindGrant, Grant: &persist.GrantRecord{
+		ObjectID:  objectID,
+		Privilege: int(priv),
+		Role:      role,
+		Revoked:   revoked,
+	}})
+}
+
+func (p *persister) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *persister) firstErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// ---------------------------------------------------------------------------
+// Open / recovery
+// ---------------------------------------------------------------------------
+
+// Open creates or recovers a durable engine rooted at dir. An empty or
+// missing directory starts a fresh engine whose state survives Close and
+// process exit; a directory with a snapshot and/or WAL is recovered by
+// loading the snapshot and replaying the log tail (a torn final record
+// from a crash is truncated). Recovery restores the catalog, every
+// table's full version chain, and each DT's refresh frontier, so the
+// next scheduled refresh resumes incrementally — no forced full refresh.
+func Open(dir string, opts ...Option) (*Engine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dyntables: create data dir: %w", err)
+	}
+	snap, err := persist.ReadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	afterSeq := int64(0)
+	if snap != nil {
+		afterSeq = snap.WalSeq
+	}
+	wal, records, err := persist.OpenWAL(dir, afterSeq)
+	if err != nil {
+		return nil, err
+	}
+
+	if snap != nil {
+		// Resume the virtual clock where the previous process left it.
+		opts = append([]Option{WithOrigin(time.UnixMicro(snap.NowMicros).UTC()),
+			WithSchedulerPhase(time.Duration(snap.PhaseMicros) * time.Microsecond)}, opts...)
+	}
+	e := New(opts...)
+	p := &persister{
+		eng:            e,
+		wal:            wal,
+		dir:            dir,
+		keyByStorageID: make(map[int64]int64),
+		tableByKey:     make(map[int64]*storage.Table),
+	}
+	p.replaying.Store(true)
+	e.pers = p
+
+	if snap != nil {
+		if err := e.restoreSnapshot(snap); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	for i := range records {
+		rec := &records[i]
+		if snap != nil && rec.Seq <= snap.WalSeq {
+			continue // already folded into the snapshot
+		}
+		if err := e.replayRecord(rec); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("dyntables: replay WAL record %d (%s): %w", rec.Seq, rec.Kind, err)
+		}
+	}
+
+	// Advance the HLC past every recovered commit so new commits keep
+	// ordering forward.
+	maxCommit := hlc.Zero
+	p.mu.Lock()
+	for _, t := range p.tableByKey {
+		if c := t.LatestVersion().Commit; maxCommit.Less(c) {
+			maxCommit = c
+		}
+	}
+	p.mu.Unlock()
+	if !maxCommit.IsZero() {
+		e.txns.Clock().Update(maxCommit)
+	}
+
+	p.replaying.Store(false)
+	e.ctrl.SetFrontierSink(p)
+	e.cat.SetGrantSink(p.grantChanged)
+	return e, nil
+}
+
+// restoreSnapshot installs checkpointed state into a freshly constructed
+// engine.
+func (e *Engine) restoreSnapshot(snap *persist.Snapshot) error {
+	p := e.pers
+
+	// Storage: rebuild every table under its stable key.
+	for _, ts := range snap.Tables {
+		t, err := persist.DecodeTable(ts)
+		if err != nil {
+			return err
+		}
+		p.registerRestoredTable(ts.Key, t)
+	}
+	if snap.TableSeq > p.nextKey {
+		p.nextKey = snap.TableSeq
+	}
+
+	// Warehouses: configuration plus billing state.
+	for _, ws := range snap.Warehouses {
+		wh, err := e.pool.Create(ws.Name, warehouse.Size(ws.Size), time.Duration(ws.AutoSuspend)*time.Microsecond)
+		if err != nil {
+			return err
+		}
+		wh.RestoreState(warehouse.State{
+			BusyUntil: time.UnixMicro(ws.BusyUntilUS).UTC(),
+			EverUsed:  ws.EverUsed,
+			Billed:    time.Duration(ws.BilledUS) * time.Microsecond,
+			Resumes:   ws.Resumes,
+		})
+	}
+
+	// Catalog: live entries by ID, then dropped entries in drop order so
+	// UNDROP pops the most recently dropped first.
+	entries := append([]persist.EntryState(nil), snap.Entries...)
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Dropped != b.Dropped {
+			return !a.Dropped
+		}
+		if a.Dropped {
+			if a.DroppedAt != b.DroppedAt {
+				return a.DroppedAt.Less(b.DroppedAt)
+			}
+		}
+		return a.ID < b.ID
+	})
+	for _, es := range entries {
+		entry := &catalog.Entry{
+			ID:         es.ID,
+			Name:       es.Name,
+			Kind:       catalog.ObjectKind(es.Kind),
+			Owner:      es.Owner,
+			DependsOn:  append([]int64(nil), es.DependsOn...),
+			Generation: es.Generation,
+			Dropped:    es.Dropped,
+			DroppedAt:  es.DroppedAt,
+		}
+		switch entry.Kind {
+		case catalog.KindTable:
+			t, ok := p.table(es.TableKey)
+			if !ok {
+				return fmt.Errorf("dyntables: snapshot entry %s references unknown table key %d", es.Name, es.TableKey)
+			}
+			entry.Payload = &tableObject{table: t}
+		case catalog.KindView:
+			entry.Payload = &viewObject{text: es.ViewText}
+		case catalog.KindWarehouse:
+			wh, err := e.pool.Get(es.Warehouse)
+			if err != nil {
+				return err
+			}
+			entry.Payload = &warehouseObject{wh: wh}
+		case catalog.KindDynamicTable:
+			if es.DT == nil {
+				return fmt.Errorf("dyntables: snapshot entry %s has no DT state", es.Name)
+			}
+			dt, err := e.restoreDT(es.ID, es.DT)
+			if err != nil {
+				return err
+			}
+			entry.Payload = dt
+		default:
+			return fmt.Errorf("dyntables: snapshot entry %s has unknown kind %d", es.Name, es.Kind)
+		}
+		if err := e.cat.RestoreEntry(entry); err != nil {
+			return err
+		}
+		if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+			e.ctrl.Register(dt)
+			if !entry.Dropped {
+				e.sch.Track(dt)
+			}
+		}
+	}
+	e.cat.RestoreCounters(snap.NextCatalogID, snap.DDLSeq)
+	ddl := make([]catalog.DDLRecord, len(snap.DDLLog))
+	for i, d := range snap.DDLLog {
+		ddl[i] = catalog.DDLRecord{Seq: d.Seq, TS: d.TS, Op: d.Op,
+			Kind: catalog.ObjectKind(d.Kind), ID: d.ID, Name: d.Name, Detail: d.Detail}
+	}
+	e.cat.RestoreDDLLog(ddl)
+	for _, g := range snap.Grants {
+		e.cat.Grant(g.ObjectID, catalog.Privilege(g.Privilege), g.Role)
+	}
+
+	// Scheduler cadence: keep the original epoch and phase so canonical
+	// fire instants stay aligned across the restart.
+	e.sch.Restore(time.UnixMicro(snap.EpochMicros).UTC(),
+		time.Duration(snap.PhaseMicros)*time.Microsecond,
+		time.UnixMicro(snap.CursorMicros).UTC())
+	if e.vclk != nil {
+		e.vclk.AdvanceTo(time.UnixMicro(snap.NowMicros).UTC())
+	}
+	return nil
+}
+
+// restoreDT rebuilds a dynamic table payload from its checkpointed state.
+func (e *Engine) restoreDT(entryID int64, st *persist.DTState) (*core.DynamicTable, error) {
+	p := e.pers
+	tbl, ok := p.table(st.TableKey)
+	if !ok {
+		return nil, fmt.Errorf("dyntables: DT %s references unknown table key %d", st.Name, st.TableKey)
+	}
+	dt := core.RestoreDynamicTable(st.Name, st.Text,
+		sql.TargetLag{Kind: sql.TargetLagKind(st.LagKind), Duration: time.Duration(st.LagMicros) * time.Microsecond},
+		st.Warehouse, sql.RefreshMode(st.DeclaredMode), sql.RefreshMode(st.EffectiveMode), tbl)
+	dt.EntryID = entryID
+
+	cp := core.DTCheckpoint{
+		Suspended:         st.Suspended,
+		Initialized:       st.Initialized,
+		ErrorCount:        st.ErrorCount,
+		Deps:              st.Deps,
+		SchemaFingerprint: st.SchemaFingerprint,
+		VersionByDataTS:   st.VersionByDataTS,
+		CommitByDataTS:    st.CommitByDataTS,
+	}
+	cp.Frontier = core.Frontier{
+		DataTS:   time.UnixMicro(st.FrontierTSMicros).UTC(),
+		Versions: ivm.VersionMap{},
+	}
+	if st.FrontierTSMicros == 0 {
+		cp.Frontier.DataTS = time.Time{}
+	}
+	for key, seq := range st.FrontierVersions {
+		src, ok := p.table(key)
+		if !ok {
+			return nil, fmt.Errorf("dyntables: DT %s frontier references unknown table key %d", st.Name, key)
+		}
+		cp.Frontier.Versions[src.ID()] = seq
+	}
+	for _, h := range st.History {
+		rec := core.RefreshRecord{
+			DataTS:            time.UnixMicro(h.DataTSMicros).UTC(),
+			Action:            core.RefreshAction(h.Action),
+			Inserted:          h.Inserted,
+			Deleted:           h.Deleted,
+			RowsAfter:         h.RowsAfter,
+			SourceRowsScanned: h.SourceRowsScanned,
+		}
+		if h.Err != "" {
+			rec.Err = errors.New(h.Err)
+		}
+		cp.History = append(cp.History, rec)
+	}
+	dt.RestoreState(cp)
+	return dt, nil
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay
+// ---------------------------------------------------------------------------
+
+func (e *Engine) replayRecord(rec *persist.Record) error {
+	switch rec.Kind {
+	case persist.KindCreateTable:
+		return e.replayCreateTable(rec.CreateTable)
+	case persist.KindCreateView:
+		return e.replayCreateView(rec.CreateView)
+	case persist.KindCreateWh:
+		return e.replayCreateWarehouse(rec.CreateWh)
+	case persist.KindCreateDT:
+		return e.replayCreateDT(rec.CreateDT)
+	case persist.KindDrop:
+		return e.replayDrop(rec.Drop)
+	case persist.KindUndrop:
+		return e.replayUndrop(rec.Undrop)
+	case persist.KindRename:
+		if entry, err := e.cat.Get(rec.Rename.Name); err == nil {
+			if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+				dt.Name = rec.Rename.Target
+			}
+		}
+		return e.cat.Rename(rec.Rename.Name, rec.Rename.Target, rec.Rename.TS)
+	case persist.KindSwap:
+		return e.cat.Swap(rec.Swap.Name, rec.Swap.Target, rec.Swap.TS)
+	case persist.KindAlterDT:
+		return e.replayAlterDT(rec.AlterDT)
+	case persist.KindGrant:
+		g := rec.Grant
+		if g.Revoked {
+			e.cat.Revoke(g.ObjectID, catalog.Privilege(g.Privilege), g.Role)
+		} else {
+			e.cat.Grant(g.ObjectID, catalog.Privilege(g.Privilege), g.Role)
+		}
+		return nil
+	case persist.KindCommit:
+		return e.replayCommit(rec.Commit)
+	case persist.KindFrontier:
+		return e.replayFrontier(rec.Frontier)
+	case persist.KindClock:
+		if e.vclk != nil {
+			e.vclk.AdvanceTo(time.UnixMicro(rec.Clock.NowMicros).UTC())
+		}
+		e.sch.Restore(e.sch.Epoch(), e.sch.Phase(), time.UnixMicro(rec.Clock.CursorMicros).UTC())
+		return nil
+	default:
+		return fmt.Errorf("dyntables: unknown WAL record kind %q", rec.Kind)
+	}
+}
+
+// replayCatalogInstall mirrors the Create/Replace split of the live DDL
+// paths and verifies that replay reproduced the original entry ID: the
+// allocator is deterministic, so a mismatch means the log is corrupt.
+func (e *Engine) replayCatalogInstall(name string, payload catalog.Object, owner string,
+	deps []int64, ts hlc.Timestamp, orReplace bool, wantID int64) (*catalog.Entry, error) {
+	var entry *catalog.Entry
+	var err error
+	if orReplace {
+		e.deregisterReplacedPayload(name)
+		entry, err = e.cat.Replace(name, payload, owner, deps, ts)
+	} else {
+		entry, err = e.cat.Create(name, payload, owner, deps, ts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if wantID != 0 && entry.ID != wantID {
+		return nil, fmt.Errorf("dyntables: replay assigned entry ID %d, log expects %d", entry.ID, wantID)
+	}
+	return entry, nil
+}
+
+func (e *Engine) replayCreateTable(rec *persist.CreateTableRecord) error {
+	var t *storage.Table
+	if rec.CloneOfKey != 0 {
+		src, ok := e.pers.table(rec.CloneOfKey)
+		if !ok {
+			return fmt.Errorf("dyntables: clone source table key %d unknown", rec.CloneOfKey)
+		}
+		clone, err := src.Clone(rec.CloneAt)
+		if err != nil {
+			return err
+		}
+		t = clone
+	} else {
+		t = storage.NewTable(persist.DecodeSchema(rec.Schema), rec.CreatedAt)
+	}
+	e.pers.registerRestoredTable(rec.TableKey, t)
+	_, err := e.replayCatalogInstall(rec.Name, &tableObject{table: t}, rec.Owner, nil,
+		rec.CreatedAt, rec.OrReplace, rec.EntryID)
+	return err
+}
+
+func (e *Engine) replayCreateView(rec *persist.CreateViewRecord) error {
+	_, err := e.replayCatalogInstall(rec.Name, &viewObject{text: rec.Text}, rec.Owner,
+		rec.Deps, rec.CreatedAt, rec.OrReplace, rec.EntryID)
+	return err
+}
+
+func (e *Engine) replayCreateWarehouse(rec *persist.CreateWhRecord) error {
+	wh, err := e.pool.Create(rec.Name, warehouse.Size(rec.Size), time.Duration(rec.AutoSuspend)*time.Microsecond)
+	if err != nil {
+		if rec.OrReplace {
+			existing, gerr := e.pool.Get(rec.Name)
+			if gerr != nil {
+				return err
+			}
+			existing.Size = warehouse.Size(rec.Size)
+			existing.AutoSuspend = time.Duration(rec.AutoSuspend) * time.Microsecond
+			return nil
+		}
+		return err
+	}
+	if !e.cat.Exists(rec.Name) {
+		if _, err := e.replayCatalogInstall(rec.Name, &warehouseObject{wh: wh}, rec.Owner,
+			nil, rec.CreatedAt, false, rec.EntryID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) replayCreateDT(rec *persist.CreateDTRecord) error {
+	lag := sql.TargetLag{Kind: sql.TargetLagKind(rec.LagKind), Duration: time.Duration(rec.LagMicros) * time.Microsecond}
+	var dt *core.DynamicTable
+	if rec.CloneOf != "" {
+		_, src, err := e.dynamicTable(rec.CloneOf)
+		if err != nil {
+			return err
+		}
+		clone, err := src.CloneAt(rec.CloneAt)
+		if err != nil {
+			return err
+		}
+		clone.Name = rec.Name
+		clone.Lag = lag
+		dt = clone
+	} else {
+		dt = core.RestoreDynamicTable(rec.Name, rec.Text, lag, rec.Warehouse,
+			sql.RefreshMode(rec.DeclaredMode), sql.RefreshMode(rec.EffectiveMode),
+			storage.NewTable(persist.DecodeSchema(rec.Schema), rec.CreatedAt))
+	}
+	if rec.OrReplace {
+		if old, derr := e.cat.Get(rec.Name); derr == nil {
+			if oldDT, ok := old.Payload.(*core.DynamicTable); ok {
+				e.sch.Untrack(oldDT)
+				e.ctrl.Unregister(oldDT)
+			}
+		}
+	}
+	e.pers.registerRestoredTable(rec.TableKey, dt.Storage)
+	entry, err := e.replayCatalogInstall(rec.Name, dt, rec.Owner, rec.Deps,
+		rec.CreatedAt, rec.OrReplace, rec.EntryID)
+	if err != nil {
+		return err
+	}
+	dt.EntryID = entry.ID
+	e.ctrl.Register(dt)
+	e.sch.Track(dt)
+	return nil
+}
+
+func (e *Engine) replayDrop(rec *persist.DropRecord) error {
+	if entry, err := e.cat.Get(rec.Name); err == nil {
+		if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+			e.sch.Untrack(dt)
+		}
+	}
+	return e.cat.Drop(rec.Name, rec.TS)
+}
+
+func (e *Engine) replayUndrop(rec *persist.DropRecord) error {
+	entry, err := e.cat.Undrop(rec.Name, rec.TS)
+	if err != nil {
+		return err
+	}
+	if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+		e.sch.Track(dt)
+	}
+	return nil
+}
+
+func (e *Engine) replayAlterDT(rec *persist.AlterDTRecord) error {
+	_, dt, err := e.dynamicTable(rec.Name)
+	if err != nil {
+		return err
+	}
+	switch rec.Action {
+	case "SUSPEND":
+		dt.Suspend()
+	case "RESUME":
+		dt.Resume()
+	case "SET_LAG":
+		dt.Lag = sql.TargetLag{Kind: sql.TargetLagKind(rec.LagKind), Duration: time.Duration(rec.LagMicros) * time.Microsecond}
+	default:
+		return fmt.Errorf("dyntables: unknown ALTER action %q in WAL", rec.Action)
+	}
+	return nil
+}
+
+func (e *Engine) replayCommit(rec *persist.CommitRecord) error {
+	t, ok := e.pers.table(rec.TableKey)
+	if !ok {
+		return fmt.Errorf("dyntables: commit for unknown table key %d", rec.TableKey)
+	}
+	// Schema evolution (REPLACE TABLE, DT output changes) rides along on
+	// commit records; installing it before the version keeps replay
+	// equivalent to the live path.
+	t.SetSchema(persist.DecodeSchema(rec.Schema))
+	switch rec.Kind {
+	case persist.CommitApply:
+		cs, err := persist.DecodeChangeSet(rec.Changes)
+		if err != nil {
+			return err
+		}
+		_, err = t.Apply(cs, rec.Commit)
+		return err
+	case persist.CommitOverwrite:
+		rows, err := persist.DecodeRowMap(rec.Rows)
+		if err != nil {
+			return err
+		}
+		_, err = t.Overwrite(rows, rec.Commit)
+		return err
+	case persist.CommitDataEquiv:
+		_, err := t.AppendDataEquivalent(rec.Commit)
+		return err
+	default:
+		return fmt.Errorf("dyntables: unknown commit kind %q", rec.Kind)
+	}
+}
+
+func (e *Engine) replayFrontier(rec *persist.FrontierRecord) error {
+	entry, err := e.cat.GetByID(rec.EntryID)
+	if err != nil {
+		return err
+	}
+	dt, ok := entry.Payload.(*core.DynamicTable)
+	if !ok {
+		return fmt.Errorf("dyntables: frontier record for non-DT entry %d", rec.EntryID)
+	}
+	versions := ivm.VersionMap{}
+	for key, seq := range rec.Versions {
+		t, ok := e.pers.table(key)
+		if !ok {
+			return fmt.Errorf("dyntables: frontier references unknown table key %d", key)
+		}
+		versions[t.ID()] = seq
+	}
+	dt.ApplyFrontierUpdate(core.FrontierUpdate{
+		DataTS:            time.UnixMicro(rec.DataTSMicros).UTC(),
+		Versions:          versions,
+		VersionSeq:        rec.VersionSeq,
+		Commit:            rec.Commit,
+		Deps:              rec.Deps,
+		SchemaFingerprint: rec.SchemaFingerprint,
+		Initialized:       rec.Initialized,
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// live record emission (called from the DDL paths in statements.go)
+// ---------------------------------------------------------------------------
+
+// durable reports whether the engine write-ahead-logs mutations.
+func (e *Engine) durable() bool {
+	return e.pers != nil && !e.pers.replaying.Load()
+}
+
+func (e *Engine) logClock() {
+	if !e.durable() || e.closed.Load() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindClock, Clock: &persist.ClockRecord{
+		NowMicros:    e.clk.Now().UnixMicro(),
+		CursorMicros: e.sch.Cursor().UnixMicro(),
+	}})
+}
+
+// logCreateTable registers a just-created base table with the durability
+// layer and appends its WAL record. Registration happens here — after the
+// catalog accepted the entry — so only catalog-reachable tables are
+// write-ahead-logged.
+func (e *Engine) logCreateTable(stmt *sql.CreateTableStmt, entry *catalog.Entry,
+	table, cloneOf *storage.Table, createdAt hlc.Timestamp) error {
+	if !e.durable() {
+		return nil
+	}
+	rec := &persist.CreateTableRecord{
+		Name:      stmt.Name,
+		Owner:     entry.Owner,
+		EntryID:   entry.ID,
+		TableKey:  e.pers.registerTable(table),
+		OrReplace: stmt.OrReplace,
+		Schema:    persist.EncodeSchema(table.Schema()),
+		CreatedAt: createdAt,
+	}
+	if cloneOf != nil {
+		key, ok := e.pers.keyOf(cloneOf.ID())
+		if !ok {
+			return fmt.Errorf("dyntables: clone source %s is not registered for durability", stmt.CloneOf)
+		}
+		rec.CloneOfKey = key
+		rec.CloneAt = createdAt
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindCreateTable, CreateTable: rec})
+	return nil
+}
+
+func (e *Engine) logCreateView(stmt *sql.CreateViewStmt, entry *catalog.Entry, deps []int64, ts hlc.Timestamp) {
+	if !e.durable() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindCreateView, CreateView: &persist.CreateViewRecord{
+		Name:      stmt.Name,
+		Owner:     entry.Owner,
+		EntryID:   entry.ID,
+		OrReplace: stmt.OrReplace,
+		Text:      stmt.Text,
+		Deps:      deps,
+		CreatedAt: ts,
+	}})
+}
+
+func (e *Engine) logCreateWarehouse(name, owner string, entryID int64, orReplace bool,
+	size warehouse.Size, autoSuspend time.Duration, ts hlc.Timestamp) {
+	if !e.durable() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindCreateWh, CreateWh: &persist.CreateWhRecord{
+		Name:        name,
+		Owner:       owner,
+		EntryID:     entryID,
+		OrReplace:   orReplace,
+		Size:        int(size),
+		AutoSuspend: int64(autoSuspend / time.Microsecond),
+		CreatedAt:   ts,
+	}})
+}
+
+func (e *Engine) logCreateDT(orReplace bool, entry *catalog.Entry, dt *core.DynamicTable,
+	owner string, deps []int64, createdAt hlc.Timestamp, cloneOf string, cloneAt hlc.Timestamp) {
+	if !e.durable() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindCreateDT, CreateDT: &persist.CreateDTRecord{
+		Name:          dt.Name,
+		Owner:         owner,
+		EntryID:       entry.ID,
+		TableKey:      e.pers.registerTable(dt.Storage),
+		OrReplace:     orReplace,
+		Text:          dt.Text,
+		LagKind:       int(dt.Lag.Kind),
+		LagMicros:     int64(dt.Lag.Duration / time.Microsecond),
+		Warehouse:     dt.Warehouse,
+		DeclaredMode:  int(dt.DeclaredMode),
+		EffectiveMode: int(dt.EffectiveMode),
+		Schema:        persist.EncodeSchema(dt.Storage.Schema()),
+		Deps:          deps,
+		CreatedAt:     createdAt,
+		CloneOf:       cloneOf,
+		CloneAt:       cloneAt,
+	}})
+}
+
+func (e *Engine) logDropUndrop(kind, name string, ts hlc.Timestamp) {
+	if !e.durable() {
+		return
+	}
+	rec := &persist.Record{Kind: kind}
+	dr := &persist.DropRecord{Name: name, TS: ts}
+	if kind == persist.KindDrop {
+		rec.Drop = dr
+	} else {
+		rec.Undrop = dr
+	}
+	e.pers.append(rec)
+}
+
+func (e *Engine) logRenameSwap(kind, name, target string, ts hlc.Timestamp) {
+	if !e.durable() {
+		return
+	}
+	rec := &persist.Record{Kind: kind}
+	rr := &persist.RenameRecord{Name: name, Target: target, TS: ts}
+	if kind == persist.KindRename {
+		rec.Rename = rr
+	} else {
+		rec.Swap = rr
+	}
+	e.pers.append(rec)
+}
+
+func (e *Engine) logAlterDT(name, action string, lag *sql.TargetLag) {
+	if !e.durable() {
+		return
+	}
+	rec := &persist.AlterDTRecord{Name: name, Action: action}
+	if lag != nil {
+		rec.LagKind = int(lag.Kind)
+		rec.LagMicros = int64(lag.Duration / time.Microsecond)
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindAlterDT, AlterDT: rec})
+}
+
+// afterWrite runs the checkpoint cadence check once statement locks are
+// released.
+func (e *Engine) afterWrite() {
+	if !e.durable() || e.closed.Load() {
+		return
+	}
+	if e.pers.wal.Records() >= e.checkpointEvery {
+		_ = e.Checkpoint()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// checkpointing
+// ---------------------------------------------------------------------------
+
+// Checkpoint folds the WAL into a fresh snapshot: it takes the exclusive
+// statement lock (so no commits are in flight), writes the full engine
+// state to a temp file, atomically installs it, and resets the WAL. A
+// crash between the install and the reset is safe — records already
+// folded into the snapshot carry sequence numbers at or below the
+// snapshot's watermark and are skipped at recovery.
+func (e *Engine) Checkpoint() error {
+	if e.pers == nil {
+		return fmt.Errorf("dyntables: engine is not durable (use Open)")
+	}
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
+	return e.checkpointLocked()
+}
+
+func (e *Engine) checkpointLocked() error {
+	p := e.pers
+	if err := p.firstErr(); err != nil {
+		return fmt.Errorf("dyntables: WAL append failed earlier: %w", err)
+	}
+	snap, err := e.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := persist.WriteSnapshot(p.dir, snap); err != nil {
+		return err
+	}
+	// Drop only what the snapshot folded in: records appended during the
+	// state capture by lock-free paths (AdvanceTime's clock records)
+	// carry later sequence numbers and survive the reset.
+	return p.wal.ResetUpTo(snap.WalSeq)
+}
+
+func (e *Engine) buildSnapshot() (*persist.Snapshot, error) {
+	p := e.pers
+	snap := &persist.Snapshot{
+		WalSeq:       p.wal.LastSeq(),
+		NowMicros:    e.clk.Now().UnixMicro(),
+		EpochMicros:  e.sch.Epoch().UnixMicro(),
+		PhaseMicros:  int64(e.sch.Phase() / time.Microsecond),
+		CursorMicros: e.sch.Cursor().UnixMicro(),
+	}
+
+	p.mu.Lock()
+	snap.TableSeq = p.nextKey
+	keys := make([]int64, 0, len(p.tableByKey))
+	for key := range p.tableByKey {
+		keys = append(keys, key)
+	}
+	tables := make(map[int64]*storage.Table, len(p.tableByKey))
+	for key, t := range p.tableByKey {
+		tables[key] = t
+	}
+	keyOf := make(map[int64]int64, len(p.keyByStorageID))
+	for id, key := range p.keyByStorageID {
+		keyOf[id] = key
+	}
+	p.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for _, key := range keys {
+		ts, err := persist.EncodeTable(key, tables[key].State())
+		if err != nil {
+			return nil, err
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+
+	for _, entry := range e.cat.Entries() {
+		es := persist.EntryState{
+			ID:         entry.ID,
+			Name:       entry.Name,
+			Kind:       uint8(entry.Kind),
+			Owner:      entry.Owner,
+			DependsOn:  append([]int64(nil), entry.DependsOn...),
+			Generation: entry.Generation,
+			Dropped:    entry.Dropped,
+			DroppedAt:  entry.DroppedAt,
+		}
+		switch payload := entry.Payload.(type) {
+		case *tableObject:
+			key, ok := keyOf[payload.table.ID()]
+			if !ok {
+				return nil, fmt.Errorf("dyntables: table %s is not registered for durability", entry.Name)
+			}
+			es.TableKey = key
+		case *viewObject:
+			es.ViewText = payload.text
+		case *warehouseObject:
+			es.Warehouse = payload.wh.Name
+		case *core.DynamicTable:
+			ds, err := e.snapshotDT(payload, keyOf)
+			if err != nil {
+				return nil, err
+			}
+			es.DT = ds
+		default:
+			return nil, fmt.Errorf("dyntables: entry %s has unsupported payload %T", entry.Name, entry.Payload)
+		}
+		snap.Entries = append(snap.Entries, es)
+	}
+
+	for _, g := range e.cat.AllGrants() {
+		snap.Grants = append(snap.Grants, persist.GrantRecord{
+			ObjectID: g.ObjectID, Privilege: int(g.Privilege), Role: g.Role,
+		})
+	}
+	for _, d := range e.cat.DDLLog() {
+		snap.DDLLog = append(snap.DDLLog, persist.DDLState{
+			Seq: d.Seq, TS: d.TS, Op: d.Op, Kind: uint8(d.Kind), ID: d.ID, Name: d.Name, Detail: d.Detail,
+		})
+	}
+	snap.NextCatalogID, snap.DDLSeq = e.cat.Counters()
+
+	for _, wh := range e.pool.All() {
+		st := wh.State()
+		snap.Warehouses = append(snap.Warehouses, persist.WarehouseState{
+			Name:        wh.Name,
+			Size:        int(wh.Size),
+			AutoSuspend: int64(wh.AutoSuspend / time.Microsecond),
+			BusyUntilUS: st.BusyUntil.UnixMicro(),
+			EverUsed:    st.EverUsed,
+			BilledUS:    int64(st.Billed / time.Microsecond),
+			Resumes:     st.Resumes,
+		})
+	}
+	sort.Slice(snap.Warehouses, func(i, j int) bool { return snap.Warehouses[i].Name < snap.Warehouses[j].Name })
+	return snap, nil
+}
+
+func (e *Engine) snapshotDT(dt *core.DynamicTable, keyOf map[int64]int64) (*persist.DTState, error) {
+	key, ok := keyOf[dt.Storage.ID()]
+	if !ok {
+		return nil, fmt.Errorf("dyntables: DT %s storage is not registered for durability", dt.Name)
+	}
+	cp := dt.Checkpoint()
+	st := &persist.DTState{
+		Name:              dt.Name,
+		Text:              dt.Text,
+		LagKind:           int(dt.Lag.Kind),
+		LagMicros:         int64(dt.Lag.Duration / time.Microsecond),
+		Warehouse:         dt.Warehouse,
+		DeclaredMode:      int(dt.DeclaredMode),
+		EffectiveMode:     int(dt.EffectiveMode),
+		TableKey:          key,
+		Suspended:         cp.Suspended,
+		Initialized:       cp.Initialized,
+		ErrorCount:        cp.ErrorCount,
+		Deps:              cp.Deps,
+		SchemaFingerprint: cp.SchemaFingerprint,
+		VersionByDataTS:   cp.VersionByDataTS,
+		CommitByDataTS:    cp.CommitByDataTS,
+	}
+	if !cp.Frontier.DataTS.IsZero() {
+		st.FrontierTSMicros = cp.Frontier.DataTS.UnixMicro()
+	}
+	if len(cp.Frontier.Versions) > 0 {
+		st.FrontierVersions = make(map[int64]int64, len(cp.Frontier.Versions))
+		for storageID, seq := range cp.Frontier.Versions {
+			fk, ok := keyOf[storageID]
+			if !ok {
+				return nil, fmt.Errorf("dyntables: DT %s frontier references unregistered table %d", dt.Name, storageID)
+			}
+			st.FrontierVersions[fk] = seq
+		}
+	}
+	for _, h := range cp.History {
+		hs := persist.RefreshState{
+			DataTSMicros:      h.DataTS.UnixMicro(),
+			Action:            uint8(h.Action),
+			Inserted:          h.Inserted,
+			Deleted:           h.Deleted,
+			RowsAfter:         h.RowsAfter,
+			SourceRowsScanned: h.SourceRowsScanned,
+		}
+		if h.Err != nil {
+			hs.Err = h.Err.Error()
+		}
+		st.History = append(st.History, hs)
+	}
+	return st, nil
+}
+
+// ---------------------------------------------------------------------------
+// Close
+// ---------------------------------------------------------------------------
+
+// Close shuts the engine down: it invalidates every session's prepared
+// statements, and for durable engines takes a final checkpoint, fsyncs
+// and closes the WAL. Close is idempotent; it refuses while Rows cursors
+// are still open (use ForceClose to override). After Close every
+// statement fails with ErrClosed.
+func (e *Engine) Close() error {
+	if e.closed.Load() {
+		return nil
+	}
+	if n := e.OpenCursors(); n > 0 {
+		return fmt.Errorf("dyntables: cannot close engine with %d open cursors (close them or use ForceClose)", n)
+	}
+	return e.ForceClose()
+}
+
+// ForceClose is Close without the open-cursor check: in-flight cursors
+// keep reading their pinned in-memory versions but the engine stops
+// accepting statements.
+func (e *Engine) ForceClose() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+
+	// Invalidate sessions and their prepared statements.
+	e.sessMu.Lock()
+	sessions := make([]*Session, 0, len(e.sessions))
+	for s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.sessions = make(map[*Session]struct{})
+	e.sessMu.Unlock()
+	for _, s := range sessions {
+		s.invalidate()
+	}
+
+	if e.pers == nil {
+		return nil
+	}
+	// The exclusive statement lock drains in-flight statements, so every
+	// acknowledged write reaches the WAL before the final checkpoint;
+	// statements that passed the closed check but not yet the lock fail
+	// their re-check under the lock. The WAL is closed under the same
+	// critical section so no append can land after it.
+	e.stmtMu.Lock()
+	err := e.checkpointLocked()
+	if werr := e.pers.wal.Close(); err == nil {
+		err = werr
+	}
+	e.stmtMu.Unlock()
+	if perr := e.pers.firstErr(); err == nil {
+		err = perr
+	}
+	return err
+}
+
+// crash simulates a process crash for tests and benches: the WAL file is
+// closed — releasing the data-directory lock — without the final
+// checkpoint Close would take, so recovery must replay the log.
+func (e *Engine) crash() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if e.pers != nil {
+		return e.pers.wal.Close()
+	}
+	return nil
+}

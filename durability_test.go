@@ -1,0 +1,567 @@
+package dyntables
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/core"
+	"dyntables/internal/hlc"
+	"dyntables/internal/persist"
+	"dyntables/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// state capture: byte-for-byte comparison of engines
+// ---------------------------------------------------------------------------
+
+type versionDump struct {
+	Seq            int64
+	Commit         hlc.Timestamp
+	Overwrite      bool
+	DataEquivalent bool
+	HasSnapshot    bool
+	RowCount       int
+	Rows           []string // sorted "id\x00<injective row key>" entries
+}
+
+// dumpTable materializes every version of a table into comparable form.
+func dumpTable(t *testing.T, tbl *storage.Table) []versionDump {
+	t.Helper()
+	var out []versionDump
+	for seq := int64(1); seq <= int64(tbl.VersionCount()); seq++ {
+		v, err := tbl.VersionBySeq(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := tbl.Rows(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries := make([]string, 0, len(rows))
+		for id, row := range rows {
+			entries = append(entries, id+"\x00"+row.Key())
+		}
+		sort.Strings(entries)
+		out = append(out, versionDump{
+			Seq:            v.Seq,
+			Commit:         v.Commit,
+			Overwrite:      v.Overwrite,
+			DataEquivalent: v.DataEquivalent,
+			HasSnapshot:    v.Snapshot != nil,
+			RowCount:       v.RowCount,
+			Rows:           entries,
+		})
+	}
+	return out
+}
+
+// dumpEngine captures every catalog-reachable table and DT.
+func dumpEngine(t *testing.T, e *Engine) map[string][]versionDump {
+	t.Helper()
+	out := make(map[string][]versionDump)
+	for _, entry := range e.Catalog().List(catalog.KindTable) {
+		out["table:"+entry.Name] = dumpTable(t, entry.Payload.(*tableObject).table)
+	}
+	for _, entry := range e.Catalog().List(catalog.KindDynamicTable) {
+		out["dt:"+entry.Name] = dumpTable(t, entry.Payload.(*core.DynamicTable).Storage)
+	}
+	return out
+}
+
+func compareDumps(t *testing.T, want, got map[string][]versionDump, context string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: object count differs: want %d, got %d", context, len(want), len(got))
+	}
+	for name, wantVersions := range want {
+		gotVersions, ok := got[name]
+		if !ok {
+			t.Fatalf("%s: %s missing after recovery", context, name)
+		}
+		if len(wantVersions) != len(gotVersions) {
+			t.Fatalf("%s: %s version count: want %d, got %d",
+				context, name, len(wantVersions), len(gotVersions))
+		}
+		for i := range wantVersions {
+			w, g := wantVersions[i], gotVersions[i]
+			if w.Seq != g.Seq || w.Commit != g.Commit || w.Overwrite != g.Overwrite ||
+				w.DataEquivalent != g.DataEquivalent || w.HasSnapshot != g.HasSnapshot ||
+				w.RowCount != g.RowCount {
+				t.Fatalf("%s: %s version %d metadata differs:\nwant %+v\ngot  %+v",
+					context, name, w.Seq, w, g)
+			}
+			if len(w.Rows) != len(g.Rows) {
+				t.Fatalf("%s: %s version %d rows: want %d, got %d",
+					context, name, w.Seq, len(w.Rows), len(g.Rows))
+			}
+			for j := range w.Rows {
+				if w.Rows[j] != g.Rows[j] {
+					t.Fatalf("%s: %s version %d row %d differs byte-for-byte",
+						context, name, w.Seq, j)
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// kill-and-reopen (acceptance criterion)
+// ---------------------------------------------------------------------------
+
+func TestKillAndReopenRecoversEverything(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+	s.MustExec(`CREATE TABLE orders (id INT, region STRING, amount INT)`)
+	s.MustExec(`CREATE VIEW big_orders AS SELECT * FROM orders WHERE amount > 100`)
+	s.MustExec(`CREATE DYNAMIC TABLE by_region TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT region, count(*) n, sum(amount) total FROM orders GROUP BY region`)
+	s.MustExec(`CREATE DYNAMIC TABLE top_line TARGET_LAG = '2 minutes' WAREHOUSE = wh
+	            AS SELECT sum(total) grand FROM by_region`)
+	s.MustExec(`INSERT INTO orders VALUES (1, 'emea', 50), (2, 'emea', 200), (3, 'apac', 75)`)
+	e.AdvanceTime(3 * time.Minute)
+	if err := e.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	s.MustExec(`UPDATE orders SET amount = 60 WHERE id = 1`)
+	s.MustExec(`DELETE FROM orders WHERE id = 3`)
+	e.AdvanceTime(3 * time.Minute)
+	if err := e.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	e.Catalog().Grant(mustEntry(t, e, "by_region").ID, catalog.PrivMonitor, "analyst")
+
+	want := dumpEngine(t, e)
+	wantFrontier := mustDT(t, e, "by_region").Frontier()
+	wantNow := e.Now()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+	if _, err := s.Exec(`SELECT 1 FROM orders`); err == nil {
+		t.Fatal("statements should fail after Close")
+	}
+
+	// Reopen: catalog, version chains and frontiers must be identical.
+	e2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	compareDumps(t, want, dumpEngine(t, e2), "kill-and-reopen")
+	if got := e2.Now(); !got.Equal(wantNow) {
+		t.Fatalf("clock: want %v, got %v", wantNow, got)
+	}
+	dt2 := mustDT(t, e2, "by_region")
+	gotFrontier := dt2.Frontier()
+	if !gotFrontier.DataTS.Equal(wantFrontier.DataTS) {
+		t.Fatalf("frontier data TS: want %v, got %v", wantFrontier.DataTS, gotFrontier.DataTS)
+	}
+	if len(gotFrontier.Versions) != len(wantFrontier.Versions) {
+		t.Fatalf("frontier pins: want %d, got %d", len(wantFrontier.Versions), len(gotFrontier.Versions))
+	}
+	// The view survives.
+	s2 := e2.NewSession()
+	res, err := s2.Query(`SELECT count(*) FROM big_orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("view result: want 1, got %v", res.Rows[0][0])
+	}
+	// Grants survive.
+	if !e2.Catalog().HasPrivilege(mustEntry(t, e2, "by_region").ID, catalog.PrivMonitor, "analyst") {
+		t.Fatal("MONITOR grant lost in recovery")
+	}
+
+	// The next refresh after new data must be INCREMENTAL — recovery must
+	// not force a full recompute (refresh continuity, §5.3).
+	preHistory := len(dt2.History())
+	s2.MustExec(`INSERT INTO orders VALUES (4, 'apac', 10)`)
+	e2.AdvanceTime(90 * time.Second)
+	if err := e2.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	var sawWork bool
+	for _, rec := range dt2.History()[preHistory:] {
+		switch rec.Action {
+		case core.ActionIncremental, core.ActionNoData:
+			if rec.Action == core.ActionIncremental {
+				sawWork = true
+			}
+		default:
+			t.Fatalf("post-recovery refresh took %s; want INCREMENTAL/NO_DATA only", rec.Action)
+		}
+	}
+	if !sawWork {
+		t.Fatal("no incremental refresh happened after recovery")
+	}
+	for _, name := range []string{"by_region", "top_line"} {
+		if err := e2.CheckDVS(name); err != nil {
+			t.Fatalf("DVS violated after recovery: %v", err)
+		}
+	}
+
+	// Results identical to an uninterrupted run of the same script.
+	ref := New()
+	defer ref.Close()
+	rs := ref.NewSession()
+	rs.MustExec(`CREATE WAREHOUSE wh`)
+	rs.MustExec(`CREATE TABLE orders (id INT, region STRING, amount INT)`)
+	rs.MustExec(`CREATE VIEW big_orders AS SELECT * FROM orders WHERE amount > 100`)
+	rs.MustExec(`CREATE DYNAMIC TABLE by_region TARGET_LAG = '1 minute' WAREHOUSE = wh
+	             AS SELECT region, count(*) n, sum(amount) total FROM orders GROUP BY region`)
+	rs.MustExec(`CREATE DYNAMIC TABLE top_line TARGET_LAG = '2 minutes' WAREHOUSE = wh
+	             AS SELECT sum(total) grand FROM by_region`)
+	rs.MustExec(`INSERT INTO orders VALUES (1, 'emea', 50), (2, 'emea', 200), (3, 'apac', 75)`)
+	ref.AdvanceTime(3 * time.Minute)
+	if err := ref.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	rs.MustExec(`UPDATE orders SET amount = 60 WHERE id = 1`)
+	rs.MustExec(`DELETE FROM orders WHERE id = 3`)
+	ref.AdvanceTime(3 * time.Minute)
+	if err := ref.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	rs.MustExec(`INSERT INTO orders VALUES (4, 'apac', 10)`)
+	ref.AdvanceTime(90 * time.Second)
+	if err := ref.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`SELECT region, n, total FROM by_region ORDER BY region`,
+		`SELECT grand FROM top_line`,
+	} {
+		wantRes := rs.MustExec(q)
+		gotRes, err := e2.NewSession().Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(wantRes.Rows) != fmt.Sprint(gotRes.Rows) {
+			t.Fatalf("query %q: uninterrupted %v, recovered %v", q, wantRes.Rows, gotRes.Rows)
+		}
+	}
+}
+
+func mustEntry(t *testing.T, e *Engine, name string) *catalog.Entry {
+	t.Helper()
+	entry, err := e.Catalog().Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry
+}
+
+func mustDT(t *testing.T, e *Engine, name string) *core.DynamicTable {
+	t.Helper()
+	dt, err := e.DynamicTableHandle(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt
+}
+
+// ---------------------------------------------------------------------------
+// simulated crash: torn WAL tail
+// ---------------------------------------------------------------------------
+
+func TestCrashMidWALTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	// Huge cadence so everything stays in the WAL (no snapshot).
+	e, err := Open(dir, WithCheckpointEvery(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+	s.MustExec(`CREATE TABLE ev (id INT, amt INT)`)
+	s.MustExec(`CREATE DYNAMIC TABLE tot TARGET_LAG = '1 minute' WAREHOUSE = wh
+	            AS SELECT id, sum(amt) s FROM ev GROUP BY id`)
+	for i := 0; i < 10; i++ {
+		s.MustExec(fmt.Sprintf(`INSERT INTO ev VALUES (%d, %d)`, i%3, i))
+		e.AdvanceTime(time.Minute)
+		if err := e.RunScheduler(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no checkpoint (crash releases the dir lock but keeps the
+	// WAL as written). Tear the last frame mid-record.
+	if err := e.crash(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, persist.WALName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := persist.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery from torn WAL failed: %v", err)
+	}
+	defer e2.Close()
+	after, _, err := persist.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("torn tail not truncated consistently: %d readable before, %d after", before, after)
+	}
+	// The recovered prefix is a consistent engine: catalog intact, tables
+	// queryable, and the engine keeps accepting work.
+	s2 := e2.NewSession()
+	res, err := s2.Query(`SELECT count(*) FROM ev`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Rows[0][0].Int()
+	if n < 1 || n > 10 {
+		t.Fatalf("recovered row count %d outside the possible prefix range", n)
+	}
+	s2.MustExec(`INSERT INTO ev VALUES (99, 1)`)
+	e2.AdvanceTime(2 * time.Minute)
+	if err := e2.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.CheckDVS("tot"); err != nil {
+		t.Fatalf("DVS after healing refresh: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// recovery equivalence: property test over random DML+refresh histories
+// ---------------------------------------------------------------------------
+
+func TestRecoveryEquivalenceProperty(t *testing.T) {
+	cadences := []int{3, 17, 1 << 20}
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			e, err := Open(dir, WithCheckpointEvery(cadences[seed%int64(len(cadences))]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := e.NewSession()
+			s.MustExec(`CREATE WAREHOUSE wh`)
+			s.MustExec(`CREATE TABLE ta (id INT, v INT, s STRING)`)
+			s.MustExec(`CREATE DYNAMIC TABLE d1 TARGET_LAG = '1 minute' WAREHOUSE = wh
+			            AS SELECT id, count(*) c, sum(v) sv FROM ta GROUP BY id`)
+			s.MustExec(`CREATE DYNAMIC TABLE d2 TARGET_LAG = '2 minutes' WAREHOUSE = wh
+			            AS SELECT sum(sv) total FROM d1`)
+
+			nextID := 0
+			for op := 0; op < 50; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					s.MustExec(fmt.Sprintf(`INSERT INTO ta VALUES (%d, %d, 's%d')`,
+						nextID%7, rng.Intn(100), rng.Intn(5)))
+					nextID++
+				case 4:
+					s.MustExec(fmt.Sprintf(`UPDATE ta SET v = v + %d WHERE id = %d`,
+						rng.Intn(10), rng.Intn(7)))
+				case 5:
+					s.MustExec(fmt.Sprintf(`DELETE FROM ta WHERE id = %d AND v < %d`,
+						rng.Intn(7), rng.Intn(30)))
+				case 6, 7:
+					e.AdvanceTime(time.Duration(30+rng.Intn(120)) * time.Second)
+					if err := e.RunScheduler(); err != nil {
+						t.Fatal(err)
+					}
+				case 8:
+					if err := s.ManualRefresh("d1"); err != nil {
+						t.Fatal(err)
+					}
+				case 9:
+					if err := e.Recluster("ta"); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			want := dumpEngine(t, e)
+			if seed%2 == 0 {
+				// Clean shutdown: final checkpoint.
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Crash: no final checkpoint, recover from snapshot+WAL.
+				if err := e.crash(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			e2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			compareDumps(t, want, dumpEngine(t, e2), fmt.Sprintf("seed %d", seed))
+			for _, name := range []string{"d1", "d2"} {
+				if dt := mustDT(t, e2, name); dt.Initialized() {
+					if err := e2.CheckDVS(name); err != nil {
+						t.Fatalf("DVS after recovery: %v", err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Close lifecycle
+// ---------------------------------------------------------------------------
+
+func TestCloseRefusesOpenCursors(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	s.MustExec(`CREATE TABLE tt (id INT)`)
+	s.MustExec(`INSERT INTO tt VALUES (1), (2)`)
+	rows, err := s.QueryContext(context.Background(), `SELECT * FROM tt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err == nil {
+		t.Fatal("Close should refuse while a cursor is open")
+	}
+	rows.Close()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close after cursor release: %v", err)
+	}
+	if _, err := s.Exec(`SELECT * FROM tt`); err == nil {
+		t.Fatal("statements should fail after Close")
+	}
+}
+
+func TestForceCloseWithOpenCursor(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	s.MustExec(`CREATE TABLE tt (id INT)`)
+	s.MustExec(`INSERT INTO tt VALUES (1)`)
+	rows, err := s.QueryContext(context.Background(), `SELECT * FROM tt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ForceClose(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close after ForceClose should be a no-op: %v", err)
+	}
+}
+
+func TestCheckpointBoundsWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, WithCheckpointEvery(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	s.MustExec(`CREATE TABLE tt (id INT)`)
+	for i := 0; i < 40; i++ {
+		s.MustExec(fmt.Sprintf(`INSERT INTO tt VALUES (%d)`, i))
+	}
+	n, snapPresent, err := persist.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapPresent {
+		t.Fatal("checkpoint cadence never produced a snapshot")
+	}
+	if n >= 40 {
+		t.Fatalf("WAL not folded into checkpoints: %d records", n)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	res, err := e2.Query(`SELECT count(*) FROM tt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 40 {
+		t.Fatalf("want 40 rows after checkpointed recovery, got %v", res.Rows[0][0])
+	}
+}
+
+func TestOpenLocksDataDir(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open on a live data directory should fail")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close should succeed: %v", err)
+	}
+	e2.Close()
+}
+
+func TestReplaceDoesNotLeakTables(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	for i := 0; i < 10; i++ {
+		s.MustExec(`CREATE OR REPLACE TABLE t (id INT)`)
+		s.MustExec(`INSERT INTO t VALUES (1)`)
+	}
+	snap, err := e.buildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tables) != 1 {
+		t.Fatalf("replaced chains leaked into the checkpoint: %d tables", len(snap.Tables))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	res, err := e2.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("want 1 row in final replacement, got %v", res.Rows[0][0])
+	}
+}

@@ -89,6 +89,18 @@ type Engine struct {
 	def *Session
 	// cursors counts open Rows cursors, for leak detection.
 	cursors atomic.Int64
+
+	// pers is the durability layer; nil for in-memory engines (New).
+	pers *persister
+	// checkpointEvery is the WAL-record count that triggers a snapshot
+	// checkpoint.
+	checkpointEvery int
+	// closed marks a closed engine; statements fail afterwards.
+	closed atomic.Bool
+	// sessions tracks live sessions so Close can invalidate their
+	// prepared statements.
+	sessMu   sync.Mutex
+	sessions map[*Session]struct{}
 }
 
 // Option configures an Engine.
@@ -125,10 +137,24 @@ func WithSchedulerPhase(d time.Duration) Option {
 	return func(e *Engine) { e.schPhase = d }
 }
 
+// WithCheckpointEvery sets how many WAL records may accumulate before a
+// durable engine takes a snapshot checkpoint (default
+// DefaultCheckpointEvery). Smaller values bound recovery time at the cost
+// of more frequent full-state snapshots. Only meaningful with Open.
+func WithCheckpointEvery(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.checkpointEvery = n
+		}
+	}
+}
+
 // New creates an engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		model: warehouse.DefaultCostModel,
+		model:           warehouse.DefaultCostModel,
+		checkpointEvery: DefaultCheckpointEvery,
+		sessions:        make(map[*Session]struct{}),
 	}
 	e.vclk = clock.NewVirtual(DefaultOrigin)
 	e.clk = e.vclk
@@ -163,7 +189,9 @@ func (e *Engine) Now() time.Time { return e.clk.Now() }
 // WithWallClock.
 func (e *Engine) AdvanceTime(d time.Duration) time.Time {
 	if e.vclk != nil {
-		return e.vclk.Advance(d)
+		t := e.vclk.Advance(d)
+		e.logClock()
+		return t
 	}
 	return e.clk.Now()
 }
@@ -184,9 +212,20 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // run as statement readers: they proceed in parallel with queries and DML
 // but serialize against DDL.
 func (e *Engine) RunScheduler() error {
+	if err := e.checkOpen(); err != nil {
+		return err
+	}
 	e.stmtMu.RLock()
-	defer e.stmtMu.RUnlock()
-	return e.sch.RunUntil(e.clk.Now())
+	err := e.checkOpen()
+	if err == nil {
+		err = e.sch.RunUntil(e.clk.Now())
+	}
+	if err == nil {
+		e.logClock()
+	}
+	e.stmtMu.RUnlock()
+	e.afterWrite()
+	return err
 }
 
 // SetRole switches the role of the engine's default session.
@@ -259,13 +298,20 @@ func (e *Engine) ResolveTable(name string) (*plan.Source, error) {
 // is rewritten but logical contents are unchanged, and incremental readers
 // skip the version entirely (downstream DTs take NO_DATA refreshes).
 func (e *Engine) Recluster(tableName string) error {
-	e.stmtMu.RLock()
-	defer e.stmtMu.RUnlock()
-	_, table, err := e.baseTable(tableName)
-	if err != nil {
+	if err := e.checkOpen(); err != nil {
 		return err
 	}
-	_, err = table.AppendDataEquivalent(e.txns.Now())
+	e.stmtMu.RLock()
+	err := e.checkOpen()
+	if err == nil {
+		var table *storage.Table
+		_, table, err = e.baseTable(tableName)
+		if err == nil {
+			_, err = table.AppendDataEquivalent(e.txns.Now())
+		}
+	}
+	e.stmtMu.RUnlock()
+	e.afterWrite()
 	return err
 }
 

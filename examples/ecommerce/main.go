@@ -17,6 +17,11 @@ import (
 
 func main() {
 	eng := dyntables.New()
+	defer func() {
+		if err := eng.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	sess := eng.NewSession()
 	ctx := context.Background()
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,6 +14,7 @@ import (
 
 	"dyntables/internal/core"
 	"dyntables/internal/ivm"
+	"dyntables/internal/persist"
 	"dyntables/internal/plan"
 	"dyntables/internal/sched"
 	"dyntables/internal/sql"
@@ -915,6 +918,120 @@ func RunConcurrentSessions(sessions, opsPerSession int) (*ConcurrentResult, erro
 	res.Conflicts = conflicts.Load()
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// recovery: WAL replay time vs log length and snapshot cadence
+// ---------------------------------------------------------------------------
+
+// RecoveryPoint measures one crash-recovery run.
+type RecoveryPoint struct {
+	// CheckpointEvery is the WAL-record checkpoint cadence the crashed
+	// engine ran with.
+	CheckpointEvery int `json:"checkpoint_every"`
+	// WALRecords is how many log records recovery had to replay (records
+	// appended after the last snapshot checkpoint).
+	WALRecords int `json:"wal_records"`
+	// SnapshotPresent reports whether a checkpoint existed at crash time.
+	SnapshotPresent bool `json:"snapshot_present"`
+	// OpenMillis is the wall-clock recovery time of Open.
+	OpenMillis float64 `json:"open_ms"`
+	// Versions is the DT's recovered version-chain length, a proxy for
+	// recovered history size.
+	Versions int `json:"versions"`
+	// Rows is the DT's recovered row count.
+	Rows int `json:"dt_rows"`
+}
+
+// RunRecoveryBench measures crash recovery: for each checkpoint cadence
+// it builds a durable engine, runs `rounds` insert+refresh rounds, then
+// abandons the engine without Close (simulating a crash, so the WAL tail
+// since the last checkpoint must be replayed) and times Open on the same
+// directory. dir may be empty to use a temp directory per cadence.
+func RunRecoveryBench(dir string, rounds int, cadences []int) ([]RecoveryPoint, error) {
+	var points []RecoveryPoint
+	for _, every := range cadences {
+		d := dir
+		if d == "" {
+			tmp, err := os.MkdirTemp("", "dtrecovery-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			d = tmp
+		} else {
+			// Start each cadence from scratch even when the caller keeps
+			// the directory for inspection across runs.
+			d = filepath.Join(d, fmt.Sprintf("cadence-%d", every))
+			if err := os.RemoveAll(d); err != nil {
+				return nil, err
+			}
+		}
+
+		e, err := Open(d, WithCheckpointEvery(every))
+		if err != nil {
+			return nil, err
+		}
+		s := e.NewSession()
+		if _, err := s.Exec(`CREATE WAREHOUSE wh`); err != nil {
+			return nil, err
+		}
+		if _, err := s.Exec(`CREATE TABLE ev (id INT, amt INT)`); err != nil {
+			return nil, err
+		}
+		if _, err := s.Exec(`CREATE DYNAMIC TABLE tot TARGET_LAG = '1 minute' WAREHOUSE = wh
+		                     AS SELECT id, count(*) c, sum(amt) total FROM ev GROUP BY id`); err != nil {
+			return nil, err
+		}
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < 8; i++ {
+				if _, err := s.Exec(fmt.Sprintf(`INSERT INTO ev VALUES (%d, %d)`, r%17, i)); err != nil {
+					return nil, err
+				}
+			}
+			e.AdvanceTime(time.Minute)
+			if err := e.RunScheduler(); err != nil {
+				return nil, err
+			}
+		}
+		// Crash: drop the engine without Close — the WAL keeps every
+		// record but the final checkpoint is missing, so recovery must
+		// replay the tail. (crash also releases the directory lock.)
+		if err := e.crash(); err != nil {
+			return nil, err
+		}
+		walRecords, snapPresent, err := persist.Inspect(d)
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		e2, err := Open(d)
+		if err != nil {
+			return nil, err
+		}
+		openDur := time.Since(start)
+		h, err := e2.DynamicTableHandle("tot")
+		if err != nil {
+			return nil, err
+		}
+		pt := RecoveryPoint{
+			CheckpointEvery: every,
+			WALRecords:      walRecords,
+			SnapshotPresent: snapPresent,
+			OpenMillis:      float64(openDur.Microseconds()) / 1000,
+			Versions:        h.Storage.VersionCount(),
+			Rows:            h.Storage.RowCount(),
+		}
+		if err := e2.CheckDVS("tot"); err != nil {
+			return nil, fmt.Errorf("recovered engine violates DVS: %w", err)
+		}
+		if err := e2.Close(); err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -110,6 +110,11 @@ type DDLRecord struct {
 	Detail string
 }
 
+// GrantSink observes privilege grants and revokes so the durability layer
+// can write-ahead-log them. Sinks are invoked with the catalog lock held
+// and must not call back into the catalog.
+type GrantSink func(objectID int64, p Privilege, role string, revoked bool)
+
 // Catalog is the metadata store. All methods are safe for concurrent use.
 type Catalog struct {
 	mu sync.RWMutex
@@ -123,6 +128,8 @@ type Catalog struct {
 	ddlLog []DDLRecord
 
 	grants map[int64]map[Privilege]map[string]bool // object -> priv -> role
+
+	grantSink GrantSink
 }
 
 // New returns an empty catalog.
@@ -391,6 +398,13 @@ func (c *Catalog) DDLLogSince(afterSeq int64) []DDLRecord {
 	return out
 }
 
+// SetGrantSink registers the grant observer (at most one; nil clears).
+func (c *Catalog) SetGrantSink(s GrantSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.grantSink = s
+}
+
 // Grant gives role the privilege on the object.
 func (c *Catalog) Grant(objectID int64, p Privilege, role string) {
 	c.mu.Lock()
@@ -410,6 +424,9 @@ func (c *Catalog) grant(objectID int64, p Privilege, role string) {
 		byPriv[p] = roles
 	}
 	roles[role] = true
+	if c.grantSink != nil {
+		c.grantSink(objectID, p, role, false)
+	}
 }
 
 // Revoke removes a privilege grant.
@@ -420,6 +437,115 @@ func (c *Catalog) Revoke(objectID int64, p Privilege, role string) {
 		if roles, ok := byPriv[p]; ok {
 			delete(roles, role)
 		}
+	}
+	if c.grantSink != nil {
+		c.grantSink(objectID, p, role, true)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint export / recovery restore
+// ---------------------------------------------------------------------------
+
+// GrantTriple is one (object, privilege, role) grant, exported for
+// checkpointing.
+type GrantTriple struct {
+	ObjectID  int64
+	Privilege Privilege
+	Role      string
+}
+
+// AllGrants exports every grant, sorted deterministically.
+func (c *Catalog) AllGrants() []GrantTriple {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []GrantTriple
+	for id, byPriv := range c.grants {
+		for p, roles := range byPriv {
+			for role := range roles {
+				out = append(out, GrantTriple{ObjectID: id, Privilege: p, Role: role})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ObjectID != b.ObjectID {
+			return a.ObjectID < b.ObjectID
+		}
+		if a.Privilege != b.Privilege {
+			return a.Privilege < b.Privilege
+		}
+		return a.Role < b.Role
+	})
+	return out
+}
+
+// Entries exports every entry — live and dropped — sorted by ID. Dropped
+// entries keep their graveyard position via the Dropped flag.
+func (c *Catalog) Entries() []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Entry
+	for _, e := range c.byID {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RestoreEntry installs an entry with its original ID during recovery,
+// routing dropped entries to the graveyard. It bumps the ID allocator past
+// the entry's ID so later creations do not collide.
+func (c *Catalog) RestoreEntry(e *Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.byID[e.ID]; exists {
+		return fmt.Errorf("catalog: restore: id %d already present", e.ID)
+	}
+	k := key(e.Name)
+	if e.Dropped {
+		c.dropped[k] = append(c.dropped[k], e)
+	} else {
+		if _, taken := c.byName[k]; taken {
+			return fmt.Errorf("catalog: restore: name %q already present", e.Name)
+		}
+		c.byName[k] = e
+	}
+	c.byID[e.ID] = e
+	for c.nextID.Load() < e.ID {
+		c.nextID.Store(e.ID)
+	}
+	return nil
+}
+
+// Counters exports the ID and DDL-sequence allocators.
+func (c *Catalog) Counters() (nextID, ddlSeq int64) {
+	return c.nextID.Load(), c.ddlSeq.Load()
+}
+
+// RestoreCounters resumes the allocators after recovery.
+func (c *Catalog) RestoreCounters(nextID, ddlSeq int64) {
+	if c.nextID.Load() < nextID {
+		c.nextID.Store(nextID)
+	}
+	if c.ddlSeq.Load() < ddlSeq {
+		c.ddlSeq.Store(ddlSeq)
+	}
+}
+
+// DDLLog exports the full DDL log for checkpointing.
+func (c *Catalog) DDLLog() []DDLRecord {
+	return c.DDLLogSince(0)
+}
+
+// RestoreDDLLog reinstalls the DDL log during recovery, resuming the
+// sequence allocator past the last record.
+func (c *Catalog) RestoreDDLLog(recs []DDLRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ddlLog = append([]DDLRecord(nil), recs...)
+	if n := len(recs); n > 0 && c.ddlSeq.Load() < recs[n-1].Seq {
+		c.ddlSeq.Store(recs[n-1].Seq)
 	}
 }
 

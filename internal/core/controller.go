@@ -51,9 +51,50 @@ type Controller struct {
 	// wired by the engine to catalog lookups.
 	depGeneration func(entryID int64) (int64, error)
 
+	// frontierSink, when set, observes every frontier advance (WAL
+	// emission for refresh continuity across restarts).
+	frontierSink FrontierSink
+
 	// Hooks for the IVM ablation strategies.
 	ExpandOuterJoins    bool
 	FullWindowRecompute bool
+}
+
+// FrontierUpdate describes one frontier advance: everything a recovered
+// engine needs so its next refresh of the DT proceeds incrementally from
+// the same point — the pinned source versions, the data-timestamp mapping
+// entry, and the dependency generations observed at the successful bind.
+type FrontierUpdate struct {
+	DataTS            time.Time
+	Versions          ivm.VersionMap // storage table ID -> pinned seq
+	VersionSeq        int64          // DT storage version holding the contents
+	Commit            hlc.Timestamp  // zero for NO_DATA advances
+	Deps              map[int64]int64
+	SchemaFingerprint string
+	Initialized       bool
+}
+
+// FrontierSink observes frontier advances. Implementations must not call
+// back into the controller.
+type FrontierSink interface {
+	FrontierAdvanced(dt *DynamicTable, u FrontierUpdate)
+}
+
+// SetFrontierSink registers the frontier observer (at most one; nil
+// clears).
+func (c *Controller) SetFrontierSink(s FrontierSink) {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	c.frontierSink = s
+}
+
+func (c *Controller) emitFrontier(dt *DynamicTable, u FrontierUpdate) {
+	c.regMu.RLock()
+	sink := c.frontierSink
+	c.regMu.RUnlock()
+	if sink != nil {
+		sink.FrontierAdvanced(dt, u)
+	}
 }
 
 // NewController wires a controller.
@@ -382,16 +423,35 @@ func (c *Controller) fullCompute(dt *DynamicTable, bound *plan.Bound, dataTS tim
 
 // advanceFrontier installs the new frontier and records the data-timestamp
 // mapping (§5.3: "when a refresh commits, we add a new entry to the
-// mapping").
+// mapping"). The advance is also emitted to the frontier sink so the
+// durability layer can replay it after a crash.
 func (c *Controller) advanceFrontier(dt *DynamicTable, bound *plan.Bound, dataTS time.Time, vm ivm.VersionMap, versionSeq int64, commit hlc.Timestamp) {
 	dt.mu.Lock()
-	defer dt.mu.Unlock()
 	dt.frontier = Frontier{DataTS: dataTS, Versions: vm.Clone()}
 	dt.deps = bound.Deps
 	dt.versionByDataTS[dataTS.UnixMicro()] = versionSeq
 	if !commit.IsZero() {
 		dt.commitByDataTS[dataTS.UnixMicro()] = commit
 	}
+	u := FrontierUpdate{
+		DataTS:            dataTS,
+		Versions:          vm.Clone(),
+		VersionSeq:        versionSeq,
+		Commit:            commit,
+		Deps:              cloneDeps(bound.Deps),
+		SchemaFingerprint: dt.schemaFingerprint,
+		Initialized:       dt.initialized,
+	}
+	dt.mu.Unlock()
+	c.emitFrontier(dt, u)
+}
+
+func cloneDeps(deps map[int64]int64) map[int64]int64 {
+	out := make(map[int64]int64, len(deps))
+	for k, v := range deps {
+		out[k] = v
+	}
+	return out
 }
 
 // queryEvolved reports whether the DT must reinitialize because a

@@ -285,6 +285,111 @@ func (dt *DynamicTable) CloneAt(at hlc.Timestamp) (*DynamicTable, error) {
 	return clone, nil
 }
 
+// ---------------------------------------------------------------------------
+// checkpoint export / recovery restore
+// ---------------------------------------------------------------------------
+
+// RestoreDynamicTable reconstructs a DT from its durable definition during
+// recovery: the defining SQL plus the resolved modes, with a restored (or
+// fresh) storage table. The refresh-continuity state (frontier, mappings,
+// history) is installed separately via RestoreState or replayed through
+// ApplyFrontierUpdate. No binding happens here — recovery must not depend
+// on catalog population order.
+func RestoreDynamicTable(name, text string, lag sql.TargetLag, wh string,
+	declared, effective sql.RefreshMode, st *storage.Table) *DynamicTable {
+	return &DynamicTable{
+		Name:            name,
+		Text:            text,
+		Lag:             lag,
+		Warehouse:       wh,
+		DeclaredMode:    declared,
+		EffectiveMode:   effective,
+		Storage:         st,
+		versionByDataTS: make(map[int64]int64),
+		commitByDataTS:  make(map[int64]hlc.Timestamp),
+	}
+}
+
+// DTCheckpoint is the serializable refresh-continuity state of a DT.
+type DTCheckpoint struct {
+	Suspended         bool
+	Initialized       bool
+	ErrorCount        int
+	Frontier          Frontier
+	Deps              map[int64]int64
+	SchemaFingerprint string
+	VersionByDataTS   map[int64]int64
+	CommitByDataTS    map[int64]hlc.Timestamp
+	History           []RefreshRecord
+}
+
+// Checkpoint exports the DT's refresh-continuity state.
+func (dt *DynamicTable) Checkpoint() DTCheckpoint {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	cp := DTCheckpoint{
+		Suspended:         dt.state == StateSuspended,
+		Initialized:       dt.initialized,
+		ErrorCount:        dt.errorCount,
+		Frontier:          dt.frontier.Clone(),
+		Deps:              cloneDeps(dt.deps),
+		SchemaFingerprint: dt.schemaFingerprint,
+		VersionByDataTS:   make(map[int64]int64, len(dt.versionByDataTS)),
+		CommitByDataTS:    make(map[int64]hlc.Timestamp, len(dt.commitByDataTS)),
+		History:           append([]RefreshRecord(nil), dt.history...),
+	}
+	for k, v := range dt.versionByDataTS {
+		cp.VersionByDataTS[k] = v
+	}
+	for k, v := range dt.commitByDataTS {
+		cp.CommitByDataTS[k] = v
+	}
+	return cp
+}
+
+// RestoreState installs checkpointed refresh-continuity state.
+func (dt *DynamicTable) RestoreState(cp DTCheckpoint) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.state = StateActive
+	if cp.Suspended {
+		dt.state = StateSuspended
+	}
+	dt.initialized = cp.Initialized
+	dt.errorCount = cp.ErrorCount
+	dt.frontier = cp.Frontier.Clone()
+	dt.deps = cloneDeps(cp.Deps)
+	dt.schemaFingerprint = cp.SchemaFingerprint
+	dt.versionByDataTS = make(map[int64]int64, len(cp.VersionByDataTS))
+	for k, v := range cp.VersionByDataTS {
+		dt.versionByDataTS[k] = v
+	}
+	dt.commitByDataTS = make(map[int64]hlc.Timestamp, len(cp.CommitByDataTS))
+	for k, v := range cp.CommitByDataTS {
+		dt.commitByDataTS[k] = v
+	}
+	dt.history = append([]RefreshRecord(nil), cp.History...)
+}
+
+// ApplyFrontierUpdate replays one WAL frontier record: the same state
+// transition advanceFrontier performed on the live engine, minus the
+// storage commit (replayed separately as a commit record).
+func (dt *DynamicTable) ApplyFrontierUpdate(u FrontierUpdate) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.frontier = Frontier{DataTS: u.DataTS, Versions: u.Versions.Clone()}
+	dt.deps = cloneDeps(u.Deps)
+	dt.schemaFingerprint = u.SchemaFingerprint
+	dt.versionByDataTS[u.DataTS.UnixMicro()] = u.VersionSeq
+	if !u.Commit.IsZero() {
+		dt.commitByDataTS[u.DataTS.UnixMicro()] = u.Commit
+	}
+	if u.Initialized {
+		dt.initialized = true
+	}
+	dt.errorCount = 0
+}
+
 // RecordSkip logs a scheduler-initiated skip (§3.3.3) in the refresh
 // history.
 func (dt *DynamicTable) RecordSkip(dataTS time.Time) {

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package persist
+
+// lockFile is a no-op where flock is unavailable; double-Open protection
+// is best-effort on non-Unix platforms.
+func lockFile(uintptr) error { return nil }

@@ -1,0 +1,13 @@
+//go:build unix
+
+package persist
+
+import "syscall"
+
+// lockFile takes a non-blocking exclusive flock on the WAL file so two
+// engines cannot append to the same data directory. The lock is released
+// automatically when the file descriptor closes — including on process
+// crash — so it cannot go stale.
+func lockFile(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+}

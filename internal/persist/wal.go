@@ -1,0 +1,247 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// WALName is the log file name inside a data directory.
+const WALName = "wal.log"
+
+// Each record is framed as:
+//
+//	[4-byte big-endian payload length][4-byte CRC32 (Castagnoli) of payload][payload JSON]
+//
+// A crash can leave a torn final frame (short header, short payload, or a
+// CRC mismatch from a partial write). Recovery treats the first torn frame
+// as the end of the log, truncates the file back to the last whole record,
+// and resumes appending from there.
+const frameHeaderLen = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordLen bounds a single record; a length prefix beyond it is
+// treated as corruption rather than an allocation request.
+const maxRecordLen = 1 << 30
+
+// WAL is an append-only write-ahead log. Append is safe for concurrent
+// use; Seq numbers are assigned under the log lock so the on-disk order
+// matches the sequence order.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	nextSeq int64
+	records int // appended since open or last Reset
+	closed  bool
+}
+
+// OpenWAL opens (creating if needed) the log in dir, replays its whole
+// readable prefix, truncates any torn tail, and returns the surviving
+// records. nextSeq continues after the larger of the last record's Seq and
+// afterSeq (the snapshot's last folded Seq), so sequence numbers stay
+// strictly increasing across checkpoints even though the file is reset.
+func OpenWAL(dir string, afterSeq int64) (*WAL, []Record, error) {
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: open WAL: %w", err)
+	}
+	if err := lockFile(f.Fd()); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("persist: data directory %s is in use by another engine: %w", dir, err)
+	}
+	records, goodLen, err := readAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(goodLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("persist: truncate torn WAL tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	next := afterSeq + 1
+	if n := len(records); n > 0 && records[n-1].Seq >= next {
+		next = records[n-1].Seq + 1
+	}
+	return &WAL{f: f, nextSeq: next, records: len(records)}, records, nil
+}
+
+// readAll decodes every whole frame, returning the records and the byte
+// length of the readable prefix.
+func readAll(f *os.File) ([]Record, int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: read WAL: %w", err)
+	}
+	records, off := decodeAll(data)
+	return records, off, nil
+}
+
+// decodeAll decodes every whole frame in data, stopping at the first torn
+// or corrupt one.
+func decodeAll(data []byte) ([]Record, int64) {
+	var records []Record
+	var off int64
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return records, off
+		}
+		length := binary.BigEndian.Uint32(rest[:4])
+		sum := binary.BigEndian.Uint32(rest[4:8])
+		if length > maxRecordLen || int64(len(rest)) < frameHeaderLen+int64(length) {
+			return records, off // torn tail
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int64(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return records, off // torn or corrupt tail
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return records, off // undecodable tail
+		}
+		records = append(records, rec)
+		off += frameHeaderLen + int64(length)
+	}
+}
+
+// Inspect reports how many readable records the WAL holds and whether a
+// snapshot checkpoint exists, without modifying either file. Intended for
+// recovery diagnostics and benchmarks.
+func Inspect(dir string) (walRecords int, snapshotPresent bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, WALName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return 0, false, err
+	}
+	records, _ := decodeAll(data)
+	if _, err := os.Stat(filepath.Join(dir, SnapshotName)); err == nil {
+		snapshotPresent = true
+	}
+	return len(records), snapshotPresent, nil
+}
+
+// Append assigns the record's Seq, frames it and writes it to the log.
+// The write is buffered by the OS only; call Sync to force it to stable
+// storage.
+func (w *WAL) Append(rec *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("persist: WAL is closed")
+	}
+	rec.Seq = w.nextSeq
+	if err := w.writeFrame(rec); err != nil {
+		return err
+	}
+	w.nextSeq++
+	w.records++
+	return nil
+}
+
+// writeFrame encodes and appends one frame (caller holds the lock).
+func (w *WAL) writeFrame(rec *Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: encode WAL record: %w", err)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("persist: append WAL record: %w", err)
+	}
+	return nil
+}
+
+// LastSeq returns the sequence number of the most recently appended
+// record (nextSeq-1).
+func (w *WAL) LastSeq() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// Records returns how many records have been appended since open or the
+// last Reset — the checkpoint cadence counter.
+func (w *WAL) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// ResetUpTo drops records with Seq <= seq after a checkpoint folded them
+// into a snapshot, preserving any records appended concurrently with the
+// checkpoint's state capture (they carry Seq > seq and are not in the
+// snapshot). Sequence numbers keep increasing, so a crash between the
+// snapshot rename and this rewrite is safe: recovery skips records with
+// Seq at or below the snapshot's folded Seq.
+func (w *WAL) ResetUpTo(seq int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("persist: WAL is closed")
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	records, _, err := readAll(w.f)
+	if err != nil {
+		return err
+	}
+	var keep []Record
+	for _, rec := range records {
+		if rec.Seq > seq {
+			keep = append(keep, rec)
+		}
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: reset WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	for i := range keep {
+		if err := w.writeFrame(&keep[i]); err != nil {
+			return err
+		}
+	}
+	w.records = len(keep)
+	return w.f.Sync()
+}
+
+// Sync forces appended records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log. It is idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -128,6 +128,42 @@ func New(clk *clock.Virtual, ctrl *core.Controller, pool *warehouse.Pool, model 
 	}
 }
 
+// Cursor returns the last processed fire instant, checkpointed so a
+// recovered scheduler does not reissue refreshes it already ran.
+func (s *Scheduler) Cursor() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor
+}
+
+// Epoch returns the scheduler's period-alignment origin.
+func (s *Scheduler) Epoch() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Phase returns the account-wide canonical-period phase.
+func (s *Scheduler) Phase() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phase
+}
+
+// Restore reinstates checkpointed cadence state during recovery. Keeping
+// the original epoch and phase preserves the canonical fire instants
+// (§5.2), so data timestamps stay aligned across a restart; restoring the
+// cursor resumes the schedule where the previous process stopped.
+func (s *Scheduler) Restore(epoch time.Time, phase time.Duration, cursor time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = epoch
+	s.phase = phase
+	if cursor.After(s.cursor) {
+		s.cursor = cursor
+	}
+}
+
 // Track registers a DT with the scheduler.
 func (s *Scheduler) Track(dt *core.DynamicTable) {
 	s.mu.Lock()

@@ -49,6 +49,15 @@ type Version struct {
 
 var tableIDs atomic.Int64
 
+// CommitSink observes committed versions, in commit order per table. The
+// durability layer registers one to write-ahead-log every commit. The
+// schema at commit time rides along so replay can reproduce schema
+// evolution (REPLACE TABLE, DT output changes). Sinks are invoked with
+// the table lock held and must not call back into the table.
+type CommitSink interface {
+	TableCommitted(t *Table, v *Version, schema types.Schema)
+}
+
 // Table is a versioned collection of rows keyed by row ID. All methods are
 // safe for concurrent use.
 type Table struct {
@@ -64,6 +73,9 @@ type Table struct {
 
 	snapshotInterval int
 	sinceSnapshot    int
+
+	// sink, when set, observes every committed version (WAL emission).
+	sink CommitSink
 
 	// tip caches the materialized latest contents.
 	tip map[string]types.Row
@@ -89,6 +101,65 @@ func NewTable(schema types.Schema, createdAt hlc.Timestamp) *Table {
 
 // ID returns the table's unique storage identifier.
 func (t *Table) ID() int64 { return t.id }
+
+// SetCommitSink registers the commit observer (at most one; nil clears).
+func (t *Table) SetCommitSink(s CommitSink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = s
+}
+
+// TableState is the serializable form of a table: the complete version
+// chain plus the snapshot-cadence counters, enough to reconstruct a table
+// whose Rows(seq) match the original at every version.
+type TableState struct {
+	Schema           types.Schema
+	SnapshotInterval int
+	SinceSnapshot    int
+	RowSeq           int64
+	Versions         []*Version
+}
+
+// State exports the table's full state for checkpointing. Version structs
+// are shared, not copied — they are immutable once committed.
+func (t *Table) State() TableState {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	versions := make([]*Version, len(t.versions))
+	copy(versions, t.versions)
+	return TableState{
+		Schema:           t.schema,
+		SnapshotInterval: t.snapshotInterval,
+		SinceSnapshot:    t.sinceSnapshot,
+		RowSeq:           t.rowSeq.Load(),
+		Versions:         versions,
+	}
+}
+
+// RestoreTable reconstructs a table from checkpointed state under a fresh
+// process-local ID. Replaying WAL commits against the restored table
+// reproduces the original chain exactly, because the snapshot-cadence
+// counters are part of the state.
+func RestoreTable(st TableState) (*Table, error) {
+	if len(st.Versions) == 0 {
+		return nil, fmt.Errorf("storage: cannot restore table with no versions")
+	}
+	if st.Versions[0].Snapshot == nil {
+		return nil, fmt.Errorf("storage: restored chain must begin with a snapshot version")
+	}
+	t := &Table{
+		id:               tableIDs.Add(1),
+		schema:           st.Schema,
+		snapshotInterval: st.SnapshotInterval,
+		sinceSnapshot:    st.SinceSnapshot,
+		versions:         append([]*Version(nil), st.Versions...),
+	}
+	if t.snapshotInterval <= 0 {
+		t.snapshotInterval = DefaultSnapshotInterval
+	}
+	t.rowSeq.Store(st.RowSeq)
+	return t, nil
+}
 
 // Schema returns the table schema.
 func (t *Table) Schema() types.Schema {
@@ -264,6 +335,9 @@ func (t *Table) Apply(cs delta.ChangeSet, commit hlc.Timestamp) (*Version, error
 	}
 	t.versions = append(t.versions, v)
 	t.tip = newTip
+	if t.sink != nil {
+		t.sink.TableCommitted(t, v, t.schema)
+	}
 	return v, nil
 }
 
@@ -290,6 +364,9 @@ func (t *Table) Overwrite(rows map[string]types.Row, commit hlc.Timestamp) (*Ver
 	t.versions = append(t.versions, v)
 	t.tip = snap
 	t.sinceSnapshot = 0
+	if t.sink != nil {
+		t.sink.TableCommitted(t, v, t.schema)
+	}
 	return v, nil
 }
 
@@ -310,6 +387,9 @@ func (t *Table) AppendDataEquivalent(commit hlc.Timestamp) (*Version, error) {
 	}
 	t.versions = append(t.versions, v)
 	t.sinceSnapshot++
+	if t.sink != nil {
+		t.sink.TableCommitted(t, v, t.schema)
+	}
 	return v, nil
 }
 

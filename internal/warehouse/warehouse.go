@@ -163,6 +163,32 @@ func (w *Warehouse) Submit(at time.Time, rows int64, m CostModel, label string) 
 	return job
 }
 
+// State is the serializable billing-simulation state of a warehouse. The
+// job log is not checkpointed; aggregate billing is.
+type State struct {
+	BusyUntil time.Time
+	EverUsed  bool
+	Billed    time.Duration
+	Resumes   int
+}
+
+// State exports the billing state for checkpointing.
+func (w *Warehouse) State() State {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return State{BusyUntil: w.busyUntil, EverUsed: w.everUsed, Billed: w.billed, Resumes: w.resumes}
+}
+
+// RestoreState reinstates checkpointed billing state during recovery.
+func (w *Warehouse) RestoreState(st State) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.busyUntil = st.BusyUntil
+	w.everUsed = st.EverUsed
+	w.billed = st.Billed
+	w.resumes = st.Resumes
+}
+
 // BusyUntil returns the end of the last scheduled job.
 func (w *Warehouse) BusyUntil() time.Time {
 	w.mu.Lock()

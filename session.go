@@ -6,6 +6,7 @@ import (
 	"iter"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyntables/internal/exec"
@@ -24,15 +25,70 @@ type Session struct {
 
 	mu   sync.RWMutex
 	role string
+
+	// stmts tracks prepared statements so Close can invalidate them.
+	stmts  map[*Stmt]struct{}
+	closed bool
 }
 
 // NewSession creates a session with the default ADMIN role.
 func (e *Engine) NewSession() *Session {
-	return &Session{eng: e, role: "ADMIN"}
+	s := &Session{eng: e, role: "ADMIN", stmts: make(map[*Stmt]struct{})}
+	e.sessMu.Lock()
+	if e.sessions != nil {
+		e.sessions[s] = struct{}{}
+	}
+	e.sessMu.Unlock()
+	return s
 }
 
 // Engine returns the session's engine.
 func (s *Session) Engine() *Engine { return s.eng }
+
+// Close releases the session: every statement prepared on it is
+// invalidated (its Exec/Query calls fail afterwards) and the session
+// stops accepting statements. Close is idempotent. The engine's Close
+// closes every live session the same way.
+func (s *Session) Close() error {
+	s.eng.sessMu.Lock()
+	delete(s.eng.sessions, s)
+	s.eng.sessMu.Unlock()
+	s.invalidate()
+	return nil
+}
+
+// invalidate marks the session and its prepared statements closed.
+func (s *Session) invalidate() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	stmts := make([]*Stmt, 0, len(s.stmts))
+	for st := range s.stmts {
+		stmts = append(stmts, st)
+	}
+	s.stmts = make(map[*Stmt]struct{})
+	s.mu.Unlock()
+	for _, st := range stmts {
+		st.markClosed()
+	}
+}
+
+// checkOpen verifies both the session and its engine accept statements.
+func (s *Session) checkOpen() error {
+	if err := s.eng.checkOpen(); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("dyntables: session is closed")
+	}
+	return nil
+}
 
 // SetRole switches the session role used for privilege checks.
 func (s *Session) SetRole(role string) {
@@ -112,6 +168,9 @@ func (s *Session) QueryContext(ctx context.Context, text string, args ...any) (*
 	if err != nil {
 		return nil, err
 	}
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	e := s.eng
 	e.stmtMu.RLock()
 	x := &executor{e: e, s: s, ctx: ctx, params: params}
@@ -170,11 +229,19 @@ func (s *Session) ExecScript(text string) ([]*Result, error) {
 // at a data timestamp chosen after the command was issued (§3.1.2).
 // Requires the OPERATE privilege.
 func (s *Session) ManualRefreshContext(ctx context.Context, name string) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	e := s.eng
 	e.stmtMu.RLock()
-	defer e.stmtMu.RUnlock()
-	x := &executor{e: e, s: s, ctx: ctx}
-	return x.manualRefresh(name)
+	err := e.checkOpen()
+	if err == nil {
+		x := &executor{e: e, s: s, ctx: ctx}
+		err = x.manualRefresh(name)
+	}
+	e.stmtMu.RUnlock()
+	e.afterWrite()
+	return err
 }
 
 // ManualRefresh is ManualRefreshContext with a background context.
@@ -194,8 +261,18 @@ func (s *Session) Describe(name string) (*DynamicTableStatus, error) {
 
 // execStatement routes one parsed statement through the engine's
 // statement lock: DDL takes the exclusive lock, everything else runs as a
-// parallel reader.
+// parallel reader. Once the lock is released, a durable engine may fold
+// the WAL into a checkpoint.
 func (s *Session) execStatement(ctx context.Context, stmt sql.Statement, params *plan.Params) (*Result, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	res, err := s.execStatementLocked(ctx, stmt, params)
+	s.eng.afterWrite()
+	return res, err
+}
+
+func (s *Session) execStatementLocked(ctx context.Context, stmt sql.Statement, params *plan.Params) (*Result, error) {
 	e := s.eng
 	if isDDL(stmt) {
 		e.stmtMu.Lock()
@@ -203,6 +280,13 @@ func (s *Session) execStatement(ctx context.Context, stmt sql.Statement, params 
 	} else {
 		e.stmtMu.RLock()
 		defer e.stmtMu.RUnlock()
+	}
+	// Re-check under the lock: a concurrent Close drains in-flight
+	// statements via the exclusive lock, so anything passing here commits
+	// before the final checkpoint, and anything after it fails cleanly
+	// instead of writing to a closed WAL.
+	if err := e.checkOpen(); err != nil {
+		return nil, err
 	}
 	x := &executor{e: e, s: s, ctx: ctx, params: params}
 	return x.execStmt(stmt)
@@ -239,7 +323,9 @@ func rejectStoredPlaceholders(stmt sql.Statement) error {
 // Stmt is a prepared statement: the SQL is parsed and its placeholders
 // collected once; each execution binds fresh arguments and re-binds
 // against the current catalog (so prepared statements survive concurrent
-// DDL). A Stmt is safe for concurrent use.
+// DDL). A Stmt is safe for concurrent use. Statements belong to the
+// session that prepared them: closing the session (or the engine)
+// invalidates them.
 type Stmt struct {
 	sess   *Session
 	text   string
@@ -249,11 +335,17 @@ type Stmt struct {
 	// Prepare time.
 	positional int
 	names      []string
+
+	closed atomic.Bool
 }
 
 // Prepare parses a statement for repeated execution with `?` and `:name`
-// placeholders.
+// placeholders. The statement is tracked by the session and invalidated
+// when the session or engine closes.
 func (s *Session) Prepare(text string) (*Stmt, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -263,14 +355,32 @@ func (s *Session) Prepare(text string) (*Stmt, error) {
 	}
 	_, isSel := stmt.(*sql.SelectStmt)
 	positional, names := sql.CollectPlaceholders(stmt)
-	return &Stmt{
+	st := &Stmt{
 		sess: s, text: text, parsed: stmt, isSel: isSel,
 		positional: positional, names: names,
-	}, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("dyntables: session is closed")
+	}
+	s.stmts[st] = struct{}{}
+	s.mu.Unlock()
+	return st, nil
+}
+
+func (st *Stmt) checkOpen() error {
+	if st.closed.Load() {
+		return fmt.Errorf("dyntables: prepared statement is closed")
+	}
+	return nil
 }
 
 // ExecContext executes the prepared statement with the given arguments.
 func (st *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
+	if err := st.checkOpen(); err != nil {
+		return nil, err
+	}
 	params, err := bindArgs(st.positional, st.names, args)
 	if err != nil {
 		return nil, err
@@ -285,6 +395,9 @@ func (st *Stmt) Exec(args ...any) (*Result, error) {
 
 // QueryContext executes a prepared SELECT, returning a streaming cursor.
 func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
+	if err := st.checkOpen(); err != nil {
+		return nil, err
+	}
 	if !st.isSel {
 		return nil, fmt.Errorf("dyntables: prepared statement is not a SELECT")
 	}
@@ -293,6 +406,9 @@ func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 		return nil, err
 	}
 	s := st.sess
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	e := s.eng
 	e.stmtMu.RLock()
 	x := &executor{e: e, s: s, ctx: ctx, params: params}
@@ -301,9 +417,21 @@ func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	return cur, err
 }
 
-// Close releases the prepared statement. It exists for symmetry with
-// database/sql; prepared statements hold no engine resources.
-func (st *Stmt) Close() error { return nil }
+// Close releases the prepared statement: the session stops tracking it
+// and subsequent Exec/Query calls fail. Close is idempotent.
+func (st *Stmt) Close() error {
+	if st.closed.CompareAndSwap(false, true) {
+		s := st.sess
+		s.mu.Lock()
+		delete(s.stmts, st)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// markClosed invalidates the statement during session close (the session
+// already dropped its tracking entry).
+func (st *Stmt) markClosed() { st.closed.Store(true) }
 
 // ---------------------------------------------------------------------------
 // argument binding

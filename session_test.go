@@ -497,3 +497,70 @@ func TestConcurrentSessionRoleIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStmtCloseInvalidation covers the prepared-statement lifecycle: a
+// closed Stmt refuses execution, closing a session invalidates every
+// statement prepared on it, and closing the engine invalidates every
+// session's statements.
+func TestStmtCloseInvalidation(t *testing.T) {
+	e := New()
+	s := e.NewSession()
+	s.MustExec(`CREATE TABLE t (id INT)`)
+
+	// Stmt.Close is no longer a silent no-op.
+	st, err := s.Prepare(`INSERT INTO t VALUES (?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Stmt.Close is not idempotent: %v", err)
+	}
+	if _, err := st.Exec(2); err == nil {
+		t.Fatal("Exec on a closed statement should fail")
+	}
+
+	// Session.Close invalidates statements prepared on the session.
+	s2 := e.NewSession()
+	stExec, err := s2.Prepare(`INSERT INTO t VALUES (?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stQuery, err := s2.Prepare(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stExec.Exec(3); err == nil {
+		t.Fatal("Exec should fail after session close")
+	}
+	if _, err := stQuery.QueryContext(context.Background()); err == nil {
+		t.Fatal("Query should fail after session close")
+	}
+	if _, err := s2.Prepare(`SELECT 1 FROM t`); err == nil {
+		t.Fatal("Prepare should fail on a closed session")
+	}
+	if _, err := s2.Exec(`INSERT INTO t VALUES (4)`); err == nil {
+		t.Fatal("Exec should fail on a closed session")
+	}
+
+	// Engine.Close invalidates statements across all sessions.
+	s3 := e.NewSession()
+	st3, err := s3.Prepare(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st3.QueryContext(context.Background()); err == nil {
+		t.Fatal("statement should be invalidated by engine close")
+	}
+}

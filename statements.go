@@ -10,6 +10,8 @@ import (
 	"dyntables/internal/core"
 	"dyntables/internal/delta"
 	"dyntables/internal/exec"
+	"dyntables/internal/hlc"
+	"dyntables/internal/persist"
 	"dyntables/internal/plan"
 	"dyntables/internal/sql"
 	"dyntables/internal/storage"
@@ -203,6 +205,7 @@ func (x *executor) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
 	now := e.txns.Now()
 	var table *storage.Table
 	var rows []exec.TRow
+	var cloneOf *storage.Table
 	switch {
 	case stmt.CloneOf != "":
 		src, err := e.cat.Get(stmt.CloneOf)
@@ -223,6 +226,7 @@ func (x *executor) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
 			return nil, err
 		}
 		table = clone
+		cloneOf = srcTable
 	case stmt.AsSelect != nil:
 		res, err := x.execSelect(stmt.AsSelect)
 		if err != nil {
@@ -249,13 +253,18 @@ func (x *executor) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
 	}
 
 	payload := &tableObject{table: table}
+	var entry *catalog.Entry
 	var err error
 	if stmt.OrReplace {
-		_, err = e.cat.Replace(stmt.Name, payload, x.s.Role(), nil, e.txns.Now())
+		e.deregisterReplacedPayload(stmt.Name)
+		entry, err = e.cat.Replace(stmt.Name, payload, x.s.Role(), nil, e.txns.Now())
 	} else {
-		_, err = e.cat.Create(stmt.Name, payload, x.s.Role(), nil, e.txns.Now())
+		entry, err = e.cat.Create(stmt.Name, payload, x.s.Role(), nil, e.txns.Now())
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := e.logCreateTable(stmt, entry, table, cloneOf, now); err != nil {
 		return nil, err
 	}
 	if len(rows) > 0 {
@@ -284,14 +293,18 @@ func (x *executor) execCreateView(stmt *sql.CreateViewStmt) (*Result, error) {
 	}
 	deps := depIDs(bound.Deps)
 	payload := &viewObject{text: stmt.Text}
+	ts := e.txns.Now()
+	var entry *catalog.Entry
 	if stmt.OrReplace {
-		_, err = e.cat.Replace(stmt.Name, payload, x.s.Role(), deps, e.txns.Now())
+		e.deregisterReplacedPayload(stmt.Name)
+		entry, err = e.cat.Replace(stmt.Name, payload, x.s.Role(), deps, ts)
 	} else {
-		_, err = e.cat.Create(stmt.Name, payload, x.s.Role(), deps, e.txns.Now())
+		entry, err = e.cat.Create(stmt.Name, payload, x.s.Role(), deps, ts)
 	}
 	if err != nil {
 		return nil, err
 	}
+	e.logCreateView(stmt, entry, deps, ts)
 	return &Result{Kind: "CREATE VIEW", Message: fmt.Sprintf("view %s created", stmt.Name)}, nil
 }
 
@@ -314,6 +327,7 @@ func (x *executor) execCreateWarehouse(stmt *sql.CreateWarehouseStmt) (*Result, 
 	if autoSuspend == 0 {
 		autoSuspend = 10 * time.Minute
 	}
+	ts := e.txns.Now()
 	wh, err := e.pool.Create(stmt.Name, size, autoSuspend)
 	if err != nil {
 		if stmt.OrReplace {
@@ -325,15 +339,20 @@ func (x *executor) execCreateWarehouse(stmt *sql.CreateWarehouseStmt) (*Result, 
 			}
 			existing.Size = size
 			existing.AutoSuspend = autoSuspend
+			e.logCreateWarehouse(stmt.Name, x.s.Role(), 0, true, size, autoSuspend, ts)
 			return &Result{Kind: "CREATE WAREHOUSE", Message: "warehouse replaced"}, nil
 		}
 		return nil, err
 	}
+	var entryID int64
 	if !e.cat.Exists(stmt.Name) {
-		if _, err := e.cat.Create(stmt.Name, &warehouseObject{wh: wh}, x.s.Role(), nil, e.txns.Now()); err != nil {
+		entry, err := e.cat.Create(stmt.Name, &warehouseObject{wh: wh}, x.s.Role(), nil, ts)
+		if err != nil {
 			return nil, err
 		}
+		entryID = entry.ID
 	}
+	e.logCreateWarehouse(stmt.Name, x.s.Role(), entryID, stmt.OrReplace, size, autoSuspend, ts)
 	return &Result{Kind: "CREATE WAREHOUSE", Message: fmt.Sprintf("warehouse %s created", stmt.Name)}, nil
 }
 
@@ -352,7 +371,8 @@ func (x *executor) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Re
 		return nil, fmt.Errorf("dyntables: TARGET_LAG below the 1 minute minimum (§3.2)")
 	}
 
-	dt, err := e.ctrl.Build(stmt, e.txns.Now())
+	createdAt := e.txns.Now()
+	dt, err := e.ctrl.Build(stmt, createdAt)
 	if err != nil {
 		return nil, err
 	}
@@ -372,6 +392,7 @@ func (x *executor) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Re
 				e.ctrl.Unregister(oldDT)
 			}
 		}
+		e.deregisterReplacedPayload(stmt.Name)
 		entry, err = e.cat.Replace(stmt.Name, dt, x.s.Role(), deps, e.txns.Now())
 	} else {
 		entry, err = e.cat.Create(stmt.Name, dt, x.s.Role(), deps, e.txns.Now())
@@ -386,6 +407,7 @@ func (x *executor) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Re
 	dt.EntryID = entry.ID
 	e.ctrl.Register(dt)
 	e.sch.Track(dt)
+	e.logCreateDT(stmt.OrReplace, entry, dt, x.s.Role(), deps, createdAt, "", hlc.Zero)
 
 	// Initialization (§3.1.2): synchronous by default, reusing a recent
 	// upstream data timestamp when possible.
@@ -411,7 +433,8 @@ func (x *executor) cloneDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	clone, err := src.CloneAt(e.txns.Now())
+	cloneAt := e.txns.Now()
+	clone, err := src.CloneAt(cloneAt)
 	if err != nil {
 		return nil, err
 	}
@@ -431,6 +454,7 @@ func (x *executor) cloneDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result,
 	clone.EntryID = entry.ID
 	e.ctrl.Register(clone)
 	e.sch.Track(clone)
+	e.logCreateDT(false, entry, clone, x.s.Role(), depIDs(bound.Deps), cloneAt, stmt.CloneOf, cloneAt)
 	return &Result{Kind: "CREATE DYNAMIC TABLE",
 		Message: fmt.Sprintf("dynamic table %s cloned from %s", stmt.Name, stmt.CloneOf)}, nil
 }
@@ -729,21 +753,25 @@ func (x *executor) execDrop(stmt *sql.DropStmt) (*Result, error) {
 	if dt, ok := entry.Payload.(*core.DynamicTable); ok {
 		e.sch.Untrack(dt)
 	}
-	if err := e.cat.Drop(stmt.Name, e.txns.Now()); err != nil {
+	ts := e.txns.Now()
+	if err := e.cat.Drop(stmt.Name, ts); err != nil {
 		return nil, err
 	}
+	e.logDropUndrop(persist.KindDrop, stmt.Name, ts)
 	return &Result{Kind: "DROP", Message: fmt.Sprintf("%s %s dropped", stmt.Kind, stmt.Name)}, nil
 }
 
 func (x *executor) execUndrop(stmt *sql.UndropStmt) (*Result, error) {
 	e := x.e
-	entry, err := e.cat.Undrop(stmt.Name, e.txns.Now())
+	ts := e.txns.Now()
+	entry, err := e.cat.Undrop(stmt.Name, ts)
 	if err != nil {
 		return nil, err
 	}
 	if dt, ok := entry.Payload.(*core.DynamicTable); ok {
 		e.sch.Track(dt)
 	}
+	e.logDropUndrop(persist.KindUndrop, stmt.Name, ts)
 	return &Result{Kind: "UNDROP", Message: fmt.Sprintf("%s %s restored", stmt.Kind, stmt.Name)}, nil
 }
 
@@ -756,14 +784,18 @@ func (x *executor) execAlter(stmt *sql.AlterStmt) (*Result, error) {
 				dt.Name = stmt.Target
 			}
 		}
-		if err := e.cat.Rename(stmt.Name, stmt.Target, e.txns.Now()); err != nil {
+		ts := e.txns.Now()
+		if err := e.cat.Rename(stmt.Name, stmt.Target, ts); err != nil {
 			return nil, err
 		}
+		e.logRenameSwap(persist.KindRename, stmt.Name, stmt.Target, ts)
 		return &Result{Kind: "ALTER", Message: "renamed"}, nil
 	case "SWAP":
-		if err := e.cat.Swap(stmt.Name, stmt.Target, e.txns.Now()); err != nil {
+		ts := e.txns.Now()
+		if err := e.cat.Swap(stmt.Name, stmt.Target, ts); err != nil {
 			return nil, err
 		}
+		e.logRenameSwap(persist.KindSwap, stmt.Name, stmt.Target, ts)
 		return &Result{Kind: "ALTER", Message: "swapped"}, nil
 	case "SUSPEND", "RESUME", "REFRESH", "SET_LAG":
 		entry, dt, err := e.dynamicTable(stmt.Name)
@@ -777,14 +809,18 @@ func (x *executor) execAlter(stmt *sql.AlterStmt) (*Result, error) {
 		switch stmt.Action {
 		case "SUSPEND":
 			dt.Suspend()
+			e.logAlterDT(stmt.Name, "SUSPEND", nil)
 		case "RESUME":
 			dt.Resume()
+			e.logAlterDT(stmt.Name, "RESUME", nil)
 		case "REFRESH":
+			// Durable via the refresh's own commit + frontier records.
 			if err := e.refreshAt(dt, e.clk.Now()); err != nil {
 				return nil, err
 			}
 		case "SET_LAG":
 			dt.Lag = *stmt.Lag
+			e.logAlterDT(stmt.Name, "SET_LAG", stmt.Lag)
 		}
 		return &Result{Kind: "ALTER", Message: stmt.Action}, nil
 	default:
