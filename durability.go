@@ -261,6 +261,12 @@ func Open(dir string, opts ...Option) (*Engine, error) {
 			WithSchedulerPhase(time.Duration(snap.PhaseMicros) * time.Microsecond)}, opts...)
 	}
 	e := New(opts...)
+	// Recovery replays the log through the same engine mutation paths a
+	// live refresh uses; quiescing the refresher guarantees no scheduled
+	// refresh can interleave with replay, even if a caller races
+	// RunScheduler against Open's return.
+	e.refr.Quiesce()
+	defer e.refr.Resume()
 	p := &persister{
 		eng:            e,
 		wal:            wal,

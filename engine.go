@@ -55,6 +55,7 @@ import (
 	"dyntables/internal/clock"
 	"dyntables/internal/core"
 	"dyntables/internal/plan"
+	"dyntables/internal/refresher"
 	"dyntables/internal/sched"
 	"dyntables/internal/storage"
 	"dyntables/internal/txn"
@@ -77,7 +78,9 @@ type Engine struct {
 	ctrl  *core.Controller
 	pool  *warehouse.Pool
 	sch   *sched.Scheduler
+	refr  *refresher.Refresher
 	model warehouse.CostModel
+	cfg   Config
 	// schPhase is the account-wide canonical-period phase (§5.2).
 	schPhase time.Duration
 
@@ -103,8 +106,46 @@ type Engine struct {
 	sessions map[*Session]struct{}
 }
 
+// Config bundles the engine's execution tuning knobs. The zero value
+// reproduces the classic fully serial engine.
+type Config struct {
+	// RefreshWorkers is the width of the scheduler's refresh worker
+	// pool: how many DT refreshes of one dependency wave execute
+	// concurrently, and how many concurrency slots each warehouse
+	// offers the cost model. 0 (or 1) runs refreshes serially — the
+	// deterministic default — and a negative value derives the width
+	// from the host (GOMAXPROCS). Adjustable at runtime with
+	// `ALTER SYSTEM SET REFRESH_WORKERS = n`.
+	RefreshWorkers int
+	// DeltaParallelism bounds concurrent subplan evaluations inside a
+	// single incremental refresh: the two sides of a join delta, union
+	// branches and boundary snapshots evaluate in parallel when > 1.
+	// 0 (or 1) differentiates sequentially. Adjustable at runtime with
+	// `ALTER SYSTEM SET DELTA_PARALLELISM = n`.
+	DeltaParallelism int
+}
+
+// resolveWorkers maps the RefreshWorkers config to a concrete pool
+// width: 0 means serial, negative means host-derived.
+func (c Config) resolveWorkers() int {
+	switch {
+	case c.RefreshWorkers == 0:
+		return 1
+	case c.RefreshWorkers < 0:
+		return 0 // refresher.New derives from GOMAXPROCS
+	default:
+		return c.RefreshWorkers
+	}
+}
+
 // Option configures an Engine.
 type Option func(*Engine)
+
+// WithConfig applies execution tuning (refresh worker-pool width, delta
+// parallelism).
+func WithConfig(cfg Config) Option {
+	return func(e *Engine) { e.cfg = cfg }
+}
 
 // WithWallClock runs the engine against real time instead of the virtual
 // clock (AdvanceTime becomes a no-op).
@@ -177,9 +218,26 @@ func New(opts ...Option) *Engine {
 		vclk = clock.NewVirtual(e.clk.Now())
 	}
 	e.pool = warehouse.NewPool()
+	e.ctrl.DeltaParallelism = e.cfg.DeltaParallelism
+	e.refr = refresher.New(e.ctrl, e.pool, e.model, e.cfg.resolveWorkers())
 	e.sch = sched.New(vclk, e.ctrl, e.pool, e.model, e.clk.Now(), e.schPhase)
+	e.sch.SetRefresher(e.refr)
 	e.def = e.NewSession()
 	return e
+}
+
+// Refresher exposes the refresh-execution backend (worker-pool width,
+// quiesce control).
+func (e *Engine) Refresher() *refresher.Refresher { return e.refr }
+
+// RefreshWorkers returns the current refresh worker-pool width.
+func (e *Engine) RefreshWorkers() int { return e.refr.Workers() }
+
+// DeltaParallelism returns the per-refresh differentiation parallelism.
+func (e *Engine) DeltaParallelism() int {
+	e.stmtMu.RLock()
+	defer e.stmtMu.RUnlock()
+	return e.ctrl.DeltaParallelism
 }
 
 // Now returns the engine's current time.

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -1032,6 +1033,242 @@ func RunRecoveryBench(dir string, rounds int, cadences []int) ([]RecoveryPoint, 
 		points = append(points, pt)
 	}
 	return points, nil
+}
+
+// ---------------------------------------------------------------------------
+// parallel refresh execution: DAG-wave scheduling over a worker pool
+// ---------------------------------------------------------------------------
+
+// ParallelRefreshResult compares serial and parallel execution of one
+// refresh wave over a fan-out DAG (1 base table → N sibling DTs → 1
+// rollup DT). Wave wall-clock is virtual time — the warehouse-simulated
+// makespan of the wave's jobs — so the comparison is deterministic and
+// host-independent; HostMillis records the real execution time of the
+// same scheduler pass for reference.
+type ParallelRefreshResult struct {
+	Siblings int `json:"siblings"`
+	Workers  int `json:"workers"`
+
+	SerialWaveMillis   float64 `json:"serial_wave_ms"`
+	ParallelWaveMillis float64 `json:"parallel_wave_ms"`
+	Speedup            float64 `json:"speedup"`
+
+	SerialHostMillis   float64 `json:"serial_host_ms"`
+	ParallelHostMillis float64 `json:"parallel_host_ms"`
+
+	// Effective lag (end − data timestamp) percentiles across the wave's
+	// DTs at the measured tick.
+	SerialLagP50Millis   float64 `json:"serial_lag_p50_ms"`
+	SerialLagP95Millis   float64 `json:"serial_lag_p95_ms"`
+	ParallelLagP50Millis float64 `json:"parallel_lag_p50_ms"`
+	ParallelLagP95Millis float64 `json:"parallel_lag_p95_ms"`
+
+	// IdenticalRows reports whether every DT's final contents are
+	// byte-identical between the serial and parallel runs.
+	IdenticalRows bool `json:"identical_rows"`
+}
+
+// parallelFanoutRun builds the fan-out DAG, applies a change batch, runs
+// one scheduler pass with the given worker count and measures the wave.
+type parallelFanoutRun struct {
+	waveMillis float64
+	hostMillis float64
+	lags       []time.Duration
+	contents   string
+}
+
+func runParallelFanout(siblings, workers, baseRows int) (*parallelFanoutRun, error) {
+	e := New(
+		WithConfig(Config{RefreshWorkers: workers, DeltaParallelism: workers}),
+		WithCostModel(warehouse.CostModel{Fixed: 2 * time.Second, PerRow: time.Millisecond}),
+	)
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+	s.MustExec(`CREATE TABLE base (k INT, grp INT, v INT)`)
+	batch := ""
+	for i := 0; i < baseRows; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %d)", i, i%37, i%101)
+		if (i+1)%500 == 0 || i == baseRows-1 {
+			s.MustExec(`INSERT INTO base VALUES ` + batch)
+			batch = ""
+		}
+	}
+
+	names := make([]string, 0, siblings+1)
+	for i := 0; i < siblings; i++ {
+		name := fmt.Sprintf("s_%02d", i)
+		s.MustExec(fmt.Sprintf(
+			`CREATE DYNAMIC TABLE %s TARGET_LAG = '2 minutes' WAREHOUSE = wh
+			 AS SELECT grp, count(*) c, sum(v) total FROM base WHERE grp %% %d = %d GROUP BY grp`,
+			name, siblings, i))
+		names = append(names, name)
+	}
+	// The rollup carries its own lag (a DOWNSTREAM sink with no consumers
+	// would be manual-only, §3.2); sharing the siblings' lag puts it in
+	// the same tick as its upstreams, exercising the second wave.
+	rollup := `CREATE DYNAMIC TABLE rollup TARGET_LAG = '2 minutes' WAREHOUSE = wh AS `
+	for i := 0; i < siblings; i++ {
+		if i > 0 {
+			rollup += ` UNION ALL `
+		}
+		rollup += fmt.Sprintf(`SELECT grp, c, total FROM s_%02d`, i)
+	}
+	s.MustExec(rollup)
+	names = append(names, "rollup")
+
+	// Change batch touching every sibling's slice of the key space.
+	batch = ""
+	for i := 0; i < baseRows/5; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %d)", baseRows+i, i%37, i%89)
+		if (i+1)%500 == 0 || i == baseRows/5-1 {
+			s.MustExec(`INSERT INTO base VALUES ` + batch)
+			batch = ""
+		}
+	}
+
+	wh, err := e.Warehouses().Get("wh")
+	if err != nil {
+		return nil, err
+	}
+	jobsBefore := len(wh.Jobs())
+	pointsBefore := make(map[string]int, len(names))
+	for _, name := range names {
+		dt, err := e.DynamicTableHandle(name)
+		if err != nil {
+			return nil, err
+		}
+		pointsBefore[name] = len(e.Scheduler().LagSeries(dt))
+	}
+	e.AdvanceTime(2 * time.Minute)
+	hostStart := time.Now()
+	if err := e.RunScheduler(); err != nil {
+		return nil, err
+	}
+	hostMillis := float64(time.Since(hostStart).Microseconds()) / 1000
+
+	// The wave's makespan: earliest submit to latest end among the jobs
+	// this scheduler pass billed.
+	jobs := wh.Jobs()[jobsBefore:]
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("parallel experiment: scheduler pass billed no jobs")
+	}
+	first, last := jobs[0].Submit, jobs[0].End
+	for _, j := range jobs {
+		if j.Submit.Before(first) {
+			first = j.Submit
+		}
+		if j.End.After(last) {
+			last = j.End
+		}
+	}
+
+	// Effective lag per DT over the measured pass: the worst end − data
+	// timestamp among the refreshes this pass committed (trailing NO_DATA
+	// ticks have ~zero lag and would mask the queueing the experiment is
+	// about).
+	var lags []time.Duration
+	for _, name := range names {
+		dt, err := e.DynamicTableHandle(name)
+		if err != nil {
+			return nil, err
+		}
+		series := e.Scheduler().LagSeries(dt)
+		worst := time.Duration(-1)
+		for _, p := range series[pointsBefore[name]:] {
+			if p.TroughLag > worst {
+				worst = p.TroughLag
+			}
+		}
+		if worst >= 0 {
+			lags = append(lags, worst)
+		}
+	}
+
+	contents, err := dtContents(e, names)
+	if err != nil {
+		return nil, err
+	}
+	return &parallelFanoutRun{
+		waveMillis: float64(last.Sub(first).Microseconds()) / 1000,
+		hostMillis: hostMillis,
+		lags:       lags,
+		contents:   contents,
+	}, nil
+}
+
+// dtContents canonically serializes the final stored contents of the
+// named DTs: every (row ID, row) pair at the latest version, sorted. Two
+// runs refresh-equivalent under delayed view semantics produce identical
+// bytes.
+func dtContents(e *Engine, names []string) (string, error) {
+	var sb []string
+	for _, name := range names {
+		dt, err := e.DynamicTableHandle(name)
+		if err != nil {
+			return "", err
+		}
+		rows, err := dt.Storage.Rows(int64(dt.Storage.VersionCount()))
+		if err != nil {
+			return "", err
+		}
+		lines := make([]string, 0, len(rows))
+		for id, r := range rows {
+			lines = append(lines, fmt.Sprintf("%s|%s|%s", name, id, r))
+		}
+		sort.Strings(lines)
+		sb = append(sb, lines...)
+	}
+	return strings.Join(sb, "\n"), nil
+}
+
+func lagPercentile(lags []time.Duration, p float64) float64 {
+	if len(lags) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
+// RunParallelRefresh measures DAG-wave parallel refresh execution: the
+// same fan-out DAG and change batch run once with a serial refresher and
+// once with `workers` refresh workers. The parallel run must produce
+// byte-identical DT contents while compressing the wave's makespan
+// toward the critical path.
+func RunParallelRefresh(siblings, workers int) (*ParallelRefreshResult, error) {
+	const baseRows = 4000
+	serial, err := runParallelFanout(siblings, 1, baseRows)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := runParallelFanout(siblings, workers, baseRows)
+	if err != nil {
+		return nil, err
+	}
+	res := &ParallelRefreshResult{
+		Siblings:             siblings,
+		Workers:              workers,
+		SerialWaveMillis:     serial.waveMillis,
+		ParallelWaveMillis:   parallel.waveMillis,
+		SerialHostMillis:     serial.hostMillis,
+		ParallelHostMillis:   parallel.hostMillis,
+		SerialLagP50Millis:   lagPercentile(serial.lags, 0.50),
+		SerialLagP95Millis:   lagPercentile(serial.lags, 0.95),
+		ParallelLagP50Millis: lagPercentile(parallel.lags, 0.50),
+		ParallelLagP95Millis: lagPercentile(parallel.lags, 0.95),
+		IdenticalRows:        serial.contents == parallel.contents,
+	}
+	if parallel.waveMillis > 0 {
+		res.Speedup = serial.waveMillis / parallel.waveMillis
+	}
+	return res, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,14 @@ var ErrUpstreamVersionMissing = errors.New("core: upstream DT version for exact 
 // source versions for the refresh interval, chooses the refresh action,
 // differentiates the plan when incremental, validates the changes and
 // commits them.
+//
+// Refresh is safe for concurrent callers refreshing *distinct* DTs (the
+// parallel refresher runs dependency waves this way): per-DT state sits
+// behind each DynamicTable's mutex, the registry behind regMu, storage
+// and catalog reads behind their own locks, and commits behind the
+// transaction manager's per-table locks. Concurrent refreshes of the
+// same DT serialize through the per-DT refresh lock — the second caller
+// gets ErrSkipped (§3.3.3, §5.3).
 type Controller struct {
 	txns     *txn.Manager
 	resolver plan.Resolver
@@ -58,6 +66,13 @@ type Controller struct {
 	// Hooks for the IVM ablation strategies.
 	ExpandOuterJoins    bool
 	FullWindowRecompute bool
+
+	// DeltaParallelism bounds concurrent subplan evaluations inside one
+	// refresh's differentiation (ivm.Env.Parallelism): join sides, union
+	// branches and boundary snapshots evaluate in parallel when > 1.
+	// Written only while refreshes are excluded (engine DDL lock); read
+	// by every refresh.
+	DeltaParallelism int
 }
 
 // FrontierUpdate describes one frontier advance: everything a recovered
@@ -290,6 +305,7 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshR
 	env := &ivm.Env{
 		Now:                 dataTS,
 		Counters:            counters,
+		Parallelism:         c.DeltaParallelism,
 		ExpandOuterJoins:    c.ExpandOuterJoins,
 		FullWindowRecompute: c.FullWindowRecompute,
 	}

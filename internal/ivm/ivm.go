@@ -22,6 +22,8 @@ package ivm
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"dyntables/internal/delta"
@@ -82,18 +84,129 @@ type Env struct {
 	Counters *exec.Counters
 	Stats    *Stats
 
+	// Parallelism bounds how many independent subplan evaluations one
+	// differentiation may run concurrently: the two deltas of a join, its
+	// boundary snapshots, and union-all branches are data-independent and
+	// evaluate in parallel when > 1. 0 or 1 keeps differentiation fully
+	// sequential. The change-set content is identical either way.
+	Parallelism int
+
 	// ExpandOuterJoins switches to the inner+anti-join expansion strategy
 	// for outer-join derivatives (the ablation of §5.5.1).
 	ExpandOuterJoins bool
 	// FullWindowRecompute disables the changed-partition optimization and
 	// recomputes every window partition (ablation).
 	FullWindowRecompute bool
+
+	// sem caps in-flight parallel branches across the whole plan, so a
+	// deep join tree cannot fan out more than Parallelism-1 extra
+	// goroutines. Created once at the Delta entry point and shared by
+	// child environments.
+	sem chan struct{}
 }
 
 func (e *Env) stats(f func(*Stats)) {
 	if e.Stats != nil {
 		f(e.Stats)
 	}
+}
+
+// child derives an Env for one parallel branch: same clock and strategy
+// flags, fresh counter and stat sinks so concurrent branches never write
+// to shared memory. merge folds the child back after the branch joins.
+func (e *Env) child() *Env {
+	c := &Env{
+		Now:                 e.Now,
+		Parallelism:         e.Parallelism,
+		ExpandOuterJoins:    e.ExpandOuterJoins,
+		FullWindowRecompute: e.FullWindowRecompute,
+		sem:                 e.sem,
+	}
+	if e.Counters != nil {
+		c.Counters = &exec.Counters{}
+	}
+	if e.Stats != nil {
+		c.Stats = &Stats{}
+	}
+	return c
+}
+
+func (e *Env) merge(c *Env) {
+	if e.Counters != nil && c.Counters != nil {
+		e.Counters.Merge(c.Counters)
+	}
+	if e.Stats != nil && c.Stats != nil {
+		e.Stats.merge(c.Stats)
+	}
+}
+
+func (s *Stats) merge(o *Stats) {
+	s.SubplanDeltaEvals += o.SubplanDeltaEvals
+	s.SubplanSnapshotEvals += o.SubplanSnapshotEvals
+	s.PartitionsRecomputed += o.PartitionsRecomputed
+	s.PartitionsTotal += o.PartitionsTotal
+	s.GroupsRecomputed += o.GroupsRecomputed
+	s.RowsEmitted += o.RowsEmitted
+	s.ConsolidationElided += o.ConsolidationElided
+}
+
+// runPar executes independent differentiation tasks, concurrently when
+// the environment has spare parallelism tokens. Each concurrent task
+// gets a child Env (folded back afterwards); tasks that find no spare
+// token run inline on the parent. Tasks write to distinct outputs and
+// errors surface in task order, so the result is identical to running
+// the tasks sequentially.
+func runPar(env *Env, tasks ...func(*Env) error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if env.Parallelism <= 1 || env.sem == nil || len(tasks) == 1 {
+		for _, task := range tasks {
+			if err := task(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	children := make([]*Env, len(tasks))
+	var wg sync.WaitGroup
+	for i := 1; i < len(tasks); i++ {
+		select {
+		case env.sem <- struct{}{}:
+			child := env.child()
+			children[i] = child
+			wg.Add(1)
+			go func(i int, child *Env) {
+				defer wg.Done()
+				defer func() { <-env.sem }()
+				defer func() {
+					if p := recover(); p != nil {
+						errs[i] = fmt.Errorf("ivm: panic in parallel delta branch: %v\n%s", p, debug.Stack())
+					}
+				}()
+				errs[i] = tasks[i](child)
+			}(i, child)
+		default:
+			// Pool exhausted: run inline. Inline tasks share the parent
+			// env but never run concurrently with each other, and the
+			// spawned branches write only to their children.
+			errs[i] = tasks[i](env)
+		}
+	}
+	errs[0] = tasks[0](env)
+	wg.Wait()
+	for _, child := range children {
+		if child != nil {
+			env.merge(child)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ErrNotIncrementalizable reports a plan feature that has no derivative;
@@ -152,6 +265,9 @@ func EvalAsOf(n plan.Node, vm VersionMap, env *Env) ([]exec.TRow, error) {
 // final change-consolidation step is skipped — the §5.5.2 optimization for
 // the extremely common insert-only workloads.
 func Delta(n plan.Node, iv Interval, env *Env) (delta.ChangeSet, error) {
+	if env.Parallelism > 1 && env.sem == nil {
+		env.sem = make(chan struct{}, env.Parallelism-1)
+	}
 	rows, err := deltaRec(n, iv, env)
 	if err != nil {
 		return delta.ChangeSet{}, err
@@ -258,6 +374,24 @@ func snapshot(n plan.Node, vm VersionMap, env *Env) ([]exec.TRow, error) {
 	return EvalAsOf(n, vm, env)
 }
 
+// snapshotBoundaries evaluates a subplan at both interval boundaries —
+// the recompute-affected-groups rules all need the pair — in parallel
+// when the environment allows.
+func snapshotBoundaries(n plan.Node, iv Interval, env *Env) (q0, q1 []exec.TRow, err error) {
+	err = runPar(env,
+		func(e *Env) error {
+			var err error
+			q0, err = snapshot(n, iv.From, e)
+			return err
+		},
+		func(e *Env) error {
+			var err error
+			q1, err = snapshot(n, iv.To, e)
+			return err
+		})
+	return q0, q1, err
+}
+
 // ---------------------------------------------------------------------------
 // leaf and linear rules
 // ---------------------------------------------------------------------------
@@ -333,12 +467,22 @@ func deltaProject(p *plan.Project, iv Interval, env *Env) ([]signedRow, error) {
 }
 
 func deltaUnion(u *plan.UnionAll, iv Interval, env *Env) ([]signedRow, error) {
-	var out []signedRow
-	for i, input := range u.Inputs {
-		rows, err := deltaRec(input, iv, env)
-		if err != nil {
-			return nil, err
+	// Branch deltas are independent change sets; evaluate them in
+	// parallel and concatenate in branch order.
+	branches := make([][]signedRow, len(u.Inputs))
+	tasks := make([]func(*Env) error, len(u.Inputs))
+	for i := range u.Inputs {
+		tasks[i] = func(e *Env) error {
+			rows, err := deltaRec(u.Inputs[i], iv, e)
+			branches[i] = rows
+			return err
 		}
+	}
+	if err := runPar(env, tasks...); err != nil {
+		return nil, err
+	}
+	var out []signedRow
+	for i, rows := range branches {
 		for _, sr := range rows {
 			out = append(out, signedRow{
 				ID: exec.UnionBranchID(i, sr.ID), Row: sr.Row, Action: sr.Action,
@@ -439,40 +583,52 @@ func joinSignedRight(j *plan.Join, left []exec.TRow, right []signedRow, env *Env
 	return out, nil
 }
 
-// deltaInnerJoin implements Δ(Q⋈R) = ΔQ⋈R₁ + Q₀⋈ΔR.
+// deltaInnerJoin implements Δ(Q⋈R) = ΔQ⋈R₁ + Q₀⋈ΔR. The two side
+// deltas are independent, as are the two bilinear terms once the deltas
+// are known; each pair evaluates in parallel under the Env's
+// parallelism budget.
 func deltaInnerJoin(j *plan.Join, iv Interval, env *Env) ([]signedRow, error) {
-	dq, err := deltaRec(j.L, iv, env)
+	var dq, dr []signedRow
+	err := runPar(env,
+		func(e *Env) error {
+			var err error
+			dq, err = deltaRec(j.L, iv, e)
+			return err
+		},
+		func(e *Env) error {
+			var err error
+			dr, err = deltaRec(j.R, iv, e)
+			return err
+		})
 	if err != nil {
 		return nil, err
 	}
-	dr, err := deltaRec(j.R, iv, env)
-	if err != nil {
-		return nil, err
-	}
-	var out []signedRow
+	var term1, term2 []signedRow
+	var tasks []func(*Env) error
 	if len(dq) > 0 {
-		r1, err := snapshot(j.R, iv.To, env)
-		if err != nil {
-			return nil, err
-		}
-		term, err := joinSignedLeft(j, dq, r1, env)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, term...)
+		tasks = append(tasks, func(e *Env) error {
+			r1, err := snapshot(j.R, iv.To, e)
+			if err != nil {
+				return err
+			}
+			term1, err = joinSignedLeft(j, dq, r1, e)
+			return err
+		})
 	}
 	if len(dr) > 0 {
-		q0, err := snapshot(j.L, iv.From, env)
-		if err != nil {
-			return nil, err
-		}
-		term, err := joinSignedRight(j, q0, dr, env)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, term...)
+		tasks = append(tasks, func(e *Env) error {
+			q0, err := snapshot(j.L, iv.From, e)
+			if err != nil {
+				return err
+			}
+			term2, err = joinSignedRight(j, q0, dr, e)
+			return err
+		})
 	}
-	return out, nil
+	if err := runPar(env, tasks...); err != nil {
+		return nil, err
+	}
+	return append(term1, term2...), nil
 }
 
 // matchedIDs runs the inner join of the given left rows against right rows
@@ -586,11 +742,18 @@ func nullExtensionDelta(
 // inner-join delta plus null-extension maintenance, sharing each boundary
 // evaluation across terms.
 func deltaOuterJoinDirect(j *plan.Join, iv Interval, env *Env) ([]signedRow, error) {
-	dq, err := deltaRec(j.L, iv, env)
-	if err != nil {
-		return nil, err
-	}
-	dr, err := deltaRec(j.R, iv, env)
+	var dq, dr []signedRow
+	err := runPar(env,
+		func(e *Env) error {
+			var err error
+			dq, err = deltaRec(j.L, iv, e)
+			return err
+		},
+		func(e *Env) error {
+			var err error
+			dr, err = deltaRec(j.R, iv, e)
+			return err
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -598,20 +761,30 @@ func deltaOuterJoinDirect(j *plan.Join, iv Interval, env *Env) ([]signedRow, err
 		return nil, nil
 	}
 
-	// Boundary evaluations, shared by every term below.
-	q0, err := snapshot(j.L, iv.From, env)
-	if err != nil {
-		return nil, err
-	}
-	q1, err := snapshot(j.L, iv.To, env)
-	if err != nil {
-		return nil, err
-	}
-	r0, err := snapshot(j.R, iv.From, env)
-	if err != nil {
-		return nil, err
-	}
-	r1, err := snapshot(j.R, iv.To, env)
+	// Boundary evaluations, shared by every term below; the four
+	// snapshots are independent as-of evaluations.
+	var q0, q1, r0, r1 []exec.TRow
+	err = runPar(env,
+		func(e *Env) error {
+			var err error
+			q0, err = snapshot(j.L, iv.From, e)
+			return err
+		},
+		func(e *Env) error {
+			var err error
+			q1, err = snapshot(j.L, iv.To, e)
+			return err
+		},
+		func(e *Env) error {
+			var err error
+			r0, err = snapshot(j.R, iv.From, e)
+			return err
+		},
+		func(e *Env) error {
+			var err error
+			r1, err = snapshot(j.R, iv.To, e)
+			return err
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -871,11 +1044,7 @@ func deltaAggregate(a *plan.Aggregate, iv Interval, env *Env) ([]signedRow, erro
 	}
 	env.stats(func(s *Stats) { s.GroupsRecomputed += int64(len(affected)) })
 
-	q0, err := snapshot(a.Input, iv.From, env)
-	if err != nil {
-		return nil, err
-	}
-	q1, err := snapshot(a.Input, iv.To, env)
+	q0, q1, err := snapshotBoundaries(a.Input, iv, env)
 	if err != nil {
 		return nil, err
 	}
@@ -961,11 +1130,7 @@ func deltaDistinct(d *plan.Distinct, iv Interval, env *Env) ([]signedRow, error)
 		}
 		return m
 	}
-	q0, err := snapshot(d.Input, iv.From, env)
-	if err != nil {
-		return nil, err
-	}
-	q1, err := snapshot(d.Input, iv.To, env)
+	q0, q1, err := snapshotBoundaries(d.Input, iv, env)
 	if err != nil {
 		return nil, err
 	}
@@ -995,11 +1160,7 @@ func deltaWindow(w *plan.Window, iv Interval, env *Env) ([]signedRow, error) {
 	if len(din) == 0 {
 		return nil, nil
 	}
-	q0, err := snapshot(w.Input, iv.From, env)
-	if err != nil {
-		return nil, err
-	}
-	q1, err := snapshot(w.Input, iv.To, env)
+	q0, q1, err := snapshotBoundaries(w.Input, iv, env)
 	if err != nil {
 		return nil, err
 	}

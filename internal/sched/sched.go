@@ -8,13 +8,13 @@ package sched
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"dyntables/internal/clock"
 	"dyntables/internal/core"
+	"dyntables/internal/refresher"
 	"dyntables/internal/sql"
 	"dyntables/internal/warehouse"
 )
@@ -81,6 +81,12 @@ type Scheduler struct {
 	ctrl  *core.Controller
 	pool  *warehouse.Pool
 	model warehouse.CostModel
+	// exec executes the due set of each fire instant: it partitions the
+	// DTs into dependency waves and runs each wave concurrently on its
+	// worker pool. The scheduler keeps the policy decisions (which DTs
+	// are due, skip-vs-queue, stats, the lag sawtooth); the refresher
+	// owns execution.
+	exec *refresher.Refresher
 
 	// phase is the account-wide constant phase for canonical periods
 	// (§5.2: "we choose a constant phase for each customer").
@@ -112,7 +118,9 @@ type Scheduler struct {
 	ExactPeriods bool
 }
 
-// New creates a scheduler over the controller's DTs.
+// New creates a scheduler over the controller's DTs. Without
+// SetRefresher, the first tick lazily installs a serial (single-worker)
+// refresh executor.
 func New(clk *clock.Virtual, ctrl *core.Controller, pool *warehouse.Pool, model warehouse.CostModel, epoch time.Time, phase time.Duration) *Scheduler {
 	return &Scheduler{
 		clk:        clk,
@@ -126,6 +134,30 @@ func New(clk *clock.Virtual, ctrl *core.Controller, pool *warehouse.Pool, model 
 		lastDataTS: make(map[*core.DynamicTable]time.Time),
 		lagSeries:  make(map[*core.DynamicTable][]LagPoint),
 	}
+}
+
+// SetRefresher installs the refresh executor driving each fire instant.
+func (s *Scheduler) SetRefresher(r *refresher.Refresher) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exec = r
+}
+
+// Refresher returns the installed refresh executor (installing the
+// serial default if no tick has run yet).
+func (s *Scheduler) Refresher() *refresher.Refresher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refresherLocked()
+}
+
+// refresherLocked returns the executor, lazily defaulting to a serial
+// one. Callers hold s.mu.
+func (s *Scheduler) refresherLocked() *refresher.Refresher {
+	if s.exec == nil {
+		s.exec = refresher.New(s.ctrl, s.pool, s.model, 1)
+	}
+	return s.exec
 }
 
 // Cursor returns the last processed fire instant, checkpointed so a
@@ -188,18 +220,35 @@ func (s *Scheduler) Untrack(dt *core.DynamicTable) {
 	}
 }
 
-// Stats returns aggregate counters.
+// Stats returns a snapshot of the aggregate counters. The returned value
+// is a copy taken under the scheduler lock: callers may retain and read
+// it freely while the tick loop keeps counting.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
 }
 
-// LagSeries returns the recorded sawtooth for a DT.
+// LagSeries returns the recorded sawtooth for a DT. The returned slice is
+// a defensive copy taken under the scheduler lock — the tick loop appends
+// to the underlying series concurrently, so handing out the internal
+// slice would race with monitoring callers.
 func (s *Scheduler) LagSeries(dt *core.DynamicTable) []LagPoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]LagPoint(nil), s.lagSeries[dt]...)
+}
+
+// LagSeriesAll returns every tracked DT's sawtooth, deep-copied under the
+// scheduler lock for the same reason as LagSeries.
+func (s *Scheduler) LagSeriesAll() map[*core.DynamicTable][]LagPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[*core.DynamicTable][]LagPoint, len(s.lagSeries))
+	for dt, series := range s.lagSeries {
+		out[dt] = append([]LagPoint(nil), series...)
+	}
+	return out
 }
 
 // EffectiveLag resolves a DT's effective target lag: its own duration, or
@@ -336,8 +385,11 @@ func (s *Scheduler) RunUntil(t time.Time) error {
 	}
 }
 
-// fireAt refreshes every DT whose fire schedule includes the instant, in
-// dependency order.
+// fireAt refreshes every DT whose fire schedule includes the instant: it
+// applies the scheduling policy (skip-vs-queue, §3.3.3; exact-period
+// repair, E11), hands the due set to the refresher — which partitions it
+// into dependency waves and runs each wave concurrently — and folds the
+// results back into the stats, busy windows and the Figure 4 sawtooth.
 func (s *Scheduler) fireAt(at time.Time) error {
 	var due []*core.DynamicTable
 	for _, dt := range s.dts {
@@ -353,43 +405,49 @@ func (s *Scheduler) fireAt(at time.Time) error {
 			due = append(due, dt)
 		}
 	}
-	ordered, err := s.topoOrder(due)
-	if err != nil {
-		return err
-	}
-	for _, dt := range ordered {
-		s.refreshOne(dt, at)
-	}
-	return nil
-}
+	sort.Slice(due, func(i, j int) bool { return due[i].Name < due[j].Name })
 
-// refreshOne performs one scheduled refresh, honoring skip semantics and
-// charging the warehouse.
-func (s *Scheduler) refreshOne(dt *core.DynamicTable, dataTS time.Time) {
-	s.stats.Scheduled++
+	// First pass: policy decisions (skip-vs-queue, §3.3.3) select the
+	// tick's execution set.
+	var reqs []refresher.Request
+	executing := make(map[*core.DynamicTable]bool, len(due))
+	for _, dt := range due {
+		s.stats.Scheduled++
 
-	// Skip if the previous refresh is still running (§3.3.3). The skipped
-	// interval folds into the next refresh via the frontier.
-	busy := s.busyUntil[dt]
-	start := dataTS
-	if busy.After(start) {
-		if !s.DisableSkip {
-			s.stats.Skips++
-			dt.RecordSkip(dataTS)
-			return
+		// Skip if the previous refresh is still running (§3.3.3). The
+		// skipped interval folds into the next refresh via the frontier.
+		busy := s.busyUntil[dt]
+		ready := at
+		if busy.After(ready) {
+			if !s.DisableSkip {
+				s.stats.Skips++
+				dt.RecordSkip(at)
+				continue
+			}
+			ready = busy // queue behind the running refresh instead
 		}
-		start = busy // queue behind the running refresh instead
+		reqs = append(reqs, refresher.Request{DT: dt, DataTS: at, Ready: ready})
+		executing[dt] = true
 	}
 
 	// Under exact periods, upstream data timestamps misalign; repair by
 	// issuing extra upstream refreshes at this timestamp (the cost the
-	// canonical periods avoid, §5.2 / E11).
+	// canonical periods avoid, §5.2 / E11). Upstreams executing in this
+	// very tick need no repair: they refresh in an earlier wave, so their
+	// version exists by the time the downstream resolves it — exactly as
+	// under serial topo-ordered scheduling.
 	if s.ExactPeriods {
-		ups, err := s.ctrl.Upstreams(dt)
-		if err == nil {
+		for _, req := range reqs {
+			ups, err := s.ctrl.Upstreams(req.DT)
+			if err != nil {
+				continue
+			}
 			for _, up := range ups {
-				if _, ok := up.VersionAtDataTS(dataTS); !ok {
-					if _, err := s.ctrl.Refresh(up, dataTS); err == nil {
+				if executing[up] {
+					continue
+				}
+				if _, ok := up.VersionAtDataTS(at); !ok {
+					if _, err := s.ctrl.Refresh(up, at); err == nil {
 						s.stats.ExtraUpstreamRefreshes++
 					}
 				}
@@ -397,38 +455,31 @@ func (s *Scheduler) refreshOne(dt *core.DynamicTable, dataTS time.Time) {
 		}
 	}
 
-	prevDataTS := dt.DataTimestamp()
-	rec, err := s.ctrl.Refresh(dt, dataTS)
-	s.tally(rec, err)
+	results, err := s.refresherLocked().ExecuteTick(reqs)
 	if err != nil {
-		return
+		return err
 	}
-
-	// Charge the warehouse and simulate the duration (§3.3.1): NO_DATA
-	// consumes no compute.
-	end := start
-	if rec.Action != core.ActionNoData {
-		if wh, werr := s.pool.Get(dt.Warehouse); werr == nil {
-			job := wh.Submit(start, rec.SourceRowsScanned, s.model, dt.Name)
-			end = job.End
-		} else {
-			end = start.Add(s.model.Duration(rec.SourceRowsScanned, warehouse.SizeXSmall))
+	for _, res := range results {
+		s.tally(res.Rec, res.Err)
+		if res.Err != nil {
+			continue
 		}
-	}
-	s.busyUntil[dt] = end
+		s.busyUntil[res.DT] = res.End
 
-	// Record the Figure 4 sawtooth point.
-	peakBase := prevDataTS
-	if peakBase.IsZero() {
-		peakBase = dataTS
+		// Record the Figure 4 sawtooth point.
+		peakBase := res.PrevDataTS
+		if peakBase.IsZero() {
+			peakBase = at
+		}
+		s.lagSeries[res.DT] = append(s.lagSeries[res.DT], LagPoint{
+			At:        res.End,
+			PeakLag:   res.End.Sub(peakBase),
+			TroughLag: res.End.Sub(at),
+			DataTS:    at,
+		})
+		s.lastDataTS[res.DT] = at
 	}
-	s.lagSeries[dt] = append(s.lagSeries[dt], LagPoint{
-		At:        end,
-		PeakLag:   end.Sub(peakBase),
-		TroughLag: end.Sub(dataTS),
-		DataTS:    dataTS,
-	})
-	s.lastDataTS[dt] = dataTS
+	return nil
 }
 
 func (s *Scheduler) tally(rec core.RefreshRecord, err error) {
@@ -451,48 +502,4 @@ func (s *Scheduler) tally(rec core.RefreshRecord, err error) {
 			s.stats.Initialize++
 		}
 	}
-}
-
-// topoOrder sorts DTs upstream-first. It is stable for independent DTs
-// (sorted by name) so simulations are deterministic.
-func (s *Scheduler) topoOrder(dts []*core.DynamicTable) ([]*core.DynamicTable, error) {
-	inSet := make(map[*core.DynamicTable]bool, len(dts))
-	for _, dt := range dts {
-		inSet[dt] = true
-	}
-	sorted := append([]*core.DynamicTable(nil), dts...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
-
-	visited := make(map[*core.DynamicTable]uint8) // 1=visiting, 2=done
-	var out []*core.DynamicTable
-	var visit func(dt *core.DynamicTable) error
-	visit = func(dt *core.DynamicTable) error {
-		switch visited[dt] {
-		case 1:
-			return fmt.Errorf("sched: dependency cycle through %s", dt.Name)
-		case 2:
-			return nil
-		}
-		visited[dt] = 1
-		ups, err := s.ctrl.Upstreams(dt)
-		if err == nil {
-			sort.Slice(ups, func(i, j int) bool { return ups[i].Name < ups[j].Name })
-			for _, up := range ups {
-				if inSet[up] {
-					if err := visit(up); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		visited[dt] = 2
-		out = append(out, dt)
-		return nil
-	}
-	for _, dt := range sorted {
-		if err := visit(dt); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }

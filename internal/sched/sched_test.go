@@ -1,8 +1,23 @@
 package sched
 
 import (
+	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/clock"
+	"dyntables/internal/core"
+	"dyntables/internal/delta"
+	"dyntables/internal/hlc"
+	"dyntables/internal/plan"
+	"dyntables/internal/sql"
+	"dyntables/internal/storage"
+	"dyntables/internal/txn"
+	"dyntables/internal/types"
+	"dyntables/internal/warehouse"
 )
 
 func TestCanonicalPeriods(t *testing.T) {
@@ -53,6 +68,261 @@ func TestCanonicalPeriodAtMostHalfTargetLag(t *testing.T) {
 		p := CanonicalPeriod(lag)
 		if p > lag/2 && p != MinCanonicalPeriod {
 			t.Errorf("period %v exceeds half the target lag %v", p, lag)
+		}
+	}
+}
+
+func TestCanonicalPeriodSubSecondAndEdgeLags(t *testing.T) {
+	cases := []struct {
+		lag  time.Duration
+		want time.Duration
+	}{
+		// Sub-second and sub-minimum lags clamp to the 48s floor: the
+		// canonical grid has no finer period (§5.2).
+		{time.Millisecond, MinCanonicalPeriod},
+		{time.Second, MinCanonicalPeriod},
+		{47 * time.Second, MinCanonicalPeriod},
+		{0, MinCanonicalPeriod},
+		{95 * time.Second, MinCanonicalPeriod}, // budget 47.5s, below the floor
+		// Exact period-class boundaries: budget = lag/2 must reach the
+		// next 48·2ⁿ step exactly, one nanosecond less must not.
+		{96 * time.Second, 48 * time.Second},
+		{192 * time.Second, 96 * time.Second},
+		{192*time.Second - time.Nanosecond, 48 * time.Second},
+		{384 * time.Second, 192 * time.Second},
+		// Non-divisor lags land on the largest period that fits the
+		// half-lag budget.
+		{7 * time.Minute, 192 * time.Second},    // budget 210s
+		{11 * time.Minute, 192 * time.Second},   // budget 330s: 48·4 fits, 48·8 does not
+		{13 * time.Minute, 384 * time.Second},   // budget 390s
+		{100 * time.Minute, 1536 * time.Second}, // budget 3000s
+	}
+	for _, tc := range cases {
+		got := CanonicalPeriod(tc.lag)
+		if got != tc.want {
+			t.Errorf("CanonicalPeriod(%v) = %v, want %v", tc.lag, got, tc.want)
+		}
+	}
+}
+
+func TestCanonicalPeriodIsOnTheGrid(t *testing.T) {
+	for lag := time.Second; lag < 48*time.Hour; lag = lag*3/2 + time.Second {
+		p := CanonicalPeriod(lag)
+		if p >= NoLag {
+			t.Fatalf("finite lag %v produced NoLag period", lag)
+		}
+		// p must be 48·2ⁿ for some n ≥ 0.
+		q := p
+		for q > MinCanonicalPeriod {
+			if q%2 != 0 {
+				break
+			}
+			q /= 2
+		}
+		if q != MinCanonicalPeriod {
+			t.Errorf("CanonicalPeriod(%v) = %v is not on the 48·2ⁿ grid", lag, p)
+		}
+	}
+}
+
+// dtHarness builds DTs against a real controller without the engine, so
+// scheduler graph resolution (EffectiveLag, waves) can be tested on
+// arbitrary DAG shapes.
+type dtHarness struct {
+	t       *testing.T
+	clk     *clock.Virtual
+	ctrl    *core.Controller
+	pool    *warehouse.Pool
+	sources map[string]*plan.Source
+	nextID  int64
+}
+
+func newDTHarness(t *testing.T) *dtHarness {
+	h := &dtHarness{
+		t:       t,
+		clk:     clock.NewVirtual(schedT0),
+		pool:    warehouse.NewPool(),
+		sources: map[string]*plan.Source{},
+	}
+	h.ctrl = core.NewController(txn.NewManager(h.clk), h, func(int64) (int64, error) { return 1, nil })
+	if _, err := h.pool.Create("wh", warehouse.SizeXSmall, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+var schedT0 = time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func (h *dtHarness) ResolveTable(name string) (*plan.Source, error) {
+	src, ok := h.sources[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("no such table %q", name)
+	}
+	return src, nil
+}
+
+func (h *dtHarness) addSource(name string, kind catalog.ObjectKind, tb *storage.Table) {
+	h.nextID++
+	h.sources[strings.ToUpper(name)] = &plan.Source{
+		EntryID: h.nextID, Generation: 1, Name: name, Kind: kind, Table: tb,
+	}
+}
+
+func (h *dtHarness) baseTable(name string) *storage.Table {
+	schema := types.Schema{Columns: []types.Column{{Name: "a", Kind: types.KindInt}}}
+	tb := storage.NewTable(schema, hlc.Timestamp{WallMicros: schedT0.UnixMicro()})
+	h.addSource(name, catalog.KindTable, tb)
+	return tb
+}
+
+func (h *dtHarness) dt(name, text string, lag sql.TargetLag) *core.DynamicTable {
+	h.t.Helper()
+	dt, err := h.ctrl.Build(&sql.CreateDynamicTableStmt{
+		Name: name, Text: text, Warehouse: "wh", Lag: lag, Mode: sql.RefreshAuto,
+	}, hlc.Timestamp{WallMicros: schedT0.UnixMicro()})
+	if err != nil {
+		h.t.Fatalf("build %s: %v", name, err)
+	}
+	h.ctrl.Register(dt)
+	h.addSource(name, catalog.KindDynamicTable, dt.Storage)
+	return dt
+}
+
+func lagOf(d time.Duration) sql.TargetLag {
+	return sql.TargetLag{Kind: sql.LagDuration, Duration: d}
+}
+
+var downstreamLag = sql.TargetLag{Kind: sql.LagDownstream}
+
+func TestEffectiveLagDiamond(t *testing.T) {
+	h := newDTHarness(t)
+	h.baseTable("src")
+	a := h.dt("a", "SELECT a FROM src", downstreamLag)
+	b := h.dt("b", "SELECT a FROM a", downstreamLag)
+	c := h.dt("c", "SELECT a FROM a", downstreamLag)
+	d := h.dt("d", "SELECT x.a FROM b x JOIN c y ON x.a = y.a", lagOf(10*time.Minute))
+
+	s := New(h.clk, h.ctrl, h.pool, warehouse.DefaultCostModel, schedT0, 0)
+	for _, dt := range []*core.DynamicTable{a, b, c, d} {
+		s.Track(dt)
+	}
+
+	// The sink's lag flows up both branches of the diamond to the apex.
+	for _, dt := range []*core.DynamicTable{a, b, c, d} {
+		if got := s.EffectiveLag(dt); got != 10*time.Minute {
+			t.Errorf("EffectiveLag(%s) = %v, want 10m", dt.Name, got)
+		}
+	}
+	// All four share one canonical period, so their timestamps align.
+	for _, dt := range []*core.DynamicTable{a, b, c, d} {
+		if got := s.Period(dt); got != CanonicalPeriod(10*time.Minute) {
+			t.Errorf("Period(%s) = %v, want %v", dt.Name, got, CanonicalPeriod(10*time.Minute))
+		}
+	}
+}
+
+func TestEffectiveLagDiamondMixedBranches(t *testing.T) {
+	h := newDTHarness(t)
+	h.baseTable("src")
+	a := h.dt("a", "SELECT a FROM src", downstreamLag)
+	b := h.dt("b", "SELECT a FROM a", lagOf(30*time.Minute)) // own lag beats propagation
+	c := h.dt("c", "SELECT a FROM a", downstreamLag)
+	d := h.dt("d", "SELECT x.a FROM b x JOIN c y ON x.a = y.a", lagOf(10*time.Minute))
+
+	s := New(h.clk, h.ctrl, h.pool, warehouse.DefaultCostModel, schedT0, 0)
+	for _, dt := range []*core.DynamicTable{a, b, c, d} {
+		s.Track(dt)
+	}
+	if got := s.EffectiveLag(b); got != 30*time.Minute {
+		t.Errorf("EffectiveLag(b) = %v, want its own 30m", got)
+	}
+	if got := s.EffectiveLag(c); got != 10*time.Minute {
+		t.Errorf("EffectiveLag(c) = %v, want 10m from d", got)
+	}
+	// The apex takes the minimum across both branches: 30m via b, 10m via
+	// c's DOWNSTREAM propagation.
+	if got := s.EffectiveLag(a); got != 10*time.Minute {
+		t.Errorf("EffectiveLag(a) = %v, want 10m", got)
+	}
+}
+
+func TestEffectiveLagDownstreamSinkHasNoLag(t *testing.T) {
+	h := newDTHarness(t)
+	h.baseTable("src")
+	a := h.dt("a", "SELECT a FROM src", downstreamLag)
+	s := New(h.clk, h.ctrl, h.pool, warehouse.DefaultCostModel, schedT0, 0)
+	s.Track(a)
+	if got := s.EffectiveLag(a); got != NoLag {
+		t.Errorf("DOWNSTREAM DT with no dependents should have NoLag, got %v", got)
+	}
+}
+
+func TestAccessorsAreDefensiveCopiesUnderConcurrentTicks(t *testing.T) {
+	h := newDTHarness(t)
+	src := h.baseTable("src")
+	dt := h.dt("d", "SELECT a FROM src", lagOf(2*time.Minute))
+
+	s := New(h.clk, h.ctrl, h.pool,
+		warehouse.CostModel{Fixed: time.Second, PerRow: time.Millisecond}, schedT0, 0)
+	s.Track(dt)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Monitoring reader: hammers every accessor and mutates the returned
+	// values, which would corrupt scheduler state if they aliased it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			series := s.LagSeries(dt)
+			for i := range series {
+				series[i].PeakLag = -1
+			}
+			all := s.LagSeriesAll()
+			for k, v := range all {
+				for i := range v {
+					v[i].TroughLag = -1
+				}
+				delete(all, k)
+			}
+			st := s.Stats()
+			st.Scheduled = -1
+			_ = s.EffectiveLag(dt)
+			_ = s.Period(dt)
+		}
+	}()
+
+	for i := 1; i <= 30; i++ {
+		var cs delta.ChangeSet
+		cs.AddInsert(src.NextRowID(), types.Row{types.NewInt(int64(i))})
+		at := schedT0.Add(time.Duration(i) * time.Minute)
+		if _, err := src.Apply(cs, hlc.Timestamp{WallMicros: at.UnixMicro()}); err != nil {
+			t.Fatal(err)
+		}
+		h.clk.AdvanceTo(at)
+		if err := s.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	stats := s.Stats()
+	if stats.Scheduled <= 0 || stats.Scheduled == -1 {
+		t.Errorf("reader mutation leaked into scheduler stats: %+v", stats)
+	}
+	series := s.LagSeries(dt)
+	if len(series) == 0 {
+		t.Fatal("no lag points recorded")
+	}
+	for _, p := range series {
+		if p.PeakLag < 0 || p.TroughLag < 0 {
+			t.Fatalf("reader mutation leaked into the lag series: %+v", p)
 		}
 	}
 }

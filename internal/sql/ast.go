@@ -417,6 +417,13 @@ type AlterStmt struct {
 	Lag    *TargetLag
 }
 
+// AlterSystemStmt is ALTER SYSTEM SET <param> = <value>: an engine-wide
+// runtime tuning knob (refresh worker-pool width, delta parallelism).
+type AlterSystemStmt struct {
+	Param string // upper-cased parameter name
+	Value int64
+}
+
 func (*CreateTableStmt) stmt()        {}
 func (*CreateViewStmt) stmt()         {}
 func (*CreateDynamicTableStmt) stmt() {}
@@ -424,6 +431,7 @@ func (*CreateWarehouseStmt) stmt()    {}
 func (*DropStmt) stmt()               {}
 func (*UndropStmt) stmt()             {}
 func (*AlterStmt) stmt()              {}
+func (*AlterSystemStmt) stmt()        {}
 
 // ---------------------------------------------------------------------------
 // DML

@@ -482,6 +482,9 @@ func (p *Parser) parseAlter() (Statement, error) {
 	if err := p.expectKeyword("ALTER"); err != nil {
 		return nil, err
 	}
+	if p.acceptKeyword("SYSTEM") {
+		return p.parseAlterSystem()
+	}
 	kind, err := p.parseObjectKind()
 	if err != nil {
 		return nil, err
@@ -532,6 +535,29 @@ func (p *Parser) parseAlter() (Statement, error) {
 		return nil, p.errorf("expected RENAME, SWAP, SUSPEND, RESUME, REFRESH or SET, found %q", p.peek().Text)
 	}
 	return stmt, nil
+}
+
+// parseAlterSystem parses the tail of ALTER SYSTEM SET <param> = <int>.
+func (p *Parser) parseAlterSystem() (Statement, error) {
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	param, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.Kind != TokNumber {
+		return nil, p.errorf("expected integer value for %s, found %q", param, t.Text)
+	}
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return nil, p.errorf("invalid value %q for %s", t.Text, param)
+	}
+	return &AlterSystemStmt{Param: strings.ToUpper(param), Value: v}, nil
 }
 
 func (p *Parser) parseInsert() (Statement, error) {

@@ -636,3 +636,26 @@ func TestParseInitializeOption(t *testing.T) {
 		t.Error("INITIALIZE option")
 	}
 }
+
+func TestParseAlterSystem(t *testing.T) {
+	stmt, err := Parse(`ALTER SYSTEM SET REFRESH_WORKERS = 8`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, ok := stmt.(*AlterSystemStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if sys.Param != "REFRESH_WORKERS" || sys.Value != 8 {
+		t.Errorf("parsed %+v", sys)
+	}
+	if _, err := Parse(`ALTER SYSTEM SET delta_parallelism = 2`); err != nil {
+		t.Errorf("lower-case param should parse: %v", err)
+	}
+	if _, err := Parse(`ALTER SYSTEM SET REFRESH_WORKERS = 'four'`); err == nil {
+		t.Error("non-integer value should fail")
+	}
+	if _, err := Parse(`ALTER SYSTEM REFRESH_WORKERS = 4`); err == nil {
+		t.Error("missing SET should fail")
+	}
+}

@@ -22,6 +22,13 @@ import (
 // snapshots; time travel replays at most this many change sets.
 const DefaultSnapshotInterval = 32
 
+// rowsCacheSize bounds the per-table memo of materialized non-tip
+// versions. Concurrent refreshes repeatedly materialize the same handful
+// of historical versions (a delta's interval start, a window recompute's
+// boundary); memoizing the last few avoids replaying the change chain
+// from the nearest snapshot on every call.
+const rowsCacheSize = 4
+
 // Version is one committed version of a table. Versions are immutable once
 // committed.
 type Version struct {
@@ -79,6 +86,11 @@ type Table struct {
 
 	// tip caches the materialized latest contents.
 	tip map[string]types.Row
+	// rowsCache memoizes recently materialized non-tip versions by seq;
+	// rowsCacheLRU orders the cached seqs oldest-use first for eviction.
+	// Versions are immutable once committed, so entries never go stale.
+	rowsCache    map[int64]map[string]types.Row
+	rowsCacheLRU []int64
 }
 
 // NewTable creates an empty table with the given schema. The table begins
@@ -249,6 +261,10 @@ func (t *Table) rowsLocked(seq int64) (map[string]types.Row, error) {
 	if _, err := t.versionBySeqLocked(seq); err != nil {
 		return nil, err
 	}
+	if rows, ok := t.rowsCache[seq]; ok {
+		t.touchCachedRows(seq)
+		return rows, nil
+	}
 	// Find the nearest snapshot at or before seq.
 	base := int64(0)
 	for i := seq - 1; i >= 0; i-- {
@@ -273,8 +289,40 @@ func (t *Table) rowsLocked(seq int64) (map[string]types.Row, error) {
 	}
 	if seq == int64(len(t.versions)) {
 		t.tip = out
+	} else {
+		t.cacheRows(seq, out)
 	}
 	return out, nil
+}
+
+// cacheRows memoizes a materialized version, evicting the least recently
+// used entry beyond rowsCacheSize. Callers hold t.mu.
+func (t *Table) cacheRows(seq int64, rows map[string]types.Row) {
+	if _, ok := t.rowsCache[seq]; ok {
+		t.touchCachedRows(seq)
+		return
+	}
+	if t.rowsCache == nil {
+		t.rowsCache = make(map[int64]map[string]types.Row, rowsCacheSize)
+	}
+	t.rowsCache[seq] = rows
+	t.rowsCacheLRU = append(t.rowsCacheLRU, seq)
+	if len(t.rowsCacheLRU) > rowsCacheSize {
+		evict := t.rowsCacheLRU[0]
+		t.rowsCacheLRU = t.rowsCacheLRU[1:]
+		delete(t.rowsCache, evict)
+	}
+}
+
+// touchCachedRows marks a cached seq as most recently used.
+func (t *Table) touchCachedRows(seq int64) {
+	for i, s := range t.rowsCacheLRU {
+		if s == seq {
+			copy(t.rowsCacheLRU[i:], t.rowsCacheLRU[i+1:])
+			t.rowsCacheLRU[len(t.rowsCacheLRU)-1] = seq
+			return
+		}
+	}
 }
 
 func applyChanges(rows map[string]types.Row, cs delta.ChangeSet) {
@@ -334,6 +382,11 @@ func (t *Table) Apply(cs delta.ChangeSet, commit hlc.Timestamp) (*Version, error
 		t.sinceSnapshot = 0
 	}
 	t.versions = append(t.versions, v)
+	// The outgoing tip is the incoming refresh interval's start version;
+	// keep it warm for the incremental readers about to ask for it.
+	if t.tip != nil {
+		t.cacheRows(last.Seq, t.tip)
+	}
 	t.tip = newTip
 	if t.sink != nil {
 		t.sink.TableCommitted(t, v, t.schema)

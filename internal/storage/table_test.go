@@ -2,6 +2,8 @@ package storage
 
 import (
 	"errors"
+	"reflect"
+	"sync"
 	"testing"
 
 	"dyntables/internal/delta"
@@ -296,4 +298,109 @@ func TestNextRowIDUniqueAndPrefixed(t *testing.T) {
 	if a[0] != 't' {
 		t.Errorf("row ID should carry plaintext table prefix: %q", a)
 	}
+}
+
+func rowsPtr(m map[string]types.Row) uintptr {
+	return reflect.ValueOf(m).Pointer()
+}
+
+func TestRowsMemoizesRecentVersions(t *testing.T) {
+	tb := newTestTable()
+	tb.SetSnapshotInterval(1000) // no intermediate snapshots: replay is real work
+	for i := int64(0); i < 20; i++ {
+		apply(t, tb, 10+i, func(cs *delta.ChangeSet) {
+			cs.AddInsert(tb.NextRowID(), intRow(i))
+		})
+	}
+	// A historical version materializes once and is served from the memo
+	// afterwards (same map, not a recomputed copy).
+	first, err := tb.Rows(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tb.Rows(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsPtr(first) != rowsPtr(second) {
+		t.Error("repeated Rows(seq) recomputed instead of serving the memo")
+	}
+	if len(first) != 9 {
+		t.Errorf("Rows(10) has %d rows, want 9", len(first))
+	}
+
+	// The memo holds the last rowsCacheSize versions; one beyond that
+	// evicts the least recently used and recomputes it on return.
+	seqs := []int64{5, 6, 7, 8, 10} // 10 was cached above; 4 extra entries evict it
+	for _, seq := range seqs[:4] {
+		if _, err := tb.Rows(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	third, err := tb.Rows(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsPtr(third) == rowsPtr(first) {
+		t.Error("LRU eviction did not drop the oldest memo entry")
+	}
+	if len(third) != len(first) {
+		t.Errorf("recomputed version differs: %d vs %d rows", len(third), len(first))
+	}
+}
+
+func TestRowsMemoKeepsOutgoingTipWarm(t *testing.T) {
+	tb := newTestTable()
+	tb.SetSnapshotInterval(1000)
+	for i := int64(0); i < 5; i++ {
+		apply(t, tb, 10+i, func(cs *delta.ChangeSet) {
+			cs.AddInsert(tb.NextRowID(), intRow(i))
+		})
+	}
+	tip, err := tb.Rows(int64(tb.VersionCount()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(t, tb, 50, func(cs *delta.ChangeSet) {
+		cs.AddInsert(tb.NextRowID(), intRow(99))
+	})
+	// The pre-commit tip — an incremental reader's interval start — is
+	// served from the memo without replaying the chain.
+	prev, err := tb.Rows(int64(tb.VersionCount()) - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsPtr(prev) != rowsPtr(tip) {
+		t.Error("outgoing tip was not kept warm for interval-start readers")
+	}
+}
+
+func TestRowsMemoConcurrentReaders(t *testing.T) {
+	tb := newTestTable()
+	tb.SetSnapshotInterval(1000)
+	for i := int64(0); i < 30; i++ {
+		apply(t, tb, 10+i, func(cs *delta.ChangeSet) {
+			cs.AddInsert(tb.NextRowID(), intRow(i))
+		})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				seq := int64(2 + (g+i)%6)
+				rows, err := tb.Rows(seq)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(rows) != int(seq-1) {
+					t.Errorf("Rows(%d) has %d rows, want %d", seq, len(rows), seq-1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

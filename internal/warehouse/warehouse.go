@@ -111,8 +111,13 @@ type Warehouse struct {
 	AutoSuspend time.Duration // 0 = suspend immediately when idle
 
 	mu sync.Mutex
-	// busyUntil is the end of the last scheduled job.
+	// busyUntil is the latest end among scheduled jobs (the aggregate busy
+	// horizon across clusters).
 	busyUntil time.Time
+	// slotBusy tracks the busy horizon of each concurrency slot
+	// (multi-cluster execution). Grown lazily by SubmitConcurrent; a
+	// serial warehouse never allocates it and uses busyUntil alone.
+	slotBusy []time.Time
 	// everUsed marks whether any job ran.
 	everUsed bool
 	// billed accumulates active (billable) time.
@@ -133,17 +138,50 @@ func New(name string, size Size, autoSuspend time.Duration) *Warehouse {
 // any idle time shorter than the auto-suspend threshold; longer gaps
 // suspend the warehouse (billing stops) and resume it when the job starts.
 func (w *Warehouse) Submit(at time.Time, rows int64, m CostModel, label string) Job {
+	return w.SubmitConcurrent(at, rows, m, label, 1)
+}
+
+// SubmitConcurrent schedules a job like Submit, but allows up to `slots`
+// jobs to overlap, modeling a multi-cluster warehouse that adds clusters
+// to absorb concurrent refreshes (§3.3.1). The job takes the slot with
+// the earliest busy horizon and starts at max(at, that horizon). Each
+// overlapping job bills its full duration — every active cluster accrues
+// credits — plus the usual idle-grace accounting against its slot.
+// slots <= 1 is exactly Submit's serial behavior.
+func (w *Warehouse) SubmitConcurrent(at time.Time, rows int64, m CostModel, label string, slots int) Job {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if slots < 1 {
+		slots = 1
+	}
+	for len(w.slotBusy) < slots {
+		// New clusters come up idle behind the current horizon only on the
+		// first growth; an existing serial warehouse folds its horizon into
+		// slot 0 so serial submission is unchanged.
+		if len(w.slotBusy) == 0 {
+			w.slotBusy = append(w.slotBusy, w.busyUntil)
+		} else {
+			w.slotBusy = append(w.slotBusy, time.Time{})
+		}
+	}
+	// Earliest-free slot; ties resolve to the lowest index so scheduling
+	// is deterministic.
+	slot := 0
+	for i := 1; i < slots; i++ {
+		if w.slotBusy[i].Before(w.slotBusy[slot]) {
+			slot = i
+		}
+	}
+	slotHorizon := w.slotBusy[slot]
 	start := at
-	if w.everUsed && w.busyUntil.After(start) {
-		start = w.busyUntil
+	if w.everUsed && slotHorizon.After(start) {
+		start = slotHorizon
 	}
 	if !w.everUsed {
 		w.resumes++
 	} else {
-		idle := start.Sub(w.busyUntil)
-		if idle > 0 {
+		idle := start.Sub(slotHorizon)
+		if idle > 0 && !slotHorizon.IsZero() {
 			if idle >= w.AutoSuspend {
 				// Suspended after the grace period; bill only the grace.
 				w.billed += w.AutoSuspend
@@ -156,7 +194,10 @@ func (w *Warehouse) Submit(at time.Time, rows int64, m CostModel, label string) 
 	dur := m.Duration(rows, w.Size)
 	end := start.Add(dur)
 	w.billed += dur
-	w.busyUntil = end
+	w.slotBusy[slot] = end
+	if end.After(w.busyUntil) {
+		w.busyUntil = end
+	}
 	w.everUsed = true
 	job := Job{Submit: at, Start: start, End: end, Rows: rows, Label: label}
 	w.jobs = append(w.jobs, job)
@@ -180,10 +221,14 @@ func (w *Warehouse) State() State {
 }
 
 // RestoreState reinstates checkpointed billing state during recovery.
+// Per-slot horizons are not checkpointed; the aggregate busy horizon folds
+// into the first slot on the next submission (conservative: recovered
+// concurrent capacity frees up only after the pre-crash backlog drains).
 func (w *Warehouse) RestoreState(st State) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.busyUntil = st.BusyUntil
+	w.slotBusy = nil
 	w.everUsed = st.EverUsed
 	w.billed = st.Billed
 	w.resumes = st.Resumes

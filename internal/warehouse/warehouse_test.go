@@ -127,3 +127,65 @@ func TestJobLog(t *testing.T) {
 		t.Errorf("jobs: %+v", jobs)
 	}
 }
+
+func TestSubmitConcurrentOverlapsUpToSlots(t *testing.T) {
+	w := New("wh", SizeXSmall, 10*time.Minute)
+	m := CostModel{Fixed: 10 * time.Second, PerRow: 0}
+	// Four jobs over two slots: the first two start immediately, the next
+	// two queue behind one job each.
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, w.SubmitConcurrent(t0, 0, m, "j", 2))
+	}
+	if !jobs[0].Start.Equal(t0) || !jobs[1].Start.Equal(t0) {
+		t.Errorf("first two jobs should start at t0: %v %v", jobs[0].Start, jobs[1].Start)
+	}
+	if !jobs[2].Start.Equal(t0.Add(10*time.Second)) || !jobs[3].Start.Equal(t0.Add(10*time.Second)) {
+		t.Errorf("queued jobs should start after one job duration: %v %v", jobs[2].Start, jobs[3].Start)
+	}
+	if got := w.BusyUntil(); !got.Equal(t0.Add(20 * time.Second)) {
+		t.Errorf("busy horizon = %v, want t0+20s", got)
+	}
+	// Every overlapping job bills its full duration (each cluster accrues).
+	if got := w.BilledTime(); got != 40*time.Second {
+		t.Errorf("billed = %v, want 40s", got)
+	}
+}
+
+func TestSubmitConcurrentSingleSlotMatchesSubmit(t *testing.T) {
+	m := CostModel{Fixed: 7 * time.Second, PerRow: time.Millisecond}
+	serial := New("a", SizeSmall, time.Minute)
+	slotted := New("b", SizeSmall, time.Minute)
+	times := []time.Duration{0, 3 * time.Second, 2 * time.Minute, 2*time.Minute + time.Second}
+	for _, d := range times {
+		js := serial.Submit(t0.Add(d), 500, m, "x")
+		jc := slotted.SubmitConcurrent(t0.Add(d), 500, m, "x", 1)
+		if !js.Start.Equal(jc.Start) || !js.End.Equal(jc.End) {
+			t.Errorf("slot-1 submit diverges from serial: %+v vs %+v", js, jc)
+		}
+	}
+	if serial.BilledTime() != slotted.BilledTime() || serial.Resumes() != slotted.Resumes() {
+		t.Errorf("billing diverges: %v/%d vs %v/%d",
+			serial.BilledTime(), serial.Resumes(), slotted.BilledTime(), slotted.Resumes())
+	}
+}
+
+func TestSubmitConcurrentAfterRestoreFoldsHorizon(t *testing.T) {
+	w := New("wh", SizeXSmall, time.Minute)
+	m := CostModel{Fixed: 30 * time.Second, PerRow: 0}
+	w.Submit(t0, 0, m, "pre")
+	st := w.State()
+
+	w2 := New("wh", SizeXSmall, time.Minute)
+	w2.RestoreState(st)
+	// The recovered horizon occupies the first slot; the second slot is
+	// fresh capacity.
+	j1 := w2.SubmitConcurrent(t0, 0, m, "a", 2)
+	if !j1.Start.Equal(t0) {
+		t.Errorf("fresh slot should start at t0, got %v", j1.Start)
+	}
+	j2 := w2.SubmitConcurrent(t0, 0, m, "b", 2)
+	if !j2.Start.Equal(t0.Add(30 * time.Second)) {
+		t.Errorf("slot behind recovered backlog should start at t0+30s, got %v", j2.Start)
+	}
+}

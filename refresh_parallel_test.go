@@ -1,0 +1,106 @@
+package dyntables
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParallelRefreshSpeedupAndEquivalence is the acceptance bar for
+// DAG-wave parallel refresh execution: a wave of 8 sibling DT refreshes
+// with 4 workers must compress the wave makespan at least 2x versus the
+// serial refresher while producing byte-identical DT contents.
+func TestParallelRefreshSpeedupAndEquivalence(t *testing.T) {
+	res, err := RunParallelRefresh(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IdenticalRows {
+		t.Fatal("parallel refresh produced different DT contents than serial")
+	}
+	if res.Speedup < 2 {
+		t.Errorf("wave speedup = %.2fx (serial %.0fms, parallel %.0fms), want >= 2x",
+			res.Speedup, res.SerialWaveMillis, res.ParallelWaveMillis)
+	}
+	if res.ParallelLagP95Millis >= res.SerialLagP95Millis {
+		t.Errorf("p95 effective lag did not improve: serial %.0fms, parallel %.0fms",
+			res.SerialLagP95Millis, res.ParallelLagP95Millis)
+	}
+}
+
+func TestAlterSystemKnobs(t *testing.T) {
+	e := New()
+	if got := e.RefreshWorkers(); got != 1 {
+		t.Fatalf("default RefreshWorkers = %d, want 1 (serial)", got)
+	}
+	if got := e.DeltaParallelism(); got != 0 {
+		t.Fatalf("default DeltaParallelism = %d, want 0", got)
+	}
+
+	res := e.MustExec(`ALTER SYSTEM SET REFRESH_WORKERS = 4`)
+	if res.Kind != "ALTER SYSTEM" || !strings.Contains(res.Message, "4") {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if got := e.RefreshWorkers(); got != 4 {
+		t.Errorf("RefreshWorkers = %d after ALTER, want 4", got)
+	}
+	e.MustExec(`ALTER SYSTEM SET DELTA_PARALLELISM = 2`)
+	if got := e.DeltaParallelism(); got != 2 {
+		t.Errorf("DeltaParallelism = %d after ALTER, want 2", got)
+	}
+	// 0 restores the serial default, mirroring Config.RefreshWorkers.
+	e.MustExec(`ALTER SYSTEM SET REFRESH_WORKERS = 0`)
+	if got := e.RefreshWorkers(); got != 1 {
+		t.Errorf("RefreshWorkers = %d after SET 0, want 1 (serial)", got)
+	}
+
+	if _, err := e.Exec(`ALTER SYSTEM SET REFRESH_WORKERS = -1`); err == nil {
+		t.Error("negative REFRESH_WORKERS should fail")
+	}
+	if _, err := e.Exec(`ALTER SYSTEM SET NO_SUCH_KNOB = 1`); err == nil {
+		t.Error("unknown system parameter should fail")
+	}
+}
+
+func TestWithConfigWorkerResolution(t *testing.T) {
+	if got := New(WithConfig(Config{RefreshWorkers: 3})).RefreshWorkers(); got != 3 {
+		t.Errorf("explicit RefreshWorkers = %d, want 3", got)
+	}
+	if got := New(WithConfig(Config{RefreshWorkers: -1})).RefreshWorkers(); got < 1 {
+		t.Errorf("host-derived RefreshWorkers = %d, want >= 1", got)
+	}
+	e := New(WithConfig(Config{DeltaParallelism: 4}))
+	if got := e.DeltaParallelism(); got != 4 {
+		t.Errorf("DeltaParallelism = %d, want 4", got)
+	}
+}
+
+// TestParallelSchedulerUpholdsDVS runs a mixed DAG under a wide worker
+// pool and intra-refresh parallelism and re-checks delayed view
+// semantics for every DT — the §6.1 oracle under concurrency.
+func TestParallelSchedulerUpholdsDVS(t *testing.T) {
+	e := New(WithConfig(Config{RefreshWorkers: 4, DeltaParallelism: 2}))
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+	s.MustExec(`CREATE TABLE ev (k INT, grp INT, v INT)`)
+	s.MustExec(`INSERT INTO ev VALUES (1, 1, 10), (2, 2, 20), (3, 1, 30)`)
+	s.MustExec(`CREATE DYNAMIC TABLE agg TARGET_LAG = '2 minutes' WAREHOUSE = wh
+	            AS SELECT grp, count(*) c, sum(v) total FROM ev GROUP BY grp`)
+	s.MustExec(`CREATE DYNAMIC TABLE flt TARGET_LAG = '2 minutes' WAREHOUSE = wh
+	            AS SELECT k, v FROM ev WHERE v > 10`)
+	s.MustExec(`CREATE DYNAMIC TABLE joined TARGET_LAG = DOWNSTREAM WAREHOUSE = wh
+	            AS SELECT f.k, a.total FROM flt f JOIN agg a ON f.k = a.grp`)
+
+	for i := 0; i < 6; i++ {
+		s.MustExec(`INSERT INTO ev VALUES (4, 2, 40), (5, 3, 50)`)
+		e.AdvanceTime(2 * time.Minute)
+		if err := e.RunScheduler(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"agg", "flt", "joined"} {
+		if err := e.CheckDVS(name); err != nil {
+			t.Errorf("DVS violated for %s under parallel execution: %v", name, err)
+		}
+	}
+}

@@ -98,6 +98,8 @@ func (x *executor) execStmt(stmt sql.Statement) (*Result, error) {
 		return x.execUndrop(s)
 	case *sql.AlterStmt:
 		return x.execAlter(s)
+	case *sql.AlterSystemStmt:
+		return x.execAlterSystem(s)
 	default:
 		return nil, fmt.Errorf("dyntables: unsupported statement %T", stmt)
 	}
@@ -825,6 +827,40 @@ func (x *executor) execAlter(stmt *sql.AlterStmt) (*Result, error) {
 		return &Result{Kind: "ALTER", Message: stmt.Action}, nil
 	default:
 		return nil, fmt.Errorf("dyntables: unsupported ALTER action %q", stmt.Action)
+	}
+}
+
+// execAlterSystem applies engine-wide runtime tuning. It runs under the
+// exclusive statement lock (no refresh or differentiation is in flight),
+// so the knobs swap without racing readers. The settings are process
+// state, not catalog state: they are not write-ahead-logged, and a
+// reopened engine starts from its Config.
+func (x *executor) execAlterSystem(stmt *sql.AlterSystemStmt) (*Result, error) {
+	e := x.e
+	switch stmt.Param {
+	case "REFRESH_WORKERS":
+		// Same semantics as Config.RefreshWorkers: 0 is the serial
+		// deterministic default. (Host-derived width has no SQL spelling;
+		// use Config{RefreshWorkers: -1} at construction.)
+		if stmt.Value < 0 {
+			return nil, fmt.Errorf("dyntables: REFRESH_WORKERS must be >= 0 (0 = serial)")
+		}
+		n := int(stmt.Value)
+		if n == 0 {
+			n = 1
+		}
+		e.refr.SetWorkers(n)
+		return &Result{Kind: "ALTER SYSTEM",
+			Message: fmt.Sprintf("REFRESH_WORKERS = %d", e.refr.Workers())}, nil
+	case "DELTA_PARALLELISM":
+		if stmt.Value < 0 {
+			return nil, fmt.Errorf("dyntables: DELTA_PARALLELISM must be >= 0")
+		}
+		e.ctrl.DeltaParallelism = int(stmt.Value)
+		return &Result{Kind: "ALTER SYSTEM",
+			Message: fmt.Sprintf("DELTA_PARALLELISM = %d", stmt.Value)}, nil
+	default:
+		return nil, fmt.Errorf("dyntables: unknown system parameter %q", stmt.Param)
 	}
 }
 
