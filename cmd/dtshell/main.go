@@ -10,6 +10,15 @@
 //	.warehouses        print warehouse billing
 //	.checkpoint        force a snapshot checkpoint (durable engines)
 //
+// psql-style meta-commands back the new SHOW statements:
+//
+//	\dt                list dynamic tables (SHOW DYNAMIC TABLES)
+//	\dw                list warehouses (SHOW WAREHOUSES)
+//	\d name            describe an object: columns, plus refresh state for DTs
+//
+// EXPLAIN output (EXPLAIN SELECT ... / EXPLAIN CREATE DYNAMIC TABLE ...)
+// is pretty-printed as an indented plan tree instead of a result table.
+//
 // Statements run on a session with a cancelable context: Ctrl-C aborts
 // the running statement (the scan stops mid-stream) without killing the
 // shell.
@@ -87,6 +96,11 @@ func main() {
 			prompt(interactive, &pending)
 			continue
 		}
+		if strings.HasPrefix(trimmed, `\`) {
+			metaCommand(sess, trimmed)
+			prompt(interactive, &pending)
+			continue
+		}
 		pending.WriteString(line)
 		pending.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
@@ -123,7 +137,13 @@ func execute(sess *dyntables.Session, text string) {
 	results, err := sess.ExecScriptContext(ctx, text)
 	for _, res := range results {
 		switch {
-		case res.Kind == "SELECT":
+		case res.Kind == "EXPLAIN":
+			// EXPLAIN rows are plan-tree lines; print them raw so the
+			// indentation survives.
+			for _, row := range res.Rows {
+				fmt.Println(row[0].String())
+			}
+		case len(res.Columns) > 0:
 			printTable(res)
 		case res.RowsAffected > 0:
 			fmt.Printf("%s: %d rows\n", res.Kind, res.RowsAffected)
@@ -153,6 +173,56 @@ func printTable(res *dyntables.Result) {
 		fmt.Println(strings.Join(parts, " | "))
 	}
 	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+// metaCommand handles psql-style \-commands backed by the SHOW
+// statements and the INFORMATION_SCHEMA virtual tables. Like ordinary
+// statements, they run under a Ctrl-C-cancelable context.
+func metaCommand(sess *dyntables.Session, line string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fields := strings.Fields(line)
+	runShow := func(stmt string) {
+		res, err := sess.ExecContext(ctx, stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printTable(res)
+	}
+	switch fields[0] {
+	case `\dt`:
+		runShow(`SHOW DYNAMIC TABLES`)
+	case `\dw`:
+		runShow(`SHOW WAREHOUSES`)
+	case `\d`:
+		if len(fields) < 2 {
+			fmt.Println(`usage: \d <name>`)
+			return
+		}
+		describeObject(ctx, sess, fields[1])
+	default:
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>)`)
+	}
+}
+
+// describeObject prints an object's columns and, for dynamic tables, its
+// refresh state from INFORMATION_SCHEMA.DYNAMIC_TABLES.
+func describeObject(ctx context.Context, sess *dyntables.Session, name string) {
+	res, err := sess.ExecContext(ctx, fmt.Sprintf(`SELECT * FROM %s LIMIT 0`, name))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %s\n", name, strings.Join(res.Columns, ", "))
+	dtInfo, err := sess.ExecContext(ctx,
+		`SELECT state, refresh_mode, target_lag, rows, data_ts, slo_attainment
+		 FROM INFORMATION_SCHEMA.DYNAMIC_TABLES WHERE name = ?`, name)
+	if err == nil && len(dtInfo.Rows) == 1 {
+		row := dtInfo.Rows[0]
+		fmt.Printf("dynamic table: state=%s mode=%s target_lag=%s rows=%s data_ts=%s slo=%s\n",
+			row[0], row[1], row[2], row[3], row[4], row[5])
+	}
 }
 
 func directive(eng *dyntables.Engine, sess *dyntables.Session, line string) {

@@ -311,6 +311,15 @@ func Open(dir string, opts ...Option) (*Engine, error) {
 	p.replaying.Store(false)
 	e.ctrl.SetFrontierSink(p)
 	e.cat.SetGrantSink(p.grantChanged)
+
+	// Re-observe the recovered DT graph: the observability rings are
+	// in-memory (not checkpointed), so the graph history restarts from
+	// the recovered dependency edges.
+	for _, entry := range e.cat.List(catalog.KindDynamicTable) {
+		if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+			e.recordDTGraph(dt.Name, entry.DependsOn)
+		}
+	}
 	return e, nil
 }
 
@@ -441,6 +450,9 @@ func (e *Engine) restoreDT(entryID int64, st *persist.DTState) (*core.DynamicTab
 		sql.TargetLag{Kind: sql.TargetLagKind(st.LagKind), Duration: time.Duration(st.LagMicros) * time.Microsecond},
 		st.Warehouse, sql.RefreshMode(st.DeclaredMode), sql.RefreshMode(st.EffectiveMode), tbl)
 	dt.EntryID = entryID
+	// History capacity is process state (not checkpointed); recovered
+	// DTs adopt the reopened engine's configured bound like Build does.
+	dt.SetHistoryCapacity(e.ctrl.HistoryCapacity)
 
 	cp := core.DTCheckpoint{
 		Suspended:         st.Suspended,
@@ -627,6 +639,7 @@ func (e *Engine) replayCreateDT(rec *persist.CreateDTRecord) error {
 			sql.RefreshMode(rec.DeclaredMode), sql.RefreshMode(rec.EffectiveMode),
 			storage.NewTable(persist.DecodeSchema(rec.Schema), rec.CreatedAt))
 	}
+	dt.SetHistoryCapacity(e.ctrl.HistoryCapacity)
 	if rec.OrReplace {
 		if old, derr := e.cat.Get(rec.Name); derr == nil {
 			if oldDT, ok := old.Payload.(*core.DynamicTable); ok {

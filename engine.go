@@ -54,6 +54,7 @@ import (
 	"dyntables/internal/catalog"
 	"dyntables/internal/clock"
 	"dyntables/internal/core"
+	"dyntables/internal/obs"
 	"dyntables/internal/plan"
 	"dyntables/internal/refresher"
 	"dyntables/internal/sched"
@@ -81,6 +82,12 @@ type Engine struct {
 	refr  *refresher.Refresher
 	model warehouse.CostModel
 	cfg   Config
+	// rec is the observability recorder (bounded refresh/graph/lag/
+	// metering history rings); virt layers INFORMATION_SCHEMA virtual
+	// tables over the catalog resolver so the recorder is queryable
+	// through the normal planner.
+	rec  *obs.Recorder
+	virt *plan.VirtualResolver
 	// schPhase is the account-wide canonical-period phase (§5.2).
 	schPhase time.Duration
 
@@ -123,6 +130,15 @@ type Config struct {
 	// 0 (or 1) differentiates sequentially. Adjustable at runtime with
 	// `ALTER SYSTEM SET DELTA_PARALLELISM = n`.
 	DeltaParallelism int
+	// HistoryCapacity bounds the observability subsystem's history
+	// rings: per-DT refresh history (both the in-engine ring behind
+	// Describe and the queryable INFORMATION_SCHEMA ring), per-DT lag
+	// samples, per-warehouse metering and the graph-edge log. 0 uses the
+	// default (1024 events per ring); a negative value disables
+	// observability recording entirely (overhead baselines).
+	// `ALTER SYSTEM SET HISTORY_CAPACITY = n` rebounds the rings at
+	// runtime and re-enables recording on a disabled engine.
+	HistoryCapacity int
 }
 
 // resolveWorkers maps the RefreshWorkers config to a concrete pool
@@ -204,7 +220,12 @@ func New(opts ...Option) *Engine {
 	}
 	e.txns = txn.NewManager(e.clk)
 	e.cat = catalog.New()
-	e.ctrl = core.NewController(e.txns, e, func(entryID int64) (int64, error) {
+	// The controller binds against the catalog-only resolver, not the
+	// virtual-table layer: defining queries may not read
+	// INFORMATION_SCHEMA (directly or through a view), and a refresh
+	// bind that materialized a virtual table would call back into the
+	// scheduler from under its own tick lock.
+	e.ctrl = core.NewController(e.txns, plan.ResolverFunc(e.resolveCatalogTable), func(entryID int64) (int64, error) {
 		entry, err := e.cat.GetByID(entryID)
 		if err != nil {
 			return 0, err
@@ -222,6 +243,7 @@ func New(opts ...Option) *Engine {
 	e.refr = refresher.New(e.ctrl, e.pool, e.model, e.cfg.resolveWorkers())
 	e.sch = sched.New(vclk, e.ctrl, e.pool, e.model, e.clk.Now(), e.schPhase)
 	e.sch.SetRefresher(e.refr)
+	e.initObservability()
 	e.def = e.NewSession()
 	return e
 }
@@ -323,10 +345,25 @@ type warehouseObject struct {
 
 func (*warehouseObject) ObjectKind() catalog.ObjectKind { return catalog.KindWarehouse }
 
-// ResolveTable implements plan.Resolver against the catalog.
+// ResolveTable implements plan.Resolver: INFORMATION_SCHEMA virtual
+// tables resolve through the observability layer, everything else
+// against the catalog.
 func (e *Engine) ResolveTable(name string) (*plan.Source, error) {
+	return e.virt.ResolveTable(name)
+}
+
+// resolveCatalogTable is the catalog-backed base resolver underneath the
+// virtual-table layer. It is also the refresh controller's resolver:
+// defining queries (of DTs and of the views they expand) bind here, so
+// INFORMATION_SCHEMA never reaches a stored query — virtual tables are
+// bind-time snapshots with no version chain, and materializing one from
+// a refresh bind would call back into the scheduler under its tick lock.
+func (e *Engine) resolveCatalogTable(name string) (*plan.Source, error) {
 	entry, err := e.cat.Get(name)
 	if err != nil {
+		if e.virt != nil && e.virt.Has(name) {
+			return nil, fmt.Errorf("dyntables: %s is an INFORMATION_SCHEMA virtual table; stored defining queries may not read it", name)
+		}
 		return nil, err
 	}
 	src := &plan.Source{

@@ -113,4 +113,39 @@ func main() {
 		log.Fatalf("DVS violated: %v", err)
 	}
 	fmt.Println("\nDVS check passed: contents equal the defining query at the data timestamp")
+
+	// The engine is observable through its own query path: refresh
+	// history is an INFORMATION_SCHEMA virtual table, streamed through
+	// the same cursor API as any other query.
+	hist, err := sess.QueryContext(ctx, `
+		SELECT dt_name, action, inserted, deleted, duration
+		FROM INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY
+		WHERE dt_name = ? ORDER BY data_ts`, "clicks_per_user")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrefresh history (INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY):")
+	for row, err := range hist.Seq() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s +%s -%s  duration=%s\n", row[1], row[2], row[3], row[4])
+	}
+
+	// Per-DT lag-SLO accounting: the fraction of wall-clock time each DT
+	// spent within its target lag, plus effective-lag percentiles.
+	slo, err := sess.QueryContext(ctx, `
+		SELECT name, target_lag, slo_attainment, lag_p50, lag_p95
+		FROM INFORMATION_SCHEMA.DYNAMIC_TABLES ORDER BY name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlag-SLO attainment (INFORMATION_SCHEMA.DYNAMIC_TABLES):")
+	for row, err := range slo.Seq() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: target_lag=%s attainment=%s p50=%s p95=%s\n",
+			row[0], row[1], row[2], row[3], row[4])
+	}
 }

@@ -1071,15 +1071,17 @@ type ParallelRefreshResult struct {
 // parallelFanoutRun builds the fan-out DAG, applies a change batch, runs
 // one scheduler pass with the given worker count and measures the wave.
 type parallelFanoutRun struct {
+	eng        *Engine
 	waveMillis float64
 	hostMillis float64
 	lags       []time.Duration
 	contents   string
 }
 
-func runParallelFanout(siblings, workers, baseRows int) (*parallelFanoutRun, error) {
+func runParallelFanout(siblings, workers, baseRows, historyCapacity int) (*parallelFanoutRun, error) {
 	e := New(
-		WithConfig(Config{RefreshWorkers: workers, DeltaParallelism: workers}),
+		WithConfig(Config{RefreshWorkers: workers, DeltaParallelism: workers,
+			HistoryCapacity: historyCapacity}),
 		WithCostModel(warehouse.CostModel{Fixed: 2 * time.Second, PerRow: time.Millisecond}),
 	)
 	s := e.NewSession()
@@ -1195,6 +1197,7 @@ func runParallelFanout(siblings, workers, baseRows int) (*parallelFanoutRun, err
 		return nil, err
 	}
 	return &parallelFanoutRun{
+		eng:        e,
 		waveMillis: float64(last.Sub(first).Microseconds()) / 1000,
 		hostMillis: hostMillis,
 		lags:       lags,
@@ -1244,11 +1247,11 @@ func lagPercentile(lags []time.Duration, p float64) float64 {
 // toward the critical path.
 func RunParallelRefresh(siblings, workers int) (*ParallelRefreshResult, error) {
 	const baseRows = 4000
-	serial, err := runParallelFanout(siblings, 1, baseRows)
+	serial, err := runParallelFanout(siblings, 1, baseRows, 0)
 	if err != nil {
 		return nil, err
 	}
-	parallel, err := runParallelFanout(siblings, workers, baseRows)
+	parallel, err := runParallelFanout(siblings, workers, baseRows, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -1268,6 +1271,118 @@ func RunParallelRefresh(siblings, workers int) (*ParallelRefreshResult, error) {
 	if parallel.waveMillis > 0 {
 		res.Speedup = serial.waveMillis / parallel.waveMillis
 	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// ObservabilityBenchResult measures the cost of history recording on the
+// PR-3 parallel refresh workload: the same fan-out DAG and scheduler
+// pass run with observability disabled (baseline) and enabled, compared
+// on the deterministic virtual wave makespan (must not regress) and on
+// minimum host execution time across rounds (noise-resistant overhead
+// estimate). It also measures the metadata query path itself: the
+// acceptance query over DYNAMIC_TABLE_REFRESH_HISTORY through a
+// streaming session cursor.
+type ObservabilityBenchResult struct {
+	Siblings int `json:"siblings"`
+	Workers  int `json:"workers"`
+	Rounds   int `json:"rounds"`
+
+	// Virtual wave makespan: identical by construction — recording costs
+	// no virtual time — so any regression here is a correctness bug.
+	BaselineWaveMillis float64 `json:"baseline_wave_ms"`
+	ObservedWaveMillis float64 `json:"observed_wave_ms"`
+	WaveRegressionPct  float64 `json:"wave_regression_pct"`
+
+	// Host time of the measured scheduler pass (min across rounds).
+	BaselineHostMillis float64 `json:"baseline_host_ms"`
+	ObservedHostMillis float64 `json:"observed_host_ms"`
+	HostOverheadPct    float64 `json:"host_overhead_pct"`
+
+	// EventsRecorded counts refresh events captured by the enabled run;
+	// HistoryRows and QueryMillis measure reading them back over the
+	// acceptance query's streaming cursor.
+	EventsRecorded int     `json:"events_recorded"`
+	HistoryRows    int     `json:"history_rows"`
+	QueryMillis    float64 `json:"query_ms"`
+
+	// IdenticalRows reports whether the enabled run produced the same DT
+	// contents as the baseline (observability must be read-only).
+	IdenticalRows bool `json:"identical_rows"`
+}
+
+// RunObservabilityBench measures history-recording overhead on the PR-3
+// parallel workload. Each mode runs `rounds` times; host timings keep
+// the minimum (least-noise) round.
+func RunObservabilityBench(siblings, workers, rounds int) (*ObservabilityBenchResult, error) {
+	const baseRows = 4000
+	if rounds < 1 {
+		rounds = 1
+	}
+	type modeRun struct {
+		wave, host float64
+		run        *parallelFanoutRun
+	}
+	runMode := func(historyCapacity int) (*modeRun, error) {
+		best := &modeRun{}
+		for i := 0; i < rounds; i++ {
+			r, err := runParallelFanout(siblings, workers, baseRows, historyCapacity)
+			if err != nil {
+				return nil, err
+			}
+			if best.run == nil || r.hostMillis < best.host {
+				best.run, best.host = r, r.hostMillis
+			}
+			best.wave = r.waveMillis
+		}
+		return best, nil
+	}
+
+	baseline, err := runMode(-1) // recording disabled
+	if err != nil {
+		return nil, err
+	}
+	observed, err := runMode(0) // default capacity
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ObservabilityBenchResult{
+		Siblings:           siblings,
+		Workers:            workers,
+		Rounds:             rounds,
+		BaselineWaveMillis: baseline.wave,
+		ObservedWaveMillis: observed.wave,
+		BaselineHostMillis: baseline.host,
+		ObservedHostMillis: observed.host,
+		EventsRecorded:     len(observed.run.eng.Observability().AllHistory()),
+		IdenticalRows:      baseline.run.contents == observed.run.contents,
+	}
+	if baseline.wave > 0 {
+		res.WaveRegressionPct = (observed.wave - baseline.wave) / baseline.wave * 100
+	}
+	if baseline.host > 0 {
+		res.HostOverheadPct = (observed.host - baseline.host) / baseline.host * 100
+	}
+
+	// Read the history back through the normal streaming query path.
+	sess := observed.run.eng.NewSession()
+	qStart := time.Now()
+	rows, err := sess.QueryContext(context.Background(),
+		`SELECT dt_name, action, inserted, deleted, duration
+		 FROM INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY ORDER BY data_ts`)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+		res.HistoryRows++
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	res.QueryMillis = float64(time.Since(qStart).Microseconds()) / 1000
 	return res, nil
 }
 

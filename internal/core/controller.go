@@ -62,6 +62,14 @@ type Controller struct {
 	// frontierSink, when set, observes every frontier advance (WAL
 	// emission for refresh continuity across restarts).
 	frontierSink FrontierSink
+	// refreshSink, when set, observes every recorded refresh attempt
+	// (success, error or skip) — the observability recorder's feed.
+	refreshSink RefreshSink
+
+	// HistoryCapacity bounds the per-DT refresh-history ring of DTs this
+	// controller builds (0 = core.DefaultHistoryCapacity). Written only
+	// while refreshes are excluded (engine DDL lock).
+	HistoryCapacity int
 
 	// Hooks for the IVM ablation strategies.
 	ExpandOuterJoins    bool
@@ -110,6 +118,44 @@ func (c *Controller) emitFrontier(dt *DynamicTable, u FrontierUpdate) {
 	if sink != nil {
 		sink.FrontierAdvanced(dt, u)
 	}
+}
+
+// RefreshSink observes every refresh attempt the controller records in a
+// DT's history: successes, errors and skips alike. Implementations must
+// not call back into the controller; the observability recorder uses
+// this to maintain its queryable per-DT history rings. Refreshes of
+// distinct DTs run concurrently, so implementations must be safe for
+// concurrent use.
+type RefreshSink interface {
+	RefreshRecorded(dt *DynamicTable, rec RefreshRecord)
+}
+
+// SetRefreshSink registers the refresh observer (at most one; nil
+// clears).
+func (c *Controller) SetRefreshSink(s RefreshSink) {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	c.refreshSink = s
+}
+
+func (c *Controller) emitRefresh(dt *DynamicTable, rec RefreshRecord) {
+	c.regMu.RLock()
+	sink := c.refreshSink
+	c.regMu.RUnlock()
+	if sink != nil {
+		sink.RefreshRecorded(dt, rec)
+	}
+}
+
+// RecordSkip records a scheduler-initiated skip (§3.3.3) in the DT's
+// history and emits it to the refresh sink; the scheduler routes its
+// skip decisions here so skipped ticks are observable alongside executed
+// refreshes. One record feeds both surfaces, so Describe and
+// INFORMATION_SCHEMA agree about the event.
+func (c *Controller) RecordSkip(dt *DynamicTable, dataTS time.Time) {
+	rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, RowsAfter: dt.Storage.RowCount()}
+	dt.record(rec)
+	c.emitRefresh(dt, rec)
 }
 
 // NewController wires a controller.
@@ -177,6 +223,7 @@ func (c *Controller) Build(stmt *sql.CreateDynamicTableStmt, createdAt hlc.Times
 		deps:            bound.Deps,
 		versionByDataTS: make(map[int64]int64),
 		commitByDataTS:  make(map[int64]hlc.Timestamp),
+		historyCap:      c.HistoryCapacity,
 	}
 	dt.schemaFingerprint = bound.Plan.Schema().String()
 	return dt, nil
@@ -243,8 +290,10 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 		return RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSuspended}, ErrSuspended
 	}
 	if !dt.tryBeginRefresh() {
-		rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSkipped}
+		rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSkipped,
+			RowsAfter: dt.Storage.RowCount()}
 		dt.record(rec)
+		c.emitRefresh(dt, rec)
 		return rec, ErrSkipped
 	}
 	defer dt.endRefresh()
@@ -254,6 +303,7 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 		rec.Action = ActionError
 		rec.Err = err
 		dt.record(rec)
+		c.emitRefresh(dt, rec)
 		dt.mu.Lock()
 		dt.errorCount++
 		suspend := dt.errorCount >= MaxConsecutiveErrors
@@ -267,6 +317,7 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 	dt.errorCount = 0
 	dt.mu.Unlock()
 	dt.record(rec)
+	c.emitRefresh(dt, rec)
 	return rec, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"dyntables/internal/catalog"
 	"dyntables/internal/hlc"
 	"dyntables/internal/ivm"
+	"dyntables/internal/ring"
 	"dyntables/internal/sql"
 	"dyntables/internal/storage"
 )
@@ -41,6 +42,11 @@ func (s State) String() string {
 
 // MaxConsecutiveErrors is the auto-suspension threshold (§3.3.3).
 const MaxConsecutiveErrors = 5
+
+// DefaultHistoryCapacity bounds a DT's in-memory refresh history ring:
+// the most recent DefaultHistoryCapacity records are kept, so
+// long-running schedulers do not grow per-DT state without bound.
+const DefaultHistoryCapacity = 1024
 
 // Frontier is the map underlying a DT's data timestamp (§5.3): the version
 // of each source table the DT has consumed, plus the refresh timestamp.
@@ -151,7 +157,10 @@ type DynamicTable struct {
 	versionByDataTS map[int64]int64
 	commitByDataTS  map[int64]hlc.Timestamp
 
-	history []RefreshRecord
+	// history is a bounded ring of refresh records (capacity historyCap;
+	// 0 = DefaultHistoryCapacity).
+	history    ring.Ring[RefreshRecord]
+	historyCap int
 }
 
 // ObjectKind implements catalog.Object.
@@ -224,23 +233,58 @@ func (dt *DynamicTable) VersionAtDataTS(ts time.Time) (int64, bool) {
 	return seq, ok
 }
 
-// History returns a copy of the refresh records.
+// History returns a copy of the retained refresh records, oldest first.
+// The ring keeps at most HistoryCapacity records.
 func (dt *DynamicTable) History() []RefreshRecord {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
-	out := make([]RefreshRecord, len(dt.history))
-	copy(out, dt.history)
-	return out
+	return dt.history.Snapshot()
+}
+
+// HistoryCapacity returns the history ring's bound.
+func (dt *DynamicTable) HistoryCapacity() int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.historyCapLocked()
+}
+
+func (dt *DynamicTable) historyCapLocked() int {
+	if dt.historyCap > 0 {
+		return dt.historyCap
+	}
+	return DefaultHistoryCapacity
+}
+
+// SetHistoryCapacity rebounds the history ring, evicting the oldest
+// records that no longer fit. n <= 0 restores DefaultHistoryCapacity.
+func (dt *DynamicTable) SetHistoryCapacity(n int) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if n <= 0 {
+		n = DefaultHistoryCapacity
+	}
+	dt.historyCap = n
+	dt.history.Resize(n)
+}
+
+// installHistoryLocked replaces the ring's contents, keeping the newest
+// records within capacity; callers hold dt.mu.
+func (dt *DynamicTable) installHistoryLocked(recs []RefreshRecord) {
+	dt.history = ring.Ring[RefreshRecord]{}
+	dt.history.Resize(dt.historyCapLocked())
+	for _, r := range recs {
+		dt.history.Push(r)
+	}
 }
 
 // LastRecord returns the most recent refresh record.
 func (dt *DynamicTable) LastRecord() (RefreshRecord, bool) {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
-	if len(dt.history) == 0 {
+	if dt.history.Len() == 0 {
 		return RefreshRecord{}, false
 	}
-	return dt.history[len(dt.history)-1], true
+	return *dt.history.At(dt.history.Len() - 1), true
 }
 
 // CloneAt returns a zero-copy clone of the DT (§3.4): the storage version
@@ -269,6 +313,7 @@ func (dt *DynamicTable) CloneAt(at hlc.Timestamp) (*DynamicTable, error) {
 		versionByDataTS:   make(map[int64]int64, len(dt.versionByDataTS)),
 		commitByDataTS:    make(map[int64]hlc.Timestamp, len(dt.commitByDataTS)),
 		schemaFingerprint: dt.schemaFingerprint,
+		historyCap:        dt.historyCap,
 	}
 	for k, v := range dt.deps {
 		clone.deps[k] = v
@@ -336,7 +381,7 @@ func (dt *DynamicTable) Checkpoint() DTCheckpoint {
 		SchemaFingerprint: dt.schemaFingerprint,
 		VersionByDataTS:   make(map[int64]int64, len(dt.versionByDataTS)),
 		CommitByDataTS:    make(map[int64]hlc.Timestamp, len(dt.commitByDataTS)),
-		History:           append([]RefreshRecord(nil), dt.history...),
+		History:           dt.history.Snapshot(),
 	}
 	for k, v := range dt.versionByDataTS {
 		cp.VersionByDataTS[k] = v
@@ -368,7 +413,7 @@ func (dt *DynamicTable) RestoreState(cp DTCheckpoint) {
 	for k, v := range cp.CommitByDataTS {
 		dt.commitByDataTS[k] = v
 	}
-	dt.history = append([]RefreshRecord(nil), cp.History...)
+	dt.installHistoryLocked(cp.History)
 }
 
 // ApplyFrontierUpdate replays one WAL frontier record: the same state
@@ -390,17 +435,14 @@ func (dt *DynamicTable) ApplyFrontierUpdate(u FrontierUpdate) {
 	dt.errorCount = 0
 }
 
-// RecordSkip logs a scheduler-initiated skip (§3.3.3) in the refresh
-// history.
-func (dt *DynamicTable) RecordSkip(dataTS time.Time) {
-	dt.record(RefreshRecord{DataTS: dataTS, Action: ActionSkip})
-}
-
-// record appends a refresh record (callers hold no locks).
+// record appends a refresh record to the bounded ring (callers hold no
+// locks).
 func (dt *DynamicTable) record(r RefreshRecord) {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
-	dt.history = append(dt.history, r)
+	// Resize is a no-op while the configured capacity is unchanged.
+	dt.history.Resize(dt.historyCapLocked())
+	dt.history.Push(r)
 }
 
 // tryBeginRefresh acquires the per-DT refresh lock without blocking; a

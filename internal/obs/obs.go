@@ -1,0 +1,459 @@
+// Package obs is the engine's observability subsystem: it records every
+// refresh attempt, dependency-graph edge, lag-sawtooth sample and
+// warehouse job into bounded per-object history rings, and aggregates
+// per-DT lag-SLO attainment (the fraction of wall-clock time a dynamic
+// table spent within its target lag, plus effective-lag percentiles).
+//
+// The recorder is a passive sink: producers (the refresh controller, the
+// DAG-wave refresher, the scheduler, the warehouse pool) push events
+// through narrow hook interfaces defined in their own packages, and the
+// engine adapts those hooks onto the recorder. Consumers read the same
+// data back through SQL — the engine exposes the rings as
+// INFORMATION_SCHEMA virtual tables resolvable by the normal planner —
+// so the system is observable through its own query path.
+//
+// All methods are safe for concurrent use; accessors return defensive
+// copies so monitoring readers never observe a torn snapshot while
+// refreshes append.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dyntables/internal/ring"
+)
+
+// DefaultCapacity is the per-ring event bound: rings keep the most
+// recent DefaultCapacity entries so long-running schedulers do not grow
+// without bound.
+const DefaultCapacity = 1024
+
+// RefreshEvent is one recorded refresh attempt of a dynamic table.
+type RefreshEvent struct {
+	// Seq is a recorder-global, monotonically increasing sequence number
+	// (assigned at record time; survives ring eviction gaps).
+	Seq int64
+	// DTName names the dynamic table.
+	DTName string
+	// DataTS is the refresh's data timestamp.
+	DataTS time.Time
+	// Action is the refresh action taken (NO_DATA, INCREMENTAL, FULL,
+	// REINITIALIZE, INITIALIZE, SKIP, ERROR).
+	Action string
+	// Incremental marks differentiated refreshes.
+	Incremental bool
+	// Inserted, Deleted and RowsAfter describe the contents change.
+	Inserted, Deleted, RowsAfter int
+	// SourceRowsScanned approximates the work reading sources.
+	SourceRowsScanned int64
+	// Start and End bound the refresh job in virtual time; zero when the
+	// refresh did no billable work (NO_DATA, SKIP, errors).
+	Start, End time.Time
+	// Wave is the dependency wave the refresh ran in; -1 for refreshes
+	// outside a scheduler tick (manual refresh, initialization).
+	Wave int
+	// Worker is the refresher worker-slot that executed the refresh; -1
+	// when unknown (serial/manual execution).
+	Worker int
+	// Error is the refresh failure, if any.
+	Error string
+}
+
+// Duration is the refresh's virtual execution time (End - Start).
+func (e RefreshEvent) Duration() time.Duration { return e.End.Sub(e.Start) }
+
+// GraphEdge is one observed dependency edge of the DT graph: DTName's
+// defining query reads Upstream.
+type GraphEdge struct {
+	// Seq orders edge observations recorder-globally.
+	Seq int64
+	// DTName is the downstream dynamic table.
+	DTName string
+	// Upstream names the source object the defining query reads.
+	Upstream string
+	// UpstreamKind is the source's catalog kind (TABLE, DYNAMIC TABLE, ...).
+	UpstreamKind string
+	// ValidFrom is when the edge was observed (DT creation, clone or
+	// recovery registration).
+	ValidFrom time.Time
+}
+
+// LagSample is one lag-sawtooth measurement, recorded at a refresh
+// commit: lag peaks just before the commit and drops to the trough just
+// after (Figure 4 of the paper).
+type LagSample struct {
+	DTName string
+	// At is the measurement time (the refresh's virtual completion).
+	At time.Time
+	// DataTS is the refresh's data timestamp.
+	DataTS time.Time
+	// Peak is the lag immediately before the commit, Trough immediately
+	// after.
+	Peak, Trough time.Duration
+}
+
+// MeterPoint is one billed warehouse job.
+type MeterPoint struct {
+	Seq       int64
+	Warehouse string
+	Size      string
+	// Label identifies the work (usually the refreshed DT's name).
+	Label string
+	// Submit, Start and End are the job's virtual instants; Start-Submit
+	// is queueing behind earlier jobs.
+	Submit, Start, End time.Time
+	// Rows is the work driver used for the job duration.
+	Rows int64
+	// Credits is the job's own billed credits (duration at the
+	// warehouse's hourly rate, metered per second).
+	Credits float64
+}
+
+// SLOStats aggregates a DT's lag-SLO attainment over the recorded
+// sawtooth window.
+type SLOStats struct {
+	// Samples is how many sawtooth points contributed.
+	Samples int
+	// Attainment is the fraction of covered wall-clock time the DT spent
+	// within the target lag (0..1). Lag is interpolated linearly between
+	// refresh commits, matching the sawtooth shape.
+	Attainment float64
+	// P50 and P95 are percentiles of the per-cycle peak (worst-case
+	// effective) lag.
+	P50, P95 time.Duration
+}
+
+// Recorder accumulates observability events in bounded rings: one
+// refresh-history and one lag ring per DT, one metering ring per
+// warehouse, and one shared graph-edge ring. A disabled recorder (see
+// NewDisabled) drops every event, for overhead baselines.
+type Recorder struct {
+	mu       sync.RWMutex
+	enabled  bool
+	capacity int
+	seq      int64
+
+	refreshes map[string]*ring.Ring[RefreshEvent]
+	lags      map[string]*ring.Ring[LagSample]
+	meter     map[string]*ring.Ring[MeterPoint]
+	edges     *ring.Ring[GraphEdge]
+}
+
+// NewRecorder creates a recorder with the given per-ring capacity;
+// capacity <= 0 uses DefaultCapacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		enabled:   true,
+		capacity:  capacity,
+		refreshes: make(map[string]*ring.Ring[RefreshEvent]),
+		lags:      make(map[string]*ring.Ring[LagSample]),
+		meter:     make(map[string]*ring.Ring[MeterPoint]),
+		edges:     ring.New[GraphEdge](capacity),
+	}
+}
+
+// NewDisabled creates a recorder that drops every event; accessors
+// return empty results. Used as the zero-overhead baseline. SetEnabled
+// (or ALTER SYSTEM SET HISTORY_CAPACITY) turns recording on later.
+func NewDisabled() *Recorder {
+	r := NewRecorder(1)
+	r.enabled = false
+	return r
+}
+
+// Enabled reports whether the recorder accepts events.
+func (r *Recorder) Enabled() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.enabled
+}
+
+// SetEnabled turns event recording on or off at runtime. Disabling
+// keeps already-recorded history readable.
+func (r *Recorder) SetEnabled(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enabled = on
+}
+
+// Capacity returns the per-ring event bound.
+func (r *Recorder) Capacity() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.capacity
+}
+
+// SetCapacity rebounds every ring to the new capacity, evicting the
+// oldest entries that no longer fit. n <= 0 restores DefaultCapacity.
+func (r *Recorder) SetCapacity(n int) {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.capacity = n
+	for _, rg := range r.refreshes {
+		rg.Resize(n)
+	}
+	for _, rg := range r.lags {
+		rg.Resize(n)
+	}
+	for _, rg := range r.meter {
+		rg.Resize(n)
+	}
+	r.edges.Resize(n)
+}
+
+// RecordRefresh appends a refresh event to the DT's history ring,
+// assigning its sequence number.
+func (r *Recorder) RecordRefresh(ev RefreshEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	rg := r.refreshes[ev.DTName]
+	if rg == nil {
+		rg = ring.New[RefreshEvent](r.capacity)
+		r.refreshes[ev.DTName] = rg
+	}
+	rg.Push(ev)
+}
+
+// AnnotateExecution backfills execution detail (dependency wave, worker
+// slot, virtual start/end) onto the most recent event matching the DT
+// and data timestamp. The refresh controller records the outcome from
+// inside the refresh; the refresher learns wave placement and
+// deterministic virtual timing only after the wave's accounting pass,
+// and annotates here.
+func (r *Recorder) AnnotateExecution(dtName string, dataTS time.Time, wave, worker int, start, end time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	rg := r.refreshes[dtName]
+	if rg == nil {
+		return
+	}
+	for i := rg.Len() - 1; i >= 0; i-- {
+		ev := rg.At(i)
+		if ev.DataTS.Equal(dataTS) {
+			ev.Wave, ev.Worker = wave, worker
+			ev.Start, ev.End = start, end
+			return
+		}
+	}
+}
+
+// RecordEdges appends one graph-edge observation per upstream.
+func (r *Recorder) RecordEdges(edges []GraphEdge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	for _, e := range edges {
+		r.seq++
+		e.Seq = r.seq
+		r.edges.Push(e)
+	}
+}
+
+// RecordLag appends a sawtooth sample to the DT's lag ring.
+func (r *Recorder) RecordLag(s LagSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	rg := r.lags[s.DTName]
+	if rg == nil {
+		rg = ring.New[LagSample](r.capacity)
+		r.lags[s.DTName] = rg
+	}
+	rg.Push(s)
+}
+
+// RecordJob appends a billed warehouse job to the warehouse's metering
+// ring.
+func (r *Recorder) RecordJob(p MeterPoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.seq++
+	p.Seq = r.seq
+	rg := r.meter[p.Warehouse]
+	if rg == nil {
+		rg = ring.New[MeterPoint](r.capacity)
+		r.meter[p.Warehouse] = rg
+	}
+	rg.Push(p)
+}
+
+// HistoryLen returns how many refresh events one DT's ring retains,
+// without copying them.
+func (r *Recorder) HistoryLen(dtName string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg := r.refreshes[dtName]
+	if rg == nil {
+		return 0
+	}
+	return rg.Len()
+}
+
+// History returns a copy of one DT's refresh events, oldest first.
+func (r *Recorder) History(dtName string) []RefreshEvent {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg := r.refreshes[dtName]
+	if rg == nil {
+		return nil
+	}
+	return rg.Snapshot()
+}
+
+// AllHistory returns every DT's refresh events, ordered by DT name then
+// recording order.
+func (r *Recorder) AllHistory() []RefreshEvent {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.refreshes))
+	total := 0
+	for name, rg := range r.refreshes {
+		names = append(names, name)
+		total += rg.Len()
+	}
+	sort.Strings(names)
+	out := make([]RefreshEvent, 0, total)
+	for _, name := range names {
+		out = append(out, r.refreshes[name].Snapshot()...)
+	}
+	return out
+}
+
+// Edges returns a copy of the graph-edge observations, oldest first.
+func (r *Recorder) Edges() []GraphEdge {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.edges.Snapshot()
+}
+
+// LagSeries returns a copy of one DT's sawtooth samples, oldest first.
+func (r *Recorder) LagSeries(dtName string) []LagSample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg := r.lags[dtName]
+	if rg == nil {
+		return nil
+	}
+	return rg.Snapshot()
+}
+
+// Metering returns every warehouse's billed jobs, ordered by warehouse
+// name then recording order.
+func (r *Recorder) Metering() []MeterPoint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.meter))
+	total := 0
+	for name, rg := range r.meter {
+		names = append(names, name)
+		total += rg.Len()
+	}
+	sort.Strings(names)
+	out := make([]MeterPoint, 0, total)
+	for _, name := range names {
+		out = append(out, r.meter[name].Snapshot()...)
+	}
+	return out
+}
+
+// SLO computes the DT's lag-SLO attainment against a target lag over the
+// recorded sawtooth window, extended to `now`. Lag rises linearly from
+// each commit's trough to the next commit's peak, so the within-target
+// time of each segment is exact for the sawtooth model.
+func (r *Recorder) SLO(dtName string, target time.Duration, now time.Time) SLOStats {
+	return ComputeSLO(r.LagSeries(dtName), target, now)
+}
+
+// ComputeSLO is the pure sawtooth-SLO computation behind Recorder.SLO.
+func ComputeSLO(series []LagSample, target time.Duration, now time.Time) SLOStats {
+	if len(series) == 0 {
+		return SLOStats{}
+	}
+	var within, covered time.Duration
+	for i := 1; i < len(series); i++ {
+		prev, cur := series[i-1], series[i]
+		span := cur.At.Sub(prev.At)
+		if span <= 0 {
+			continue
+		}
+		covered += span
+		within += segmentWithin(prev.Trough, cur.Peak, span, target)
+	}
+	// Trailing segment: lag rises from the last trough until `now`.
+	last := series[len(series)-1]
+	if tail := now.Sub(last.At); tail > 0 {
+		covered += tail
+		within += segmentWithin(last.Trough, last.Trough+tail, tail, target)
+	}
+
+	peaks := make([]time.Duration, len(series))
+	for i, s := range series {
+		peaks[i] = s.Peak
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i] < peaks[j] })
+
+	stats := SLOStats{
+		Samples: len(series),
+		P50:     nearestRank(peaks, 0.50),
+		P95:     nearestRank(peaks, 0.95),
+	}
+	switch {
+	case covered > 0:
+		stats.Attainment = float64(within) / float64(covered)
+	case last.Trough <= target:
+		stats.Attainment = 1
+	}
+	return stats
+}
+
+// nearestRank returns the p-th percentile of sorted values by the
+// nearest-rank definition (⌈p·N⌉-th smallest), which never underreports
+// the way floor-indexing would on small samples.
+func nearestRank(sorted []time.Duration, p float64) time.Duration {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// segmentWithin returns how much of a span with lag rising linearly from
+// `from` to `to` stays at or below the target.
+func segmentWithin(from, to time.Duration, span time.Duration, target time.Duration) time.Duration {
+	switch {
+	case to <= target:
+		return span
+	case from >= target:
+		return 0
+	default:
+		frac := float64(target-from) / float64(to-from)
+		return time.Duration(frac * float64(span))
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRingBounded(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.RecordRefresh(RefreshEvent{DTName: "dt", DataTS: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	hist := r.History("dt")
+	if len(hist) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(hist))
+	}
+	// The newest four survive, in order.
+	for i, ev := range hist {
+		want := t0.Add(time.Duration(6+i) * time.Minute)
+		if !ev.DataTS.Equal(want) {
+			t.Fatalf("event %d has DataTS %v, want %v", i, ev.DataTS, want)
+		}
+	}
+	// Sequence numbers keep increasing across evictions.
+	if hist[3].Seq != 10 {
+		t.Fatalf("newest event Seq = %d, want 10", hist[3].Seq)
+	}
+}
+
+func TestSetCapacityTrims(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 8; i++ {
+		r.RecordRefresh(RefreshEvent{DTName: "dt", DataTS: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	r.SetCapacity(3)
+	hist := r.History("dt")
+	if len(hist) != 3 {
+		t.Fatalf("after shrink kept %d, want 3", len(hist))
+	}
+	if !hist[0].DataTS.Equal(t0.Add(5 * time.Minute)) {
+		t.Fatalf("oldest survivor %v, want %v", hist[0].DataTS, t0.Add(5*time.Minute))
+	}
+	// Growing keeps everything and accepts more.
+	r.SetCapacity(16)
+	for i := 0; i < 5; i++ {
+		r.RecordRefresh(RefreshEvent{DTName: "dt", DataTS: t0.Add(time.Hour)})
+	}
+	if got := len(r.History("dt")); got != 8 {
+		t.Fatalf("after grow kept %d, want 8", got)
+	}
+}
+
+func TestAnnotateExecution(t *testing.T) {
+	r := NewRecorder(8)
+	ts := t0.Add(time.Minute)
+	r.RecordRefresh(RefreshEvent{DTName: "dt", DataTS: ts, Action: "INCREMENTAL", Wave: -1, Worker: -1})
+	start, end := ts, ts.Add(3*time.Second)
+	r.AnnotateExecution("dt", ts, 2, 1, start, end)
+	hist := r.History("dt")
+	ev := hist[len(hist)-1]
+	if ev.Wave != 2 || ev.Worker != 1 {
+		t.Fatalf("annotation not applied: wave=%d worker=%d", ev.Wave, ev.Worker)
+	}
+	if ev.Duration() != 3*time.Second {
+		t.Fatalf("duration = %v, want 3s", ev.Duration())
+	}
+	// Annotating an unknown timestamp is a no-op.
+	r.AnnotateExecution("dt", ts.Add(time.Hour), 9, 9, start, end)
+	if got := r.History("dt")[0].Wave; got != 2 {
+		t.Fatalf("unknown-timestamp annotation mutated event: wave=%d", got)
+	}
+}
+
+func TestDisabledRecorderDropsEverything(t *testing.T) {
+	r := NewDisabled()
+	r.RecordRefresh(RefreshEvent{DTName: "dt"})
+	r.RecordLag(LagSample{DTName: "dt"})
+	r.RecordJob(MeterPoint{Warehouse: "wh"})
+	r.RecordEdges([]GraphEdge{{DTName: "dt", Upstream: "base"}})
+	if len(r.AllHistory()) != 0 || len(r.Metering()) != 0 || len(r.Edges()) != 0 {
+		t.Fatal("disabled recorder retained events")
+	}
+}
+
+func TestComputeSLO(t *testing.T) {
+	target := time.Minute
+	// Two commits one period apart: lag rises 10s → 70s, crossing the
+	// 60s target at 5/6 of the span, then the tail rises 10s → 40s
+	// (fully within target).
+	series := []LagSample{
+		{At: t0, Trough: 10 * time.Second, Peak: 50 * time.Second},
+		{At: t0.Add(60 * time.Second), Trough: 10 * time.Second, Peak: 70 * time.Second},
+	}
+	now := t0.Add(90 * time.Second)
+	stats := ComputeSLO(series, target, now)
+	if stats.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", stats.Samples)
+	}
+	// Within-target: 50s of the first 60s span + all 30s of the tail.
+	want := (50.0 + 30.0) / 90.0
+	if diff := stats.Attainment - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("attainment = %v, want %v", stats.Attainment, want)
+	}
+	// Nearest-rank percentiles over peaks [50s, 70s]: p50 takes the 1st
+	// smallest, p95 the 2nd — small samples must not underreport.
+	if stats.P50 != 50*time.Second || stats.P95 != 70*time.Second {
+		t.Fatalf("p50=%v p95=%v, want 50s / 70s (nearest rank)", stats.P50, stats.P95)
+	}
+}
+
+func TestComputeSLOAlwaysWithin(t *testing.T) {
+	series := []LagSample{
+		{At: t0, Trough: time.Second, Peak: 5 * time.Second},
+		{At: t0.Add(time.Minute), Trough: time.Second, Peak: 10 * time.Second},
+	}
+	stats := ComputeSLO(series, time.Hour, t0.Add(2*time.Minute))
+	if stats.Attainment != 1 {
+		t.Fatalf("attainment = %v, want 1", stats.Attainment)
+	}
+	if ComputeSLO(nil, time.Hour, t0).Samples != 0 {
+		t.Fatal("empty series should report zero samples")
+	}
+}
+
+func TestConcurrentRecordAndRead(t *testing.T) {
+	r := NewRecorder(64)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			name := fmt.Sprintf("dt%d", w)
+			for i := 0; i < 500; i++ {
+				r.RecordRefresh(RefreshEvent{DTName: name, DataTS: t0.Add(time.Duration(i) * time.Second)})
+				r.RecordLag(LagSample{DTName: name, At: t0.Add(time.Duration(i) * time.Second)})
+				r.RecordJob(MeterPoint{Warehouse: "wh", Label: name})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range r.AllHistory() {
+				if ev.DTName == "" {
+					t.Error("torn refresh event")
+					return
+				}
+			}
+			r.Metering()
+			r.SLO("dt0", time.Minute, t0.Add(time.Hour))
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if got := len(r.History("dt0")); got != 64 {
+		t.Fatalf("ring kept %d, want capacity 64", got)
+	}
+}

@@ -21,6 +21,11 @@ type Source struct {
 	// ViewSQL is the defining text for views, expanded inline by the
 	// binder (§5.4: "nested views are expanded").
 	ViewSQL string
+	// Virtual marks an engine-metadata table (INFORMATION_SCHEMA.*)
+	// materialized at bind time: it has no catalog entry, participates in
+	// no dependency tracking, and may not appear in stored defining
+	// queries.
+	Virtual bool
 }
 
 // Resolver resolves names against the catalog.
@@ -45,11 +50,15 @@ type Binder struct {
 	resolver Resolver
 	deps     map[int64]int64
 	depth    int
+	// sources memoizes resolved names for the statement being bound:
+	// repeated references share one Source, so a self-join over a
+	// virtual metadata table reads a single materialized snapshot.
+	sources map[string]*Source
 }
 
 // NewBinder returns a binder using the resolver.
 func NewBinder(r Resolver) *Binder {
-	return &Binder{resolver: r, deps: make(map[int64]int64)}
+	return &Binder{resolver: r, deps: make(map[int64]int64), sources: make(map[string]*Source)}
 }
 
 // BindSelect binds a SELECT statement.
@@ -195,14 +204,27 @@ func (b *Binder) bindTableExpr(te sql.TableExpr) (Node, *scope, error) {
 }
 
 func (b *Binder) bindTableRef(t *sql.TableRef) (Node, *scope, error) {
-	src, err := b.resolver.ResolveTable(t.Name)
-	if err != nil {
-		return nil, nil, err
+	key := strings.ToUpper(t.Name)
+	src := b.sources[key]
+	if src == nil {
+		var err error
+		src, err = b.resolver.ResolveTable(t.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.sources[key] = src
 	}
-	b.deps[src.EntryID] = src.Generation
+	if !src.Virtual {
+		b.deps[src.EntryID] = src.Generation
+	}
 	qual := t.Alias
 	if qual == "" {
 		qual = t.Name
+		// A schema-qualified reference without an alias is addressable by
+		// its bare table name (SELECT t.col FROM INFORMATION_SCHEMA.T).
+		if i := strings.LastIndexByte(qual, '.'); i >= 0 {
+			qual = qual[i+1:]
+		}
 	}
 	if src.ViewSQL != "" {
 		// Expand the view inline.
@@ -350,6 +372,19 @@ func combineConjuncts(es []Expr) Expr {
 // bindSelect binds a full SELECT including UNION ALL branches, ORDER BY and
 // LIMIT. The returned scope is the output schema (unqualified).
 func (b *Binder) bindSelect(stmt *sql.SelectStmt) (Node, *scope, error) {
+	if b.wantsHiddenSort(stmt) {
+		// ORDER BY provably references columns (or expressions) outside
+		// the select list: bind once through the hidden-sort-column path
+		// instead of binding, failing and rebinding.
+		node, sc, err := b.bindSortWithHidden(stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if stmt.Limit != nil {
+			node = &Limit{Input: node, N: *stmt.Limit}
+		}
+		return node, sc, nil
+	}
 	node, sc, err := b.bindSelectBody(stmt)
 	if err != nil {
 		return nil, nil, err
@@ -372,15 +407,150 @@ func (b *Binder) bindSelect(stmt *sql.SelectStmt) (Node, *scope, error) {
 	}
 	if len(stmt.OrderBy) > 0 {
 		items, err := b.bindOrderBy(stmt.OrderBy, stmt.Items, sc)
-		if err != nil {
-			return nil, nil, err
+		if err == nil {
+			node = &Sort{Input: node, Items: items}
+		} else {
+			// Rare fallback (star select lists defeat the syntactic
+			// check in wantsHiddenSort): rebuild with hidden sort
+			// columns appended, sort, and project them away again.
+			sorted, _, serr := b.bindSortWithHidden(stmt)
+			if serr != nil {
+				return nil, nil, err // the direct error reads better
+			}
+			node = sorted
 		}
-		node = &Sort{Input: node, Items: items}
 	}
 	if stmt.Limit != nil {
 		node = &Limit{Input: node, N: *stmt.Limit}
 	}
 	return node, sc, nil
+}
+
+// wantsHiddenSort reports, without binding, that the statement's ORDER
+// BY certainly needs hidden sort columns: some item is an expression, or
+// a column name that no select-list item produces. Star items defeat the
+// syntactic check, so those statements take the ordinary bind-then-
+// fallback path instead.
+func (b *Binder) wantsHiddenSort(stmt *sql.SelectStmt) bool {
+	if len(stmt.OrderBy) == 0 || len(stmt.Unions) > 0 || stmt.Distinct || stmt.GroupByAll {
+		return false
+	}
+	names := make(map[string]bool, len(stmt.Items))
+	for i, it := range stmt.Items {
+		if _, isStar := it.Expr.(*sql.Star); isStar {
+			return false
+		}
+		names[strings.ToUpper(outputName(it, i))] = true
+	}
+	for _, oi := range stmt.OrderBy {
+		switch e := oi.Expr.(type) {
+		case *sql.Literal:
+			// Ordinals always address the select list.
+		case *sql.ColumnRef:
+			if !names[strings.ToUpper(e.Name)] {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// bindSortWithHidden supports ORDER BY items that do not appear in the
+// select list (SELECT a FROM t ORDER BY b): the select body is bound
+// once with the missing expressions appended as hidden output columns,
+// the sort runs over the extended rows, and a final projection restores
+// the declared output. Unsupported under UNION ALL, DISTINCT and GROUP
+// BY ALL, where a hidden column would change the statement's semantics.
+func (b *Binder) bindSortWithHidden(stmt *sql.SelectStmt) (Node, *scope, error) {
+	if len(stmt.Unions) > 0 || stmt.Distinct || stmt.GroupByAll {
+		return nil, nil, fmt.Errorf("plan: ORDER BY column not in select list")
+	}
+	extended := *stmt
+	extended.Items = append([]sql.SelectItem(nil), stmt.Items...)
+	extended.OrderBy = nil
+	extended.Limit = nil
+
+	// Classify each ORDER BY item syntactically: ordinals and column
+	// names produced by the select list resolve against the declared
+	// output after the bind; everything else gets a hidden column.
+	outNames := make(map[string]bool, len(stmt.Items))
+	allNamed := true
+	for i, it := range stmt.Items {
+		if _, isStar := it.Expr.(*sql.Star); isStar {
+			allNamed = false
+			continue
+		}
+		outNames[strings.ToUpper(outputName(it, i))] = true
+	}
+	type pendingSpec struct {
+		expr   sql.Expr
+		hidden int // ordinal among hidden columns, or -1 for output items
+		desc   bool
+	}
+	var pend []pendingSpec
+	hidden := 0
+	for _, oi := range stmt.OrderBy {
+		direct := false
+		switch e := oi.Expr.(type) {
+		case *sql.Literal:
+			direct = true
+		case *sql.ColumnRef:
+			// With a star in the list the syntactic name set is
+			// incomplete; order such columns by a hidden copy instead.
+			direct = allNamed && outNames[strings.ToUpper(e.Name)]
+		}
+		if direct {
+			pend = append(pend, pendingSpec{expr: oi.Expr, hidden: -1, desc: oi.Desc})
+			continue
+		}
+		pend = append(pend, pendingSpec{expr: oi.Expr, hidden: hidden, desc: oi.Desc})
+		extended.Items = append(extended.Items, sql.SelectItem{Expr: oi.Expr})
+		hidden++
+	}
+
+	node, sc, err := b.bindSelectBody(&extended)
+	if err != nil {
+		return nil, nil, err
+	}
+	outWidth := len(sc.cols) - hidden
+	outScope := &scope{cols: sc.cols[:outWidth]}
+	specs := make([]OrderSpec, len(pend))
+	for i, p := range pend {
+		idx := 0
+		if p.hidden >= 0 {
+			idx = outWidth + p.hidden
+		} else {
+			switch e := p.expr.(type) {
+			case *sql.Literal:
+				if e.Kind != sql.LitInt || e.Int < 1 || int(e.Int) > outWidth {
+					return nil, nil, fmt.Errorf("plan: ORDER BY position out of range")
+				}
+				idx = int(e.Int) - 1
+			case *sql.ColumnRef:
+				var rerr error
+				idx, _, rerr = outScope.resolve("", e.Name)
+				if rerr != nil {
+					return nil, nil, fmt.Errorf("plan: ORDER BY: %w", rerr)
+				}
+			}
+		}
+		c := sc.cols[idx]
+		specs[i] = OrderSpec{Expr: &ColIdx{Idx: idx, Name: c.name, Kind: c.kind}, Desc: p.desc}
+	}
+	node = &Sort{Input: node, Items: specs}
+	if hidden == 0 {
+		return node, outScope, nil
+	}
+	// Restore the declared output columns.
+	exprs := make([]Expr, outWidth)
+	names := make([]string, outWidth)
+	for i, c := range outScope.cols {
+		exprs[i] = &ColIdx{Idx: i, Name: c.name, Kind: c.kind}
+		names[i] = c.name
+	}
+	return NewProject(node, exprs, names), outScope, nil
 }
 
 // bindOrderBy resolves ORDER BY items against the select output: by output

@@ -1,0 +1,112 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/hlc"
+	"dyntables/internal/storage"
+	"dyntables/internal/types"
+)
+
+// VirtualTable is one engine-metadata table (INFORMATION_SCHEMA.*)
+// exposed to the planner. Rows produces the current contents; it is
+// invoked at bind time, so each reference observes one snapshot for its
+// whole cursor lifetime, and the binder memoizes resolution per
+// statement so repeated references to the same virtual table (a
+// self-join) share one snapshot. References to *different* virtual
+// tables in one statement materialize independently and may observe
+// events recorded between the two snapshots.
+type VirtualTable struct {
+	// Name is the fully qualified name (e.g.
+	// INFORMATION_SCHEMA.DYNAMIC_TABLES); lookups are case-insensitive.
+	Name   string
+	Schema types.Schema
+	Rows   func() ([]types.Row, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(name string) (*Source, error)
+
+// ResolveTable implements Resolver.
+func (f ResolverFunc) ResolveTable(name string) (*Source, error) { return f(name) }
+
+// VirtualResolver is a Resolver layer that serves registered virtual
+// tables ahead of a base (catalog) resolver. A virtual table resolves to
+// a transient storage table materialized from its Rows callback, so the
+// full planner and executor — filters, joins, aggregation, ORDER BY,
+// streaming cursors — work over metadata unchanged.
+type VirtualResolver struct {
+	base Resolver
+	// now supplies the commit timestamp for materialized snapshots.
+	now func() hlc.Timestamp
+
+	mu     sync.RWMutex
+	tables map[string]*VirtualTable
+}
+
+// NewVirtualResolver layers virtual-table resolution over base.
+func NewVirtualResolver(base Resolver, now func() hlc.Timestamp) *VirtualResolver {
+	return &VirtualResolver{base: base, now: now, tables: make(map[string]*VirtualTable)}
+}
+
+// Register adds (or replaces) a virtual table.
+func (vr *VirtualResolver) Register(vt *VirtualTable) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	vr.tables[strings.ToUpper(vt.Name)] = vt
+}
+
+// Has reports whether name is a registered virtual table.
+func (vr *VirtualResolver) Has(name string) bool {
+	vr.mu.RLock()
+	defer vr.mu.RUnlock()
+	_, ok := vr.tables[strings.ToUpper(name)]
+	return ok
+}
+
+// Names lists the registered virtual tables, sorted.
+func (vr *VirtualResolver) Names() []string {
+	vr.mu.RLock()
+	defer vr.mu.RUnlock()
+	out := make([]string, 0, len(vr.tables))
+	for _, vt := range vr.tables {
+		out = append(out, vt.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveTable implements Resolver: registered virtual tables win,
+// everything else falls through to the base resolver.
+func (vr *VirtualResolver) ResolveTable(name string) (*Source, error) {
+	vr.mu.RLock()
+	vt := vr.tables[strings.ToUpper(name)]
+	vr.mu.RUnlock()
+	if vt == nil {
+		return vr.base.ResolveTable(name)
+	}
+	rows, err := vt.Rows()
+	if err != nil {
+		return nil, fmt.Errorf("plan: materializing virtual table %s: %w", vt.Name, err)
+	}
+	// Two HLC reads: commits must strictly advance past the table's
+	// creation version.
+	t := storage.NewTable(vt.Schema, vr.now())
+	contents := make(map[string]types.Row, len(rows))
+	for _, r := range rows {
+		contents[t.NextRowID()] = r
+	}
+	if _, err := t.Overwrite(contents, vr.now()); err != nil {
+		return nil, fmt.Errorf("plan: materializing virtual table %s: %w", vt.Name, err)
+	}
+	return &Source{
+		Name:    vt.Name,
+		Kind:    catalog.KindTable,
+		Table:   t,
+		Virtual: true,
+	}, nil
+}

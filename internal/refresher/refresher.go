@@ -62,6 +62,9 @@ type Result struct {
 	// a warehouse slot picked the job up, End when it finished. For
 	// NO_DATA and failed refreshes End equals Start (no compute).
 	Start, End time.Time
+	// Worker is the worker-pool slot (0..workers-1) that executed the
+	// refresh.
+	Worker int
 	// Retried marks a refresh that failed transiently and succeeded (or
 	// failed again) on the second attempt.
 	Retried bool
@@ -86,6 +89,23 @@ type Refresher struct {
 	workers  int
 	quiesced bool
 	inflight int
+	sink     Sink
+}
+
+// Sink observes every executed tick after its deterministic accounting
+// pass, with wave placement, worker slots and virtual start/end instants
+// final. The observability recorder uses it to annotate refresh history
+// with execution detail. Implementations must not call back into the
+// refresher or scheduler.
+type Sink interface {
+	TickExecuted(results []Result)
+}
+
+// SetSink registers the tick observer (at most one; nil clears).
+func (r *Refresher) SetSink(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
 }
 
 // New creates a refresher. workers <= 0 derives the pool width from the
@@ -209,23 +229,33 @@ func (r *Refresher) ExecuteTick(reqs []Request) ([]Result, error) {
 		}
 		results = append(results, executed...)
 	}
+	r.mu.Lock()
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink.TickExecuted(results)
+	}
 	return results, nil
 }
 
 // runWave executes one wave's refreshes concurrently, at most `workers`
 // at a time, and returns per-DT results in the wave's (name) order with
-// Start seeded from each request's Ready time.
+// Start seeded from each request's Ready time. The semaphore carries
+// worker-slot tokens so each result records which slot executed it.
 func (r *Refresher) runWave(wave []Request, workers int) []Result {
 	out := make([]Result, len(wave))
-	sem := make(chan struct{}, workers)
+	slots := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		slots <- w
+	}
 	var wg sync.WaitGroup
 	for i, req := range wave {
 		wg.Add(1)
 		go func(i int, req Request) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res := Result{DT: req.DT, Start: req.Ready, PrevDataTS: req.DT.DataTimestamp()}
+			slot := <-slots
+			defer func() { slots <- slot }()
+			res := Result{DT: req.DT, Start: req.Ready, PrevDataTS: req.DT.DataTimestamp(), Worker: slot}
 			res.Rec, res.Err, res.Panicked = r.refreshIsolated(req.DT, req.DataTS)
 			if res.Err != nil && !res.Panicked && Transient(res.Err) {
 				res.Retried = true

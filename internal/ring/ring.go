@@ -1,0 +1,88 @@
+// Package ring provides a bounded FIFO ring buffer that keeps the most
+// recent entries. The buffer grows lazily up to its capacity (a ring
+// that never fills never allocates the full bound) and wraps once full,
+// evicting the oldest entry per push. The zero value is usable with
+// capacity 1; call Resize to set the bound.
+//
+// Ring is not safe for concurrent use; callers synchronize externally
+// (the observability recorder and dynamic tables each guard their rings
+// with their own mutex).
+package ring
+
+// Ring is a bounded FIFO buffer of the most recent entries.
+type Ring[T any] struct {
+	buf      []T
+	start    int
+	n        int
+	capacity int
+}
+
+// New returns a ring bounded at capacity (minimum 1). No buffer is
+// allocated until the first Push.
+func New[T any](capacity int) *Ring[T] {
+	r := &Ring[T]{}
+	r.Resize(capacity)
+	return r
+}
+
+// Cap returns the ring's bound.
+func (r *Ring[T]) Cap() int {
+	if r.capacity < 1 {
+		return 1
+	}
+	return r.capacity
+}
+
+// Len returns the number of live entries.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends an entry, evicting the oldest when full.
+func (r *Ring[T]) Push(v T) {
+	capN := r.Cap()
+	switch {
+	case len(r.buf) < capN:
+		// Lazy growth: until the buffer reaches capacity, start is 0 and
+		// n equals len(buf), so plain append preserves order.
+		r.buf = append(r.buf, v)
+		r.n++
+	case r.n < capN:
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+	default:
+		r.buf[r.start] = v
+		r.start = (r.start + 1) % len(r.buf)
+	}
+}
+
+// At returns a pointer to the i-th oldest live entry (0 <= i < Len).
+// The pointer is valid until the next Push or Resize.
+func (r *Ring[T]) At(i int) *T {
+	return &r.buf[(r.start+i)%len(r.buf)]
+}
+
+// Snapshot copies the live entries, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Resize rebounds the ring (minimum 1), keeping the newest entries that
+// fit. Resizing to the current capacity is a no-op.
+func (r *Ring[T]) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if capacity == r.capacity && len(r.buf) <= capacity {
+		return
+	}
+	keep := r.Snapshot()
+	if len(keep) > capacity {
+		keep = keep[len(keep)-capacity:]
+	}
+	r.buf = keep
+	r.start, r.n = 0, len(keep)
+	r.capacity = capacity
+}

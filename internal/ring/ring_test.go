@@ -1,0 +1,61 @@
+package ring
+
+import "testing"
+
+func TestPushEvictsOldest(t *testing.T) {
+	r := New[int](3)
+	for i := 1; i <= 5; i++ {
+		r.Push(i)
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("snapshot = %v, want [3 4 5]", got)
+	}
+	if r.Len() != 3 || r.Cap() != 3 {
+		t.Fatalf("len=%d cap=%d", r.Len(), r.Cap())
+	}
+}
+
+func TestLazyAllocation(t *testing.T) {
+	r := New[int](1 << 20)
+	r.Push(1)
+	r.Push(2)
+	if got := cap(r.buf); got > 4 {
+		t.Fatalf("buffer grew to %d entries for 2 pushes", got)
+	}
+	if got := r.Snapshot(); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("snapshot = %v", got)
+	}
+}
+
+func TestResize(t *testing.T) {
+	r := New[int](4)
+	for i := 1; i <= 6; i++ {
+		r.Push(i) // wraps: keeps 3..6
+	}
+	r.Resize(2)
+	if got := r.Snapshot(); len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("after shrink: %v, want [5 6]", got)
+	}
+	r.Resize(5)
+	r.Push(7)
+	r.Push(8)
+	if got := r.Snapshot(); len(got) != 4 || got[0] != 5 || got[3] != 8 {
+		t.Fatalf("after grow: %v, want [5 6 7 8]", got)
+	}
+}
+
+func TestAtAndZeroValue(t *testing.T) {
+	var r Ring[string]
+	r.Push("a") // zero value behaves as capacity 1
+	r.Push("b")
+	if r.Len() != 1 || *r.At(0) != "b" {
+		t.Fatalf("zero-value ring kept %d entries, At(0)=%q", r.Len(), *r.At(0))
+	}
+	r.Resize(2)
+	r.Push("c")
+	*r.At(0) = "B"
+	if got := r.Snapshot(); got[0] != "B" || got[1] != "c" {
+		t.Fatalf("snapshot = %v", got)
+	}
+}

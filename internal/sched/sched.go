@@ -109,6 +109,9 @@ type Scheduler struct {
 
 	lagSeries map[*core.DynamicTable][]LagPoint
 	stats     Stats
+	// lagSink, when set, observes every sawtooth point as it is recorded
+	// (the observability recorder's lag-SLO feed).
+	lagSink LagSink
 
 	// DisableSkip runs overlapping refreshes back-to-back instead of
 	// skipping (ablation E10).
@@ -141,6 +144,20 @@ func (s *Scheduler) SetRefresher(r *refresher.Refresher) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.exec = r
+}
+
+// LagSink observes lag-sawtooth points as the scheduler records them.
+// Implementations are invoked with the scheduler lock held and must not
+// call back into the scheduler.
+type LagSink interface {
+	LagRecorded(dt *core.DynamicTable, p LagPoint)
+}
+
+// SetLagSink registers the sawtooth observer (at most one; nil clears).
+func (s *Scheduler) SetLagSink(sink LagSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lagSink = sink
 }
 
 // Refresher returns the installed refresh executor (installing the
@@ -421,7 +438,7 @@ func (s *Scheduler) fireAt(at time.Time) error {
 		if busy.After(ready) {
 			if !s.DisableSkip {
 				s.stats.Skips++
-				dt.RecordSkip(at)
+				s.ctrl.RecordSkip(dt, at)
 				continue
 			}
 			ready = busy // queue behind the running refresh instead
@@ -471,12 +488,16 @@ func (s *Scheduler) fireAt(at time.Time) error {
 		if peakBase.IsZero() {
 			peakBase = at
 		}
-		s.lagSeries[res.DT] = append(s.lagSeries[res.DT], LagPoint{
+		point := LagPoint{
 			At:        res.End,
 			PeakLag:   res.End.Sub(peakBase),
 			TroughLag: res.End.Sub(at),
 			DataTS:    at,
-		})
+		}
+		s.lagSeries[res.DT] = append(s.lagSeries[res.DT], point)
+		if s.lagSink != nil {
+			s.lagSink.LagRecorded(res.DT, point)
+		}
 		s.lastDataTS[res.DT] = at
 	}
 	return nil

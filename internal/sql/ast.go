@@ -418,10 +418,24 @@ type AlterStmt struct {
 }
 
 // AlterSystemStmt is ALTER SYSTEM SET <param> = <value>: an engine-wide
-// runtime tuning knob (refresh worker-pool width, delta parallelism).
+// runtime tuning knob (refresh worker-pool width, delta parallelism,
+// observability history capacity).
 type AlterSystemStmt struct {
 	Param string // upper-cased parameter name
 	Value int64
+}
+
+// ShowStmt is SHOW DYNAMIC TABLES | SHOW WAREHOUSES: engine metadata
+// rendered as a result set.
+type ShowStmt struct {
+	Kind string // "DYNAMIC TABLES" or "WAREHOUSES"
+}
+
+// ExplainStmt is EXPLAIN <select | create dynamic table>: it renders the
+// bound plan tree (and, for dynamic tables, the refresh-mode decision
+// and upstream frontier) without executing or creating anything.
+type ExplainStmt struct {
+	Target Statement // *SelectStmt or *CreateDynamicTableStmt
 }
 
 func (*CreateTableStmt) stmt()        {}
@@ -432,6 +446,8 @@ func (*DropStmt) stmt()               {}
 func (*UndropStmt) stmt()             {}
 func (*AlterStmt) stmt()              {}
 func (*AlterSystemStmt) stmt()        {}
+func (*ShowStmt) stmt()               {}
+func (*ExplainStmt) stmt()            {}
 
 // ---------------------------------------------------------------------------
 // DML

@@ -183,8 +183,47 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseUndrop()
 	case p.isKeyword("ALTER"):
 		return p.parseAlter()
+	case p.isKeyword("SHOW"):
+		return p.parseShow()
+	case p.isKeyword("EXPLAIN"):
+		return p.parseExplain()
 	default:
 		return nil, p.errorf("unexpected statement start %q", p.peek().Text)
+	}
+}
+
+// parseShow parses SHOW DYNAMIC TABLES | SHOW WAREHOUSES.
+func (p *Parser) parseShow() (Statement, error) {
+	if err := p.expectKeyword("SHOW"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("DYNAMIC"):
+		if err := p.expectKeyword("TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowStmt{Kind: "DYNAMIC TABLES"}, nil
+	case p.acceptKeyword("WAREHOUSES"):
+		return &ShowStmt{Kind: "WAREHOUSES"}, nil
+	default:
+		return nil, p.errorf("expected DYNAMIC TABLES or WAREHOUSES after SHOW, found %q", p.peek().Text)
+	}
+}
+
+// parseExplain parses EXPLAIN <select | create dynamic table>.
+func (p *Parser) parseExplain() (Statement, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch target.(type) {
+	case *SelectStmt, *CreateDynamicTableStmt:
+		return &ExplainStmt{Target: target}, nil
+	default:
+		return nil, p.errorf("EXPLAIN supports SELECT and CREATE DYNAMIC TABLE only")
 	}
 }
 
@@ -988,6 +1027,14 @@ func (p *Parser) parseTableFactor() (TableExpr, error) {
 	name, err := p.parseIdent()
 	if err != nil {
 		return nil, err
+	}
+	// Schema-qualified name (INFORMATION_SCHEMA.DYNAMIC_TABLES).
+	if p.accept(".") {
+		part, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		name = name + "." + part
 	}
 	ref := &TableRef{Name: name}
 	if p.acceptKeyword("AS") {

@@ -659,3 +659,76 @@ func TestParseAlterSystem(t *testing.T) {
 		t.Error("missing SET should fail")
 	}
 }
+
+func TestParseShow(t *testing.T) {
+	stmt, err := Parse(`SHOW DYNAMIC TABLES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if show, ok := stmt.(*ShowStmt); !ok || show.Kind != "DYNAMIC TABLES" {
+		t.Fatalf("got %#v", stmt)
+	}
+	stmt, err = Parse(`show warehouses;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if show, ok := stmt.(*ShowStmt); !ok || show.Kind != "WAREHOUSES" {
+		t.Fatalf("got %#v", stmt)
+	}
+	if _, err := Parse(`SHOW TABLES`); err == nil {
+		t.Error("SHOW TABLES is not supported and should fail")
+	}
+	if _, err := Parse(`SHOW DYNAMIC`); err == nil {
+		t.Error("SHOW DYNAMIC without TABLES should fail")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN SELECT a FROM t WHERE a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if _, ok := ex.Target.(*SelectStmt); !ok {
+		t.Fatalf("target = %T", ex.Target)
+	}
+
+	stmt, err = Parse(`EXPLAIN CREATE DYNAMIC TABLE d TARGET_LAG = '5 minutes' WAREHOUSE = wh
+		AS SELECT a, count(*) FROM t GROUP BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = stmt.(*ExplainStmt)
+	if _, ok := ex.Target.(*CreateDynamicTableStmt); !ok {
+		t.Fatalf("target = %T", ex.Target)
+	}
+
+	if _, err := Parse(`EXPLAIN INSERT INTO t VALUES (1)`); err == nil {
+		t.Error("EXPLAIN over DML should fail")
+	}
+	if _, err := Parse(`EXPLAIN DROP TABLE t`); err == nil {
+		t.Error("EXPLAIN over DROP should fail")
+	}
+}
+
+func TestParseQualifiedTableName(t *testing.T) {
+	stmt, err := Parse(`SELECT dt_name FROM INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY h WHERE h.action = 'FULL'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	ref, ok := sel.From.(*TableRef)
+	if !ok {
+		t.Fatalf("from = %T", sel.From)
+	}
+	if ref.Name != "INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY" || ref.Alias != "h" {
+		t.Fatalf("ref = %+v", ref)
+	}
+	// Joins between qualified names still parse.
+	if _, err := Parse(`SELECT * FROM a.b x JOIN c.d y ON x.k = y.k`); err != nil {
+		t.Fatal(err)
+	}
+}

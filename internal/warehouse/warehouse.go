@@ -125,6 +125,23 @@ type Warehouse struct {
 	// resumes counts suspend→resume transitions.
 	resumes int
 	jobs    []Job
+	// sink, when set, observes every submitted job (the observability
+	// recorder's metering feed).
+	sink JobSink
+}
+
+// JobSink observes billed warehouse jobs as they are submitted.
+// Implementations are invoked with the warehouse lock held and must not
+// call back into the warehouse.
+type JobSink interface {
+	JobSubmitted(w *Warehouse, job Job)
+}
+
+// SetJobSink registers the job observer (at most one; nil clears).
+func (w *Warehouse) SetJobSink(s JobSink) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sink = s
 }
 
 // New creates a warehouse.
@@ -201,6 +218,9 @@ func (w *Warehouse) SubmitConcurrent(at time.Time, rows int64, m CostModel, labe
 	w.everUsed = true
 	job := Job{Submit: at, Start: start, End: end, Rows: rows, Label: label}
 	w.jobs = append(w.jobs, job)
+	if w.sink != nil {
+		w.sink.JobSubmitted(w, job)
+	}
 	return job
 }
 
@@ -277,6 +297,24 @@ func (w *Warehouse) Jobs() []Job {
 type Pool struct {
 	mu     sync.Mutex
 	byName map[string]*Warehouse
+	// jobSink is installed on every existing and future warehouse of the
+	// pool.
+	jobSink JobSink
+}
+
+// SetJobSink installs the job observer on every warehouse in the pool,
+// present and future.
+func (p *Pool) SetJobSink(s JobSink) {
+	p.mu.Lock()
+	whs := make([]*Warehouse, 0, len(p.byName))
+	for _, w := range p.byName {
+		whs = append(whs, w)
+	}
+	p.jobSink = s
+	p.mu.Unlock()
+	for _, w := range whs {
+		w.SetJobSink(s)
+	}
 }
 
 // NewPool returns an empty pool.
@@ -293,6 +331,7 @@ func (p *Pool) Create(name string, size Size, autoSuspend time.Duration) (*Wareh
 		return nil, fmt.Errorf("warehouse: %q already exists", name)
 	}
 	w := New(name, size, autoSuspend)
+	w.sink = p.jobSink
 	p.byName[key] = w
 	return w, nil
 }

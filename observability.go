@@ -1,0 +1,425 @@
+package dyntables
+
+import (
+	"sort"
+	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/core"
+	"dyntables/internal/hlc"
+	"dyntables/internal/obs"
+	"dyntables/internal/plan"
+	"dyntables/internal/refresher"
+	"dyntables/internal/sched"
+	"dyntables/internal/sql"
+	"dyntables/internal/types"
+	"dyntables/internal/warehouse"
+)
+
+// This file wires the observability subsystem: the obs.Recorder collects
+// refresh, graph, lag and metering events from sink hooks in core,
+// refresher, sched and warehouse, and the engine exposes the rings as
+// INFORMATION_SCHEMA virtual tables resolvable by the normal planner —
+// so every signal the engine produces is queryable with plain SQL
+// through the ordinary session/cursor path.
+
+// The INFORMATION_SCHEMA virtual table names.
+const (
+	InfoSchemaDynamicTables     = "INFORMATION_SCHEMA.DYNAMIC_TABLES"
+	InfoSchemaRefreshHistory    = "INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY"
+	InfoSchemaGraphHistory      = "INFORMATION_SCHEMA.DYNAMIC_TABLE_GRAPH_HISTORY"
+	InfoSchemaWarehouseMetering = "INFORMATION_SCHEMA.WAREHOUSE_METERING_HISTORY"
+)
+
+// initObservability builds the recorder, layers the virtual-table
+// resolver over the catalog resolver, and registers the engine's sink
+// adapters with every producer subsystem. Called once from New.
+func (e *Engine) initObservability() {
+	if e.cfg.HistoryCapacity < 0 {
+		e.rec = obs.NewDisabled()
+	} else {
+		e.rec = obs.NewRecorder(e.cfg.HistoryCapacity)
+	}
+	e.ctrl.HistoryCapacity = e.cfg.HistoryCapacity
+	e.virt = plan.NewVirtualResolver(
+		plan.ResolverFunc(e.resolveCatalogTable),
+		func() hlc.Timestamp { return e.txns.Now() },
+	)
+	e.registerInfoSchema()
+
+	ad := &obsAdapter{e: e}
+	e.ctrl.SetRefreshSink(ad)
+	e.refr.SetSink(ad)
+	e.sch.SetLagSink(ad)
+	e.pool.SetJobSink(ad)
+}
+
+// Observability exposes the recorder (history rings, lag-SLO
+// accounting) for Go-side monitoring; the same data is queryable through
+// the INFORMATION_SCHEMA virtual tables.
+func (e *Engine) Observability() *obs.Recorder { return e.rec }
+
+// LagSLO returns a DT's lag-SLO attainment against its effective target
+// lag, computed over the recorded sawtooth window up to now. The second
+// return is false when the DT has no lag requirement (a DOWNSTREAM DT
+// with no consumers) or no recorded samples.
+func (e *Engine) LagSLO(name string) (obs.SLOStats, bool) {
+	_, dt, err := e.dynamicTable(name)
+	if err != nil {
+		return obs.SLOStats{}, false
+	}
+	target := e.sch.EffectiveLag(dt)
+	if target >= sched.NoLag {
+		return obs.SLOStats{}, false
+	}
+	stats := e.rec.SLO(dt.Name, target, e.clk.Now())
+	return stats, stats.Samples > 0
+}
+
+// obsAdapter fans producer hooks into the recorder. One adapter
+// implements every sink interface; all recorder methods are safe for
+// the concurrent refresh workers that invoke them.
+type obsAdapter struct{ e *Engine }
+
+// RefreshRecorded implements core.RefreshSink.
+func (a *obsAdapter) RefreshRecorded(dt *core.DynamicTable, rec core.RefreshRecord) {
+	ev := obs.RefreshEvent{
+		DTName:            dt.Name,
+		DataTS:            rec.DataTS,
+		Action:            rec.Action.String(),
+		Incremental:       rec.Action == core.ActionIncremental,
+		Inserted:          rec.Inserted,
+		Deleted:           rec.Deleted,
+		RowsAfter:         rec.RowsAfter,
+		SourceRowsScanned: rec.SourceRowsScanned,
+		Wave:              -1,
+		Worker:            -1,
+	}
+	if rec.Err != nil {
+		ev.Error = rec.Err.Error()
+	}
+	a.e.rec.RecordRefresh(ev)
+}
+
+// TickExecuted implements refresher.Sink: it backfills wave placement,
+// worker slots and deterministic virtual timing onto the events the
+// controller recorded during the tick.
+func (a *obsAdapter) TickExecuted(results []refresher.Result) {
+	for _, res := range results {
+		a.e.rec.AnnotateExecution(res.DT.Name, res.Rec.DataTS, res.Wave, res.Worker, res.Start, res.End)
+	}
+}
+
+// LagRecorded implements sched.LagSink.
+func (a *obsAdapter) LagRecorded(dt *core.DynamicTable, p sched.LagPoint) {
+	a.e.rec.RecordLag(obs.LagSample{
+		DTName: dt.Name, At: p.At, DataTS: p.DataTS,
+		Peak: p.PeakLag, Trough: p.TroughLag,
+	})
+}
+
+// JobSubmitted implements warehouse.JobSink.
+func (a *obsAdapter) JobSubmitted(w *warehouse.Warehouse, job warehouse.Job) {
+	dur := job.End.Sub(job.Start)
+	secs := float64((dur + time.Second - 1) / time.Second)
+	a.e.rec.RecordJob(obs.MeterPoint{
+		Warehouse: w.Name,
+		Size:      w.Size.String(),
+		Label:     job.Label,
+		Submit:    job.Submit,
+		Start:     job.Start,
+		End:       job.End,
+		Rows:      job.Rows,
+		Credits:   secs / 3600 * w.Size.CreditsPerHour(),
+	})
+}
+
+// recordDTGraph snapshots a DT's dependency edges into the graph-history
+// ring; called when a DT is created, cloned or recovered.
+func (e *Engine) recordDTGraph(dtName string, deps []int64) {
+	if !e.rec.Enabled() || len(deps) == 0 {
+		return
+	}
+	at := e.clk.Now()
+	edges := make([]obs.GraphEdge, 0, len(deps))
+	for _, id := range deps {
+		entry, err := e.cat.GetByID(id)
+		if err != nil {
+			continue
+		}
+		edges = append(edges, obs.GraphEdge{
+			DTName:       dtName,
+			Upstream:     entry.Name,
+			UpstreamKind: entry.Kind.String(),
+			ValidFrom:    at,
+		})
+	}
+	e.rec.RecordEdges(edges)
+}
+
+// ---------------------------------------------------------------------------
+// INFORMATION_SCHEMA virtual tables
+// ---------------------------------------------------------------------------
+
+func infoCol(name string, kind types.Kind) types.Column {
+	return types.Column{Name: name, Kind: kind}
+}
+
+var dynamicTablesSchema = types.Schema{Columns: []types.Column{
+	infoCol("name", types.KindString),
+	infoCol("state", types.KindString),
+	infoCol("refresh_mode", types.KindString),
+	infoCol("target_lag", types.KindString),
+	infoCol("effective_lag", types.KindInterval),
+	infoCol("warehouse", types.KindString),
+	infoCol("rows", types.KindInt),
+	infoCol("data_ts", types.KindTimestamp),
+	infoCol("current_lag", types.KindInterval),
+	infoCol("error_count", types.KindInt),
+	infoCol("refreshes", types.KindInt),
+	infoCol("slo_attainment", types.KindFloat),
+	infoCol("lag_p50", types.KindInterval),
+	infoCol("lag_p95", types.KindInterval),
+}}
+
+var refreshHistorySchema = types.Schema{Columns: []types.Column{
+	infoCol("dt_name", types.KindString),
+	infoCol("data_ts", types.KindTimestamp),
+	infoCol("action", types.KindString),
+	infoCol("incremental", types.KindBool),
+	infoCol("inserted", types.KindInt),
+	infoCol("deleted", types.KindInt),
+	infoCol("rows_after", types.KindInt),
+	infoCol("scanned", types.KindInt),
+	infoCol("start_ts", types.KindTimestamp),
+	infoCol("end_ts", types.KindTimestamp),
+	infoCol("duration", types.KindInterval),
+	infoCol("wave", types.KindInt),
+	infoCol("worker", types.KindInt),
+	infoCol("error", types.KindString),
+	infoCol("seq", types.KindInt),
+}}
+
+var graphHistorySchema = types.Schema{Columns: []types.Column{
+	infoCol("dt_name", types.KindString),
+	infoCol("upstream", types.KindString),
+	infoCol("upstream_kind", types.KindString),
+	infoCol("valid_from", types.KindTimestamp),
+	infoCol("seq", types.KindInt),
+}}
+
+var warehouseMeteringSchema = types.Schema{Columns: []types.Column{
+	infoCol("warehouse", types.KindString),
+	infoCol("size", types.KindString),
+	infoCol("label", types.KindString),
+	infoCol("submit_ts", types.KindTimestamp),
+	infoCol("start_ts", types.KindTimestamp),
+	infoCol("end_ts", types.KindTimestamp),
+	infoCol("queued", types.KindInterval),
+	infoCol("duration", types.KindInterval),
+	infoCol("rows", types.KindInt),
+	infoCol("credits", types.KindFloat),
+	infoCol("seq", types.KindInt),
+}}
+
+// registerInfoSchema registers the virtual tables with the resolver
+// layer. Each Rows callback materializes the current metadata snapshot
+// at bind time, so the whole planner — filters, joins, aggregation,
+// ORDER BY, streaming cursors — works over it unchanged.
+func (e *Engine) registerInfoSchema() {
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaDynamicTables, Schema: dynamicTablesSchema,
+		Rows: e.dynamicTablesRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaRefreshHistory, Schema: refreshHistorySchema,
+		Rows: e.refreshHistoryRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaGraphHistory, Schema: graphHistorySchema,
+		Rows: e.graphHistoryRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaWarehouseMetering, Schema: warehouseMeteringSchema,
+		Rows: e.warehouseMeteringRows,
+	})
+}
+
+// tsOrNull converts a timestamp, mapping the zero time to NULL.
+func tsOrNull(t time.Time) types.Value {
+	if t.IsZero() {
+		return types.Null
+	}
+	return types.NewTimestamp(t)
+}
+
+// strOrNull converts a string, mapping "" to NULL.
+func strOrNull(s string) types.Value {
+	if s == "" {
+		return types.Null
+	}
+	return types.NewString(s)
+}
+
+// targetLagText renders a TARGET_LAG setting.
+func targetLagText(lag sql.TargetLag) string {
+	if lag.Kind == sql.LagDownstream {
+		return "DOWNSTREAM"
+	}
+	return lag.Duration.String()
+}
+
+// dynamicTablesRows builds INFORMATION_SCHEMA.DYNAMIC_TABLES: one row
+// per DT with its state, refresh mode, lag settings and lag-SLO
+// accounting (attainment fraction and effective-lag percentiles against
+// the effective target lag).
+func (e *Engine) dynamicTablesRows() ([]types.Row, error) {
+	entries := e.cat.List(catalog.KindDynamicTable)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	now := e.clk.Now()
+	rows := make([]types.Row, 0, len(entries))
+	for _, entry := range entries {
+		dt, ok := entry.Payload.(*core.DynamicTable)
+		if !ok {
+			continue
+		}
+		target := e.sch.EffectiveLag(dt)
+		effective := types.Null
+		slo, p50, p95 := types.Null, types.Null, types.Null
+		if target < sched.NoLag {
+			effective = types.NewInterval(target)
+			if stats := e.rec.SLO(dt.Name, target, now); stats.Samples > 0 {
+				slo = types.NewFloat(stats.Attainment)
+				p50 = types.NewInterval(stats.P50)
+				p95 = types.NewInterval(stats.P95)
+			}
+		}
+		dataTS := dt.DataTimestamp()
+		currentLag := types.Null
+		if !dataTS.IsZero() {
+			currentLag = types.NewInterval(now.Sub(dataTS))
+		}
+		rows = append(rows, types.Row{
+			types.NewString(dt.Name),
+			types.NewString(dt.State().String()),
+			types.NewString(dt.EffectiveMode.String()),
+			types.NewString(targetLagText(dt.Lag)),
+			effective,
+			types.NewString(dt.Warehouse),
+			types.NewInt(int64(dt.Storage.RowCount())),
+			tsOrNull(dataTS),
+			currentLag,
+			types.NewInt(int64(dt.ErrorCount())),
+			types.NewInt(int64(e.rec.HistoryLen(dt.Name))),
+			slo,
+			p50,
+			p95,
+		})
+	}
+	return rows, nil
+}
+
+// refreshHistoryRows builds
+// INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY from the recorder's
+// bounded per-DT rings.
+func (e *Engine) refreshHistoryRows() ([]types.Row, error) {
+	events := e.rec.AllHistory()
+	rows := make([]types.Row, 0, len(events))
+	for _, ev := range events {
+		duration := types.Null
+		if !ev.Start.IsZero() || !ev.End.IsZero() {
+			duration = types.NewInterval(ev.Duration())
+		}
+		wave, worker := types.Null, types.Null
+		if ev.Wave >= 0 {
+			wave = types.NewInt(int64(ev.Wave))
+		}
+		if ev.Worker >= 0 {
+			worker = types.NewInt(int64(ev.Worker))
+		}
+		rows = append(rows, types.Row{
+			types.NewString(ev.DTName),
+			tsOrNull(ev.DataTS),
+			types.NewString(ev.Action),
+			types.NewBool(ev.Incremental),
+			types.NewInt(int64(ev.Inserted)),
+			types.NewInt(int64(ev.Deleted)),
+			types.NewInt(int64(ev.RowsAfter)),
+			types.NewInt(ev.SourceRowsScanned),
+			tsOrNull(ev.Start),
+			tsOrNull(ev.End),
+			duration,
+			wave,
+			worker,
+			strOrNull(ev.Error),
+			types.NewInt(ev.Seq),
+		})
+	}
+	return rows, nil
+}
+
+// graphHistoryRows builds INFORMATION_SCHEMA.DYNAMIC_TABLE_GRAPH_HISTORY
+// from the recorder's edge-observation ring.
+func (e *Engine) graphHistoryRows() ([]types.Row, error) {
+	edges := e.rec.Edges()
+	rows := make([]types.Row, 0, len(edges))
+	for _, ed := range edges {
+		rows = append(rows, types.Row{
+			types.NewString(ed.DTName),
+			types.NewString(ed.Upstream),
+			types.NewString(ed.UpstreamKind),
+			tsOrNull(ed.ValidFrom),
+			types.NewInt(ed.Seq),
+		})
+	}
+	return rows, nil
+}
+
+// warehouseMeteringRows builds
+// INFORMATION_SCHEMA.WAREHOUSE_METERING_HISTORY from the recorder's
+// per-warehouse metering rings.
+func (e *Engine) warehouseMeteringRows() ([]types.Row, error) {
+	points := e.rec.Metering()
+	rows := make([]types.Row, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, types.Row{
+			types.NewString(p.Warehouse),
+			types.NewString(p.Size),
+			strOrNull(p.Label),
+			tsOrNull(p.Submit),
+			tsOrNull(p.Start),
+			tsOrNull(p.End),
+			types.NewInterval(p.Start.Sub(p.Submit)),
+			types.NewInterval(p.End.Sub(p.Start)),
+			types.NewInt(p.Rows),
+			types.NewFloat(p.Credits),
+			types.NewInt(p.Seq),
+		})
+	}
+	return rows, nil
+}
+
+// warehousesRows backs SHOW WAREHOUSES: one row per warehouse with its
+// size and billing aggregates.
+var showWarehousesColumns = []string{
+	"name", "size", "auto_suspend", "billed", "credits", "resumes", "jobs", "busy_until",
+}
+
+func (e *Engine) warehousesRows() []types.Row {
+	whs := e.pool.All()
+	sort.Slice(whs, func(i, j int) bool { return whs[i].Name < whs[j].Name })
+	rows := make([]types.Row, 0, len(whs))
+	for _, wh := range whs {
+		rows = append(rows, types.Row{
+			types.NewString(wh.Name),
+			types.NewString(wh.Size.String()),
+			types.NewInterval(wh.AutoSuspend),
+			types.NewInterval(wh.BilledTime()),
+			types.NewFloat(wh.Credits()),
+			types.NewInt(int64(wh.Resumes())),
+			types.NewInt(int64(len(wh.Jobs()))),
+			tsOrNull(wh.BusyUntil()),
+		})
+	}
+	return rows
+}

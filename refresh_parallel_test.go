@@ -1,7 +1,10 @@
 package dyntables
 
 import (
+	"context"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -103,4 +106,107 @@ func TestParallelSchedulerUpholdsDVS(t *testing.T) {
 			t.Errorf("DVS violated for %s under parallel execution: %v", name, err)
 		}
 	}
+}
+
+// TestAlterSystemErrorPaths covers the rejection paths of every ALTER
+// SYSTEM knob: unknown keys, malformed values, and out-of-range numbers
+// must fail without mutating engine state.
+func TestAlterSystemErrorPaths(t *testing.T) {
+	e := New()
+	t.Cleanup(func() { e.Close() })
+	bad := []struct {
+		stmt string
+		why  string
+	}{
+		{`ALTER SYSTEM SET NO_SUCH_KNOB = 1`, "unknown key"},
+		{`ALTER SYSTEM SET REFRESH_WORKERS = banana`, "non-integer value"},
+		{`ALTER SYSTEM SET REFRESH_WORKERS = 'four'`, "string value"},
+		{`ALTER SYSTEM SET REFRESH_WORKERS = -3`, "negative workers"},
+		{`ALTER SYSTEM SET DELTA_PARALLELISM = -1`, "negative parallelism"},
+		{`ALTER SYSTEM SET HISTORY_CAPACITY = 0`, "zero capacity"},
+		{`ALTER SYSTEM SET HISTORY_CAPACITY = -10`, "negative capacity"},
+		{`ALTER SYSTEM REFRESH_WORKERS = 1`, "missing SET"},
+	}
+	for _, tc := range bad {
+		if _, err := e.Exec(tc.stmt); err == nil {
+			t.Errorf("%s (%s): expected error", tc.stmt, tc.why)
+		}
+	}
+	// Nothing changed.
+	if got := e.RefreshWorkers(); got != 1 {
+		t.Errorf("RefreshWorkers mutated to %d by failing statements", got)
+	}
+	if got := e.DeltaParallelism(); got != 0 {
+		t.Errorf("DeltaParallelism mutated to %d by failing statements", got)
+	}
+	if got := e.Observability().Capacity(); got != 1024 {
+		t.Errorf("history capacity mutated to %d by failing statements", got)
+	}
+}
+
+// TestConcurrentStatsReadersNoTornSnapshot drives the parallel refresher
+// while monitoring goroutines hammer the scheduler's snapshot accessors
+// and the INFORMATION_SCHEMA query path. Run under -race: the defensive
+// copies must keep every reader free of torn state.
+func TestConcurrentStatsReadersNoTornSnapshot(t *testing.T) {
+	e := New(WithConfig(Config{RefreshWorkers: 4, DeltaParallelism: 2}))
+	t.Cleanup(func() { e.Close() })
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+	s.MustExec(`CREATE TABLE ev (k INT, grp INT, v INT)`)
+	for i := 0; i < 4; i++ {
+		s.MustExec(fmt.Sprintf(`CREATE DYNAMIC TABLE p_%d TARGET_LAG = '2 minutes' WAREHOUSE = wh
+			AS SELECT grp, count(*) c FROM ev WHERE grp %% 4 = %d GROUP BY grp`, i, i))
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			sess := e.NewSession()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				stats := e.Scheduler().Stats()
+				tallied := stats.NoData + stats.Incremental + stats.Full +
+					stats.Reinit + stats.Initialize + stats.Skips + stats.Errors
+				if tallied > stats.Scheduled {
+					t.Errorf("torn Stats snapshot: tallied %d > scheduled %d", tallied, stats.Scheduled)
+					return
+				}
+				for _, series := range e.Scheduler().LagSeriesAll() {
+					for i := 1; i < len(series); i++ {
+						if series[i].At.Before(series[i-1].At) {
+							t.Error("torn LagSeriesAll snapshot: out-of-order points")
+							return
+						}
+					}
+				}
+				rows, err := sess.QueryContext(context.Background(),
+					`SELECT dt_name, action FROM INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for rows.Next() {
+				}
+				rows.Close()
+			}
+		}()
+	}
+
+	for i := 0; i < 8; i++ {
+		s.MustExec(`INSERT INTO ev VALUES (1, 0, 1), (2, 1, 2), (3, 2, 3), (4, 3, 4)`)
+		e.AdvanceTime(2 * time.Minute)
+		if err := e.RunScheduler(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	readers.Wait()
 }

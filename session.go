@@ -293,10 +293,12 @@ func (s *Session) execStatementLocked(ctx context.Context, stmt sql.Statement, p
 }
 
 // isDDL reports whether the statement changes the catalog and must
-// exclude concurrent readers.
+// exclude concurrent readers. SHOW and EXPLAIN only read engine
+// metadata, so they run as parallel readers like queries.
 func isDDL(stmt sql.Statement) bool {
 	switch stmt.(type) {
-	case *sql.SelectStmt, *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+	case *sql.SelectStmt, *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt,
+		*sql.ShowStmt, *sql.ExplainStmt:
 		return false
 	default:
 		return true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"dyntables/internal/catalog"
@@ -11,6 +12,7 @@ import (
 	"dyntables/internal/delta"
 	"dyntables/internal/exec"
 	"dyntables/internal/hlc"
+	"dyntables/internal/ivm"
 	"dyntables/internal/persist"
 	"dyntables/internal/plan"
 	"dyntables/internal/sql"
@@ -100,6 +102,10 @@ func (x *executor) execStmt(stmt sql.Statement) (*Result, error) {
 		return x.execAlter(s)
 	case *sql.AlterSystemStmt:
 		return x.execAlterSystem(s)
+	case *sql.ShowStmt:
+		return x.execShow(s)
+	case *sql.ExplainStmt:
+		return x.execExplain(s)
 	default:
 		return nil, fmt.Errorf("dyntables: unsupported statement %T", stmt)
 	}
@@ -288,7 +294,9 @@ func (x *executor) execCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
 
 func (x *executor) execCreateView(stmt *sql.CreateViewStmt) (*Result, error) {
 	e := x.e
-	// Validate the definition and capture dependencies.
+	// Validate the definition and capture dependencies. Views over
+	// INFORMATION_SCHEMA are allowed: they expand at query time, so each
+	// query re-materializes the current metadata snapshot.
 	bound, err := plan.NewBinder(e).BindSelect(stmt.Query)
 	if err != nil {
 		return nil, fmt.Errorf("dyntables: invalid view definition: %w", err)
@@ -409,6 +417,7 @@ func (x *executor) execCreateDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Re
 	dt.EntryID = entry.ID
 	e.ctrl.Register(dt)
 	e.sch.Track(dt)
+	e.recordDTGraph(dt.Name, deps)
 	e.logCreateDT(stmt.OrReplace, entry, dt, x.s.Role(), deps, createdAt, "", hlc.Zero)
 
 	// Initialization (§3.1.2): synchronous by default, reusing a recent
@@ -456,6 +465,7 @@ func (x *executor) cloneDynamicTable(stmt *sql.CreateDynamicTableStmt) (*Result,
 	clone.EntryID = entry.ID
 	e.ctrl.Register(clone)
 	e.sch.Track(clone)
+	e.recordDTGraph(clone.Name, depIDs(bound.Deps))
 	e.logCreateDT(false, entry, clone, x.s.Role(), depIDs(bound.Deps), cloneAt, stmt.CloneOf, cloneAt)
 	return &Result{Kind: "CREATE DYNAMIC TABLE",
 		Message: fmt.Sprintf("dynamic table %s cloned from %s", stmt.Name, stmt.CloneOf)}, nil
@@ -491,7 +501,11 @@ func (e *Engine) refreshAt(dt *core.DynamicTable, dataTS time.Time) error {
 	// Charge the warehouse for non-trivial work.
 	if rec.Action != core.ActionNoData && rec.Action != core.ActionSkip {
 		if wh, werr := e.pool.Get(dt.Warehouse); werr == nil {
-			wh.Submit(dataTS, rec.SourceRowsScanned, e.model, dt.Name)
+			job := wh.Submit(dataTS, rec.SourceRowsScanned, e.model, dt.Name)
+			// Backfill the job's virtual timing onto the recorded event
+			// (manual refreshes run outside a scheduler tick: no wave, no
+			// worker slot).
+			e.rec.AnnotateExecution(dt.Name, dataTS, -1, -1, job.Start, job.End)
 		}
 	}
 	return nil
@@ -859,9 +873,149 @@ func (x *executor) execAlterSystem(stmt *sql.AlterSystemStmt) (*Result, error) {
 		e.ctrl.DeltaParallelism = int(stmt.Value)
 		return &Result{Kind: "ALTER SYSTEM",
 			Message: fmt.Sprintf("DELTA_PARALLELISM = %d", stmt.Value)}, nil
+	case "HISTORY_CAPACITY":
+		// Rebounds every observability ring (refresh history, lag
+		// samples, metering, graph edges) and each DT's in-engine history
+		// ring, evicting the oldest events that no longer fit. On an
+		// engine built with recording disabled (Config.HistoryCapacity <
+		// 0) this turns recording on.
+		if stmt.Value <= 0 {
+			return nil, fmt.Errorf("dyntables: HISTORY_CAPACITY must be > 0")
+		}
+		n := int(stmt.Value)
+		e.rec.SetEnabled(true)
+		e.rec.SetCapacity(n)
+		e.ctrl.HistoryCapacity = n
+		for _, entry := range e.cat.List(catalog.KindDynamicTable) {
+			if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+				dt.SetHistoryCapacity(n)
+			}
+		}
+		return &Result{Kind: "ALTER SYSTEM",
+			Message: fmt.Sprintf("HISTORY_CAPACITY = %d", n)}, nil
 	default:
 		return nil, fmt.Errorf("dyntables: unknown system parameter %q", stmt.Param)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// SHOW / EXPLAIN
+// ---------------------------------------------------------------------------
+
+// rowsToValues adapts builder rows to the Result row representation.
+func rowsToValues(rows []types.Row) [][]types.Value {
+	out := make([][]types.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+// execShow renders engine metadata as a result set. SHOW statements are
+// the operator-facing shorthand over the INFORMATION_SCHEMA virtual
+// tables: the same rows, no query required.
+func (x *executor) execShow(stmt *sql.ShowStmt) (*Result, error) {
+	e := x.e
+	switch stmt.Kind {
+	case "DYNAMIC TABLES":
+		rows, err := e.dynamicTablesRows()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Kind:    "SHOW DYNAMIC TABLES",
+			Columns: dynamicTablesSchema.Names(),
+			Rows:    rowsToValues(rows),
+		}, nil
+	case "WAREHOUSES":
+		return &Result{
+			Kind:    "SHOW WAREHOUSES",
+			Columns: showWarehousesColumns,
+			Rows:    rowsToValues(e.warehousesRows()),
+		}, nil
+	default:
+		return nil, fmt.Errorf("dyntables: unsupported SHOW %s", stmt.Kind)
+	}
+}
+
+// execExplain renders the bound plan tree of a SELECT, or — for CREATE
+// DYNAMIC TABLE — the refresh-mode decision (incremental vs full and
+// why), the upstream frontier the first refresh would read, and the
+// defining query's plan. Nothing is executed or created.
+func (x *executor) execExplain(stmt *sql.ExplainStmt) (*Result, error) {
+	e := x.e
+	res := &Result{Kind: "EXPLAIN", Columns: []string{"PLAN"}}
+	emit := func(lines ...string) {
+		for _, l := range lines {
+			res.Rows = append(res.Rows, types.Row{types.NewString(l)})
+		}
+	}
+	planLines := func(p plan.Node, indent string) {
+		for _, l := range strings.Split(strings.TrimRight(plan.Explain(p), "\n"), "\n") {
+			emit(indent + l)
+		}
+	}
+	switch t := stmt.Target.(type) {
+	case *sql.SelectStmt:
+		bound, err := plan.NewBinder(e).BindSelect(t)
+		if err != nil {
+			return nil, err
+		}
+		planLines(plan.Optimize(bound.Plan), "")
+	case *sql.CreateDynamicTableStmt:
+		if t.CloneOf != "" {
+			return nil, fmt.Errorf("dyntables: EXPLAIN does not support CLONE")
+		}
+		// Bind exactly the way the real CREATE's controller would — the
+		// catalog-only resolver — so EXPLAIN reports the same acceptance
+		// or rejection (e.g. defining queries over INFORMATION_SCHEMA).
+		bound, err := plan.NewBinder(plan.ResolverFunc(e.resolveCatalogTable)).BindSelect(t.Query)
+		if err != nil {
+			return nil, err
+		}
+		incErr := ivm.Incrementalizable(bound.Plan)
+		emit(fmt.Sprintf("CREATE DYNAMIC TABLE %s", t.Name))
+		switch {
+		case t.Mode == sql.RefreshIncremental && incErr != nil:
+			emit(fmt.Sprintf("  refresh_mode: ERROR — INCREMENTAL requested but %v", incErr))
+		case t.Mode == sql.RefreshFull:
+			emit("  refresh_mode: FULL (declared)")
+		case incErr == nil:
+			mode := "AUTO"
+			if t.Mode == sql.RefreshIncremental {
+				mode = "declared"
+			}
+			emit(fmt.Sprintf("  refresh_mode: INCREMENTAL (%s: defining query is incrementalizable)", mode))
+		default:
+			emit(fmt.Sprintf("  refresh_mode: FULL (AUTO: %v)", incErr))
+		}
+		emit(fmt.Sprintf("  target_lag: %s", targetLagText(t.Lag)))
+		if t.Warehouse != "" {
+			emit(fmt.Sprintf("  warehouse: %s", t.Warehouse))
+		}
+		optimized := plan.Optimize(bound.Plan)
+		emit("  upstream frontier:")
+		seen := map[int64]bool{}
+		for _, scan := range plan.Scans(optimized) {
+			id := scan.Table.ID()
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if up, isDT := e.ctrl.LookupByStorage(id); isDT {
+				emit(fmt.Sprintf("    %s DYNAMIC TABLE version=%d data_ts=%s",
+					scan.Name, scan.Table.VersionCount(),
+					up.DataTimestamp().UTC().Format(time.RFC3339)))
+				continue
+			}
+			emit(fmt.Sprintf("    %s TABLE version=%d", scan.Name, scan.Table.VersionCount()))
+		}
+		emit("  plan:")
+		planLines(optimized, "    ")
+	default:
+		return nil, fmt.Errorf("dyntables: EXPLAIN supports SELECT and CREATE DYNAMIC TABLE only")
+	}
+	return res, nil
 }
 
 // ---------------------------------------------------------------------------
