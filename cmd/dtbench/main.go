@@ -72,10 +72,11 @@ func main() {
 		"observability": func() error {
 			return observability(*siblings, *workers, *obsRounds)
 		},
+		"adaptive": adaptiveExp,
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "actions",
 		"changevol", "cost", "init", "skips", "periods", "outerjoin", "window", "oracle",
-		"concurrent", "recovery", "parallel", "observability"}
+		"concurrent", "recovery", "parallel", "observability", "adaptive"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -449,6 +450,50 @@ func observability(siblings, workers, rounds int) error {
 	}
 	fmt.Println("wrote BENCH_observability.json")
 	fmt.Println("recording is a few map appends per refresh; the virtual wave makespan is untouched")
+	return nil
+}
+
+func adaptiveExp() error {
+	res, err := dyntables.RunAdaptiveBench()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptive refresh-mode chooser — churn ramp over facts(%d) ⋈ dims(%d), AUTO vs pinned modes\n",
+		res.FactRows, res.DimRows)
+	fmt.Println("regime     churn  refreshes  adaptive_work  incremental_work  full_work  vs_best  switches  final_mode")
+	for _, reg := range res.Regimes {
+		fmt.Printf("%-9s  %5d  %9d  %13d  %16d  %9d  %+6.1f%%  %8d  %s\n",
+			reg.Name, reg.DimChurn, reg.Refreshes, reg.AdaptiveWork, reg.IncrementalWork,
+			reg.FullWork, reg.AdaptiveVsBestPct, reg.Switches, reg.FinalMode)
+	}
+	fmt.Printf("total mode switches: %d\n", res.TotalSwitches)
+
+	// Acceptance gates: AUTO must track the cheaper mode at both ends of
+	// the ramp and must not flap.
+	for _, reg := range res.Regimes {
+		if reg.Switches > 1 {
+			return fmt.Errorf("adaptive: %d mode switches in regime %s (hysteresis allows at most 1)",
+				reg.Switches, reg.Name)
+		}
+	}
+	for _, name := range []string{"low", "high"} {
+		for _, reg := range res.Regimes {
+			if reg.Name == name && reg.AdaptiveVsBestPct > 15 {
+				return fmt.Errorf("adaptive: %s regime %.1f%% above the cheaper pinned mode (budget 15%%)",
+					name, reg.AdaptiveVsBestPct)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_adaptive.json", data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_adaptive.json")
+	fmt.Println("AUTO rides incremental maintenance at low churn and full recomputes past the crossover")
 	return nil
 }
 

@@ -216,12 +216,15 @@ func describeObject(ctx context.Context, sess *dyntables.Session, name string) {
 	}
 	fmt.Printf("%s: %s\n", name, strings.Join(res.Columns, ", "))
 	dtInfo, err := sess.ExecContext(ctx,
-		`SELECT state, refresh_mode, target_lag, rows, data_ts, slo_attainment
+		`SELECT state, refresh_mode, declared_mode, mode_reason, target_lag, rows, data_ts, slo_attainment
 		 FROM INFORMATION_SCHEMA.DYNAMIC_TABLES WHERE name = ?`, name)
 	if err == nil && len(dtInfo.Rows) == 1 {
 		row := dtInfo.Rows[0]
-		fmt.Printf("dynamic table: state=%s mode=%s target_lag=%s rows=%s data_ts=%s slo=%s\n",
-			row[0], row[1], row[2], row[3], row[4], row[5])
+		fmt.Printf("dynamic table: state=%s mode=%s (declared %s) target_lag=%s rows=%s data_ts=%s slo=%s\n",
+			row[0], row[1], row[2], row[4], row[5], row[6], row[7])
+		if !row[3].IsNull() {
+			fmt.Printf("mode reason: %s\n", row[3])
+		}
 	}
 }
 

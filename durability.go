@@ -200,6 +200,9 @@ func (p *persister) FrontierAdvanced(dt *core.DynamicTable, u core.FrontierUpdat
 		Deps:              u.Deps,
 		SchemaFingerprint: u.SchemaFingerprint,
 		Initialized:       u.Initialized,
+		AdaptiveValid:     u.AdaptiveValid,
+		AdaptiveMode:      int(u.AdaptiveMode),
+		AdaptiveReason:    u.AdaptiveReason,
 	}})
 }
 
@@ -462,6 +465,8 @@ func (e *Engine) restoreDT(entryID int64, st *persist.DTState) (*core.DynamicTab
 		SchemaFingerprint: st.SchemaFingerprint,
 		VersionByDataTS:   st.VersionByDataTS,
 		CommitByDataTS:    st.CommitByDataTS,
+		AdaptiveMode:      sql.RefreshMode(st.AdaptiveMode),
+		AdaptiveReason:    st.AdaptiveReason,
 	}
 	cp.Frontier = core.Frontier{
 		DataTS:   time.UnixMicro(st.FrontierTSMicros).UTC(),
@@ -485,6 +490,10 @@ func (e *Engine) restoreDT(entryID int64, st *persist.DTState) (*core.DynamicTab
 			Deleted:           h.Deleted,
 			RowsAfter:         h.RowsAfter,
 			SourceRowsScanned: h.SourceRowsScanned,
+			EffectiveMode:     sql.RefreshMode(h.Mode),
+			ModeReason:        h.ModeReason,
+			SourceRowsChanged: h.ChangedRows,
+			FullScanEstimate:  h.FullScanRows,
 		}
 		if h.Err != "" {
 			rec.Err = errors.New(h.Err)
@@ -692,6 +701,8 @@ func (e *Engine) replayAlterDT(rec *persist.AlterDTRecord) error {
 		dt.Resume()
 	case "SET_LAG":
 		dt.Lag = sql.TargetLag{Kind: sql.TargetLagKind(rec.LagKind), Duration: time.Duration(rec.LagMicros) * time.Microsecond}
+	case "SET_MODE":
+		return e.setRefreshMode(dt, sql.RefreshMode(rec.Mode))
 	default:
 		return fmt.Errorf("dyntables: unknown ALTER action %q in WAL", rec.Action)
 	}
@@ -755,6 +766,9 @@ func (e *Engine) replayFrontier(rec *persist.FrontierRecord) error {
 		Deps:              rec.Deps,
 		SchemaFingerprint: rec.SchemaFingerprint,
 		Initialized:       rec.Initialized,
+		AdaptiveValid:     rec.AdaptiveValid,
+		AdaptiveMode:      sql.RefreshMode(rec.AdaptiveMode),
+		AdaptiveReason:    rec.AdaptiveReason,
 	})
 	return nil
 }
@@ -902,6 +916,18 @@ func (e *Engine) logAlterDT(name, action string, lag *sql.TargetLag) {
 		rec.LagMicros = int64(lag.Duration / time.Microsecond)
 	}
 	e.pers.append(&persist.Record{Kind: persist.KindAlterDT, AlterDT: rec})
+}
+
+// logAlterDTMode write-ahead-logs ALTER ... SET REFRESH_MODE so replay
+// re-pins the declared mode (and clears the adaptive decision) the same
+// way the live path did.
+func (e *Engine) logAlterDTMode(name string, mode sql.RefreshMode) {
+	if !e.durable() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindAlterDT, AlterDT: &persist.AlterDTRecord{
+		Name: name, Action: "SET_MODE", Mode: int(mode),
+	}})
 }
 
 // afterWrite runs the checkpoint cadence check once statement locks are
@@ -1074,6 +1100,8 @@ func (e *Engine) snapshotDT(dt *core.DynamicTable, keyOf map[int64]int64) (*pers
 		SchemaFingerprint: cp.SchemaFingerprint,
 		VersionByDataTS:   cp.VersionByDataTS,
 		CommitByDataTS:    cp.CommitByDataTS,
+		AdaptiveMode:      int(cp.AdaptiveMode),
+		AdaptiveReason:    cp.AdaptiveReason,
 	}
 	if !cp.Frontier.DataTS.IsZero() {
 		st.FrontierTSMicros = cp.Frontier.DataTS.UnixMicro()
@@ -1096,6 +1124,10 @@ func (e *Engine) snapshotDT(dt *core.DynamicTable, keyOf map[int64]int64) (*pers
 			Deleted:           h.Deleted,
 			RowsAfter:         h.RowsAfter,
 			SourceRowsScanned: h.SourceRowsScanned,
+			Mode:              int(h.EffectiveMode),
+			ModeReason:        h.ModeReason,
+			ChangedRows:       h.SourceRowsChanged,
+			FullScanRows:      h.FullScanEstimate,
 		}
 		if h.Err != nil {
 			hs.Err = h.Err.Error()

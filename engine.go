@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dyntables/internal/adaptive"
 	"dyntables/internal/catalog"
 	"dyntables/internal/clock"
 	"dyntables/internal/core"
@@ -139,6 +140,15 @@ type Config struct {
 	// `ALTER SYSTEM SET HISTORY_CAPACITY = n` rebounds the rings at
 	// runtime and re-enables recording on a disabled engine.
 	HistoryCapacity int
+	// AdaptiveWindow configures the per-refresh REFRESH_MODE=AUTO
+	// chooser (§3.3.2): 0 (the default) enables it with the default
+	// smoothing window, n > 1 enables it with window n, and a negative
+	// value disables it — AUTO then resolves statically to INCREMENTAL
+	// whenever the defining query is incrementalizable, the pre-adaptive
+	// behavior. Note the SQL gate uses on/off semantics instead:
+	// `ALTER SYSTEM SET ADAPTIVE_REFRESH = 0` disables, `= 1` enables,
+	// `= n` (n > 1) enables with window n.
+	AdaptiveWindow int
 }
 
 // resolveWorkers maps the RefreshWorkers config to a concrete pool
@@ -240,6 +250,14 @@ func New(opts ...Option) *Engine {
 	}
 	e.pool = warehouse.NewPool()
 	e.ctrl.DeltaParallelism = e.cfg.DeltaParallelism
+	adaptiveWindow := 0
+	if e.cfg.AdaptiveWindow > 1 {
+		adaptiveWindow = e.cfg.AdaptiveWindow
+	}
+	e.ctrl.Adaptive = adaptive.New(adaptive.Config{Window: adaptiveWindow})
+	if e.cfg.AdaptiveWindow < 0 {
+		e.ctrl.Adaptive.SetEnabled(false)
+	}
 	e.refr = refresher.New(e.ctrl, e.pool, e.model, e.cfg.resolveWorkers())
 	e.sch = sched.New(vclk, e.ctrl, e.pool, e.model, e.clk.Now(), e.schPhase)
 	e.sch.SetRefresher(e.refr)
@@ -261,6 +279,10 @@ func (e *Engine) DeltaParallelism() int {
 	defer e.stmtMu.RUnlock()
 	return e.ctrl.DeltaParallelism
 }
+
+// AdaptiveChooser exposes the REFRESH_MODE=AUTO chooser (runtime gate,
+// smoothing window) for experiments and monitoring.
+func (e *Engine) AdaptiveChooser() *adaptive.Chooser { return e.ctrl.Adaptive }
 
 // Now returns the engine's current time.
 func (e *Engine) Now() time.Time { return e.clk.Now() }

@@ -116,9 +116,11 @@ func main() {
 
 	// The engine is observable through its own query path: refresh
 	// history is an INFORMATION_SCHEMA virtual table, streamed through
-	// the same cursor API as any other query.
+	// the same cursor API as any other query. effective_mode and
+	// mode_reason record the per-refresh incremental-vs-full decision
+	// of the adaptive REFRESH_MODE=AUTO chooser.
 	hist, err := sess.QueryContext(ctx, `
-		SELECT dt_name, action, inserted, deleted, duration
+		SELECT dt_name, action, effective_mode, mode_reason, inserted, deleted, duration
 		FROM INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY
 		WHERE dt_name = ? ORDER BY data_ts`, "clicks_per_user")
 	if err != nil {
@@ -129,7 +131,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-12s +%s -%s  duration=%s\n", row[1], row[2], row[3], row[4])
+		fmt.Printf("  %-12s mode=%-11s +%s -%s  duration=%s\n", row[1], row[2], row[4], row[5], row[6])
+	}
+
+	// EXPLAIN DYNAMIC TABLE renders the live refresh-mode decision and
+	// the defining query's plan without executing anything.
+	exp, err := sess.Exec(`EXPLAIN DYNAMIC TABLE clicks_per_user`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN DYNAMIC TABLE clicks_per_user:")
+	for _, row := range exp.Rows {
+		fmt.Println(" ", row[0].Str())
 	}
 
 	// Per-DT lag-SLO accounting: the fraction of wall-clock time each DT

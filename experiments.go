@@ -1387,6 +1387,198 @@ func RunObservabilityBench(siblings, workers, rounds int) (*ObservabilityBenchRe
 }
 
 // ---------------------------------------------------------------------------
+// adaptive refresh-mode chooser: churn ramp across the crossover
+// ---------------------------------------------------------------------------
+
+// AdaptiveRegime summarizes one churn regime of the adaptive bench: the
+// total refresh work (rows scanned + rows written) of the adaptive AUTO
+// run against DTs pinned to pure INCREMENTAL and pure FULL over the same
+// change schedule.
+type AdaptiveRegime struct {
+	Name string `json:"name"`
+	// DimChurn is how many of the 50 dimension rows each step updates.
+	DimChurn  int `json:"dim_churn"`
+	Refreshes int `json:"refreshes"`
+
+	AdaptiveWork    int64 `json:"adaptive_work"`
+	IncrementalWork int64 `json:"incremental_work"`
+	FullWork        int64 `json:"full_work"`
+
+	// AdaptiveVsBestPct is how far the adaptive run's total work sits
+	// above the cheaper of the two pinned runs (0 = it matched the
+	// winner exactly).
+	AdaptiveVsBestPct float64 `json:"adaptive_vs_best_pct"`
+	// Switches counts effective-mode changes of the adaptive run inside
+	// the regime (hysteresis demands ≤ 1).
+	Switches  int    `json:"mode_switches"`
+	FinalMode string `json:"final_mode"`
+}
+
+// AdaptiveStep is one refresh of the ramp, for the committed series.
+type AdaptiveStep struct {
+	Regime          string `json:"regime"`
+	Mode            string `json:"mode"`
+	Action          string `json:"action"`
+	ChangedRows     int64  `json:"changed_rows"`
+	FullScanRows    int64  `json:"full_scan_rows"`
+	AdaptiveWork    int64  `json:"adaptive_work"`
+	IncrementalWork int64  `json:"incremental_work"`
+	FullWork        int64  `json:"full_work"`
+}
+
+// AdaptiveBenchResult is the dtbench -exp adaptive output
+// (BENCH_adaptive.json).
+type AdaptiveBenchResult struct {
+	FactRows      int              `json:"fact_rows"`
+	DimRows       int              `json:"dim_rows"`
+	Regimes       []AdaptiveRegime `json:"regimes"`
+	TotalSwitches int              `json:"total_switches"`
+	Steps         []AdaptiveStep   `json:"steps"`
+}
+
+// adaptiveRun is one engine driving the ramp's shared change schedule.
+type adaptiveRun struct {
+	eng *Engine
+	dt  *core.DynamicTable
+}
+
+// newAdaptiveRun builds the facts ⋈ dims fixture with the requested
+// refresh-mode declaration. Churning the small dimension side gives the
+// join real change amplification: each changed dim row costs a snapshot
+// scan of the fact side plus fanned-out output deltas, so incremental
+// refreshes overtake full recomputes as churn grows (§3.3.2).
+func newAdaptiveRun(factRows, dimRows int, mode string) (*adaptiveRun, error) {
+	e := New()
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+	s.MustExec(`CREATE TABLE facts (k INT, v INT)`)
+	s.MustExec(`CREATE TABLE dims (k INT, name INT)`)
+	batch := ""
+	for i := 0; i < factRows; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d)", i, i%97)
+		if (i+1)%500 == 0 || i == factRows-1 {
+			s.MustExec(`INSERT INTO facts VALUES ` + batch)
+			batch = ""
+		}
+	}
+	for i := 0; i < dimRows; i++ {
+		s.MustExec(fmt.Sprintf(`INSERT INTO dims VALUES (%d, %d)`, i, i))
+	}
+	decl := ""
+	if mode != "" {
+		decl = "REFRESH_MODE = " + mode
+	}
+	s.MustExec(fmt.Sprintf(
+		`CREATE DYNAMIC TABLE d TARGET_LAG = '1 hour' WAREHOUSE = wh %s
+		 AS SELECT f.k, f.v, d.name FROM facts f JOIN dims d ON f.v %% %d = d.k`,
+		decl, dimRows))
+	dt, err := e.DynamicTableHandle("d")
+	if err != nil {
+		return nil, err
+	}
+	return &adaptiveRun{eng: e, dt: dt}, nil
+}
+
+// step applies one change batch and refreshes, returning the refresh's
+// work (rows scanned + rows written) and its record.
+func (r *adaptiveRun) step(dimChurn int) (int64, core.RefreshRecord, error) {
+	r.eng.MustExec(fmt.Sprintf(`UPDATE dims SET name = name + 1 WHERE k < %d`, dimChurn))
+	r.eng.AdvanceTime(time.Minute)
+	if err := r.eng.ManualRefresh("d"); err != nil {
+		return 0, core.RefreshRecord{}, err
+	}
+	rec, ok := r.dt.LastRecord()
+	if !ok {
+		return 0, core.RefreshRecord{}, fmt.Errorf("adaptive: no refresh record")
+	}
+	return rec.SourceRowsScanned + int64(rec.Inserted+rec.Deleted), rec, nil
+}
+
+// RunAdaptiveBench drives a churn ramp across the incremental-vs-full
+// crossover with three engines in lockstep — REFRESH_MODE=AUTO under the
+// adaptive chooser, pinned INCREMENTAL, pinned FULL — and compares total
+// refresh work per regime. The acceptance bar: at both ends of the ramp
+// the adaptive run stays within 15% of the cheaper pinned run, with at
+// most one mode switch per regime.
+func RunAdaptiveBench() (*AdaptiveBenchResult, error) {
+	const factRows, dimRows = 4000, 50
+	regimes := []struct {
+		name  string
+		churn int
+		steps int
+	}{
+		{"low", 1, 12},        // incremental wins by ~2x
+		{"crossover", 20, 10}, // incremental ≈ full: hysteresis must hold
+		{"high", 40, 12},      // full wins by ~1.3x
+	}
+
+	auto, err := newAdaptiveRun(factRows, dimRows, "")
+	if err != nil {
+		return nil, err
+	}
+	inc, err := newAdaptiveRun(factRows, dimRows, "INCREMENTAL")
+	if err != nil {
+		return nil, err
+	}
+	full, err := newAdaptiveRun(factRows, dimRows, "FULL")
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AdaptiveBenchResult{FactRows: factRows, DimRows: dimRows}
+	lastMode := ""
+	for _, regime := range regimes {
+		reg := AdaptiveRegime{Name: regime.name, DimChurn: regime.churn, Refreshes: regime.steps}
+		for i := 0; i < regime.steps; i++ {
+			aw, arec, err := auto.step(regime.churn)
+			if err != nil {
+				return nil, err
+			}
+			iw, _, err := inc.step(regime.churn)
+			if err != nil {
+				return nil, err
+			}
+			fw, _, err := full.step(regime.churn)
+			if err != nil {
+				return nil, err
+			}
+			reg.AdaptiveWork += aw
+			reg.IncrementalWork += iw
+			reg.FullWork += fw
+			mode := arec.EffectiveMode.String()
+			if lastMode != "" && mode != lastMode {
+				reg.Switches++
+			}
+			lastMode = mode
+			reg.FinalMode = mode
+			res.Steps = append(res.Steps, AdaptiveStep{
+				Regime:          regime.name,
+				Mode:            mode,
+				Action:          arec.Action.String(),
+				ChangedRows:     arec.SourceRowsChanged,
+				FullScanRows:    arec.FullScanEstimate,
+				AdaptiveWork:    aw,
+				IncrementalWork: iw,
+				FullWork:        fw,
+			})
+		}
+		best := reg.IncrementalWork
+		if reg.FullWork < best {
+			best = reg.FullWork
+		}
+		if best > 0 {
+			reg.AdaptiveVsBestPct = float64(reg.AdaptiveWork-best) / float64(best) * 100
+		}
+		res.TotalSwitches += reg.Switches
+		res.Regimes = append(res.Regimes, reg)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,381 @@
+// Package adaptive implements the per-refresh REFRESH_MODE=AUTO chooser
+// (§3.3.2 of the paper): instead of statically resolving AUTO to
+// INCREMENTAL whenever the defining query is incrementalizable, the
+// chooser consults the dynamic table's recent refresh history and picks
+// the cheaper action for *this* refresh — incremental maintenance when
+// little of the source data changed, a full recompute when the change
+// volume approaches the base cardinality (the crossover the `-exp cost`
+// experiment measures).
+//
+// The decision compares two cost estimates per refresh:
+//
+//   - incremental: amplification × change volume — the rows recorded in
+//     the source tables' version chains over the refresh interval,
+//     scaled by a work-amplification factor. The factor is *learned from
+//     refresh history*: each past incremental refresh recorded its
+//     actual work (rows scanned plus rows written) alongside its change
+//     volume, and the chooser smooths actual-work-per-changed-row over
+//     the most recent incremental refreshes. That captures workload
+//     effects a constant can't — join fan-out, snapshot scans of the
+//     unchanged side of a join, aggregate regrouping — and falls back to
+//     a conservative constant until the first incremental refresh runs;
+//   - full: base cardinality + current result size — the rows a full
+//     recompute must read and write.
+//
+// The per-refresh cost ratio (incremental estimate over full estimate) is
+// smoothed over a sliding window of the most recent observations, and the
+// mode only switches when the smoothed ratio leaves a hysteresis band
+// around the crossover (above SwitchUp: INCREMENTAL → FULL; below
+// SwitchDown: FULL → INCREMENTAL). The band keeps the mode from flapping
+// when a workload sits exactly at the crossover, the runtime-adaptation
+// lesson of Megaphone (Hoffmann et al.); smoothing keeps a single
+// outlier batch from triggering a switch.
+//
+// The chooser itself is deliberately stateless per decision: the window
+// is reconstructed from the DT's recorded refresh history (the signals
+// the observability subsystem already persists), and the sticky prior
+// mode is passed in by the caller. That makes decisions deterministic,
+// replayable, and trivially recoverable — a restored engine re-derives
+// the same choices from its recovered history and last persisted
+// decision.
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultWindow is how many recent observations the smoothed cost
+	// ratio averages over.
+	DefaultWindow = 5
+	// DefaultSwitchUp is the smoothed-ratio threshold above which an
+	// INCREMENTAL DT switches to FULL.
+	DefaultSwitchUp = 1.15
+	// DefaultSwitchDown is the smoothed-ratio threshold below which a
+	// FULL DT switches back to INCREMENTAL.
+	DefaultSwitchDown = 0.85
+	// DefaultAmplification scales change volume into an incremental-work
+	// estimate until history provides measured amplification: each
+	// changed source row costs roughly one delta scan, one probe of the
+	// other plan inputs and one merge write.
+	DefaultAmplification = 3.0
+	// DefaultAmpMemory is how many recent incremental refreshes the
+	// learned amplification factor averages over. It is deliberately
+	// longer than the ratio window so the factor survives FULL periods
+	// (during which no incremental refresh runs to refresh it).
+	DefaultAmpMemory = 10
+	// DefaultMinFullRows is the size floor below which the chooser does
+	// not adapt: when a full recompute is estimated under this many rows,
+	// switching modes saves nothing measurable, and incremental refresh
+	// keeps its continuity benefits (small tables routinely churn a large
+	// fraction of their rows without a full refresh being worth anything).
+	DefaultMinFullRows = 1024
+	// MinSamples is the fewest observations the chooser will switch on;
+	// with less evidence it keeps the prior mode (cold start defaults to
+	// INCREMENTAL, the static AUTO resolution).
+	MinSamples = 2
+)
+
+// Mode is the chooser's view of a refresh mode. ModeUnset marks a DT
+// with no prior adaptive decision (cold start or freshly un-pinned).
+type Mode uint8
+
+// The chooser modes.
+const (
+	ModeUnset Mode = iota
+	ModeIncremental
+	ModeFull
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeIncremental:
+		return "INCREMENTAL"
+	case ModeFull:
+		return "FULL"
+	default:
+		return "UNSET"
+	}
+}
+
+// Config tunes the chooser. The zero value resolves every field to its
+// default.
+type Config struct {
+	// Window bounds the sliding window of observations the smoothed cost
+	// ratio averages over (0 = DefaultWindow). A DT whose history ring
+	// retains fewer records than the window is smoothed over what is
+	// available.
+	Window int
+	// SwitchUp and SwitchDown are the hysteresis band: the smoothed
+	// ratio must exceed SwitchUp to leave INCREMENTAL and drop below
+	// SwitchDown to leave FULL (0 = defaults). SwitchDown must not
+	// exceed SwitchUp.
+	SwitchUp, SwitchDown float64
+	// Amplification converts change volume into the incremental-work
+	// estimate while no measured amplification is available yet
+	// (0 = DefaultAmplification).
+	Amplification float64
+	// AmpMemory is how many recent incremental refreshes the learned
+	// amplification averages over (0 = DefaultAmpMemory).
+	AmpMemory int
+	// MinFullRows is the adaptation size floor: while the windowed mean
+	// full-recompute estimate stays below it, the DT runs INCREMENTAL
+	// unconditionally — switching saves nothing measurable on small
+	// tables (0 = DefaultMinFullRows; negative disables the floor).
+	MinFullRows int64
+}
+
+// resolve fills zero fields with defaults. The window is clamped to
+// MinSamples: a 1-observation window could never accumulate enough
+// evidence to switch and would leave the chooser silently inert.
+func (c Config) resolve() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Window < MinSamples {
+		c.Window = MinSamples
+	}
+	if c.SwitchUp == 0 {
+		c.SwitchUp = DefaultSwitchUp
+	}
+	if c.SwitchDown == 0 {
+		c.SwitchDown = DefaultSwitchDown
+	}
+	if c.Amplification == 0 {
+		c.Amplification = DefaultAmplification
+	}
+	if c.AmpMemory <= 0 {
+		c.AmpMemory = DefaultAmpMemory
+	}
+	if c.MinFullRows == 0 {
+		c.MinFullRows = DefaultMinFullRows
+	}
+	return c
+}
+
+// Observation is one refresh's cost signals: the change volume recorded
+// in the source version chains over the refresh interval, the
+// full-recompute cost estimate (base cardinality plus result size) at
+// the same instant, and — for refreshes that already ran — what mode
+// executed and what it actually cost, so the chooser can calibrate its
+// amplification factor against reality. Observations with FullRows <= 0
+// carry no signal and are ignored.
+type Observation struct {
+	// ChangeRows counts source rows changed over the refresh interval.
+	ChangeRows int64
+	// FullRows estimates a full recompute: source rows read plus result
+	// rows written.
+	FullRows int64
+	// Incremental marks an observation from an executed incremental
+	// refresh; ActualWork is its measured cost (rows scanned plus rows
+	// written). Zero for the not-yet-executed current refresh.
+	Incremental bool
+	ActualWork  int64
+}
+
+// ratio is the observation's incremental/full cost ratio under the
+// given amplification. The size floor is applied at the decision
+// level, over the windowed mean estimate, not per observation — a hard
+// per-observation cutoff would let an estimate oscillating around the
+// floor flap the mode.
+func (o Observation) ratio(amp float64) (float64, bool) {
+	if o.FullRows <= 0 {
+		return 0, false
+	}
+	return amp * float64(o.ChangeRows) / float64(o.FullRows), true
+}
+
+// Decision is the chooser's verdict for one refresh.
+type Decision struct {
+	// Mode is the effective refresh mode for this refresh.
+	Mode Mode
+	// Switched marks a decision that changed the mode.
+	Switched bool
+	// Ratio is the smoothed incremental/full cost ratio the decision was
+	// based on; Samples is how many observations contributed.
+	Ratio   float64
+	Samples int
+	// Reason is the human-readable explanation recorded into the refresh
+	// history and surfaced by EXPLAIN.
+	Reason string
+}
+
+// Chooser owns the adaptive-refresh gate and configuration. Decisions
+// themselves are pure (Decide); the chooser only adds the runtime
+// enable/disable switch (`ALTER SYSTEM SET ADAPTIVE_REFRESH`) and is
+// safe for concurrent use by parallel refresh workers.
+type Chooser struct {
+	mu      sync.RWMutex
+	enabled bool
+	cfg     Config
+}
+
+// New creates an enabled chooser; zero Config fields resolve to the
+// package defaults.
+func New(cfg Config) *Chooser {
+	return &Chooser{enabled: true, cfg: cfg.resolve()}
+}
+
+// Enabled reports whether adaptive mode choice is on.
+func (c *Chooser) Enabled() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.enabled
+}
+
+// SetEnabled turns adaptive mode choice on or off at runtime. Disabling
+// does not clear per-DT decisions; a disabled chooser simply stops
+// being consulted and DTs fall back to their static AUTO resolution.
+func (c *Chooser) SetEnabled(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = on
+}
+
+// Config returns the resolved configuration.
+func (c *Chooser) Config() Config {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.cfg
+}
+
+// SetWindow rebounds the sliding window at runtime (n <= 0 restores
+// DefaultWindow; 1 clamps to MinSamples, the smallest window that can
+// ever switch).
+func (c *Chooser) SetWindow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case n <= 0:
+		n = DefaultWindow
+	case n < MinSamples:
+		n = MinSamples
+	}
+	c.cfg.Window = n
+}
+
+// Decide picks the effective mode for one refresh of an AUTO DT whose
+// plan is incrementalizable. history holds the DT's previously recorded
+// observations oldest-first (the caller extracts them from the refresh
+// history ring; a ring shorter than the window simply yields a smaller
+// sample), current is this refresh's observation, and prior is the
+// sticky mode of the previous decision (ModeUnset on cold start, which
+// defaults to INCREMENTAL — the static AUTO resolution).
+func (c *Chooser) Decide(prior Mode, history []Observation, current Observation) Decision {
+	c.mu.RLock()
+	cfg := c.cfg
+	c.mu.RUnlock()
+	return Decide(cfg, prior, history, current)
+}
+
+// Decide is the pure decision function behind Chooser.Decide, exposed
+// for tests and offline analysis.
+func Decide(cfg Config, prior Mode, history []Observation, current Observation) Decision {
+	cfg = cfg.resolve()
+
+	// Learn the amplification factor — measured work per changed source
+	// row — from the most recent executed incremental refreshes in the
+	// full history. The memory is longer than the ratio window so the
+	// factor survives FULL periods, during which no incremental refresh
+	// runs to refresh it; with no measurements yet, the conservative
+	// default applies.
+	amp := learnedAmplification(cfg, history)
+
+	// Window: the newest cfg.Window observations, current last.
+	obs := make([]Observation, 0, cfg.Window)
+	if keep := cfg.Window - 1; len(history) > keep {
+		history = history[len(history)-keep:]
+	}
+	obs = append(obs, history...)
+	obs = append(obs, current)
+
+	var sum float64
+	var fullSum int64
+	samples := 0
+	for _, o := range obs {
+		if r, ok := o.ratio(amp); ok {
+			sum += r
+			fullSum += o.FullRows
+			samples++
+		}
+	}
+	ratio := 0.0
+	var meanFull int64
+	if samples > 0 {
+		ratio = sum / float64(samples)
+		meanFull = fullSum / int64(samples)
+	}
+
+	mode := prior
+	if mode == ModeUnset {
+		mode = ModeIncremental
+	}
+	d := Decision{Mode: mode, Ratio: ratio, Samples: samples}
+
+	if cfg.MinFullRows > 0 && samples > 0 && meanFull < cfg.MinFullRows {
+		// Below the size floor a full recompute saves nothing measurable,
+		// so small tables always run incremental — even one that shrank
+		// after a FULL decision. The floor compares the windowed mean
+		// estimate, so an estimate oscillating around the threshold
+		// cannot flap the mode refresh-to-refresh.
+		d.Switched = mode == ModeFull
+		d.Mode = ModeIncremental
+		d.Reason = fmt.Sprintf(
+			"adaptive: INCREMENTAL (smoothed full-scan estimate %d below the %d-row adaptation floor)",
+			meanFull, cfg.MinFullRows)
+		return d
+	}
+	if prior == ModeUnset && samples <= 1 {
+		d.Reason = "adaptive: cold start, defaulting to INCREMENTAL"
+		d.Mode = ModeIncremental
+		return d
+	}
+	if samples < MinSamples {
+		d.Reason = fmt.Sprintf("adaptive: keeping %s (%d observation(s), need %d to switch)",
+			mode, samples, MinSamples)
+		return d
+	}
+
+	switch {
+	case mode == ModeIncremental && ratio > cfg.SwitchUp:
+		d.Mode = ModeFull
+		d.Switched = true
+		d.Reason = fmt.Sprintf(
+			"adaptive: switch to FULL (smoothed incremental/full cost ratio %.2f > %.2f over %d refreshes)",
+			ratio, cfg.SwitchUp, samples)
+	case mode == ModeFull && ratio < cfg.SwitchDown:
+		d.Mode = ModeIncremental
+		d.Switched = true
+		d.Reason = fmt.Sprintf(
+			"adaptive: switch to INCREMENTAL (smoothed incremental/full cost ratio %.2f < %.2f over %d refreshes)",
+			ratio, cfg.SwitchDown, samples)
+	case mode == ModeIncremental:
+		d.Reason = fmt.Sprintf("adaptive: keep INCREMENTAL (ratio %.2f <= %.2f)", ratio, cfg.SwitchUp)
+	default:
+		d.Reason = fmt.Sprintf("adaptive: keep FULL (ratio %.2f >= %.2f)", ratio, cfg.SwitchDown)
+	}
+	return d
+}
+
+// learnedAmplification averages measured work-per-changed-row over the
+// most recent cfg.AmpMemory executed incremental refreshes, falling
+// back to cfg.Amplification with no measurements.
+func learnedAmplification(cfg Config, history []Observation) float64 {
+	var sum float64
+	n := 0
+	for i := len(history) - 1; i >= 0 && n < cfg.AmpMemory; i-- {
+		o := history[i]
+		if !o.Incremental || o.ChangeRows <= 0 || o.ActualWork <= 0 || o.FullRows <= 0 {
+			continue
+		}
+		sum += float64(o.ActualWork) / float64(o.ChangeRows)
+		n++
+	}
+	if n == 0 {
+		return cfg.Amplification
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,251 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+)
+
+// obsAt builds an observation whose ratio under the default amplification
+// equals r against a fixed full cost of 12000 rows.
+func obsAt(r float64) Observation {
+	const full = 12000
+	return Observation{
+		ChangeRows: int64(math.Round(r * full / DefaultAmplification)),
+		FullRows:   full,
+	}
+}
+
+func repeat(o Observation, n int) []Observation {
+	out := make([]Observation, n)
+	for i := range out {
+		out[i] = o
+	}
+	return out
+}
+
+func TestColdStartDefaultsToIncremental(t *testing.T) {
+	// Empty history, no prior: the first decision must be INCREMENTAL
+	// regardless of the current observation — one sample is not evidence.
+	d := Decide(Config{}, ModeUnset, nil, obsAt(5.0))
+	if d.Mode != ModeIncremental {
+		t.Fatalf("cold start mode = %s, want INCREMENTAL", d.Mode)
+	}
+	if d.Switched {
+		t.Fatal("cold start must not count as a switch")
+	}
+	if d.Samples != 1 {
+		t.Fatalf("cold start samples = %d, want 1", d.Samples)
+	}
+}
+
+func TestColdStartWithNoSignalAtAll(t *testing.T) {
+	// Observations without a full-cost estimate carry no signal.
+	d := Decide(Config{}, ModeUnset, nil, Observation{})
+	if d.Mode != ModeIncremental || d.Switched {
+		t.Fatalf("no-signal cold start = %+v, want unswitched INCREMENTAL", d)
+	}
+}
+
+func TestSwitchUpAtHighChurn(t *testing.T) {
+	// Sustained high churn: smoothed ratio crosses SwitchUp and the mode
+	// switches exactly once.
+	history := []Observation{obsAt(2.0), obsAt(2.0), obsAt(2.0), obsAt(2.0)}
+	d := Decide(Config{}, ModeIncremental, history, obsAt(2.0))
+	if d.Mode != ModeFull || !d.Switched {
+		t.Fatalf("high churn decision = %+v, want switch to FULL", d)
+	}
+	// Once FULL, the same ratio keeps FULL (no flap back).
+	d2 := Decide(Config{}, ModeFull, history, obsAt(2.0))
+	if d2.Mode != ModeFull || d2.Switched {
+		t.Fatalf("steady high churn after switch = %+v, want stable FULL", d2)
+	}
+}
+
+func TestSwitchDownAtLowChurn(t *testing.T) {
+	history := repeat(obsAt(0.05), 4)
+	d := Decide(Config{}, ModeFull, history, obsAt(0.05))
+	if d.Mode != ModeIncremental || !d.Switched {
+		t.Fatalf("low churn decision = %+v, want switch to INCREMENTAL", d)
+	}
+}
+
+func TestExactlyAtCrossoverDoesNotFlap(t *testing.T) {
+	// A workload sitting exactly at the crossover (ratio 1.0, inside the
+	// hysteresis band) must keep whatever mode it is in — from either
+	// side.
+	history := repeat(obsAt(1.0), 6)
+	if d := Decide(Config{}, ModeIncremental, history, obsAt(1.0)); d.Mode != ModeIncremental || d.Switched {
+		t.Fatalf("at-crossover from INCREMENTAL = %+v, want no switch", d)
+	}
+	if d := Decide(Config{}, ModeFull, history, obsAt(1.0)); d.Mode != ModeFull || d.Switched {
+		t.Fatalf("at-crossover from FULL = %+v, want no switch", d)
+	}
+	// Even ratios drifting within the band never switch.
+	drift := []Observation{obsAt(0.9), obsAt(1.1), obsAt(0.95), obsAt(1.05)}
+	if d := Decide(Config{}, ModeIncremental, drift, obsAt(1.0)); d.Switched {
+		t.Fatalf("in-band drift switched: %+v", d)
+	}
+	if d := Decide(Config{}, ModeFull, drift, obsAt(1.0)); d.Switched {
+		t.Fatalf("in-band drift switched: %+v", d)
+	}
+}
+
+func TestSmoothingResistsOutliers(t *testing.T) {
+	// One outlier batch inside a low-churn window must not flip the mode:
+	// the windowed mean stays below the band.
+	history := []Observation{obsAt(0.02), obsAt(0.02), obsAt(0.02), obsAt(0.02)}
+	d := Decide(Config{}, ModeIncremental, history, obsAt(3.0))
+	if d.Mode != ModeIncremental || d.Switched {
+		t.Fatalf("single outlier flipped the mode: %+v", d)
+	}
+}
+
+func TestHistoryShorterThanWindow(t *testing.T) {
+	// A history ring retaining fewer records than the window smooths over
+	// what is available (here 1 history record + the current
+	// observation).
+	d := Decide(Config{Window: 8}, ModeIncremental, []Observation{obsAt(2.0)}, obsAt(2.0))
+	if d.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", d.Samples)
+	}
+	if d.Mode != ModeFull || !d.Switched {
+		t.Fatalf("short-history high churn = %+v, want switch to FULL", d)
+	}
+}
+
+func TestHistoryLongerThanWindowUsesNewest(t *testing.T) {
+	// Old low-churn records beyond the window must not dilute the recent
+	// high-churn evidence.
+	history := append(repeat(obsAt(0.01), 50), repeat(obsAt(2.0), 4)...)
+	d := Decide(Config{Window: 5}, ModeIncremental, history, obsAt(2.0))
+	if d.Samples != 5 {
+		t.Fatalf("samples = %d, want window 5", d.Samples)
+	}
+	if d.Mode != ModeFull || !d.Switched {
+		t.Fatalf("windowed decision = %+v, want switch to FULL", d)
+	}
+}
+
+func TestMinSamplesGate(t *testing.T) {
+	// With a known prior but a single observation, the chooser keeps the
+	// prior even when the lone ratio is far outside the band.
+	d := Decide(Config{}, ModeIncremental, nil, obsAt(5.0))
+	if d.Mode != ModeIncremental || d.Switched {
+		t.Fatalf("one-sample decision = %+v, want hold", d)
+	}
+	d = Decide(Config{}, ModeFull, nil, obsAt(0.0))
+	if d.Mode != ModeFull || d.Switched {
+		t.Fatalf("one-sample decision = %+v, want hold", d)
+	}
+}
+
+func TestLearnedAmplificationDominatesDefault(t *testing.T) {
+	// A join whose small side churns: each changed row costs ~130 rows of
+	// actual work (snapshot scan of the big side plus output fan-out).
+	// The default amplification (3) would never switch on ChangeRows=80
+	// against FullRows=8050; the measured amplification must.
+	measured := Observation{ChangeRows: 80, FullRows: 8050, Incremental: true, ActualWork: 10400}
+	history := repeat(measured, 4)
+	d := Decide(Config{}, ModeIncremental, history, Observation{ChangeRows: 80, FullRows: 8050})
+	if d.Mode != ModeFull || !d.Switched {
+		t.Fatalf("fan-out workload decision = %+v, want switch to FULL", d)
+	}
+
+	// Conversely, measured amplification ~1 (plain scan-through) must
+	// hold INCREMENTAL even at full churn, where the default constant
+	// would have switched.
+	cheap := Observation{ChangeRows: 8000, FullRows: 8050, Incremental: true, ActualWork: 8050}
+	d = Decide(Config{}, ModeIncremental, repeat(cheap, 4), Observation{ChangeRows: 8000, FullRows: 8050})
+	if d.Mode != ModeIncremental || d.Switched {
+		t.Fatalf("unit-amplification workload decision = %+v, want hold INCREMENTAL", d)
+	}
+}
+
+func TestAmplificationSurvivesFullPeriods(t *testing.T) {
+	// While a DT runs FULL refreshes, no new incremental measurements
+	// arrive; the factor learned before the switch must keep driving the
+	// ratio so the mode neither oscillates nor forgets why it switched.
+	incObs := Observation{ChangeRows: 80, FullRows: 8050, Incremental: true, ActualWork: 10400}
+	fullObs := Observation{ChangeRows: 80, FullRows: 8050} // executed FULL: no incremental measurement
+	history := append(repeat(incObs, 3), repeat(fullObs, 8)...)
+	d := Decide(Config{}, ModeFull, history, Observation{ChangeRows: 80, FullRows: 8050})
+	if d.Mode != ModeFull || d.Switched {
+		t.Fatalf("FULL period decision = %+v, want stable FULL", d)
+	}
+	// Once churn drops, the same learned factor scales down with
+	// ChangeRows and the mode switches back.
+	quiet := Observation{ChangeRows: 2, FullRows: 8050}
+	history = append(history, repeat(quiet, 4)...)
+	d = Decide(Config{}, ModeFull, history, quiet)
+	if d.Mode != ModeIncremental || !d.Switched {
+		t.Fatalf("post-churn decision = %+v, want switch back to INCREMENTAL", d)
+	}
+}
+
+func TestSizeFloorKeepsSmallTablesIncremental(t *testing.T) {
+	// A tiny table churns most of its rows every refresh: the ratio is
+	// far above the band, but a full recompute saves nothing, so the
+	// chooser must not adapt below the size floor.
+	small := Observation{ChangeRows: 5, FullRows: 8}
+	d := Decide(Config{}, ModeIncremental, repeat(small, 6), small)
+	if d.Mode != ModeIncremental || d.Switched {
+		t.Fatalf("small-table decision = %+v, want hold INCREMENTAL", d)
+	}
+	// A DT that shrank below the floor after a FULL decision returns to
+	// INCREMENTAL: below the floor, incremental always runs.
+	d = Decide(Config{}, ModeFull, repeat(small, 6), small)
+	if d.Mode != ModeIncremental || !d.Switched {
+		t.Fatalf("shrunken-table decision = %+v, want switch back to INCREMENTAL", d)
+	}
+	// Disabling the floor re-enables adaptation on the same signals.
+	d = Decide(Config{MinFullRows: -1}, ModeIncremental, repeat(small, 6), small)
+	if d.Mode != ModeFull || !d.Switched {
+		t.Fatalf("floorless small-table decision = %+v, want switch to FULL", d)
+	}
+}
+
+func TestWindowClampedToMinSamples(t *testing.T) {
+	// A 1-observation window could never switch (MinSamples = 2); the
+	// config clamps it so "enabled with window 1" is not silently inert.
+	history := []Observation{obsAt(2.0), obsAt(2.0)}
+	d := Decide(Config{Window: 1}, ModeIncremental, history, obsAt(2.0))
+	if d.Mode != ModeFull || !d.Switched {
+		t.Fatalf("window-1 decision = %+v, want switch to FULL", d)
+	}
+	c := New(Config{})
+	c.SetWindow(1)
+	if got := c.Config().Window; got != MinSamples {
+		t.Fatalf("SetWindow(1) = %d, want clamp to %d", got, MinSamples)
+	}
+}
+
+func TestChooserGate(t *testing.T) {
+	c := New(Config{})
+	if !c.Enabled() {
+		t.Fatal("chooser must start enabled")
+	}
+	c.SetEnabled(false)
+	if c.Enabled() {
+		t.Fatal("SetEnabled(false) did not stick")
+	}
+	c.SetWindow(9)
+	if got := c.Config().Window; got != 9 {
+		t.Fatalf("window = %d, want 9", got)
+	}
+	c.SetWindow(0)
+	if got := c.Config().Window; got != DefaultWindow {
+		t.Fatalf("window = %d, want default %d", got, DefaultWindow)
+	}
+}
+
+func TestDecisionReasonsAreDescriptive(t *testing.T) {
+	history := repeat(obsAt(2.0), 4)
+	d := Decide(Config{}, ModeIncremental, history, obsAt(2.0))
+	if d.Reason == "" {
+		t.Fatal("switch decision must carry a reason")
+	}
+	hold := Decide(Config{}, ModeIncremental, repeat(obsAt(0.1), 4), obsAt(0.1))
+	if hold.Reason == "" {
+		t.Fatal("hold decision must carry a reason")
+	}
+}

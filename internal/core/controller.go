@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dyntables/internal/adaptive"
 	"dyntables/internal/delta"
 	"dyntables/internal/exec"
 	"dyntables/internal/hlc"
@@ -81,6 +82,13 @@ type Controller struct {
 	// Written only while refreshes are excluded (engine DDL lock); read
 	// by every refresh.
 	DeltaParallelism int
+
+	// Adaptive, when set and enabled, chooses the effective refresh mode
+	// of REFRESH_MODE=AUTO DTs per refresh from observed change volume
+	// (§3.3.2); nil or disabled falls back to the static AUTO
+	// resolution. Written once at engine construction; the chooser's own
+	// gate handles runtime toggling.
+	Adaptive *adaptive.Chooser
 }
 
 // FrontierUpdate describes one frontier advance: everything a recovered
@@ -95,6 +103,17 @@ type FrontierUpdate struct {
 	Deps              map[int64]int64
 	SchemaFingerprint string
 	Initialized       bool
+	// AdaptiveMode and AdaptiveReason carry the adaptive chooser's
+	// decision in force at this refresh, so WAL replay restores the last
+	// decision even past the latest checkpoint. AdaptiveValid marks
+	// records written by engines that know the adaptive state
+	// definitively — for those, RefreshAuto means "decision cleared"
+	// (evolved plan, plan no longer incrementalizable) and replay must
+	// clear too, not skip; without it (legacy records) RefreshAuto
+	// carries no information.
+	AdaptiveValid  bool
+	AdaptiveMode   sql.RefreshMode
+	AdaptiveReason string
 }
 
 // FrontierSink observes frontier advances. Implementations must not call
@@ -153,7 +172,9 @@ func (c *Controller) emitRefresh(dt *DynamicTable, rec RefreshRecord) {
 // refreshes. One record feeds both surfaces, so Describe and
 // INFORMATION_SCHEMA agree about the event.
 func (c *Controller) RecordSkip(dt *DynamicTable, dataTS time.Time) {
-	rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, RowsAfter: dt.Storage.RowCount()}
+	mode, reason := dt.ModeDecision()
+	rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, RowsAfter: dt.Storage.RowCount(),
+		EffectiveMode: mode, ModeReason: reason}
 	dt.record(rec)
 	c.emitRefresh(dt, rec)
 }
@@ -169,10 +190,14 @@ func NewController(txns *txn.Manager, resolver plan.Resolver, depGeneration func
 }
 
 // Register makes the controller aware of a DT (after catalog creation).
+// The DT also learns the controller's adaptive chooser, so its mode
+// reporting can tell whether a sticky adaptive decision is actually in
+// force (a disabled chooser falls back to the static resolution).
 func (c *Controller) Register(dt *DynamicTable) {
 	c.regMu.Lock()
 	defer c.regMu.Unlock()
 	c.byStorageID[dt.Storage.ID()] = dt
+	dt.setChooser(c.Adaptive)
 }
 
 // Unregister removes a dropped DT's storage mapping.
@@ -290,8 +315,9 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 		return RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSuspended}, ErrSuspended
 	}
 	if !dt.tryBeginRefresh() {
+		mode, reason := dt.ModeDecision()
 		rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSkipped,
-			RowsAfter: dt.Storage.RowCount()}
+			RowsAfter: dt.Storage.RowCount(), EffectiveMode: mode, ModeReason: reason}
 		dt.record(rec)
 		c.emitRefresh(dt, rec)
 		return rec, ErrSkipped
@@ -324,6 +350,10 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 // refreshLocked performs the action decision and execution of §5.4.
 func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshRecord, error) {
 	rec := RefreshRecord{DataTS: dataTS}
+	// Seed the mode fields with the decision currently in force; the
+	// adaptive decision point below refines them once the interval's
+	// cost signals are known.
+	rec.EffectiveMode, rec.ModeReason = dt.ModeDecision()
 
 	if !dataTS.After(dt.DataTimestamp()) && dt.Initialized() {
 		// Data timestamps move strictly forward; re-refreshing at the same
@@ -362,9 +392,19 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshR
 	}
 
 	if !dt.Initialized() || evolved {
+		if evolved {
+			// The plan changed structurally (replaced dependency or new
+			// output schema): any sticky adaptive decision was made for a
+			// different plan, so adaptation restarts from a cold start —
+			// and this record must not carry the just-invalidated
+			// decision's reason. Re-seed before deriving the action, so
+			// action and effective_mode agree.
+			dt.ClearAdaptiveDecision()
+			rec.EffectiveMode, rec.ModeReason = dt.ModeDecision()
+		}
 		action := ActionInitialize
 		if dt.Initialized() {
-			if dt.EffectiveMode == sql.RefreshIncremental {
+			if rec.EffectiveMode == sql.RefreshIncremental {
 				action = ActionReinitialize
 			} else {
 				action = ActionFull
@@ -396,7 +436,15 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshR
 		return rec, nil
 	}
 
-	if dt.EffectiveMode == sql.RefreshFull {
+	// Per-refresh mode decision (§3.3.2): pinned modes resolve statically;
+	// incrementalizable AUTO DTs consult the adaptive chooser, comparing
+	// the interval's change volume against the full-recompute estimate
+	// smoothed over recent refresh history.
+	mode, reason, changeVol, fullEst := c.chooseMode(dt, bound, frontier, vmTo)
+	rec.EffectiveMode, rec.ModeReason = mode, reason
+	rec.SourceRowsChanged, rec.FullScanEstimate = changeVol, fullEst
+
+	if mode == sql.RefreshFull {
 		rec.Action = ActionFull
 		return c.fullCompute(dt, bound, dataTS, vmTo, env, rec)
 	}
@@ -447,6 +495,90 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshR
 	rec.RowsAfter = dt.Storage.RowCount()
 	c.advanceFrontier(dt, bound, dataTS, vmTo, int64(dt.Storage.VersionCount()), commit)
 	return rec, nil
+}
+
+// chooseMode resolves the effective refresh mode for one refresh and
+// returns it with its reason and the interval's cost signals. Pinned
+// modes and non-incrementalizable AUTO plans resolve statically; for
+// incrementalizable AUTO plans with the adaptive chooser enabled, the
+// decision compares the change volume recorded in the source version
+// chains against the full-recompute estimate, smoothed over the DT's
+// recent refresh history with hysteresis so the mode does not flap at
+// the crossover.
+func (c *Controller) chooseMode(dt *DynamicTable, bound *plan.Bound, frontier Frontier, vmTo ivm.VersionMap) (sql.RefreshMode, string, int64, int64) {
+	// Cost signals are computed for every refresh — a walk over
+	// version-chain lengths, no row materialization — so the refresh
+	// history carries them even for pinned DTs.
+	var changeVol, baseRows int64
+	seen := map[int64]bool{}
+	for _, scan := range plan.Scans(bound.Plan) {
+		id := scan.Table.ID()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		changeVol += scan.Table.ChangeVolume(frontier.Versions[id], vmTo[id])
+		if v, err := scan.Table.VersionBySeq(vmTo[id]); err == nil {
+			baseRows += int64(v.RowCount)
+		}
+	}
+	fullEst := baseRows + int64(dt.Storage.RowCount())
+
+	if dt.DeclaredMode != sql.RefreshAuto {
+		mode, reason := StaticResolution(dt.DeclaredMode, dt.DeclaredMode)
+		return mode, reason, changeVol, fullEst
+	}
+	if err := ivm.Incrementalizable(bound.Plan); err != nil {
+		// Upstream DDL can make an AUTO plan non-incrementalizable after
+		// Build: record the re-resolution (and drop any sticky adaptive
+		// decision — it was made for a structurally different plan) so
+		// every reporting surface agrees with what this refresh runs.
+		reason := fmt.Sprintf("AUTO: %v", err)
+		dt.ClearAdaptiveDecision()
+		dt.setStaticResolution(sql.RefreshFull, reason)
+		return sql.RefreshFull, reason, changeVol, fullEst
+	}
+	if c.Adaptive == nil || !c.Adaptive.Enabled() {
+		mode, reason := StaticResolution(sql.RefreshAuto, sql.RefreshIncremental)
+		dt.setStaticResolution(mode, reason)
+		return mode, reason, changeVol, fullEst
+	}
+
+	cfg := c.Adaptive.Config()
+	dec := c.Adaptive.Decide(dt.adaptivePrior(), dt.recentObservations(cfg.Window, cfg.AmpMemory),
+		adaptive.Observation{ChangeRows: changeVol, FullRows: fullEst})
+	mode := sql.RefreshIncremental
+	if dec.Mode == adaptive.ModeFull {
+		mode = sql.RefreshFull
+	}
+	dt.setAdaptiveDecision(mode, dec.Reason)
+	return mode, dec.Reason, changeVol, fullEst
+}
+
+// StaticMode re-resolves a DT's static mode for its declared mode: the
+// declared pin itself, or — for AUTO — INCREMENTAL exactly when the
+// defining query is incrementalizable. ALTER ... SET REFRESH_MODE uses
+// it to validate and install a new declaration.
+func (c *Controller) StaticMode(dt *DynamicTable, declared sql.RefreshMode) (sql.RefreshMode, error) {
+	bound, err := c.bind(dt.Text)
+	if err != nil {
+		return declared, err
+	}
+	incErr := ivm.Incrementalizable(bound.Plan)
+	switch declared {
+	case sql.RefreshIncremental:
+		if incErr != nil {
+			return declared, fmt.Errorf("core: %s: REFRESH_MODE=INCREMENTAL unsupported: %w", dt.Name, incErr)
+		}
+		return sql.RefreshIncremental, nil
+	case sql.RefreshFull:
+		return sql.RefreshFull, nil
+	default:
+		if incErr == nil {
+			return sql.RefreshIncremental, nil
+		}
+		return sql.RefreshFull, nil
+	}
 }
 
 // fullCompute executes the defining query as of the data timestamp and
@@ -508,6 +640,9 @@ func (c *Controller) advanceFrontier(dt *DynamicTable, bound *plan.Bound, dataTS
 		Deps:              cloneDeps(bound.Deps),
 		SchemaFingerprint: dt.schemaFingerprint,
 		Initialized:       dt.initialized,
+		AdaptiveValid:     true,
+		AdaptiveMode:      dt.adaptiveMode,
+		AdaptiveReason:    dt.adaptiveReason,
 	}
 	dt.mu.Unlock()
 	c.emitFrontier(dt, u)

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"dyntables/internal/adaptive"
 	"dyntables/internal/catalog"
 	"dyntables/internal/hlc"
 	"dyntables/internal/ivm"
@@ -99,8 +100,9 @@ func (a RefreshAction) String() string {
 	}
 }
 
-// RefreshRecord describes one refresh attempt; the scheduler and the
-// experiment harness consume these.
+// RefreshRecord describes one refresh attempt; the scheduler, the
+// adaptive refresh-mode chooser and the experiment harness consume
+// these.
 type RefreshRecord struct {
 	DataTS   time.Time
 	Action   RefreshAction
@@ -110,6 +112,19 @@ type RefreshRecord struct {
 	RowsAfter int
 	// SourceRowsScanned approximates the work done reading sources.
 	SourceRowsScanned int64
+	// EffectiveMode is the refresh mode in force for this refresh (FULL
+	// or INCREMENTAL) and ModeReason explains why it was chosen: the
+	// declared mode, the static AUTO resolution, or the adaptive
+	// chooser's per-refresh decision (§3.3.2).
+	EffectiveMode sql.RefreshMode
+	ModeReason    string
+	// SourceRowsChanged counts source rows changed over the refresh
+	// interval (the adaptive chooser's incremental-cost signal) and
+	// FullScanEstimate the full-recompute cost estimate (base
+	// cardinality plus result size). Both are zero for refreshes that
+	// reached no mode decision (skips, initializations, bind errors).
+	SourceRowsChanged int64
+	FullScanEstimate  int64
 	Err               error
 }
 
@@ -149,6 +164,25 @@ type DynamicTable struct {
 	deps map[int64]int64
 	// schemaFingerprint detects output schema changes from upstream DDL.
 	schemaFingerprint string
+
+	// adaptiveMode is the adaptive chooser's sticky per-DT decision for
+	// REFRESH_MODE=AUTO DTs (RefreshAuto = no decision yet, i.e. the
+	// static resolution applies); adaptiveReason explains the last
+	// decision. Both survive recovery via checkpoints and frontier WAL
+	// records. chooser (set at controller registration) gates whether
+	// the sticky decision is actually in force: while the chooser is
+	// disabled, refreshes run the static resolution, so reporting must
+	// fall back to it too.
+	adaptiveMode   sql.RefreshMode
+	adaptiveReason string
+	chooser        *adaptive.Chooser
+	// staticMode/staticReason cache the latest refresh-time *static*
+	// re-resolution of AUTO (RefreshAuto = none): upstream DDL can
+	// change a plan's incrementalizability after Build, and reporting
+	// must agree with what refreshes actually run. Not persisted — it is
+	// re-derived by the first refresh after recovery.
+	staticMode   sql.RefreshMode
+	staticReason string
 
 	// versionByDataTS maps a data timestamp (µs) to the storage version
 	// sequence holding the corresponding contents, and commitByDataTS to
@@ -221,6 +255,170 @@ func (dt *DynamicTable) DataTimestamp() time.Time {
 // CurrentLag returns now minus the data timestamp (§3.2).
 func (dt *DynamicTable) CurrentLag(now time.Time) time.Duration {
 	return now.Sub(dt.DataTimestamp())
+}
+
+// ModeDecision returns the DT's current effective refresh mode and the
+// reason it is in force: the adaptive chooser's last decision when one
+// exists, otherwise the declared mode or the static AUTO resolution.
+func (dt *DynamicTable) ModeDecision() (sql.RefreshMode, string) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.modeDecisionLocked()
+}
+
+func (dt *DynamicTable) modeDecisionLocked() (sql.RefreshMode, string) {
+	// Precedence: a declared pin always wins; then the sticky adaptive
+	// decision — but only while the chooser is enabled (a disabled
+	// chooser means refreshes run the static resolution, and reporting
+	// must agree with what actually runs; the decision itself is kept so
+	// re-enabling resumes from it); then the latest refresh-time static
+	// re-resolution; finally the build-time resolution.
+	if dt.DeclaredMode != sql.RefreshAuto {
+		return StaticResolution(dt.DeclaredMode, dt.EffectiveMode)
+	}
+	chooserOn := dt.chooser == nil || dt.chooser.Enabled()
+	if dt.adaptiveMode != sql.RefreshAuto && chooserOn {
+		return dt.adaptiveMode, dt.adaptiveReason
+	}
+	if dt.staticMode != sql.RefreshAuto {
+		return dt.staticMode, dt.staticReason
+	}
+	return StaticResolution(sql.RefreshAuto, dt.EffectiveMode)
+}
+
+// StaticResolution is the single source of truth mapping a declared
+// refresh mode (and, for AUTO, the static resolution) to the effective
+// mode and its reason string. Refresh execution (Controller.chooseMode)
+// and reporting (ModeDecision, EXPLAIN, INFORMATION_SCHEMA) both
+// resolve through it, so the two surfaces cannot drift.
+func StaticResolution(declared, autoResolved sql.RefreshMode) (sql.RefreshMode, string) {
+	switch declared {
+	case sql.RefreshFull:
+		return sql.RefreshFull, "declared FULL"
+	case sql.RefreshIncremental:
+		return sql.RefreshIncremental, "declared INCREMENTAL"
+	}
+	if autoResolved == sql.RefreshIncremental {
+		return sql.RefreshIncremental, "AUTO: defining query is incrementalizable"
+	}
+	return sql.RefreshFull, "AUTO: defining query is not incrementalizable"
+}
+
+// CurrentMode returns the effective refresh mode currently in force
+// (ModeDecision without the reason).
+func (dt *DynamicTable) CurrentMode() sql.RefreshMode {
+	mode, _ := dt.ModeDecision()
+	return mode
+}
+
+// maxObservationScan bounds how many history records one adaptive
+// decision may inspect: a raised HISTORY_CAPACITY (100k+) must not turn
+// the refresh-time decision into an O(capacity) walk under dt.mu. At
+// the default capacity (1024) the bound never binds.
+const maxObservationScan = 4096
+
+// recentObservations extracts the adaptive chooser's cost signals from
+// the refresh-history ring, oldest first. Records that reached no mode
+// decision (skips, initializations, errors before version resolution)
+// carry no estimate and are excluded; executed incremental refreshes
+// also carry their measured work so the chooser can calibrate its
+// amplification factor. The ring is walked newest-first and the walk
+// stops as soon as `window` observations and `ampMemory` incremental
+// observations are collected — the chooser consumes no more — so the
+// per-refresh cost is O(window + ampMemory) in the common case. When
+// incremental measurements are sparse (long FULL periods, NO_DATA
+// stretches), the walk continues but never past maxObservationScan
+// records; beyond that the chooser degrades gracefully to a smaller
+// sample (and the default amplification).
+func (dt *DynamicTable) recentObservations(window, ampMemory int) []adaptive.Observation {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	var rev []adaptive.Observation
+	incN := 0
+	start := dt.history.Len() - 1
+	floor := 0
+	if start+1 > maxObservationScan {
+		floor = start + 1 - maxObservationScan
+	}
+	for i := start; i >= floor; i-- {
+		r := dt.history.At(i)
+		if r.FullScanEstimate <= 0 || r.Err != nil {
+			continue
+		}
+		o := adaptive.Observation{
+			ChangeRows: r.SourceRowsChanged,
+			FullRows:   r.FullScanEstimate,
+		}
+		if r.Action == ActionIncremental {
+			o.Incremental = true
+			o.ActualWork = r.SourceRowsScanned + int64(r.Inserted+r.Deleted)
+			incN++
+		}
+		rev = append(rev, o)
+		if len(rev) >= window && incN >= ampMemory {
+			break
+		}
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// adaptivePrior maps the sticky adaptive decision into the chooser's
+// mode space (ModeUnset when no decision has been made yet).
+func (dt *DynamicTable) adaptivePrior() adaptive.Mode {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	switch dt.adaptiveMode {
+	case sql.RefreshIncremental:
+		return adaptive.ModeIncremental
+	case sql.RefreshFull:
+		return adaptive.ModeFull
+	default:
+		return adaptive.ModeUnset
+	}
+}
+
+// setChooser records the controller's adaptive chooser for mode
+// reporting; called at registration.
+func (dt *DynamicTable) setChooser(c *adaptive.Chooser) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.chooser = c
+}
+
+// setAdaptiveDecision installs the chooser's per-refresh decision,
+// superseding any cached static re-resolution.
+func (dt *DynamicTable) setAdaptiveDecision(mode sql.RefreshMode, reason string) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.adaptiveMode = mode
+	dt.adaptiveReason = reason
+	dt.staticMode, dt.staticReason = sql.RefreshAuto, ""
+}
+
+// setStaticResolution caches a refresh-time static resolution of AUTO
+// (non-incrementalizable plan, or chooser disabled), so reporting
+// tracks what the refresh actually ran even after upstream DDL changed
+// the plan's incrementalizability.
+func (dt *DynamicTable) setStaticResolution(mode sql.RefreshMode, reason string) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.staticMode = mode
+	dt.staticReason = reason
+}
+
+// ClearAdaptiveDecision drops the sticky adaptive decision and any
+// cached static re-resolution, returning the DT to its declared/static
+// mode resolution (used when a DT's declared mode is re-pinned via
+// ALTER ... SET REFRESH_MODE).
+func (dt *DynamicTable) ClearAdaptiveDecision() {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	dt.adaptiveMode = sql.RefreshAuto
+	dt.adaptiveReason = ""
+	dt.staticMode, dt.staticReason = sql.RefreshAuto, ""
 }
 
 // VersionAtDataTS resolves the storage version holding the contents for
@@ -314,6 +512,9 @@ func (dt *DynamicTable) CloneAt(at hlc.Timestamp) (*DynamicTable, error) {
 		commitByDataTS:    make(map[int64]hlc.Timestamp, len(dt.commitByDataTS)),
 		schemaFingerprint: dt.schemaFingerprint,
 		historyCap:        dt.historyCap,
+		adaptiveMode:      dt.adaptiveMode,
+		adaptiveReason:    dt.adaptiveReason,
+		chooser:           dt.chooser,
 	}
 	for k, v := range dt.deps {
 		clone.deps[k] = v
@@ -366,6 +567,11 @@ type DTCheckpoint struct {
 	VersionByDataTS   map[int64]int64
 	CommitByDataTS    map[int64]hlc.Timestamp
 	History           []RefreshRecord
+	// AdaptiveMode and AdaptiveReason checkpoint the adaptive chooser's
+	// sticky decision so a recovered engine resumes in the same
+	// effective mode (RefreshAuto = no decision).
+	AdaptiveMode   sql.RefreshMode
+	AdaptiveReason string
 }
 
 // Checkpoint exports the DT's refresh-continuity state.
@@ -382,6 +588,8 @@ func (dt *DynamicTable) Checkpoint() DTCheckpoint {
 		VersionByDataTS:   make(map[int64]int64, len(dt.versionByDataTS)),
 		CommitByDataTS:    make(map[int64]hlc.Timestamp, len(dt.commitByDataTS)),
 		History:           dt.history.Snapshot(),
+		AdaptiveMode:      dt.adaptiveMode,
+		AdaptiveReason:    dt.adaptiveReason,
 	}
 	for k, v := range dt.versionByDataTS {
 		cp.VersionByDataTS[k] = v
@@ -413,6 +621,8 @@ func (dt *DynamicTable) RestoreState(cp DTCheckpoint) {
 	for k, v := range cp.CommitByDataTS {
 		dt.commitByDataTS[k] = v
 	}
+	dt.adaptiveMode = cp.AdaptiveMode
+	dt.adaptiveReason = cp.AdaptiveReason
 	dt.installHistoryLocked(cp.History)
 }
 
@@ -431,6 +641,17 @@ func (dt *DynamicTable) ApplyFrontierUpdate(u FrontierUpdate) {
 	}
 	if u.Initialized {
 		dt.initialized = true
+	}
+	if u.AdaptiveValid {
+		// The record carries the full adaptive state: RefreshAuto means
+		// the decision was cleared (evolved plan), and replay must clear
+		// too so recovery matches the pre-crash live engine.
+		dt.adaptiveMode = u.AdaptiveMode
+		dt.adaptiveReason = u.AdaptiveReason
+	} else if u.AdaptiveMode != sql.RefreshAuto {
+		// Legacy records only carry a decision when one was in force.
+		dt.adaptiveMode = u.AdaptiveMode
+		dt.adaptiveReason = u.AdaptiveReason
 	}
 	dt.errorCount = 0
 }

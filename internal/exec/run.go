@@ -1,3 +1,9 @@
+// Package exec evaluates bound query plans: Run materializes a plan's
+// full result, Collect/Stream drive the pull-based iterator the session
+// cursors wrap (context-cancelable, one row at a time over pinned
+// source versions). The executor is deliberately plain — nested-loop
+// joins, hash aggregation, full sorts — because the engine's focus is
+// refresh semantics, not single-query speed.
 package exec
 
 import (

@@ -49,6 +49,16 @@ type RefreshEvent struct {
 	Inserted, Deleted, RowsAfter int
 	// SourceRowsScanned approximates the work reading sources.
 	SourceRowsScanned int64
+	// Mode is the effective refresh mode in force for this refresh (FULL
+	// or INCREMENTAL) and ModeReason why it was chosen: the declared
+	// mode, the static AUTO resolution, or the adaptive chooser's
+	// decision.
+	Mode, ModeReason string
+	// ChangedRows counts source rows changed over the refresh interval
+	// and FullScanRows the full-recompute cost estimate — the adaptive
+	// chooser's inputs. Both are zero for refreshes that reached no mode
+	// decision (skips, initializations, early errors).
+	ChangedRows, FullScanRows int64
 	// Start and End bound the refresh job in virtual time; zero when the
 	// refresh did no billable work (NO_DATA, SKIP, errors).
 	Start, End time.Time

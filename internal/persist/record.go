@@ -143,13 +143,15 @@ type RenameRecord struct {
 }
 
 // AlterDTRecord logs the DT state changes of ALTER DYNAMIC TABLE
-// (SUSPEND, RESUME, SET_LAG). REFRESH is covered by commit + frontier
-// records.
+// (SUSPEND, RESUME, SET_LAG, SET_MODE). REFRESH is covered by commit +
+// frontier records.
 type AlterDTRecord struct {
 	Name      string `json:"name"`
 	Action    string `json:"action"`
 	LagKind   int    `json:"lag_kind,omitempty"`
 	LagMicros int64  `json:"lag_us,omitempty"`
+	// Mode carries SET_MODE's new declared refresh mode.
+	Mode int `json:"mode,omitempty"`
 }
 
 // GrantRecord logs privilege grants and revokes.
@@ -197,6 +199,14 @@ type FrontierRecord struct {
 	Deps              map[int64]int64 `json:"deps,omitempty"` // entry ID -> generation
 	SchemaFingerprint string          `json:"schema_fp,omitempty"`
 	Initialized       bool            `json:"initialized"`
+	// AdaptiveMode and AdaptiveReason carry the adaptive chooser's
+	// decision in force at this refresh, so replay restores the last
+	// decision even past the latest checkpoint. AdaptiveValid
+	// distinguishes "decision cleared" (mode 0 with the flag set) from
+	// legacy records that carry no adaptive information.
+	AdaptiveValid  bool   `json:"adaptive_valid,omitempty"`
+	AdaptiveMode   int    `json:"adaptive_mode,omitempty"`
+	AdaptiveReason string `json:"adaptive_reason,omitempty"`
 }
 
 // ClockRecord logs engine-time advancement (virtual clock and scheduler

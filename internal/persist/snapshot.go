@@ -83,17 +83,28 @@ type DTState struct {
 	VersionByDataTS   map[int64]int64         `json:"version_by_data_ts,omitempty"`
 	CommitByDataTS    map[int64]hlc.Timestamp `json:"commit_by_data_ts,omitempty"`
 	History           []RefreshState          `json:"history,omitempty"`
+	// AdaptiveMode and AdaptiveReason checkpoint the adaptive chooser's
+	// sticky per-DT decision (0 = none).
+	AdaptiveMode   int    `json:"adaptive_mode,omitempty"`
+	AdaptiveReason string `json:"adaptive_reason,omitempty"`
 }
 
 // RefreshState is a serialized refresh record; errors survive as text.
 type RefreshState struct {
-	DataTSMicros      int64  `json:"data_ts_us"`
-	Action            uint8  `json:"action"`
-	Inserted          int    `json:"inserted,omitempty"`
-	Deleted           int    `json:"deleted,omitempty"`
-	RowsAfter         int    `json:"rows_after,omitempty"`
-	SourceRowsScanned int64  `json:"source_rows,omitempty"`
-	Err               string `json:"err,omitempty"`
+	DataTSMicros      int64 `json:"data_ts_us"`
+	Action            uint8 `json:"action"`
+	Inserted          int   `json:"inserted,omitempty"`
+	Deleted           int   `json:"deleted,omitempty"`
+	RowsAfter         int   `json:"rows_after,omitempty"`
+	SourceRowsScanned int64 `json:"source_rows,omitempty"`
+	// Mode, ModeReason, ChangedRows and FullScanRows persist the
+	// per-refresh mode decision and its cost signals; the recovered
+	// history keeps feeding the adaptive chooser's smoothing window.
+	Mode         int    `json:"mode,omitempty"`
+	ModeReason   string `json:"mode_reason,omitempty"`
+	ChangedRows  int64  `json:"changed_rows,omitempty"`
+	FullScanRows int64  `json:"full_scan_rows,omitempty"`
+	Err          string `json:"err,omitempty"`
 }
 
 // DDLState is a serialized catalog DDL log record.

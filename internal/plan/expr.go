@@ -122,21 +122,34 @@ func (*InList) exprNode() {}
 
 // Fingerprint implementations -------------------------------------------------
 
+// Fingerprint renders the column reference.
 func (e *ColIdx) Fingerprint() string { return fmt.Sprintf("#%d", e.Idx) }
+
+// Fingerprint renders the literal with its kind.
 func (e *Lit) Fingerprint() string {
 	return fmt.Sprintf("lit<%s:%s>", e.Val.Kind(), e.Val.String())
 }
+
+// Fingerprint renders the placeholder by name or ordinal.
 func (e *Param) Fingerprint() string {
 	if e.Name != "" {
 		return "param<:" + e.Name + ">"
 	}
 	return fmt.Sprintf("param<?%d>", e.Ordinal)
 }
+
+// Fingerprint renders the operator tree in infix form.
 func (e *BinOp) Fingerprint() string {
 	return fmt.Sprintf("(%s %s %s)", e.L.Fingerprint(), e.Op, e.R.Fingerprint())
 }
+
+// Fingerprint renders the negation.
 func (e *Not) Fingerprint() string { return "not(" + e.E.Fingerprint() + ")" }
+
+// Fingerprint renders the arithmetic negation.
 func (e *Neg) Fingerprint() string { return "neg(" + e.E.Fingerprint() + ")" }
+
+// Fingerprint renders the call with its argument fingerprints.
 func (e *Func) Fingerprint() string {
 	parts := make([]string, len(e.Args))
 	for i, a := range e.Args {
@@ -144,15 +157,23 @@ func (e *Func) Fingerprint() string {
 	}
 	return e.Name + "(" + strings.Join(parts, ",") + ")"
 }
+
+// Fingerprint renders the cast with its target kind.
 func (e *Cast) Fingerprint() string {
 	return "cast(" + e.E.Fingerprint() + "::" + e.Target.String() + ")"
 }
+
+// Fingerprint renders the variant field access.
 func (e *Path) Fingerprint() string {
 	return "path(" + e.E.Fingerprint() + ":" + e.Field + ")"
 }
+
+// Fingerprint renders the variant index access.
 func (e *Index) Fingerprint() string {
 	return "idx(" + e.E.Fingerprint() + "[" + e.I.Fingerprint() + "])"
 }
+
+// Fingerprint renders the CASE arms in order.
 func (e *Case) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString("case(")
@@ -168,12 +189,16 @@ func (e *Case) Fingerprint() string {
 	b.WriteString(")")
 	return b.String()
 }
+
+// Fingerprint renders the null test with its polarity.
 func (e *IsNull) Fingerprint() string {
 	if e.Negate {
 		return "isnotnull(" + e.E.Fingerprint() + ")"
 	}
 	return "isnull(" + e.E.Fingerprint() + ")"
 }
+
+// Fingerprint renders the IN list with its polarity.
 func (e *InList) Fingerprint() string {
 	parts := make([]string, len(e.List))
 	for i, a := range e.List {

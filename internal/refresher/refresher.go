@@ -53,6 +53,10 @@ type Result struct {
 	// Wave is the dependency wave the DT ran in (0 = no due upstreams).
 	Wave int
 	// Rec and Err are the controller's refresh outcome (after any retry).
+	// Rec carries the per-refresh effective-mode decision of the
+	// adaptive REFRESH_MODE=AUTO chooser (EffectiveMode, ModeReason and
+	// its cost signals), so sinks observe which mode each wave item
+	// actually ran in.
 	Rec core.RefreshRecord
 	Err error
 	// PrevDataTS is the DT's data timestamp immediately before this

@@ -408,18 +408,21 @@ type UndropStmt struct {
 }
 
 // AlterStmt covers ALTER <kind> name RENAME TO x | SWAP WITH x | SUSPEND |
-// RESUME | REFRESH [AT ts] | SET TARGET_LAG = ...
+// RESUME | REFRESH [AT ts] | SET TARGET_LAG = ... | SET REFRESH_MODE = ...
 type AlterStmt struct {
 	Kind   string
 	Name   string
-	Action string // RENAME, SWAP, SUSPEND, RESUME, REFRESH, SET_LAG
+	Action string // RENAME, SWAP, SUSPEND, RESUME, REFRESH, SET_LAG, SET_MODE
 	Target string // rename/swap target
 	Lag    *TargetLag
+	// Mode carries SET REFRESH_MODE: pin a DT to FULL or INCREMENTAL, or
+	// return it to AUTO (the per-DT override of the adaptive chooser).
+	Mode *RefreshMode
 }
 
 // AlterSystemStmt is ALTER SYSTEM SET <param> = <value>: an engine-wide
 // runtime tuning knob (refresh worker-pool width, delta parallelism,
-// observability history capacity).
+// observability history capacity, the adaptive refresh-mode chooser).
 type AlterSystemStmt struct {
 	Param string // upper-cased parameter name
 	Value int64
@@ -431,11 +434,15 @@ type ShowStmt struct {
 	Kind string // "DYNAMIC TABLES" or "WAREHOUSES"
 }
 
-// ExplainStmt is EXPLAIN <select | create dynamic table>: it renders the
-// bound plan tree (and, for dynamic tables, the refresh-mode decision
-// and upstream frontier) without executing or creating anything.
+// ExplainStmt is EXPLAIN <select | create dynamic table | dynamic table
+// name>: it renders the bound plan tree (and, for dynamic tables, the
+// refresh-mode decision and upstream frontier) without executing or
+// creating anything. EXPLAIN DYNAMIC TABLE <name> describes an existing
+// DT: its declared and effective modes, the adaptive chooser's last
+// decision and reason, and the defining query's plan.
 type ExplainStmt struct {
-	Target Statement // *SelectStmt or *CreateDynamicTableStmt
+	Target Statement // *SelectStmt or *CreateDynamicTableStmt; nil for DTName
+	DTName string    // EXPLAIN DYNAMIC TABLE <name>
 }
 
 func (*CreateTableStmt) stmt()        {}

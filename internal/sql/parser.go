@@ -210,10 +210,22 @@ func (p *Parser) parseShow() (Statement, error) {
 	}
 }
 
-// parseExplain parses EXPLAIN <select | create dynamic table>.
+// parseExplain parses EXPLAIN <select | create dynamic table | dynamic
+// table name>.
 func (p *Parser) parseExplain() (Statement, error) {
 	if err := p.expectKeyword("EXPLAIN"); err != nil {
 		return nil, err
+	}
+	// EXPLAIN DYNAMIC TABLE <name> describes an existing DT.
+	if p.acceptKeyword("DYNAMIC") {
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{DTName: name}, nil
 	}
 	target, err := p.parseStatement()
 	if err != nil {
@@ -223,7 +235,7 @@ func (p *Parser) parseExplain() (Statement, error) {
 	case *SelectStmt, *CreateDynamicTableStmt:
 		return &ExplainStmt{Target: target}, nil
 	default:
-		return nil, p.errorf("EXPLAIN supports SELECT and CREATE DYNAMIC TABLE only")
+		return nil, p.errorf("EXPLAIN supports SELECT, CREATE DYNAMIC TABLE and DYNAMIC TABLE <name> only")
 	}
 }
 
@@ -559,17 +571,39 @@ func (p *Parser) parseAlter() (Statement, error) {
 	case p.acceptKeyword("REFRESH"):
 		stmt.Action = "REFRESH"
 	case p.acceptKeyword("SET"):
-		if err := p.expectKeyword("TARGET_LAG"); err != nil {
-			return nil, err
+		switch {
+		case p.acceptKeyword("TARGET_LAG"):
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			lag, err := p.parseTargetLag()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Action, stmt.Lag = "SET_LAG", &lag
+		case p.acceptKeyword("REFRESH_MODE"):
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			word, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			var mode RefreshMode
+			switch strings.ToUpper(word) {
+			case "AUTO":
+				mode = RefreshAuto
+			case "FULL":
+				mode = RefreshFull
+			case "INCREMENTAL":
+				mode = RefreshIncremental
+			default:
+				return nil, p.errorf("unknown refresh mode %q", word)
+			}
+			stmt.Action, stmt.Mode = "SET_MODE", &mode
+		default:
+			return nil, p.errorf("expected TARGET_LAG or REFRESH_MODE, found %q", p.peek().Text)
 		}
-		if err := p.expect("="); err != nil {
-			return nil, err
-		}
-		lag, err := p.parseTargetLag()
-		if err != nil {
-			return nil, err
-		}
-		stmt.Action, stmt.Lag = "SET_LAG", &lag
 	default:
 		return nil, p.errorf("expected RENAME, SWAP, SUSPEND, RESUME, REFRESH or SET, found %q", p.peek().Text)
 	}

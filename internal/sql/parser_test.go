@@ -714,6 +714,52 @@ func TestParseExplain(t *testing.T) {
 	}
 }
 
+func TestParseExplainDynamicTable(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN DYNAMIC TABLE totals`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ex.Target != nil || ex.DTName != "totals" {
+		t.Fatalf("parsed %+v", ex)
+	}
+	if _, err := Parse(`EXPLAIN DYNAMIC totals`); err == nil {
+		t.Error("EXPLAIN DYNAMIC without TABLE should fail")
+	}
+}
+
+func TestParseAlterSetRefreshMode(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		want RefreshMode
+	}{
+		{`ALTER DYNAMIC TABLE d SET REFRESH_MODE = FULL`, RefreshFull},
+		{`ALTER DYNAMIC TABLE d SET REFRESH_MODE = incremental`, RefreshIncremental},
+		{`ALTER DYNAMIC TABLE d SET REFRESH_MODE = AUTO`, RefreshAuto},
+	} {
+		stmt, err := Parse(tc.text)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.text, err)
+		}
+		alter, ok := stmt.(*AlterStmt)
+		if !ok {
+			t.Fatalf("%s: got %T", tc.text, stmt)
+		}
+		if alter.Action != "SET_MODE" || alter.Mode == nil || *alter.Mode != tc.want {
+			t.Errorf("%s: parsed %+v", tc.text, alter)
+		}
+	}
+	if _, err := Parse(`ALTER DYNAMIC TABLE d SET REFRESH_MODE = SOMETIMES`); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if _, err := Parse(`ALTER DYNAMIC TABLE d SET WAREHOUSE = wh`); err == nil {
+		t.Error("SET of an unsupported property should fail")
+	}
+}
+
 func TestParseQualifiedTableName(t *testing.T) {
 	stmt, err := Parse(`SELECT dt_name FROM INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY h WHERE h.action = 'FULL'`)
 	if err != nil {

@@ -510,6 +510,35 @@ func (t *Table) ChangedSince(fromSeq, toSeq int64) bool {
 	return false
 }
 
+// ChangeVolume counts the change rows recorded across the versions in
+// (fromSeq, toSeq] without materializing change sets — the adaptive
+// refresh-mode chooser's incremental-cost signal. Data-equivalent
+// versions contribute nothing; an overwrite contributes its full row
+// count, since an incremental read across it is unsound and forces a
+// reinitialization anyway.
+func (t *Table) ChangeVolume(fromSeq, toSeq int64) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if fromSeq < 0 {
+		fromSeq = 0
+	}
+	if toSeq > int64(len(t.versions)) {
+		toSeq = int64(len(t.versions))
+	}
+	var total int64
+	for i := fromSeq; i < toSeq; i++ {
+		v := t.versions[i]
+		switch {
+		case v.DataEquivalent:
+		case v.Overwrite:
+			total += int64(v.RowCount)
+		default:
+			total += int64(v.Changes.Len())
+		}
+	}
+	return total
+}
+
 // Clone returns a zero-copy clone: a new table whose version chain shares
 // every committed version with the original. Subsequent writes to either
 // table diverge (§3.4). The clone's first own version is stamped at the

@@ -92,6 +92,10 @@ func (a *obsAdapter) RefreshRecorded(dt *core.DynamicTable, rec core.RefreshReco
 		Deleted:           rec.Deleted,
 		RowsAfter:         rec.RowsAfter,
 		SourceRowsScanned: rec.SourceRowsScanned,
+		Mode:              rec.EffectiveMode.String(),
+		ModeReason:        rec.ModeReason,
+		ChangedRows:       rec.SourceRowsChanged,
+		FullScanRows:      rec.FullScanEstimate,
 		Wave:              -1,
 		Worker:            -1,
 	}
@@ -169,6 +173,8 @@ var dynamicTablesSchema = types.Schema{Columns: []types.Column{
 	infoCol("name", types.KindString),
 	infoCol("state", types.KindString),
 	infoCol("refresh_mode", types.KindString),
+	infoCol("declared_mode", types.KindString),
+	infoCol("mode_reason", types.KindString),
 	infoCol("target_lag", types.KindString),
 	infoCol("effective_lag", types.KindInterval),
 	infoCol("warehouse", types.KindString),
@@ -191,6 +197,10 @@ var refreshHistorySchema = types.Schema{Columns: []types.Column{
 	infoCol("deleted", types.KindInt),
 	infoCol("rows_after", types.KindInt),
 	infoCol("scanned", types.KindInt),
+	infoCol("effective_mode", types.KindString),
+	infoCol("mode_reason", types.KindString),
+	infoCol("changed_rows", types.KindInt),
+	infoCol("full_scan_rows", types.KindInt),
 	infoCol("start_ts", types.KindTimestamp),
 	infoCol("end_ts", types.KindTimestamp),
 	infoCol("duration", types.KindInterval),
@@ -299,10 +309,13 @@ func (e *Engine) dynamicTablesRows() ([]types.Row, error) {
 		if !dataTS.IsZero() {
 			currentLag = types.NewInterval(now.Sub(dataTS))
 		}
+		mode, reason := dt.ModeDecision()
 		rows = append(rows, types.Row{
 			types.NewString(dt.Name),
 			types.NewString(dt.State().String()),
-			types.NewString(dt.EffectiveMode.String()),
+			types.NewString(mode.String()),
+			types.NewString(dt.DeclaredMode.String()),
+			strOrNull(reason),
 			types.NewString(targetLagText(dt.Lag)),
 			effective,
 			types.NewString(dt.Warehouse),
@@ -337,6 +350,11 @@ func (e *Engine) refreshHistoryRows() ([]types.Row, error) {
 		if ev.Worker >= 0 {
 			worker = types.NewInt(int64(ev.Worker))
 		}
+		changed, fullScan := types.Null, types.Null
+		if ev.FullScanRows > 0 {
+			changed = types.NewInt(ev.ChangedRows)
+			fullScan = types.NewInt(ev.FullScanRows)
+		}
 		rows = append(rows, types.Row{
 			types.NewString(ev.DTName),
 			tsOrNull(ev.DataTS),
@@ -346,6 +364,10 @@ func (e *Engine) refreshHistoryRows() ([]types.Row, error) {
 			types.NewInt(int64(ev.Deleted)),
 			types.NewInt(int64(ev.RowsAfter)),
 			types.NewInt(ev.SourceRowsScanned),
+			strOrNull(ev.Mode),
+			strOrNull(ev.ModeReason),
+			changed,
+			fullScan,
 			tsOrNull(ev.Start),
 			tsOrNull(ev.End),
 			duration,

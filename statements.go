@@ -813,7 +813,7 @@ func (x *executor) execAlter(stmt *sql.AlterStmt) (*Result, error) {
 		}
 		e.logRenameSwap(persist.KindSwap, stmt.Name, stmt.Target, ts)
 		return &Result{Kind: "ALTER", Message: "swapped"}, nil
-	case "SUSPEND", "RESUME", "REFRESH", "SET_LAG":
+	case "SUSPEND", "RESUME", "REFRESH", "SET_LAG", "SET_MODE":
 		entry, dt, err := e.dynamicTable(stmt.Name)
 		if err != nil {
 			return nil, err
@@ -837,11 +837,38 @@ func (x *executor) execAlter(stmt *sql.AlterStmt) (*Result, error) {
 		case "SET_LAG":
 			dt.Lag = *stmt.Lag
 			e.logAlterDT(stmt.Name, "SET_LAG", stmt.Lag)
+		case "SET_MODE":
+			// Per-DT override of the adaptive chooser: pinning to FULL or
+			// INCREMENTAL takes the DT out of adaptive control; setting it
+			// back to AUTO re-enters with a fresh (cold-start) decision.
+			if err := e.setRefreshMode(dt, *stmt.Mode); err != nil {
+				return nil, err
+			}
+			e.logAlterDTMode(stmt.Name, *stmt.Mode)
+			return &Result{Kind: "ALTER",
+				Message: fmt.Sprintf("REFRESH_MODE = %s (effective %s)", stmt.Mode, dt.CurrentMode())}, nil
 		}
 		return &Result{Kind: "ALTER", Message: stmt.Action}, nil
 	default:
 		return nil, fmt.Errorf("dyntables: unsupported ALTER action %q", stmt.Action)
 	}
+}
+
+// setRefreshMode re-declares a DT's refresh mode under the exclusive
+// statement lock: it validates the pin against the current plan (an
+// INCREMENTAL pin on a non-incrementalizable query fails), installs the
+// new declared and static effective modes, and clears any sticky
+// adaptive decision so an AUTO re-declaration starts from a cold-start
+// decision.
+func (e *Engine) setRefreshMode(dt *core.DynamicTable, mode sql.RefreshMode) error {
+	effective, err := e.ctrl.StaticMode(dt, mode)
+	if err != nil {
+		return err
+	}
+	dt.DeclaredMode = mode
+	dt.EffectiveMode = effective
+	dt.ClearAdaptiveDecision()
+	return nil
 }
 
 // execAlterSystem applies engine-wide runtime tuning. It runs under the
@@ -893,6 +920,26 @@ func (x *executor) execAlterSystem(stmt *sql.AlterSystemStmt) (*Result, error) {
 		}
 		return &Result{Kind: "ALTER SYSTEM",
 			Message: fmt.Sprintf("HISTORY_CAPACITY = %d", n)}, nil
+	case "ADAPTIVE_REFRESH":
+		// Gates the per-refresh REFRESH_MODE=AUTO chooser: 0 disables
+		// (AUTO falls back to its static resolution), 1 enables, n > 1
+		// enables with a smoothing window of n refreshes. Sticky per-DT
+		// decisions persist across a disable; re-enabling resumes from
+		// them.
+		switch {
+		case stmt.Value < 0:
+			return nil, fmt.Errorf("dyntables: ADAPTIVE_REFRESH must be >= 0 (0 = off, 1 = on, n > 1 = on with window n)")
+		case stmt.Value == 0:
+			e.ctrl.Adaptive.SetEnabled(false)
+			return &Result{Kind: "ALTER SYSTEM", Message: "ADAPTIVE_REFRESH = 0 (disabled)"}, nil
+		default:
+			e.ctrl.Adaptive.SetEnabled(true)
+			if stmt.Value > 1 {
+				e.ctrl.Adaptive.SetWindow(int(stmt.Value))
+			}
+			return &Result{Kind: "ALTER SYSTEM",
+				Message: fmt.Sprintf("ADAPTIVE_REFRESH = 1 (window %d)", e.ctrl.Adaptive.Config().Window)}, nil
+		}
 	default:
 		return nil, fmt.Errorf("dyntables: unknown system parameter %q", stmt.Param)
 	}
@@ -955,6 +1002,12 @@ func (x *executor) execExplain(stmt *sql.ExplainStmt) (*Result, error) {
 			emit(indent + l)
 		}
 	}
+	if stmt.DTName != "" {
+		if err := x.explainDynamicTable(stmt.DTName, emit, planLines); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	switch t := stmt.Target.(type) {
 	case *sql.SelectStmt:
 		bound, err := plan.NewBinder(e).BindSelect(t)
@@ -986,6 +1039,10 @@ func (x *executor) execExplain(stmt *sql.ExplainStmt) (*Result, error) {
 				mode = "declared"
 			}
 			emit(fmt.Sprintf("  refresh_mode: INCREMENTAL (%s: defining query is incrementalizable)", mode))
+			if t.Mode == sql.RefreshAuto && e.ctrl.Adaptive.Enabled() {
+				emit(fmt.Sprintf("  adaptive_refresh: enabled (window %d) — effective mode adjusts per refresh from observed change volume",
+					e.ctrl.Adaptive.Config().Window))
+			}
 		default:
 			emit(fmt.Sprintf("  refresh_mode: FULL (AUTO: %v)", incErr))
 		}
@@ -1018,6 +1075,49 @@ func (x *executor) execExplain(stmt *sql.ExplainStmt) (*Result, error) {
 	return res, nil
 }
 
+// explainDynamicTable renders EXPLAIN DYNAMIC TABLE <name>: the DT's
+// declared and effective refresh modes with the reason the effective
+// mode is in force (including the adaptive chooser's last per-refresh
+// decision and its cost signals), the frontier, and the defining
+// query's plan.
+func (x *executor) explainDynamicTable(name string, emit func(...string), planLines func(plan.Node, string)) error {
+	e := x.e
+	entry, dt, err := e.dynamicTable(name)
+	if err != nil {
+		return err
+	}
+	if !e.cat.HasPrivilege(entry.ID, catalog.PrivMonitor, x.s.Role()) {
+		return fmt.Errorf("dyntables: role %q lacks MONITOR on %s", x.s.Role(), name)
+	}
+	mode, reason := dt.ModeDecision()
+	emit(fmt.Sprintf("DYNAMIC TABLE %s", dt.Name))
+	emit(fmt.Sprintf("  state: %s", dt.State()))
+	emit(fmt.Sprintf("  declared_mode: %s", dt.DeclaredMode))
+	emit(fmt.Sprintf("  effective_mode: %s", mode))
+	emit(fmt.Sprintf("  mode_reason: %s", reason))
+	adaptiveState := "disabled"
+	if e.ctrl.Adaptive.Enabled() {
+		adaptiveState = fmt.Sprintf("enabled (window %d)", e.ctrl.Adaptive.Config().Window)
+	}
+	emit(fmt.Sprintf("  adaptive_refresh: %s", adaptiveState))
+	if rec, ok := dt.LastRecord(); ok && rec.FullScanEstimate > 0 {
+		emit(fmt.Sprintf("  last refresh: %s at %s, changed_rows=%d full_scan_estimate=%d",
+			rec.Action, rec.DataTS.UTC().Format(time.RFC3339), rec.SourceRowsChanged, rec.FullScanEstimate))
+	}
+	emit(fmt.Sprintf("  target_lag: %s", targetLagText(dt.Lag)))
+	emit(fmt.Sprintf("  warehouse: %s", dt.Warehouse))
+	if ts := dt.DataTimestamp(); !ts.IsZero() {
+		emit(fmt.Sprintf("  data_ts: %s", ts.UTC().Format(time.RFC3339)))
+	}
+	bound, err := plan.NewBinder(plan.ResolverFunc(e.resolveCatalogTable)).BindSelect(mustParseSelect(dt.Text))
+	if err != nil {
+		return err
+	}
+	emit("  plan:")
+	planLines(plan.Optimize(bound.Plan), "    ")
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // observability
 // ---------------------------------------------------------------------------
@@ -1025,9 +1125,14 @@ func (x *executor) execExplain(stmt *sql.ExplainStmt) (*Result, error) {
 // DynamicTableStatus is a monitoring snapshot; retrieving it requires the
 // MONITOR privilege (§3.4).
 type DynamicTableStatus struct {
-	Name          string
-	State         string
+	Name  string
+	State string
+	// DeclaredMode is the user's REFRESH_MODE declaration; EffectiveMode
+	// the mode currently in force (the adaptive chooser's decision for
+	// AUTO DTs) and ModeReason why.
+	DeclaredMode  string
 	EffectiveMode string
+	ModeReason    string
 	DataTimestamp time.Time
 	Lag           time.Duration
 	TargetLag     sql.TargetLag
@@ -1047,10 +1152,13 @@ func (x *executor) describe(name string) (*DynamicTableStatus, error) {
 	if !e.cat.HasPrivilege(entry.ID, catalog.PrivMonitor, role) {
 		return nil, fmt.Errorf("dyntables: role %q lacks MONITOR on %s", role, name)
 	}
+	mode, reason := dt.ModeDecision()
 	return &DynamicTableStatus{
 		Name:          dt.Name,
 		State:         dt.State().String(),
-		EffectiveMode: dt.EffectiveMode.String(),
+		DeclaredMode:  dt.DeclaredMode.String(),
+		EffectiveMode: mode.String(),
+		ModeReason:    reason,
 		DataTimestamp: dt.DataTimestamp(),
 		Lag:           dt.CurrentLag(e.clk.Now()),
 		TargetLag:     dt.Lag,

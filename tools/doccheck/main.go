@@ -1,0 +1,136 @@
+// Command doccheck fails when a Go package exports undocumented
+// identifiers — a vet-style stand-in for `revive -rule exported` that
+// needs no external dependency. It parses the non-test Go files of each
+// directory passed on the command line and reports:
+//
+//   - a missing package comment,
+//   - exported functions and methods without a doc comment,
+//   - exported types, consts and vars without a doc comment on either
+//     the declaration group or the individual spec.
+//
+// CI runs it over the public root package and the internal packages the
+// repository documents as API surface; a non-zero exit fails the build.
+//
+//	go run ./tools/doccheck . ./internal/obs ./internal/ring ...
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir> [dir...]")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, dir := range os.Args[1:] {
+		failures += checkDir(dir)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and prints a line per
+// undocumented exported identifier, returning the count.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	failures := 0
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s: exported %s %s is undocumented\n",
+			filepath.Join(dir, filepath.Base(p.Filename))+fmt.Sprintf(":%d", p.Line), kind, name)
+		failures++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, file := range pkg.Files {
+			if file.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Fprintf(os.Stderr, "%s: package %s has no package comment\n", dir, pkg.Name)
+			failures++
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && exportedReceiver(d) {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+						continue
+					}
+					// A doc comment on the group covers every spec in it
+					// (the idiomatic style for const/var blocks).
+					groupDoc := d.Doc != nil
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if groupDoc || s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									report(name.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return failures
+}
+
+// exportedReceiver reports whether a function is package API: a plain
+// function, or a method on an exported receiver type. Methods on
+// unexported types never appear in godoc and need no doc comment (they
+// usually implement an interface whose contract documents them).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver Ring[T]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
