@@ -1,0 +1,153 @@
+// Command dtserve runs a dynamic-tables engine as a network daemon,
+// serving remote concurrent sessions over the HTTP/JSON cursor protocol
+// (internal/server). It opens (or creates) a durable data directory,
+// ticks the refresh scheduler against the wall clock, and drains
+// gracefully on SIGTERM: stop ticking, fail new requests with 503,
+// finish in-flight ones, close every session and cursor, quiesce the
+// refresher and write a final checkpoint — so a restart on the same
+// data directory loses no committed data.
+//
+// Usage:
+//
+//	dtserve -addr 127.0.0.1:7844 -data /var/lib/dyntables
+//	dtserve -auth s3cret:ADMIN -auth r0:analyst   # token auth
+//	dtserve -virtual                              # virtual clock (tests)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dyntables"
+	"dyntables/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7844", "listen address")
+		dataDir  = flag.String("data", "", "durable data directory (empty: in-memory engine)")
+		virtual  = flag.Bool("virtual", false, "virtual clock instead of wall clock (advance via /v1/admin/advance)")
+		tick     = flag.Duration("tick", time.Second, "scheduler tick interval (wall-clock mode)")
+		idle     = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "reap sessions/statements idle this long (<0 disables)")
+		workers  = flag.Int("refresh-workers", 0, "refresh worker pool size (0: serial)")
+		portfile = flag.String("portfile", "", "write the bound listen address to this file (for test harnesses)")
+	)
+	tokens := make(map[string]string)
+	flag.Func("auth", "token:ROLE pair mapping a bearer token to a role (repeatable; none: open access)", func(v string) error {
+		tok, role, ok := strings.Cut(v, ":")
+		if !ok || tok == "" || role == "" {
+			return fmt.Errorf("want token:ROLE, got %q", v)
+		}
+		tokens[tok] = strings.ToUpper(role)
+		return nil
+	})
+	flag.Parse()
+
+	if err := run(*addr, *dataDir, *virtual, *tick, *idle, *workers, *portfile, tokens); err != nil {
+		log.Fatalf("dtserve: %v", err)
+	}
+}
+
+func run(addr, dataDir string, virtual bool, tick, idle time.Duration, workers int, portfile string, tokens map[string]string) error {
+	opts := []dyntables.Option{dyntables.WithConfig(dyntables.Config{RefreshWorkers: workers})}
+	if !virtual {
+		opts = append(opts, dyntables.WithWallClock())
+	}
+	var eng *dyntables.Engine
+	var err error
+	if dataDir == "" {
+		log.Printf("no -data directory: running in-memory (nothing survives restart)")
+		eng = dyntables.New(opts...)
+	} else if eng, err = dyntables.Open(dataDir, opts...); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Backend:     dyntables.NewServerBackend(eng),
+		Tokens:      tokens,
+		IdleTimeout: idle,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if portfile != "" {
+		if err := os.WriteFile(portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Wall-clock mode advances the schedule by real time; a ticker drives
+	// the due-refresh passes. Virtual mode leaves the clock to
+	// /v1/admin/advance.
+	tickStop := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		if virtual || tick <= 0 {
+			return
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-tickStop:
+				return
+			case <-t.C:
+				if err := eng.RunScheduler(); err != nil {
+					log.Printf("scheduler: %v", err)
+				}
+			}
+		}
+	}()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	mode := "wall-clock"
+	if virtual {
+		mode = "virtual-clock"
+	}
+	log.Printf("listening on %s (%s, %d auth tokens, data=%q)", ln.Addr(), mode, len(tokens), dataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	}
+
+	// Graceful drain, in dependency order: stop issuing scheduler passes
+	// (they hold the engine's statement lock), reject new protocol work,
+	// let in-flight requests finish, tear down sessions and cursors,
+	// quiesce the refresher, and only then close the engine — which
+	// writes the final checkpoint.
+	close(tickStop)
+	<-tickDone
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Shutdown()
+	eng.Refresher().Quiesce()
+	if err := eng.Close(); err != nil && !errors.Is(err, dyntables.ErrClosed) {
+		return fmt.Errorf("final checkpoint: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

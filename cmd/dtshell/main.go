@@ -27,7 +27,15 @@
 // checkpointed under DIR, survives exit, and is recovered on the next
 // start.
 //
-// Usage: dtshell [-data dir] [script.sql]   (reads stdin when no file is given)
+// With -connect ADDR the shell drives a remote dtserve daemon through
+// the HTTP cursor protocol instead of embedding an engine: the same SQL,
+// directives and meta-commands work over the wire (-token supplies the
+// bearer token for authenticated daemons), and Ctrl-C cancels the
+// running remote statement — aborting the request propagates the
+// cancellation into the server-side statement context.
+//
+// Usage: dtshell [-data dir | -connect addr [-token t]] [script.sql]
+// (reads stdin when no file is given)
 package main
 
 import (
@@ -45,8 +53,19 @@ import (
 	"dyntables"
 )
 
+// shell abstracts the embedded-engine and remote-daemon modes behind the
+// same scan loop.
+type shell interface {
+	execute(text string)
+	directive(line string)
+	metaCommand(line string)
+	close()
+}
+
 func main() {
 	dataDir := flag.String("data", "", "data directory for a durable engine (empty = in-memory)")
+	connect := flag.String("connect", "", "address of a dtserve daemon (host:port); drives it remotely instead of embedding an engine")
+	token := flag.String("token", "", "bearer token for -connect against an authenticated daemon")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -59,23 +78,21 @@ func main() {
 		in = f
 	}
 
-	var eng *dyntables.Engine
-	if *dataDir != "" {
+	var sh shell
+	if *connect != "" {
+		if *dataDir != "" {
+			log.Fatal("-connect and -data are mutually exclusive")
+		}
 		var err error
-		eng, err = dyntables.Open(*dataDir)
+		sh, err = newRemoteShell(*connect, *token)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("durable engine at %s (recovered to %s)\n", *dataDir, eng.Now().Format(time.RFC3339))
 	} else {
-		eng = dyntables.New()
+		sh = newLocalShell(*dataDir)
 	}
-	defer func() {
-		if err := eng.Close(); err != nil {
-			log.Println("close:", err)
-		}
-	}()
-	sess := eng.NewSession()
+	defer sh.close()
+
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -92,29 +109,59 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(trimmed, ".") {
-			directive(eng, sess, trimmed)
+			sh.directive(trimmed)
 			prompt(interactive, &pending)
 			continue
 		}
 		if strings.HasPrefix(trimmed, `\`) {
-			metaCommand(sess, trimmed)
+			sh.metaCommand(trimmed)
 			prompt(interactive, &pending)
 			continue
 		}
 		pending.WriteString(line)
 		pending.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			execute(sess, pending.String())
+			sh.execute(pending.String())
 			pending.Reset()
 		}
 		prompt(interactive, &pending)
 	}
 	if strings.TrimSpace(pending.String()) != "" {
-		execute(sess, pending.String())
+		sh.execute(pending.String())
 	}
 	if err := scanner.Err(); err != nil {
-		// Not log.Fatal: the deferred Close must still flush the WAL.
+		// Not log.Fatal: the deferred close must still flush the WAL.
 		log.Println(err)
+	}
+}
+
+// localShell embeds an engine in-process (the original dtshell mode).
+type localShell struct {
+	eng  *dyntables.Engine
+	sess *dyntables.Session
+}
+
+func newLocalShell(dataDir string) *localShell {
+	var eng *dyntables.Engine
+	if dataDir != "" {
+		var err error
+		eng, err = dyntables.Open(dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("durable engine at %s (recovered to %s)\n", dataDir, eng.Now().Format(time.RFC3339))
+	} else {
+		eng = dyntables.New()
+	}
+	return &localShell{eng: eng, sess: eng.NewSession()}
+}
+
+func (l *localShell) execute(text string)     { execute(l.sess, text) }
+func (l *localShell) directive(line string)   { directive(l.eng, l.sess, line) }
+func (l *localShell) metaCommand(line string) { metaCommand(l.sess, line) }
+func (l *localShell) close() {
+	if err := l.eng.Close(); err != nil {
+		log.Println("close:", err)
 	}
 }
 

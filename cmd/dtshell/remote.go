@@ -1,0 +1,234 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"dyntables/internal/server"
+)
+
+// remoteShell drives a dtserve daemon over the HTTP cursor protocol.
+// Statements run under a Ctrl-C-cancelable context: aborting the HTTP
+// request cancels the server-side statement context, so cancellation
+// propagates over the wire.
+type remoteShell struct {
+	cli  *server.Client
+	sess *server.RemoteSession
+}
+
+func newRemoteShell(addr, token string) (*remoteShell, error) {
+	cli := server.NewClient(addr, token)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := cli.Status(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("connect %s: %w", addr, err)
+	}
+	sess, err := cli.NewSession(ctx, "")
+	if err != nil {
+		return nil, fmt.Errorf("open session on %s: %w", addr, err)
+	}
+	fmt.Printf("connected to %s as %s (server now %s)\n",
+		addr, sess.Role(), st.Now.Format(time.RFC3339))
+	return &remoteShell{cli: cli, sess: sess}, nil
+}
+
+func (r *remoteShell) close() {
+	if err := r.sess.Close(); err != nil {
+		log.Println("close session:", err)
+	}
+}
+
+// cancelCtx returns a context canceled by Ctrl-C, mirroring the local
+// shell's statement cancellation.
+func cancelCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+func (r *remoteShell) execute(text string) {
+	ctx, stop := cancelCtx()
+	defer stop()
+	results, err := r.sess.ExecScript(ctx, text)
+	for _, res := range results {
+		printRemote(res)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("canceled")
+			return
+		}
+		fmt.Println("error:", err)
+	}
+}
+
+// printRemote renders one wire-protocol result the same way the local
+// shell renders a *dyntables.Result.
+func printRemote(res *server.ClientResult) {
+	switch {
+	case res.Kind == "EXPLAIN":
+		for _, row := range res.Rows {
+			fmt.Println(cell(row[0]))
+		}
+	case len(res.Columns) > 0:
+		printRemoteTable(res)
+	case res.RowsAffected > 0:
+		fmt.Printf("%s: %d rows\n", res.Kind, res.RowsAffected)
+	case res.Message != "":
+		fmt.Println(res.Message)
+	default:
+		fmt.Println(res.Kind, "ok")
+	}
+}
+
+func printRemoteTable(res *server.ClientResult) {
+	header := strings.Join(res.Columns, " | ")
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = cell(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+// cell formats one decoded JSON value for table output.
+func cell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case json.Number:
+		return x.String()
+	case string:
+		return x
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func (r *remoteShell) metaCommand(line string) {
+	ctx, stop := cancelCtx()
+	defer stop()
+	fields := strings.Fields(line)
+	runShow := func(stmt string) {
+		res, err := r.sess.Exec(ctx, stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printRemoteTable(res)
+	}
+	switch fields[0] {
+	case `\dt`:
+		runShow(`SHOW DYNAMIC TABLES`)
+	case `\dw`:
+		runShow(`SHOW WAREHOUSES`)
+	case `\d`:
+		if len(fields) < 2 {
+			fmt.Println(`usage: \d <name>`)
+			return
+		}
+		r.describeObject(ctx, fields[1])
+	default:
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>)`)
+	}
+}
+
+func (r *remoteShell) describeObject(ctx context.Context, name string) {
+	res, err := r.sess.Exec(ctx, fmt.Sprintf(`SELECT * FROM %s LIMIT 0`, name))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %s\n", name, strings.Join(res.Columns, ", "))
+	dtInfo, err := r.sess.Exec(ctx,
+		`SELECT state, refresh_mode, declared_mode, mode_reason, target_lag, rows, data_ts, slo_attainment
+		 FROM INFORMATION_SCHEMA.DYNAMIC_TABLES WHERE name = ?`, name)
+	if err == nil && len(dtInfo.Rows) == 1 {
+		row := dtInfo.Rows[0]
+		fmt.Printf("dynamic table: state=%s mode=%s (declared %s) target_lag=%s rows=%s data_ts=%s slo=%s\n",
+			cell(row[0]), cell(row[1]), cell(row[2]), cell(row[4]), cell(row[5]), cell(row[6]), cell(row[7]))
+		if row[3] != nil {
+			fmt.Printf("mode reason: %s\n", cell(row[3]))
+		}
+	}
+}
+
+func (r *remoteShell) directive(line string) {
+	ctx, stop := cancelCtx()
+	defer stop()
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".advance":
+		if len(fields) < 2 {
+			fmt.Println("usage: .advance <duration>")
+			return
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if err := r.cli.Advance(ctx, d); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		st, err := r.cli.Status(ctx)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("advanced to %s\n", st.Now.Format(time.RFC3339))
+	case ".refresh":
+		if len(fields) < 2 {
+			fmt.Println("usage: .refresh <dynamic table>")
+			return
+		}
+		if _, err := r.sess.Exec(ctx, fmt.Sprintf(`ALTER DYNAMIC TABLE %s REFRESH`, fields[1])); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("refreshed", fields[1])
+	case ".status":
+		if len(fields) < 2 {
+			fmt.Println("usage: .status <dynamic table>")
+			return
+		}
+		r.describeObject(ctx, fields[1])
+	case ".dvs":
+		fmt.Println("error: .dvs needs an embedded engine; not supported over -connect")
+	case ".role":
+		if len(fields) < 2 {
+			fmt.Println("usage: .role <name>")
+			return
+		}
+		if err := r.sess.SetRole(ctx, fields[1]); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("role set to", fields[1])
+	case ".warehouses":
+		res, err := r.sess.Exec(ctx, `SHOW WAREHOUSES`)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printRemoteTable(res)
+	case ".checkpoint":
+		if err := r.cli.Checkpoint(ctx); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println("checkpoint written")
+	default:
+		fmt.Println("unknown directive", fields[0])
+	}
+}

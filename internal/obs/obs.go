@@ -122,6 +122,33 @@ type MeterPoint struct {
 	Credits float64
 }
 
+// RequestEvent is one network-protocol request served by the engine's
+// HTTP server (internal/server): the route it hit, its outcome, and the
+// protocol objects it touched. Unlike the refresh rings, requests are
+// timed in host wall-clock time — they measure the serving path, not the
+// virtual refresh timeline.
+type RequestEvent struct {
+	// Seq orders request observations recorder-globally.
+	Seq int64
+	// Method is the HTTP method and Endpoint the registered route pattern
+	// (not the raw URL, so requests aggregate per endpoint).
+	Method, Endpoint string
+	// Status is the HTTP response status code.
+	Status int
+	// Role is the role the request ran under; empty for unauthenticated
+	// routes.
+	Role string
+	// SessionID and StatementID tie the request to protocol objects when
+	// it addressed one; empty otherwise.
+	SessionID, StatementID string
+	// Rows counts result rows carried in the response body.
+	Rows int
+	// Start is the request's wall-clock arrival and Duration the host
+	// time spent serving it.
+	Start    time.Time
+	Duration time.Duration
+}
+
 // SLOStats aggregates a DT's lag-SLO attainment over the recorded
 // sawtooth window.
 type SLOStats struct {
@@ -150,6 +177,7 @@ type Recorder struct {
 	lags      map[string]*ring.Ring[LagSample]
 	meter     map[string]*ring.Ring[MeterPoint]
 	edges     *ring.Ring[GraphEdge]
+	requests  *ring.Ring[RequestEvent]
 }
 
 // NewRecorder creates a recorder with the given per-ring capacity;
@@ -165,6 +193,7 @@ func NewRecorder(capacity int) *Recorder {
 		lags:      make(map[string]*ring.Ring[LagSample]),
 		meter:     make(map[string]*ring.Ring[MeterPoint]),
 		edges:     ring.New[GraphEdge](capacity),
+		requests:  ring.New[RequestEvent](capacity),
 	}
 }
 
@@ -218,6 +247,7 @@ func (r *Recorder) SetCapacity(n int) {
 		rg.Resize(n)
 	}
 	r.edges.Resize(n)
+	r.requests.Resize(n)
 }
 
 // RecordRefresh appends a refresh event to the DT's history ring,
@@ -309,6 +339,26 @@ func (r *Recorder) RecordJob(p MeterPoint) {
 		r.meter[p.Warehouse] = rg
 	}
 	rg.Push(p)
+}
+
+// RecordRequest appends a served-request event to the request ring,
+// assigning its sequence number.
+func (r *Recorder) RecordRequest(ev RequestEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	r.requests.Push(ev)
+}
+
+// Requests returns a copy of the served-request events, oldest first.
+func (r *Recorder) Requests() []RequestEvent {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.requests.Snapshot()
 }
 
 // HistoryLen returns how many refresh events one DT's ring retains,

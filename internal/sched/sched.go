@@ -72,10 +72,20 @@ type Stats struct {
 }
 
 // Scheduler drives refreshes against virtual time. All methods are safe
-// for concurrent use: a single mutex serializes scheduler passes and
-// tracking changes, so concurrent sessions can run the scheduler and issue
-// DDL without racing on its internal state.
+// for concurrent use. Two locks split the roles: tickMu serializes
+// scheduler passes (Step/RunUntil) so ticks never interleave, while mu
+// guards the cadence and series state and is held only for the policy
+// pass and the result fold — never across refresh execution. Monitoring
+// readers (Stats, LagSeries, EffectiveLag, ...) therefore return
+// immediately even while a wave is running, instead of stalling for the
+// wave makespan.
 type Scheduler struct {
+	// tickMu serializes scheduler passes; it is always acquired before mu
+	// and held across an entire Step/RunUntil call.
+	tickMu sync.Mutex
+	// mu guards all fields below. It is released around
+	// Refresher.ExecuteTick so monitoring accessors stay responsive
+	// mid-wave.
 	mu    sync.Mutex
 	clk   *clock.Virtual
 	ctrl  *core.Controller
@@ -355,13 +365,14 @@ func (s *Scheduler) nextFire(dt *core.DynamicTable, after time.Time) (time.Time,
 // refreshing every DT due at that instant upstream-first. It reports
 // whether anything was processed.
 func (s *Scheduler) Step(limit time.Time) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
 	return s.step(limit)
 }
 
-// step is Step with the scheduler lock held.
+// step is Step with tickMu held; it takes (and drops) mu itself.
 func (s *Scheduler) step(limit time.Time) (bool, error) {
+	s.mu.Lock()
 	var earliest time.Time
 	found := false
 	for _, dt := range s.dts {
@@ -380,17 +391,19 @@ func (s *Scheduler) step(limit time.Time) (bool, error) {
 		if limit.After(s.cursor) {
 			s.cursor = limit
 		}
+		s.mu.Unlock()
 		return false, nil
 	}
 	s.cursor = earliest
+	s.mu.Unlock()
 	s.clk.AdvanceTo(earliest)
 	return true, s.fireAt(earliest)
 }
 
 // RunUntil processes every pending fire instant up to t.
 func (s *Scheduler) RunUntil(t time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
 	for {
 		processed, err := s.step(t)
 		if err != nil {
@@ -407,7 +420,11 @@ func (s *Scheduler) RunUntil(t time.Time) error {
 // repair, E11), hands the due set to the refresher — which partitions it
 // into dependency waves and runs each wave concurrently — and folds the
 // results back into the stats, busy windows and the Figure 4 sawtooth.
+// The policy pass and the result fold run under mu; execution does not,
+// so a long wave never blocks monitoring accessors. tickMu (held by the
+// caller) keeps concurrent passes from interleaving around the gap.
 func (s *Scheduler) fireAt(at time.Time) error {
+	s.mu.Lock()
 	var due []*core.DynamicTable
 	for _, dt := range s.dts {
 		if dt.State() == core.StateSuspended {
@@ -447,13 +464,19 @@ func (s *Scheduler) fireAt(at time.Time) error {
 		executing[dt] = true
 	}
 
+	exactPeriods := s.ExactPeriods
+	exec := s.refresherLocked()
+	s.mu.Unlock()
+
 	// Under exact periods, upstream data timestamps misalign; repair by
 	// issuing extra upstream refreshes at this timestamp (the cost the
 	// canonical periods avoid, §5.2 / E11). Upstreams executing in this
 	// very tick need no repair: they refresh in an earlier wave, so their
 	// version exists by the time the downstream resolves it — exactly as
-	// under serial topo-ordered scheduling.
-	if s.ExactPeriods {
+	// under serial topo-ordered scheduling. The repair refreshes run
+	// outside mu (they are real controller refreshes, not policy).
+	extraUpstream := 0
+	if exactPeriods {
 		for _, req := range reqs {
 			ups, err := s.ctrl.Upstreams(req.DT)
 			if err != nil {
@@ -465,14 +488,18 @@ func (s *Scheduler) fireAt(at time.Time) error {
 				}
 				if _, ok := up.VersionAtDataTS(at); !ok {
 					if _, err := s.ctrl.Refresh(up, at); err == nil {
-						s.stats.ExtraUpstreamRefreshes++
+						extraUpstream++
 					}
 				}
 			}
 		}
 	}
 
-	results, err := s.refresherLocked().ExecuteTick(reqs)
+	results, err := exec.ExecuteTick(reqs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.ExtraUpstreamRefreshes += extraUpstream
 	if err != nil {
 		return err
 	}

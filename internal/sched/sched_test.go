@@ -13,6 +13,7 @@ import (
 	"dyntables/internal/delta"
 	"dyntables/internal/hlc"
 	"dyntables/internal/plan"
+	"dyntables/internal/refresher"
 	"dyntables/internal/sql"
 	"dyntables/internal/storage"
 	"dyntables/internal/txn"
@@ -324,5 +325,78 @@ func TestAccessorsAreDefensiveCopiesUnderConcurrentTicks(t *testing.T) {
 		if p.PeakLag < 0 || p.TroughLag < 0 {
 			t.Fatalf("reader mutation leaked into the lag series: %+v", p)
 		}
+	}
+}
+
+func TestMonitoringAccessorsReturnMidWave(t *testing.T) {
+	// Regression: fireAt used to hold the scheduler mutex across the whole
+	// wave, so Stats/LagSeriesAll stalled for the wave makespan. A
+	// quiesced refresher stalls ExecuteTick indefinitely — the accessors
+	// must still return while the wave is (apparently) running.
+	h := newDTHarness(t)
+	src := h.baseTable("src")
+	dt := h.dt("d", "SELECT a FROM src", lagOf(2*time.Minute))
+
+	var cs delta.ChangeSet
+	cs.AddInsert(src.NextRowID(), types.Row{types.NewInt(1)})
+	at := schedT0.Add(10 * time.Second)
+	if _, err := src.Apply(cs, hlc.Timestamp{WallMicros: at.UnixMicro()}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(h.clk, h.ctrl, h.pool, warehouse.DefaultCostModel, schedT0, 0)
+	s.Track(dt)
+	r := refresher.New(h.ctrl, h.pool, warehouse.DefaultCostModel, 1)
+	s.SetRefresher(r)
+
+	r.Quiesce() // the next ExecuteTick blocks until Resume
+	done := make(chan error, 1)
+	go func() { done <- s.RunUntil(schedT0.Add(5 * time.Minute)) }()
+
+	// The policy pass precedes execution, so Scheduled turning positive
+	// means the tick has started; from then on the wave is stalled inside
+	// ExecuteTick. Stats itself is the call under test, so poll it with a
+	// watchdog instead of sleeping blindly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		statsc := make(chan Stats, 1)
+		go func() { statsc <- s.Stats() }()
+		var st Stats
+		select {
+		case st = <-statsc:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Stats blocked during a stalled wave")
+		}
+		if st.Scheduled > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tick never reached its policy pass")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Every other monitoring accessor must stay responsive mid-wave too.
+	acc := make(chan struct{})
+	go func() {
+		_ = s.LagSeriesAll()
+		_ = s.LagSeries(dt)
+		_ = s.EffectiveLag(dt)
+		_ = s.Period(dt)
+		_ = s.Cursor()
+		close(acc)
+	}()
+	select {
+	case <-acc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("monitoring accessors blocked during a stalled wave")
+	}
+
+	r.Resume()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Initialize+st.Incremental+st.Full == 0 {
+		t.Errorf("stalled wave never completed after Resume: %+v", st)
 	}
 }

@@ -1,0 +1,99 @@
+// Package server serves a dynamic-tables engine to remote concurrent
+// sessions over an HTTP/JSON cursor protocol. The same statement surface
+// that works in-process through the Session API works over the wire:
+// sessions map one-to-one onto engine sessions, statements execute with
+// bind parameters, and SELECT results stream through paged cursor
+// fetches backed by the engine's pinned-snapshot Rows iterator — the
+// server never buffers a whole result set for a cursor statement.
+//
+// The package is engine-agnostic by construction: it drives the narrow
+// Backend/Session/Cursor interfaces below, and the root dyntables
+// package adapts the real engine onto them (NewServerBackend). That
+// keeps the dependency arrow pointing outward — the engine does not
+// import the server, the server does not import the engine — so the
+// protocol, the Go client and the handler logic are testable against
+// the engine without an import cycle.
+package server
+
+import (
+	"context"
+	"time"
+
+	"dyntables/internal/obs"
+	"dyntables/internal/types"
+)
+
+// Result is a buffered statement outcome: DDL/DML acknowledgements,
+// SHOW/EXPLAIN output, and non-cursor SELECTs. It mirrors the engine's
+// result shape structurally so the adapter is a field-for-field copy.
+type Result struct {
+	// Kind labels the statement class (SELECT, CREATE, INSERT, ...).
+	Kind string
+	// Columns and Rows carry tabular output for row-producing statements.
+	Columns []string
+	Rows    [][]types.Value
+	// RowsAffected counts rows written by DML.
+	RowsAffected int
+	// Message is a human-readable acknowledgement for DDL and commands.
+	Message string
+}
+
+// Cursor is a streaming query cursor over a pinned snapshot. The
+// engine's *Rows satisfies it directly. Cursors are not safe for
+// concurrent use; the server serializes access per statement.
+type Cursor interface {
+	// Columns returns the result column names.
+	Columns() []string
+	// Next advances to the next row, reporting false at exhaustion or
+	// error.
+	Next() bool
+	// Row returns the current row; valid until the next call to Next.
+	Row() types.Row
+	// Err returns the terminal error, if any, once Next returns false.
+	Err() error
+	// Close releases the cursor and its pinned snapshot; idempotent.
+	Close() error
+}
+
+// Session is the per-connection execution surface the server drives —
+// the engine session narrowed to what the protocol needs. Named
+// arguments travel as a plain map so the wire layer never depends on
+// the engine's argument wrapper types.
+type Session interface {
+	// SetRole switches the session's active role.
+	SetRole(role string)
+	// Role returns the session's active role.
+	Role() string
+	// ExecContext parses, binds and executes one statement, buffering
+	// its result. pos carries positional (?) bindings, named the :name
+	// bindings; at most one of the two may be non-empty.
+	ExecContext(ctx context.Context, text string, pos []any, named map[string]any) (*Result, error)
+	// ExecScriptContext executes a multi-statement script, stopping at
+	// the first error.
+	ExecScriptContext(ctx context.Context, text string) ([]*Result, error)
+	// QueryContext executes a SELECT and returns a streaming cursor
+	// pinned to a consistent snapshot.
+	QueryContext(ctx context.Context, text string, pos []any, named map[string]any) (Cursor, error)
+	// Close releases the session; open cursors become invalid.
+	Close() error
+}
+
+// Backend is the engine surface the server exposes: session creation
+// plus the handful of engine-level operations the protocol's admin
+// endpoints map onto.
+type Backend interface {
+	// NewSession opens a fresh engine session (default role).
+	NewSession() Session
+	// Now returns the engine clock's current (possibly virtual) time.
+	Now() time.Time
+	// AdvanceTime advances a virtual engine clock and returns the new
+	// now; wall-clock engines ignore the delta.
+	AdvanceTime(d time.Duration) time.Time
+	// RunScheduler processes due refreshes up to the engine clock's now.
+	RunScheduler() error
+	// Checkpoint forces a durability checkpoint; a no-op for in-memory
+	// engines.
+	Checkpoint() error
+	// Recorder is the observability sink for per-request metrics.
+	Recorder() *obs.Recorder
+}

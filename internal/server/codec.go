@@ -1,0 +1,186 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"dyntables/internal/types"
+)
+
+// The wire representation splits by direction. Bind arguments travel
+// client→server as tagged values (wireArg) so 64-bit integers survive
+// JSON without float rounding and timestamps/intervals keep their type.
+// Result rows travel server→client as plain JSON values — readable from
+// any HTTP client — with timestamps as RFC 3339 strings and intervals
+// as Go duration strings; the Go client decodes numbers with
+// json.Number to preserve integer precision.
+
+// wireArg is one tagged bind argument.
+type wireArg struct {
+	// Name is set for :name bindings, empty for positional ones.
+	Name string `json:"name,omitempty"`
+	// T tags the value type: null, int, float, str, bool, ts, dur, json.
+	T string `json:"t"`
+	// S carries int (decimal), ts (RFC 3339) and dur (Go duration)
+	// payloads as text; Str carries strings verbatim.
+	S string `json:"s,omitempty"`
+	// F carries float payloads.
+	F float64 `json:"f,omitempty"`
+	// B carries bool payloads.
+	B bool `json:"b,omitempty"`
+	// J carries VARIANT payloads as raw JSON.
+	J json.RawMessage `json:"j,omitempty"`
+}
+
+// encodeArg converts a Go bind value to its tagged wire form.
+func encodeArg(v any) (wireArg, error) {
+	switch x := v.(type) {
+	case nil:
+		return wireArg{T: "null"}, nil
+	case bool:
+		return wireArg{T: "bool", B: x}, nil
+	case int:
+		return wireArg{T: "int", S: strconv.FormatInt(int64(x), 10)}, nil
+	case int8:
+		return wireArg{T: "int", S: strconv.FormatInt(int64(x), 10)}, nil
+	case int16:
+		return wireArg{T: "int", S: strconv.FormatInt(int64(x), 10)}, nil
+	case int32:
+		return wireArg{T: "int", S: strconv.FormatInt(int64(x), 10)}, nil
+	case int64:
+		return wireArg{T: "int", S: strconv.FormatInt(x, 10)}, nil
+	case uint8:
+		return wireArg{T: "int", S: strconv.FormatUint(uint64(x), 10)}, nil
+	case uint16:
+		return wireArg{T: "int", S: strconv.FormatUint(uint64(x), 10)}, nil
+	case uint32:
+		return wireArg{T: "int", S: strconv.FormatUint(uint64(x), 10)}, nil
+	case float32:
+		return wireArg{T: "float", F: float64(x)}, nil
+	case float64:
+		return wireArg{T: "float", F: x}, nil
+	case string:
+		return wireArg{T: "str", S: x}, nil
+	case time.Time:
+		return wireArg{T: "ts", S: x.UTC().Format(time.RFC3339Nano)}, nil
+	case time.Duration:
+		return wireArg{T: "dur", S: x.String()}, nil
+	case json.Number:
+		if i, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+			return wireArg{T: "int", S: strconv.FormatInt(i, 10)}, nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return wireArg{}, fmt.Errorf("bind arg: bad number %q", x)
+		}
+		return wireArg{T: "float", F: f}, nil
+	case map[string]any, []any:
+		raw, err := json.Marshal(x)
+		if err != nil {
+			return wireArg{}, fmt.Errorf("bind arg: %w", err)
+		}
+		return wireArg{T: "json", J: raw}, nil
+	default:
+		return wireArg{}, fmt.Errorf("bind arg: unsupported type %T", v)
+	}
+}
+
+// decodeArg converts a tagged wire value back to the Go bind value the
+// engine session accepts.
+func decodeArg(a wireArg) (any, error) {
+	switch a.T {
+	case "null":
+		return nil, nil
+	case "bool":
+		return a.B, nil
+	case "int":
+		i, err := strconv.ParseInt(a.S, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bind arg: bad int %q", a.S)
+		}
+		return i, nil
+	case "float":
+		return a.F, nil
+	case "str":
+		return a.S, nil
+	case "ts":
+		t, err := time.Parse(time.RFC3339Nano, a.S)
+		if err != nil {
+			return nil, fmt.Errorf("bind arg: bad timestamp %q", a.S)
+		}
+		return t, nil
+	case "dur":
+		d, err := time.ParseDuration(a.S)
+		if err != nil {
+			return nil, fmt.Errorf("bind arg: bad duration %q", a.S)
+		}
+		return d, nil
+	case "json":
+		var v any
+		if err := json.Unmarshal(a.J, &v); err != nil {
+			return nil, fmt.Errorf("bind arg: bad json: %w", err)
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("bind arg: unknown tag %q", a.T)
+	}
+}
+
+// decodeArgs splits tagged wire arguments into the positional slice and
+// named map the Session interface takes.
+func decodeArgs(args []wireArg) (pos []any, named map[string]any, err error) {
+	for _, a := range args {
+		v, err := decodeArg(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if a.Name != "" {
+			if named == nil {
+				named = make(map[string]any)
+			}
+			named[a.Name] = v
+			continue
+		}
+		pos = append(pos, v)
+	}
+	return pos, named, nil
+}
+
+// encodeValue renders one result cell as a plain JSON value.
+func encodeValue(v types.Value) any {
+	switch v.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindInt:
+		return v.Int()
+	case types.KindFloat:
+		return v.Float()
+	case types.KindString:
+		return v.Str()
+	case types.KindBool:
+		return v.Bool()
+	case types.KindTimestamp:
+		return v.Time().UTC().Format(time.RFC3339Nano)
+	case types.KindInterval:
+		return v.Interval().String()
+	case types.KindVariant:
+		return v.Variant()
+	default:
+		return v.String()
+	}
+}
+
+// encodeRows renders result rows for the wire.
+func encodeRows(rows [][]types.Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		enc := make([]any, len(row))
+		for j, v := range row {
+			enc[j] = encodeValue(v)
+		}
+		out[i] = enc
+	}
+	return out
+}

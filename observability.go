@@ -29,6 +29,7 @@ const (
 	InfoSchemaRefreshHistory    = "INFORMATION_SCHEMA.DYNAMIC_TABLE_REFRESH_HISTORY"
 	InfoSchemaGraphHistory      = "INFORMATION_SCHEMA.DYNAMIC_TABLE_GRAPH_HISTORY"
 	InfoSchemaWarehouseMetering = "INFORMATION_SCHEMA.WAREHOUSE_METERING_HISTORY"
+	InfoSchemaServerRequests    = "INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY"
 )
 
 // initObservability builds the recorder, layers the virtual-table
@@ -232,6 +233,19 @@ var warehouseMeteringSchema = types.Schema{Columns: []types.Column{
 	infoCol("seq", types.KindInt),
 }}
 
+var serverRequestsSchema = types.Schema{Columns: []types.Column{
+	infoCol("method", types.KindString),
+	infoCol("endpoint", types.KindString),
+	infoCol("status", types.KindInt),
+	infoCol("role", types.KindString),
+	infoCol("session_id", types.KindString),
+	infoCol("statement_id", types.KindString),
+	infoCol("rows", types.KindInt),
+	infoCol("start_ts", types.KindTimestamp),
+	infoCol("duration", types.KindInterval),
+	infoCol("seq", types.KindInt),
+}}
+
 // registerInfoSchema registers the virtual tables with the resolver
 // layer. Each Rows callback materializes the current metadata snapshot
 // at bind time, so the whole planner — filters, joins, aggregation,
@@ -252,6 +266,10 @@ func (e *Engine) registerInfoSchema() {
 	e.virt.Register(&plan.VirtualTable{
 		Name: InfoSchemaWarehouseMetering, Schema: warehouseMeteringSchema,
 		Rows: e.warehouseMeteringRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaServerRequests, Schema: serverRequestsSchema,
+		Rows: e.serverRequestsRows,
 	})
 }
 
@@ -416,6 +434,31 @@ func (e *Engine) warehouseMeteringRows() ([]types.Row, error) {
 			types.NewInt(p.Rows),
 			types.NewFloat(p.Credits),
 			types.NewInt(p.Seq),
+		})
+	}
+	return rows, nil
+}
+
+// serverRequestsRows builds INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY
+// from the recorder's served-request ring (populated by the network
+// server's per-endpoint metrics middleware; empty for embedded engines).
+// Request timings are host wall-clock — they describe the serving path,
+// not the virtual refresh timeline.
+func (e *Engine) serverRequestsRows() ([]types.Row, error) {
+	events := e.rec.Requests()
+	rows := make([]types.Row, 0, len(events))
+	for _, ev := range events {
+		rows = append(rows, types.Row{
+			types.NewString(ev.Method),
+			types.NewString(ev.Endpoint),
+			types.NewInt(int64(ev.Status)),
+			strOrNull(ev.Role),
+			strOrNull(ev.SessionID),
+			strOrNull(ev.StatementID),
+			types.NewInt(int64(ev.Rows)),
+			tsOrNull(ev.Start),
+			types.NewInterval(ev.Duration),
+			types.NewInt(ev.Seq),
 		})
 	}
 	return rows, nil

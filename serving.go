@@ -1,0 +1,108 @@
+package dyntables
+
+import (
+	"context"
+	"time"
+
+	"dyntables/internal/obs"
+	"dyntables/internal/server"
+)
+
+// This file adapts the engine onto the network server's backend
+// interfaces (internal/server): the server package defines what it
+// needs — sessions, buffered results, streaming cursors, a few
+// engine-level admin hooks — and the adapter below maps those onto the
+// real Session API. The dependency arrow points outward only (the
+// server never imports the engine), so cmd/dtserve composes the two
+// halves without an import cycle.
+
+// NewServerBackend adapts the engine for the HTTP cursor-protocol
+// server: sessions map onto NewSession, buffered results convert
+// field-for-field, and streaming cursors are the engine's own Rows
+// (pinned snapshots included). Pass the result to server.New.
+func NewServerBackend(e *Engine) server.Backend { return &serverBackend{e: e} }
+
+type serverBackend struct{ e *Engine }
+
+// NewSession implements server.Backend.
+func (b *serverBackend) NewSession() server.Session {
+	return &serverSession{s: b.e.NewSession()}
+}
+
+// Now implements server.Backend.
+func (b *serverBackend) Now() time.Time { return b.e.Now() }
+
+// AdvanceTime implements server.Backend.
+func (b *serverBackend) AdvanceTime(d time.Duration) time.Time { return b.e.AdvanceTime(d) }
+
+// RunScheduler implements server.Backend.
+func (b *serverBackend) RunScheduler() error { return b.e.RunScheduler() }
+
+// Checkpoint implements server.Backend.
+func (b *serverBackend) Checkpoint() error { return b.e.Checkpoint() }
+
+// Recorder implements server.Backend.
+func (b *serverBackend) Recorder() *obs.Recorder { return b.e.Observability() }
+
+type serverSession struct{ s *Session }
+
+// callArgs merges the wire's positional and named bindings back into
+// the variadic form ExecContext/QueryContext take.
+func callArgs(pos []any, named map[string]any) []any {
+	args := make([]any, 0, len(pos)+len(named))
+	args = append(args, pos...)
+	for name, v := range named {
+		args = append(args, Named(name, v))
+	}
+	return args
+}
+
+// SetRole implements server.Session.
+func (ss *serverSession) SetRole(role string) { ss.s.SetRole(role) }
+
+// Role implements server.Session.
+func (ss *serverSession) Role() string { return ss.s.Role() }
+
+// ExecContext implements server.Session.
+func (ss *serverSession) ExecContext(ctx context.Context, text string, pos []any, named map[string]any) (*server.Result, error) {
+	res, err := ss.s.ExecContext(ctx, text, callArgs(pos, named)...)
+	if err != nil {
+		return nil, err
+	}
+	return toServerResult(res), nil
+}
+
+// ExecScriptContext implements server.Session.
+func (ss *serverSession) ExecScriptContext(ctx context.Context, text string) ([]*server.Result, error) {
+	results, err := ss.s.ExecScriptContext(ctx, text)
+	out := make([]*server.Result, len(results))
+	for i, res := range results {
+		out[i] = toServerResult(res)
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// QueryContext implements server.Session.
+func (ss *serverSession) QueryContext(ctx context.Context, text string, pos []any, named map[string]any) (server.Cursor, error) {
+	rows, err := ss.s.QueryContext(ctx, text, callArgs(pos, named)...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Close implements server.Session.
+func (ss *serverSession) Close() error { return ss.s.Close() }
+
+func toServerResult(res *Result) *server.Result {
+	return &server.Result{
+		Kind:         res.Kind,
+		Columns:      res.Columns,
+		Rows:         res.Rows,
+		RowsAffected: res.RowsAffected,
+		Message:      res.Message,
+	}
+}

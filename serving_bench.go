@@ -1,0 +1,287 @@
+package dyntables
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyntables/internal/server"
+	"dyntables/internal/warehouse"
+)
+
+// ServerBenchResult measures the network server under remote concurrent
+// sessions: `Sessions` clients connect over the HTTP cursor protocol and
+// run a mixed workload — point reads with bind parameters, streaming
+// paged cursors, per-session DDL and metadata queries — while a
+// saturator thread keeps the refresher busy with back-to-back fan-out
+// refresh waves. Latencies are whole-statement round trips (cursor ops
+// include draining every page).
+type ServerBenchResult struct {
+	Sessions      int `json:"sessions"`
+	OpsPerSession int `json:"ops_per_session"`
+	TotalOps      int `json:"total_ops"`
+	Errors        int `json:"errors"`
+
+	// Whole-run wall time and statement throughput.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+
+	// Whole-statement round-trip latency percentiles.
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+
+	// Refresher pressure while the clients ran: completed scheduler
+	// passes and refreshes they executed.
+	RefreshWaves       int      `json:"refresh_waves"`
+	RefreshesExecuted  int      `json:"refreshes_executed"`
+	OpenCursorsAfter   int      `json:"open_cursors_after"`
+	FirstErrorMessages []string `json:"first_errors,omitempty"`
+}
+
+// RunServerBench starts an in-memory engine behind the HTTP server,
+// saturates the refresher with the fan-out DAG workload, and drives
+// `sessions` concurrent remote sessions of `opsPerSession` mixed
+// statements each. It fails if any statement errors or a cursor leaks;
+// the caller gates the reported p99.
+func RunServerBench(sessions, opsPerSession int) (*ServerBenchResult, error) {
+	const (
+		kvRows   = 1000
+		baseRows = 2000
+		siblings = 8
+	)
+	e := New(
+		WithConfig(Config{RefreshWorkers: 4, DeltaParallelism: 4}),
+		WithCostModel(warehouse.CostModel{Fixed: 2 * time.Second, PerRow: time.Millisecond}),
+	)
+	defer e.ForceClose()
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+
+	// Point-read target.
+	s.MustExec(`CREATE TABLE kv (k INT, v INT)`)
+	batch := ""
+	for i := 0; i < kvRows; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d)", i, i*3)
+		if (i+1)%500 == 0 || i == kvRows-1 {
+			s.MustExec(`INSERT INTO kv VALUES ` + batch)
+			batch = ""
+		}
+	}
+
+	// Refresh workload: the PR-3 fan-out DAG (base → siblings → rollup).
+	s.MustExec(`CREATE TABLE base (k INT, grp INT, v INT)`)
+	batch = ""
+	for i := 0; i < baseRows; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %d)", i, i%37, i%101)
+		if (i+1)%500 == 0 || i == baseRows-1 {
+			s.MustExec(`INSERT INTO base VALUES ` + batch)
+			batch = ""
+		}
+	}
+	for i := 0; i < siblings; i++ {
+		s.MustExec(fmt.Sprintf(
+			`CREATE DYNAMIC TABLE s_%02d TARGET_LAG = '2 minutes' WAREHOUSE = wh
+			 AS SELECT grp, count(*) c, sum(v) total FROM base WHERE grp %% %d = %d GROUP BY grp`,
+			i, siblings, i))
+	}
+	rollup := `CREATE DYNAMIC TABLE rollup TARGET_LAG = '2 minutes' WAREHOUSE = wh AS `
+	for i := 0; i < siblings; i++ {
+		if i > 0 {
+			rollup += ` UNION ALL `
+		}
+		rollup += fmt.Sprintf(`SELECT grp, c, total FROM s_%02d`, i)
+	}
+	s.MustExec(rollup)
+	e.AdvanceTime(2 * time.Minute)
+	if err := e.RunScheduler(); err != nil {
+		return nil, err
+	}
+
+	srv := server.New(server.Config{Backend: NewServerBackend(e)})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	defer srv.Shutdown()
+	addr := ln.Addr().String()
+
+	// Saturator: batched inserts + a clock step + a scheduler pass, in a
+	// tight loop until the clients finish. Every pass refreshes the whole
+	// DAG, so statements always contend with live refresh waves.
+	statsBefore := e.Scheduler().Stats()
+	var waves atomic.Int64
+	satStop := make(chan struct{})
+	satDone := make(chan struct{})
+	go func() {
+		defer close(satDone)
+		sat := e.NewSession()
+		next := baseRows
+		for round := 0; ; round++ {
+			select {
+			case <-satStop:
+				return
+			default:
+			}
+			batch := ""
+			for i := 0; i < 100; i++ {
+				if batch != "" {
+					batch += ", "
+				}
+				batch += fmt.Sprintf("(%d, %d, %d)", next, next%37, next%89)
+				next++
+			}
+			if _, err := sat.ExecContext(context.Background(), `INSERT INTO base VALUES `+batch); err != nil {
+				return
+			}
+			e.AdvanceTime(2 * time.Minute)
+			if err := e.RunScheduler(); err != nil {
+				return
+			}
+			waves.Add(1)
+		}
+	}()
+
+	// Shared transport so `sessions` goroutines reuse connections instead
+	// of exhausting ephemeral ports.
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4096,
+		MaxIdleConnsPerHost: 4096,
+	}}
+
+	ctx := context.Background()
+	latCh := make(chan []time.Duration, sessions)
+	errCh := make(chan error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < sessions; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lats, err := runBenchSession(ctx, addr, hc, id, opsPerSession, kvRows)
+			latCh <- lats
+			if err != nil {
+				errCh <- err
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+	close(errCh)
+	close(satStop)
+	<-satDone
+
+	var lats []time.Duration
+	for l := range latCh {
+		lats = append(lats, l...)
+	}
+	var firstErrs []string
+	errs := 0
+	for err := range errCh {
+		errs++
+		if len(firstErrs) < 5 {
+			firstErrs = append(firstErrs, err.Error())
+		}
+	}
+	srv.Shutdown()
+	statsAfter := e.Scheduler().Stats()
+
+	res := &ServerBenchResult{
+		Sessions:           sessions,
+		OpsPerSession:      opsPerSession,
+		TotalOps:           len(lats),
+		Errors:             errs,
+		ElapsedMillis:      float64(elapsed.Microseconds()) / 1000,
+		P50Millis:          lagPercentile(lats, 0.50),
+		P95Millis:          lagPercentile(lats, 0.95),
+		P99Millis:          lagPercentile(lats, 0.99),
+		RefreshWaves:       int(waves.Load()),
+		RefreshesExecuted:  statsAfter.Scheduled - statsBefore.Scheduled,
+		OpenCursorsAfter:   int(e.OpenCursors()),
+		FirstErrorMessages: firstErrs,
+	}
+	if len(lats) > 0 {
+		sorted := append([]time.Duration(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.MaxMillis = float64(sorted[len(sorted)-1].Microseconds()) / 1000
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(len(lats)) / elapsed.Seconds()
+	}
+	if errs > 0 {
+		return res, fmt.Errorf("server bench: %d of %d statements failed (first: %v)", errs, len(lats)+errs, firstErrs[0])
+	}
+	if res.OpenCursorsAfter != 0 {
+		return res, fmt.Errorf("server bench: %d cursors leaked after shutdown", res.OpenCursorsAfter)
+	}
+	if res.RefreshWaves == 0 {
+		return res, fmt.Errorf("server bench: saturator completed no refresh waves")
+	}
+	return res, nil
+}
+
+// runBenchSession drives one remote session's statement mix and returns
+// the whole-statement latencies. The mix: point reads with a bind
+// parameter, one full paged-cursor drain and one SHOW metadata query per
+// session, and occasional CREATE TABLE DDL (one session in twenty) —
+// DDL takes the engine's exclusive statement lock, so each one queues
+// behind an entire in-flight refresh wave; making every session run DDL
+// would measure nothing but that queue.
+func runBenchSession(ctx context.Context, addr string, hc *http.Client, id, ops, kvRows int) ([]time.Duration, error) {
+	cli := server.NewClient(addr, "")
+	cli.SetHTTPClient(hc)
+	sess, err := cli.NewSession(ctx, "")
+	if err != nil {
+		return nil, fmt.Errorf("session %d: %w", id, err)
+	}
+	defer sess.Close()
+	lats := make([]time.Duration, 0, ops)
+	for j := 0; j < ops; j++ {
+		t0 := time.Now()
+		switch {
+		case j == 0 && id%20 == 0:
+			_, err = sess.Exec(ctx, fmt.Sprintf(`CREATE TABLE scratch_%d (a INT)`, id))
+		case j == ops-2:
+			var rows *server.RemoteRows
+			rows, err = sess.QueryPaged(ctx, 32, `SELECT grp, c, total FROM s_00`)
+			if err == nil {
+				for rows.Next() {
+				}
+				err = rows.Err()
+				if cerr := rows.Close(); err == nil {
+					err = cerr
+				}
+			}
+		case j == ops-1:
+			_, err = sess.Exec(ctx, `SHOW DYNAMIC TABLES`)
+		default:
+			k := (id*31 + j*7) % kvRows
+			var res *server.ClientResult
+			res, err = sess.Exec(ctx, `SELECT v FROM kv WHERE k = ?`, int64(k))
+			if err == nil && len(res.Rows) != 1 {
+				err = fmt.Errorf("point read k=%d: got %d rows, want 1", k, len(res.Rows))
+			}
+		}
+		if err != nil {
+			return lats, fmt.Errorf("session %d op %d: %w", id, j, err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	return lats, nil
+}

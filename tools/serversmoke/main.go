@@ -1,0 +1,239 @@
+// Command serversmoke is the end-to-end HTTP smoke test for dtserve: it
+// starts the daemon on a fresh durable data directory, creates a dynamic
+// table through the wire protocol, streams it back through a paged
+// cursor, then SIGTERMs the daemon mid-session — with a cursor still
+// open — and verifies the drain lost no committed data by restarting on
+// the same data directory and comparing contents (reopen-equivalence).
+//
+// Usage:
+//
+//	go run ./tools/serversmoke -bin ./bin/dtserve
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"dyntables/internal/server"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the dtserve binary")
+	flag.Parse()
+	if *bin == "" {
+		log.Fatal("serversmoke: -bin is required")
+	}
+	if err := run(*bin); err != nil {
+		log.Fatalf("serversmoke: FAIL: %v", err)
+	}
+	fmt.Println("serversmoke: OK")
+}
+
+// daemon wraps one dtserve process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startDaemon(bin, dataDir string) (*daemon, error) {
+	portfile := filepath.Join(dataDir, "..", "portfile-"+filepath.Base(dataDir))
+	os.Remove(portfile)
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-virtual",
+		"-data", dataDir,
+		"-portfile", portfile,
+		"-refresh-workers", "2",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(portfile); err == nil && len(raw) > 0 {
+			return &daemon{cmd: cmd, addr: strings.TrimSpace(string(raw))}, nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			return nil, fmt.Errorf("daemon never wrote %s", portfile)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// stop SIGTERMs the daemon and requires a clean (code 0) drain.
+func (d *daemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited uncleanly after SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("daemon did not drain within 30s of SIGTERM")
+	}
+}
+
+// tableContents reads a table through a paged cursor and returns its
+// rows in canonical order.
+func tableContents(ctx context.Context, sess *server.RemoteSession, table string) ([]string, error) {
+	rows, err := sess.QueryPaged(ctx, 7, "SELECT * FROM "+table)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for rows.Next() {
+		out = append(out, fmt.Sprint(rows.Row()))
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func run(bin string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	work, err := os.MkdirTemp("", "serversmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	dataDir := filepath.Join(work, "data")
+
+	// --- First life: create a DT over the wire, refresh it, read it back.
+	d, err := startDaemon(bin, dataDir)
+	if err != nil {
+		return err
+	}
+	cli := server.NewClient(d.addr, "")
+	st, err := cli.Status(ctx)
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	log.Printf("daemon up at %s (now=%s)", d.addr, st.Now)
+
+	sess, err := cli.NewSession(ctx, "")
+	if err != nil {
+		return err
+	}
+	if _, err := sess.ExecScript(ctx, `
+		CREATE WAREHOUSE wh;
+		CREATE TABLE src (k INT, v INT);
+		INSERT INTO src VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50),
+			(6, 60), (7, 70), (8, 80), (9, 90), (10, 100);
+		CREATE DYNAMIC TABLE d TARGET_LAG = '2 minutes' WAREHOUSE = wh
+			AS SELECT k, v FROM src WHERE v >= 30;
+	`); err != nil {
+		return fmt.Errorf("setup script: %w", err)
+	}
+	if err := cli.Advance(ctx, 2*time.Minute); err != nil {
+		return fmt.Errorf("advance: %w", err)
+	}
+	preSrc, err := tableContents(ctx, sess, "src")
+	if err != nil {
+		return fmt.Errorf("read src: %w", err)
+	}
+	preDT, err := tableContents(ctx, sess, "d")
+	if err != nil {
+		return fmt.Errorf("read d: %w", err)
+	}
+	if len(preDT) != 8 {
+		return fmt.Errorf("dynamic table has %d rows, want 8: %v", len(preDT), preDT)
+	}
+	if _, err := cli.SetRefreshMode(ctx, "d", "FULL"); err != nil {
+		return fmt.Errorf("refresh-mode override: %w", err)
+	}
+	hist, err := sess.Exec(ctx, `SELECT endpoint FROM INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY`)
+	if err != nil {
+		return fmt.Errorf("request history: %w", err)
+	}
+	if len(hist.Rows) == 0 {
+		return fmt.Errorf("SERVER_REQUEST_HISTORY is empty")
+	}
+
+	// Leave a cursor open mid-iteration: the drain must close it, release
+	// its snapshot, and still write the final checkpoint.
+	dangling, err := sess.QueryPaged(ctx, 2, `SELECT k FROM src`)
+	if err != nil {
+		return err
+	}
+	dangling.Next()
+
+	log.Printf("SIGTERM with %d sessions and an open cursor", 1)
+	if err := d.stop(); err != nil {
+		return err
+	}
+
+	// --- Second life: same data directory; committed data must be intact.
+	d2, err := startDaemon(bin, dataDir)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	cli2 := server.NewClient(d2.addr, "")
+	sess2, err := cli2.NewSession(ctx, "")
+	if err != nil {
+		return err
+	}
+	postSrc, err := tableContents(ctx, sess2, "src")
+	if err != nil {
+		return fmt.Errorf("reopened src: %w", err)
+	}
+	postDT, err := tableContents(ctx, sess2, "d")
+	if err != nil {
+		return fmt.Errorf("reopened d: %w", err)
+	}
+	if strings.Join(preSrc, "\n") != strings.Join(postSrc, "\n") {
+		return fmt.Errorf("src diverged across drain/reopen:\nbefore: %v\nafter:  %v", preSrc, postSrc)
+	}
+	if strings.Join(preDT, "\n") != strings.Join(postDT, "\n") {
+		return fmt.Errorf("d diverged across drain/reopen:\nbefore: %v\nafter:  %v", preDT, postDT)
+	}
+	// The REFRESH_MODE override committed before the drain survives too.
+	modes, err := sess2.Exec(ctx, `SELECT refresh_mode FROM INFORMATION_SCHEMA.DYNAMIC_TABLES WHERE name = 'd'`)
+	if err != nil {
+		return err
+	}
+	if len(modes.Rows) != 1 || fmt.Sprint(modes.Rows[0][0]) != "FULL" {
+		return fmt.Errorf("refresh-mode override lost across reopen: %v", modes.Rows)
+	}
+	// And the reopened daemon is live: new writes refresh through.
+	if _, err := sess2.Exec(ctx, `INSERT INTO src VALUES (11, 110)`); err != nil {
+		return err
+	}
+	if err := cli2.Advance(ctx, 2*time.Minute); err != nil {
+		return err
+	}
+	dt2, err := tableContents(ctx, sess2, "d")
+	if err != nil {
+		return err
+	}
+	if len(dt2) != 9 {
+		return fmt.Errorf("post-reopen refresh: d has %d rows, want 9", len(dt2))
+	}
+	if err := sess2.Close(); err != nil {
+		return err
+	}
+	return d2.stop()
+}
