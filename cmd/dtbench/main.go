@@ -441,7 +441,8 @@ func observability(siblings, workers, rounds int) error {
 	fmt.Printf("  recording   %13.0f  %7.2f\n", res.ObservedWaveMillis, res.ObservedHostMillis)
 	fmt.Printf("  wave regression: %+.2f%%  host overhead: %+.2f%%\n",
 		res.WaveRegressionPct, res.HostOverheadPct)
-	fmt.Printf("  events recorded: %d, identical DT contents: %v\n", res.EventsRecorded, res.IdenticalRows)
+	fmt.Printf("  events recorded: %d, trace spans recorded: %d, identical DT contents: %v\n",
+		res.EventsRecorded, res.SpansRecorded, res.IdenticalRows)
 	fmt.Printf("  refresh-history query: %d rows streamed in %.2fms\n", res.HistoryRows, res.QueryMillis)
 	if res.WaveRegressionPct >= 5 {
 		return fmt.Errorf("observability: wave-makespan regression %.2f%% exceeds the 5%% budget", res.WaveRegressionPct)
@@ -454,7 +455,7 @@ func observability(siblings, workers, rounds int) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_observability.json")
-	fmt.Println("recording is a few map appends per refresh; the virtual wave makespan is untouched")
+	fmt.Println("recording and tracing are a few appends per refresh; the virtual wave makespan is untouched")
 	return nil
 }
 

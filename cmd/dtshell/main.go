@@ -15,6 +15,7 @@
 //	\dt                list dynamic tables (SHOW DYNAMIC TABLES)
 //	\dw                list warehouses (SHOW WAREHOUSES)
 //	\d name            describe an object: columns, plus refresh state for DTs
+//	\timing [on|off]   toggle printing each statement's wall-clock time
 //
 // EXPLAIN output (EXPLAIN SELECT ... / EXPLAIN CREATE DYNAMIC TABLE ...)
 // is pretty-printed as an indented plan tree instead of a result table.
@@ -176,12 +177,46 @@ func prompt(interactive bool, pending *strings.Builder) {
 	}
 }
 
+// timing is the \timing toggle, shared by both shell modes: when on,
+// each executed script prints its host wall-clock time after the
+// results (for remote mode that includes the network round-trips).
+var timing bool
+
+// setTiming handles the \timing meta-command for both shells.
+func setTiming(fields []string) {
+	switch {
+	case len(fields) < 2:
+		timing = !timing
+	case strings.EqualFold(fields[1], "on"):
+		timing = true
+	case strings.EqualFold(fields[1], "off"):
+		timing = false
+	default:
+		fmt.Println(`usage: \timing [on|off]`)
+		return
+	}
+	if timing {
+		fmt.Println("Timing is on.")
+	} else {
+		fmt.Println("Timing is off.")
+	}
+}
+
+// printTiming reports a statement's wall time when \timing is on.
+func printTiming(start time.Time) {
+	if timing {
+		fmt.Printf("Time: %s\n", time.Since(start).Round(time.Microsecond))
+	}
+}
+
 // execute runs a script under a context canceled by Ctrl-C, so a
 // long-running statement aborts instead of killing the shell.
 func execute(sess *dyntables.Session, text string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	start := time.Now()
 	results, err := sess.ExecScriptContext(ctx, text)
+	defer printTiming(start)
 	for _, res := range results {
 		switch {
 		case res.Kind == "EXPLAIN":
@@ -248,8 +283,10 @@ func metaCommand(sess *dyntables.Session, line string) {
 			return
 		}
 		describeObject(ctx, sess, fields[1])
+	case `\timing`:
+		setTiming(fields)
 	default:
-		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>)`)
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>, \timing)`)
 	}
 }
 

@@ -54,7 +54,9 @@ func cancelCtx() (context.Context, context.CancelFunc) {
 func (r *remoteShell) execute(text string) {
 	ctx, stop := cancelCtx()
 	defer stop()
+	start := time.Now()
 	results, err := r.sess.ExecScript(ctx, text)
+	defer printTiming(start)
 	for _, res := range results {
 		printRemote(res)
 	}
@@ -137,8 +139,10 @@ func (r *remoteShell) metaCommand(line string) {
 			return
 		}
 		r.describeObject(ctx, fields[1])
+	case `\timing`:
+		setTiming(fields)
 	default:
-		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>)`)
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>, \timing)`)
 	}
 }
 

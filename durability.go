@@ -54,6 +54,50 @@ type persister struct {
 	// replaying suppresses record emission while recovery replays the
 	// log through the very same engine mutation paths.
 	replaying atomic.Bool
+
+	// Durability counters for /metrics and /v1/status: WAL appends with
+	// cumulative host time, checkpoints taken, and the wall-clock instant
+	// of the last installed checkpoint (0 = never).
+	appends        atomic.Int64
+	appendNanos    atomic.Int64
+	checkpoints    atomic.Int64
+	lastCheckpoint atomic.Int64 // unix nanos
+}
+
+// PersistStats is a point-in-time durability snapshot: WAL growth and
+// append cost, checkpoint count and recency. All fields are gathered
+// from lock-free counters, so scraping never blocks commits.
+type PersistStats struct {
+	// WALRecords and WALBytes describe the live log (since the last
+	// checkpoint reset); WALAppendedBytes counts every byte ever appended
+	// (monotonic).
+	WALRecords       int
+	WALBytes         int64
+	WALAppendedBytes int64
+	// WALAppends counts append calls and WALAppendTime their cumulative
+	// host time (fsync-inclusive when the append path syncs).
+	WALAppends    int64
+	WALAppendTime time.Duration
+	// Checkpoints counts installed checkpoints; LastCheckpoint is the
+	// wall-clock instant of the newest (zero when none was taken).
+	Checkpoints    int64
+	LastCheckpoint time.Time
+}
+
+// Stats returns the persister's durability counters.
+func (p *persister) Stats() PersistStats {
+	st := PersistStats{
+		WALRecords:       p.wal.Records(),
+		WALBytes:         p.wal.Bytes(),
+		WALAppendedBytes: p.wal.AppendedBytes(),
+		WALAppends:       p.appends.Load(),
+		WALAppendTime:    time.Duration(p.appendNanos.Load()),
+		Checkpoints:      p.checkpoints.Load(),
+	}
+	if ns := p.lastCheckpoint.Load(); ns != 0 {
+		st.LastCheckpoint = time.Unix(0, ns).UTC()
+	}
+	return st
 }
 
 // registerTable assigns a fresh stable key to a storage table and hooks
@@ -132,7 +176,14 @@ func (p *persister) append(rec *persist.Record) {
 	if p.replaying.Load() {
 		return
 	}
-	if err := p.wal.Append(rec); err != nil {
+	// Appends are counted, not span-recorded: one root trace per WAL
+	// record would evict every statement trace from the bounded root
+	// ring. The cumulative append time feeds /metrics instead.
+	start := time.Now()
+	err := p.wal.Append(rec)
+	p.appends.Add(1)
+	p.appendNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
 		p.mu.Lock()
 		if p.err == nil {
 			p.err = err
@@ -968,17 +1019,32 @@ func (e *Engine) checkpointLocked() error {
 	if err := p.firstErr(); err != nil {
 		return fmt.Errorf("dyntables: WAL append failed earlier: %w", err)
 	}
+	root := e.trc.StartRoot("checkpoint")
+	defer func() { e.trc.FinishRoot(root) }()
+	buildSpan := root.Child("snapshot.build")
 	snap, err := e.buildSnapshot()
+	buildSpan.End()
 	if err != nil {
 		return err
 	}
-	if err := persist.WriteSnapshot(p.dir, snap); err != nil {
+	writeSpan := root.Child("snapshot.write")
+	err = persist.WriteSnapshot(p.dir, snap)
+	writeSpan.End()
+	if err != nil {
 		return err
 	}
 	// Drop only what the snapshot folded in: records appended during the
 	// state capture by lock-free paths (AdvanceTime's clock records)
 	// carry later sequence numbers and survive the reset.
-	return p.wal.ResetUpTo(snap.WalSeq)
+	resetSpan := root.Child("wal.reset")
+	err = p.wal.ResetUpTo(snap.WalSeq)
+	resetSpan.End()
+	if err != nil {
+		return err
+	}
+	p.checkpoints.Add(1)
+	p.lastCheckpoint.Store(time.Now().UnixNano())
+	return nil
 }
 
 func (e *Engine) buildSnapshot() (*persist.Snapshot, error) {

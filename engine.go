@@ -60,6 +60,7 @@ import (
 	"dyntables/internal/refresher"
 	"dyntables/internal/sched"
 	"dyntables/internal/storage"
+	"dyntables/internal/trace"
 	"dyntables/internal/txn"
 	"dyntables/internal/warehouse"
 )
@@ -89,6 +90,15 @@ type Engine struct {
 	// through the normal planner.
 	rec  *obs.Recorder
 	virt *plan.VirtualResolver
+	// trc is the execution-span recorder behind
+	// INFORMATION_SCHEMA.TRACE_SPANS: statements, refreshes, scheduler
+	// ticks and checkpoints each publish one bounded root trace.
+	trc *trace.Recorder
+	// startedAt is the host wall-clock construction instant, for /metrics
+	// and /v1/status uptime.
+	startedAt time.Time
+	// sessSeq assigns engine-unique session IDs for QUERY_HISTORY.
+	sessSeq atomic.Int64
 	// schPhase is the account-wide canonical-period phase (§5.2).
 	schPhase time.Duration
 
@@ -222,6 +232,7 @@ func New(opts ...Option) *Engine {
 		model:           warehouse.DefaultCostModel,
 		checkpointEvery: DefaultCheckpointEvery,
 		sessions:        make(map[*Session]struct{}),
+		startedAt:       time.Now(),
 	}
 	e.vclk = clock.NewVirtual(DefaultOrigin)
 	e.clk = e.vclk
@@ -269,6 +280,29 @@ func New(opts ...Option) *Engine {
 // Refresher exposes the refresh-execution backend (worker-pool width,
 // quiesce control).
 func (e *Engine) Refresher() *refresher.Refresher { return e.refr }
+
+// Tracer exposes the execution-span recorder behind
+// INFORMATION_SCHEMA.TRACE_SPANS, for Go-side monitoring and benchmarks.
+func (e *Engine) Tracer() *trace.Recorder { return e.trc }
+
+// Uptime is the host wall-clock time since the engine was constructed.
+func (e *Engine) Uptime() time.Duration { return time.Since(e.startedAt) }
+
+// SessionCount reports how many sessions are currently open.
+func (e *Engine) SessionCount() int {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	return len(e.sessions)
+}
+
+// PersistStats returns the durability layer's counters; ok is false for
+// in-memory engines.
+func (e *Engine) PersistStats() (PersistStats, bool) {
+	if e.pers == nil {
+		return PersistStats{}, false
+	}
+	return e.pers.Stats(), true
+}
 
 // RefreshWorkers returns the current refresh worker-pool width.
 func (e *Engine) RefreshWorkers() int { return e.refr.Workers() }

@@ -1301,9 +1301,12 @@ type ObservabilityBenchResult struct {
 	HostOverheadPct    float64 `json:"host_overhead_pct"`
 
 	// EventsRecorded counts refresh events captured by the enabled run;
-	// HistoryRows and QueryMillis measure reading them back over the
+	// SpansRecorded counts execution-trace spans (the disabled baseline
+	// records neither, so the overhead gate covers tracing too);
+	// HistoryRows and QueryMillis measure reading events back over the
 	// acceptance query's streaming cursor.
 	EventsRecorded int     `json:"events_recorded"`
+	SpansRecorded  int64   `json:"spans_recorded"`
 	HistoryRows    int     `json:"history_rows"`
 	QueryMillis    float64 `json:"query_ms"`
 
@@ -1357,6 +1360,7 @@ func RunObservabilityBench(siblings, workers, rounds int) (*ObservabilityBenchRe
 		BaselineHostMillis: baseline.host,
 		ObservedHostMillis: observed.host,
 		EventsRecorded:     len(observed.run.eng.Observability().AllHistory()),
+		SpansRecorded:      observed.run.eng.Tracer().SpanCount(),
 		IdenticalRows:      baseline.run.contents == observed.run.contents,
 	}
 	if baseline.wave > 0 {

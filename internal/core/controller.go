@@ -15,6 +15,7 @@ import (
 	"dyntables/internal/plan"
 	"dyntables/internal/sql"
 	"dyntables/internal/storage"
+	"dyntables/internal/trace"
 	"dyntables/internal/txn"
 	"dyntables/internal/types"
 )
@@ -89,6 +90,14 @@ type Controller struct {
 	// resolution. Written once at engine construction; the chooser's own
 	// gate handles runtime toggling.
 	Adaptive *adaptive.Chooser
+
+	// Tracer, when set, records one root span per refresh with child
+	// spans for every pipeline phase (bind, differentiation operators,
+	// merge commit). The root span ID lands in RefreshRecord.TraceRoot so
+	// refresh history joins against TRACE_SPANS. Nil (or a disabled
+	// recorder) costs one nil check per refresh. Written only at engine
+	// construction.
+	Tracer *trace.Recorder
 }
 
 // FrontierUpdate describes one frontier advance: everything a recovered
@@ -314,20 +323,26 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 	if dt.State() == StateSuspended {
 		return RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSuspended}, ErrSuspended
 	}
+	root := c.Tracer.StartRoot("refresh", trace.A("dt", dt.Name))
+	defer func() { c.Tracer.FinishRoot(root) }()
 	if !dt.tryBeginRefresh() {
 		mode, reason := dt.ModeDecision()
 		rec := RefreshRecord{DataTS: dataTS, Action: ActionSkip, Err: ErrSkipped,
-			RowsAfter: dt.Storage.RowCount(), EffectiveMode: mode, ModeReason: reason}
+			RowsAfter: dt.Storage.RowCount(), EffectiveMode: mode, ModeReason: reason,
+			TraceRoot: root.RootID()}
+		root.SetAttr("action", rec.Action.String())
 		dt.record(rec)
 		c.emitRefresh(dt, rec)
 		return rec, ErrSkipped
 	}
 	defer dt.endRefresh()
 
-	rec, err := c.refreshLocked(dt, dataTS)
+	rec, err := c.refreshLocked(dt, dataTS, root)
+	rec.TraceRoot = root.RootID()
 	if err != nil {
 		rec.Action = ActionError
 		rec.Err = err
+		root.SetAttr("action", rec.Action.String())
 		dt.record(rec)
 		c.emitRefresh(dt, rec)
 		dt.mu.Lock()
@@ -339,6 +354,7 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 		dt.mu.Unlock()
 		return rec, err
 	}
+	root.SetAttr("action", rec.Action.String())
 	dt.mu.Lock()
 	dt.errorCount = 0
 	dt.mu.Unlock()
@@ -347,8 +363,23 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 	return rec, nil
 }
 
+// spanHook adapts a trace span to ivm.Env.Span, keeping ivm free of a
+// trace dependency. A nil root yields a nil hook, so the delta
+// evaluator's per-operator instrumentation disappears entirely when
+// tracing is off.
+func spanHook(root *trace.Span) func(string) func() {
+	if root == nil {
+		return nil
+	}
+	return func(name string) func() {
+		return root.Child(name).End
+	}
+}
+
 // refreshLocked performs the action decision and execution of §5.4.
-func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshRecord, error) {
+// root (nil when tracing is disabled) carries the refresh's trace; the
+// phases below record child spans under it.
+func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time, root *trace.Span) (RefreshRecord, error) {
 	rec := RefreshRecord{DataTS: dataTS}
 	// Seed the mode fields with the decision currently in force; the
 	// adaptive decision point below refines them once the interval's
@@ -365,7 +396,9 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshR
 
 	// Re-bind the defining query (identifiers may resolve differently
 	// after upstream DDL, §5.4).
+	bindSpan := root.Child("bind")
 	bound, err := c.bind(dt.Text)
+	bindSpan.End()
 	if err != nil {
 		return rec, err
 	}
@@ -389,6 +422,7 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshR
 		Parallelism:         c.DeltaParallelism,
 		ExpandOuterJoins:    c.ExpandOuterJoins,
 		FullWindowRecompute: c.FullWindowRecompute,
+		Span:                spanHook(root),
 	}
 
 	if !dt.Initialized() || evolved {
@@ -483,12 +517,15 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time) (RefreshR
 	rec.Inserted, rec.Deleted = ins, del
 
 	// Merge: apply the changes in a transaction (§5.3).
+	mergeSpan := root.Child("merge")
 	tx := c.txns.Begin()
 	if err := tx.Write(dt.Storage, cs); err != nil {
 		tx.Abort()
+		mergeSpan.End()
 		return rec, err
 	}
 	commit, err := tx.Commit()
+	mergeSpan.End()
 	if err != nil {
 		return rec, err
 	}

@@ -125,7 +125,10 @@ type RefreshRecord struct {
 	// reached no mode decision (skips, initializations, bind errors).
 	SourceRowsChanged int64
 	FullScanEstimate  int64
-	Err               error
+	// TraceRoot is the refresh's trace-root span ID (0 when tracing is
+	// disabled), joinable against INFORMATION_SCHEMA.TRACE_SPANS.
+	TraceRoot int64
+	Err       error
 }
 
 // DynamicTable is the engine-side state of one DT. The catalog stores it

@@ -62,6 +62,9 @@ type Context struct {
 	// Ctx, when non-nil, cancels execution: operators check it between
 	// rows and abort with its error.
 	Ctx context.Context
+	// Stats, when non-nil, collects per-plan-node rows and wall time
+	// (EXPLAIN ANALYZE); nil — the common case — costs nothing.
+	Stats *NodeStats
 }
 
 func (c *Context) eval() *plan.EvalContext {
@@ -99,6 +102,18 @@ func (c *Context) count(f func(*Counters)) {
 // Run executes a logical plan and returns the result rows with derived row
 // IDs. Result order is unspecified except beneath Sort.
 func Run(n plan.Node, ctx *Context) ([]TRow, error) {
+	if ctx.Stats == nil {
+		return runNode(n, ctx)
+	}
+	start := time.Now()
+	rows, err := runNode(n, ctx)
+	ctx.Stats.observe(n, int64(len(rows)), time.Since(start))
+	return rows, err
+}
+
+// runNode dispatches one plan node; Run wraps it with the optional
+// per-node stats observation.
+func runNode(n plan.Node, ctx *Context) ([]TRow, error) {
 	if err := ctx.canceled(); err != nil {
 		return nil, err
 	}

@@ -20,8 +20,22 @@ type RowIter interface {
 // incrementally; blocking operators (Join, Aggregate, Window, Sort,
 // Distinct) materialize their input on first Next. Every operator checks
 // ctx.Ctx between rows, so abandoning the cursor via context cancellation
-// stops execution promptly.
+// stops execution promptly. With ctx.Stats set, every pipelined operator
+// reports rows out and cumulative wall time per plan node (blocking
+// operators report through Run).
 func Stream(n plan.Node, ctx *Context) RowIter {
+	it := stream(n, ctx)
+	if ctx.Stats != nil {
+		if _, blocking := it.(*deferredIter); !blocking {
+			// Blocking subtrees are observed node-by-node inside Run;
+			// wrapping the deferred iterator too would double-count.
+			return &statIter{in: it, stats: ctx.Stats, n: n}
+		}
+	}
+	return it
+}
+
+func stream(n plan.Node, ctx *Context) RowIter {
 	switch x := n.(type) {
 	case *plan.Filter:
 		return &filterIter{in: Stream(x.Input, ctx), pred: x.Pred, ctx: ctx, ev: ctx.eval()}

@@ -98,6 +98,12 @@ type Env struct {
 	// recomputes every window partition (ablation).
 	FullWindowRecompute bool
 
+	// Span, when non-nil, opens a named tracing span and returns its
+	// closer. The hook keeps ivm free of a trace dependency; the
+	// controller wires it to the engine's span recorder. Implementations
+	// must be safe for concurrent use — parallel delta branches share it.
+	Span func(name string) func()
+
 	// sem caps in-flight parallel branches across the whole plan, so a
 	// deep join tree cannot fan out more than Parallelism-1 extra
 	// goroutines. Created once at the Delta entry point and shared by
@@ -120,6 +126,7 @@ func (e *Env) child() *Env {
 		Parallelism:         e.Parallelism,
 		ExpandOuterJoins:    e.ExpandOuterJoins,
 		FullWindowRecompute: e.FullWindowRecompute,
+		Span:                e.Span,
 		sem:                 e.sem,
 	}
 	if e.Counters != nil {
@@ -245,6 +252,9 @@ func Incrementalizable(n plan.Node) error {
 
 // EvalAsOf evaluates the plan with every scan pinned to the version map.
 func EvalAsOf(n plan.Node, vm VersionMap, env *Env) ([]exec.TRow, error) {
+	if env.Span != nil {
+		defer env.Span("ivm.eval")()
+	}
 	ctx := &exec.Context{
 		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
 			seq, ok := vm[s.Table.ID()]
@@ -267,6 +277,9 @@ func EvalAsOf(n plan.Node, vm VersionMap, env *Env) ([]exec.TRow, error) {
 func Delta(n plan.Node, iv Interval, env *Env) (delta.ChangeSet, error) {
 	if env.Parallelism > 1 && env.sem == nil {
 		env.sem = make(chan struct{}, env.Parallelism-1)
+	}
+	if env.Span != nil {
+		defer env.Span("ivm.delta")()
 	}
 	rows, err := deltaRec(n, iv, env)
 	if err != nil {
@@ -337,6 +350,9 @@ func trows(rows []signedRow) []exec.TRow {
 
 func deltaRec(n plan.Node, iv Interval, env *Env) ([]signedRow, error) {
 	env.stats(func(s *Stats) { s.SubplanDeltaEvals++ })
+	if env.Span != nil {
+		defer env.Span("delta." + deltaOpName(n))()
+	}
 	switch x := n.(type) {
 	case *plan.Scan:
 		return deltaScan(x, iv, env)
@@ -372,6 +388,37 @@ func deltaRec(n plan.Node, iv Interval, env *Env) ([]signedRow, error) {
 func snapshot(n plan.Node, vm VersionMap, env *Env) ([]exec.TRow, error) {
 	env.stats(func(s *Stats) { s.SubplanSnapshotEvals++ })
 	return EvalAsOf(n, vm, env)
+}
+
+// deltaOpName gives each differentiated operator a short span-name suffix.
+func deltaOpName(n plan.Node) string {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return "scan"
+	case *plan.Filter:
+		return "filter"
+	case *plan.Project:
+		return "project"
+	case *plan.UnionAll:
+		return "union"
+	case *plan.Flatten:
+		return "flatten"
+	case *plan.Join:
+		if x.Type == sql.JoinInner {
+			return "inner_join"
+		}
+		return "outer_join"
+	case *plan.Aggregate:
+		return "aggregate"
+	case *plan.Distinct:
+		return "distinct"
+	case *plan.Window:
+		return "window"
+	case *plan.Values:
+		return "values"
+	default:
+		return "op"
+	}
 }
 
 // snapshotBoundaries evaluates a subplan at both interval boundaries —

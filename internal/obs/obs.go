@@ -68,6 +68,9 @@ type RefreshEvent struct {
 	// Worker is the refresher worker-slot that executed the refresh; -1
 	// when unknown (serial/manual execution).
 	Worker int
+	// RootID is the refresh's trace-root span ID, joinable against
+	// INFORMATION_SCHEMA.TRACE_SPANS; 0 when tracing was disabled.
+	RootID int64
 	// Error is the refresh failure, if any.
 	Error string
 }
@@ -149,6 +152,63 @@ type RequestEvent struct {
 	Duration time.Duration
 }
 
+// StatementEvent is one executed SQL statement, recorded for
+// INFORMATION_SCHEMA.QUERY_HISTORY. Only the statement text is kept —
+// bind-argument values are never recorded, so parameterized statements
+// stay redacted by construction. Statements are timed in host
+// wall-clock time, like requests.
+type StatementEvent struct {
+	// Seq orders statement observations recorder-globally.
+	Seq int64
+	// SessionID identifies the engine session the statement ran in.
+	SessionID int64
+	// Role is the session role in force at execution.
+	Role string
+	// Text is the statement's SQL text (parameter markers included,
+	// bound values excluded).
+	Text string
+	// Kind labels the statement class (SELECT, INSERT, CREATE, ...).
+	Kind string
+	// Status is SUCCESS, ERROR or CANCELED.
+	Status string
+	// Rows counts result rows produced (or rows affected for DML).
+	Rows int64
+	// Start is the statement's wall-clock arrival and Duration the host
+	// time spent executing it. Cursor statements close their event when
+	// the cursor is released, so Duration covers the full streamed read.
+	Start    time.Time
+	Duration time.Duration
+	// RootID is the statement's trace-root span ID, joinable against
+	// INFORMATION_SCHEMA.TRACE_SPANS; 0 when tracing was disabled.
+	RootID int64
+	// Error is the failure message for ERROR/CANCELED statements.
+	Error string
+}
+
+// RefreshTotals are monotonic per-DT refresh counters backing the
+// /metrics exposition: unlike the bounded history rings they never
+// evict, so Prometheus counters derived from them stay monotonic
+// across scrapes.
+type RefreshTotals struct {
+	// Count is every recorded refresh attempt, Errors the failed ones.
+	Count, Errors int64
+	// Seconds sums the refreshes' virtual execution time.
+	Seconds float64
+}
+
+// RequestBuckets are the upper bounds, in seconds, of the
+// request-latency histogram exposed at /metrics.
+var RequestBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5}
+
+// RequestHist is a snapshot of the served-request latency histogram.
+// Buckets holds cumulative counts per RequestBuckets bound (Prometheus
+// `le` semantics); Count and Sum cover every observation.
+type RequestHist struct {
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
 // SLOStats aggregates a DT's lag-SLO attainment over the recorded
 // sawtooth window.
 type SLOStats struct {
@@ -173,11 +233,19 @@ type Recorder struct {
 	capacity int
 	seq      int64
 
-	refreshes map[string]*ring.Ring[RefreshEvent]
-	lags      map[string]*ring.Ring[LagSample]
-	meter     map[string]*ring.Ring[MeterPoint]
-	edges     *ring.Ring[GraphEdge]
-	requests  *ring.Ring[RequestEvent]
+	refreshes  map[string]*ring.Ring[RefreshEvent]
+	lags       map[string]*ring.Ring[LagSample]
+	meter      map[string]*ring.Ring[MeterPoint]
+	edges      *ring.Ring[GraphEdge]
+	requests   *ring.Ring[RequestEvent]
+	statements *ring.Ring[StatementEvent]
+
+	// totals and reqBuckets/reqCount/reqSum are the monotonic /metrics
+	// aggregates; rings evict, these never do.
+	totals     map[string]*RefreshTotals
+	reqBuckets []int64 // per-bound counts (non-cumulative)
+	reqCount   int64
+	reqSum     float64
 }
 
 // NewRecorder creates a recorder with the given per-ring capacity;
@@ -187,13 +255,16 @@ func NewRecorder(capacity int) *Recorder {
 		capacity = DefaultCapacity
 	}
 	return &Recorder{
-		enabled:   true,
-		capacity:  capacity,
-		refreshes: make(map[string]*ring.Ring[RefreshEvent]),
-		lags:      make(map[string]*ring.Ring[LagSample]),
-		meter:     make(map[string]*ring.Ring[MeterPoint]),
-		edges:     ring.New[GraphEdge](capacity),
-		requests:  ring.New[RequestEvent](capacity),
+		enabled:    true,
+		capacity:   capacity,
+		refreshes:  make(map[string]*ring.Ring[RefreshEvent]),
+		lags:       make(map[string]*ring.Ring[LagSample]),
+		meter:      make(map[string]*ring.Ring[MeterPoint]),
+		edges:      ring.New[GraphEdge](capacity),
+		requests:   ring.New[RequestEvent](capacity),
+		statements: ring.New[StatementEvent](capacity),
+		totals:     make(map[string]*RefreshTotals),
+		reqBuckets: make([]int64, len(RequestBuckets)+1),
 	}
 }
 
@@ -248,6 +319,7 @@ func (r *Recorder) SetCapacity(n int) {
 	}
 	r.edges.Resize(n)
 	r.requests.Resize(n)
+	r.statements.Resize(n)
 }
 
 // RecordRefresh appends a refresh event to the DT's history ring,
@@ -266,6 +338,16 @@ func (r *Recorder) RecordRefresh(ev RefreshEvent) {
 		r.refreshes[ev.DTName] = rg
 	}
 	rg.Push(ev)
+	t := r.totals[ev.DTName]
+	if t == nil {
+		t = &RefreshTotals{}
+		r.totals[ev.DTName] = t
+	}
+	t.Count++
+	if ev.Error != "" {
+		t.Errors++
+	}
+	t.Seconds += ev.Duration().Seconds()
 }
 
 // AnnotateExecution backfills execution detail (dependency wave, worker
@@ -352,6 +434,69 @@ func (r *Recorder) RecordRequest(ev RequestEvent) {
 	r.seq++
 	ev.Seq = r.seq
 	r.requests.Push(ev)
+	secs := ev.Duration.Seconds()
+	slot := len(RequestBuckets) // +Inf overflow bucket
+	for i, bound := range RequestBuckets {
+		if secs <= bound {
+			slot = i
+			break
+		}
+	}
+	r.reqBuckets[slot]++
+	r.reqCount++
+	r.reqSum += secs
+}
+
+// RefreshCounters returns a copy of the monotonic per-DT refresh
+// totals.
+func (r *Recorder) RefreshCounters() map[string]RefreshTotals {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]RefreshTotals, len(r.totals))
+	for name, t := range r.totals {
+		out[name] = *t
+	}
+	return out
+}
+
+// RequestLatency returns the request-latency histogram with cumulative
+// bucket counts (one entry per RequestBuckets bound; the implicit +Inf
+// bucket equals Count).
+func (r *Recorder) RequestLatency() RequestHist {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h := RequestHist{
+		Buckets: make([]int64, len(RequestBuckets)),
+		Count:   r.reqCount,
+		Sum:     r.reqSum,
+	}
+	var cum int64
+	for i := range RequestBuckets {
+		cum += r.reqBuckets[i]
+		h.Buckets[i] = cum
+	}
+	return h
+}
+
+// RecordStatement appends an executed-statement event to the statement
+// ring, assigning its sequence number.
+func (r *Recorder) RecordStatement(ev StatementEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	r.statements.Push(ev)
+}
+
+// Statements returns a copy of the executed-statement events, oldest
+// first.
+func (r *Recorder) Statements() []StatementEvent {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.statements.Snapshot()
 }
 
 // Requests returns a copy of the served-request events, oldest first.

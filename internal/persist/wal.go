@@ -39,7 +39,12 @@ type WAL struct {
 	f       *os.File
 	nextSeq int64
 	records int // appended since open or last Reset
-	closed  bool
+	// liveBytes is the log file's current byte length; appended counts
+	// every byte ever appended since open (monotonic, survives Reset) —
+	// the /metrics WAL counters.
+	liveBytes int64
+	appended  int64
+	closed    bool
 }
 
 // OpenWAL opens (creating if needed) the log in dir, replays its whole
@@ -74,7 +79,7 @@ func OpenWAL(dir string, afterSeq int64) (*WAL, []Record, error) {
 	if n := len(records); n > 0 && records[n-1].Seq >= next {
 		next = records[n-1].Seq + 1
 	}
-	return &WAL{f: f, nextSeq: next, records: len(records)}, records, nil
+	return &WAL{f: f, nextSeq: next, records: len(records), liveBytes: goodLen}, records, nil
 }
 
 // readAll decodes every whole frame, returning the records and the byte
@@ -141,9 +146,11 @@ func (w *WAL) Append(rec *Record) error {
 		return fmt.Errorf("persist: WAL is closed")
 	}
 	rec.Seq = w.nextSeq
+	before := w.liveBytes
 	if err := w.writeFrame(rec); err != nil {
 		return err
 	}
+	w.appended += w.liveBytes - before
 	w.nextSeq++
 	w.records++
 	return nil
@@ -162,6 +169,7 @@ func (w *WAL) writeFrame(rec *Record) error {
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("persist: append WAL record: %w", err)
 	}
+	w.liveBytes += int64(len(frame))
 	return nil
 }
 
@@ -179,6 +187,21 @@ func (w *WAL) Records() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.records
+}
+
+// Bytes returns the log file's current byte length.
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.liveBytes
+}
+
+// AppendedBytes returns the total bytes ever appended since open — a
+// monotonic counter that survives checkpoint resets.
+func (w *WAL) AppendedBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
 }
 
 // ResetUpTo drops records with Seq <= seq after a checkpoint folded them
@@ -212,6 +235,7 @@ func (w *WAL) ResetUpTo(seq int64) error {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	w.liveBytes = 0
 	for i := range keep {
 		if err := w.writeFrame(&keep[i]); err != nil {
 			return err

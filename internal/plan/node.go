@@ -333,6 +333,26 @@ func Explain(n Node) string {
 	return b.String()
 }
 
+// ExplainAnnotated renders the plan as an indented tree with a
+// per-operator suffix produced by annotate (an empty suffix annotates
+// nothing). EXPLAIN ANALYZE uses it to append actual rows, loops and
+// wall time to each operator line.
+func ExplainAnnotated(n Node, annotate func(Node) string) string {
+	var b strings.Builder
+	var rec func(Node, int)
+	rec = func(node Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(node.Describe())
+		b.WriteString(annotate(node))
+		b.WriteByte('\n')
+		for _, c := range node.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return b.String()
+}
+
 // OperatorCounts tallies operator types in a plan; the workload analyzer
 // uses it for the Figure 6 operator-frequency experiment.
 func OperatorCounts(n Node) map[string]int {

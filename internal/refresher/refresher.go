@@ -28,10 +28,12 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"dyntables/internal/core"
+	"dyntables/internal/trace"
 	"dyntables/internal/txn"
 	"dyntables/internal/warehouse"
 )
@@ -94,6 +96,7 @@ type Refresher struct {
 	quiesced bool
 	inflight int
 	sink     Sink
+	tracer   *trace.Recorder
 }
 
 // Sink observes every executed tick after its deterministic accounting
@@ -110,6 +113,16 @@ func (r *Refresher) SetSink(s Sink) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sink = s
+}
+
+// SetTracer registers the span recorder. Each executed tick becomes one
+// root trace ("refresher.tick") with a child span per dependency wave
+// and per refresh execution, so wave barriers and worker-slot skew are
+// visible in TRACE_SPANS. Nil clears.
+func (r *Refresher) SetTracer(t *trace.Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
 }
 
 // New creates a refresher. workers <= 0 derives the pool width from the
@@ -193,6 +206,13 @@ func (r *Refresher) ExecuteTick(reqs []Request) ([]Result, error) {
 	}
 	workers := r.beginTick()
 	defer r.endTick()
+	r.mu.Lock()
+	tracer := r.tracer
+	r.mu.Unlock()
+	tick := tracer.StartRoot("refresher.tick",
+		trace.A("due", strconv.Itoa(len(reqs))),
+		trace.A("workers", strconv.Itoa(workers)))
+	defer func() { tracer.FinishRoot(tick) }()
 
 	waves, upstreams, err := r.partition(reqs)
 	if err != nil {
@@ -205,7 +225,11 @@ func (r *Refresher) ExecuteTick(reqs []Request) ([]Result, error) {
 	endOf := make(map[*core.DynamicTable]time.Time, len(reqs))
 	results := make([]Result, 0, len(reqs))
 	for waveIdx, wave := range waves {
-		executed := r.runWave(wave, workers)
+		waveSpan := tick.Child("wave",
+			trace.A("wave", strconv.Itoa(waveIdx)),
+			trace.A("size", strconv.Itoa(len(wave))))
+		executed := r.runWave(wave, workers, waveSpan)
+		waveSpan.End()
 		// Deterministic accounting pass: bill jobs and fix virtual start
 		// and end instants in name order, independent of which goroutine
 		// finished first.
@@ -246,7 +270,7 @@ func (r *Refresher) ExecuteTick(reqs []Request) ([]Result, error) {
 // at a time, and returns per-DT results in the wave's (name) order with
 // Start seeded from each request's Ready time. The semaphore carries
 // worker-slot tokens so each result records which slot executed it.
-func (r *Refresher) runWave(wave []Request, workers int) []Result {
+func (r *Refresher) runWave(wave []Request, workers int, waveSpan *trace.Span) []Result {
 	out := make([]Result, len(wave))
 	slots := make(chan int, workers)
 	for w := 0; w < workers; w++ {
@@ -259,12 +283,16 @@ func (r *Refresher) runWave(wave []Request, workers int) []Result {
 			defer wg.Done()
 			slot := <-slots
 			defer func() { slots <- slot }()
+			execSpan := waveSpan.Child("refresh.exec",
+				trace.A("dt", req.DT.Name),
+				trace.A("worker", strconv.Itoa(slot)))
 			res := Result{DT: req.DT, Start: req.Ready, PrevDataTS: req.DT.DataTimestamp(), Worker: slot}
 			res.Rec, res.Err, res.Panicked = r.refreshIsolated(req.DT, req.DataTS)
 			if res.Err != nil && !res.Panicked && Transient(res.Err) {
 				res.Retried = true
 				res.Rec, res.Err, res.Panicked = r.refreshIsolated(req.DT, req.DataTS)
 			}
+			execSpan.End()
 			out[i] = res
 		}(i, req)
 	}

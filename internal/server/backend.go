@@ -78,6 +78,26 @@ type Session interface {
 	Close() error
 }
 
+// BackendStatus is the engine-level state the status endpoint reports
+// alongside the server's own session/statement counts.
+type BackendStatus struct {
+	// Uptime is host time since the engine was constructed.
+	Uptime time.Duration
+	// Sessions counts open engine sessions (the server's own plus any
+	// embedded users of the same engine).
+	Sessions int
+	// OpenCursors counts streaming cursors currently pinning snapshots.
+	OpenCursors int64
+	// Durable reports whether the engine persists to a data directory;
+	// the WAL/checkpoint fields below are meaningful only when true.
+	Durable bool
+	// WALBytes is the current WAL file length.
+	WALBytes int64
+	// CheckpointAge is host time since the last checkpoint; negative
+	// when no checkpoint has run yet.
+	CheckpointAge time.Duration
+}
+
 // Backend is the engine surface the server exposes: session creation
 // plus the handful of engine-level operations the protocol's admin
 // endpoints map onto.
@@ -96,4 +116,9 @@ type Backend interface {
 	Checkpoint() error
 	// Recorder is the observability sink for per-request metrics.
 	Recorder() *obs.Recorder
+	// Status reports engine-level operational state for GET /v1/status.
+	Status() BackendStatus
+	// MetricsText renders the engine's Prometheus text exposition for
+	// GET /metrics.
+	MetricsText() string
 }

@@ -153,6 +153,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/admin/advance", s.handleAdvance)
 	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
 // Handler returns the protocol handler: the route mux wrapped in the
@@ -164,7 +165,9 @@ func (s *Server) Handler() http.Handler {
 		meta := &reqMeta{}
 		r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		if s.draining.Load() && r.URL.Path != "/v1/status" {
+		// Health and scrape endpoints stay reachable while draining so
+		// monitoring observes the shutdown instead of losing the target.
+		if s.draining.Load() && r.URL.Path != "/v1/status" && r.URL.Path != "/metrics" {
 			writeError(sw, errf(http.StatusServiceUnavailable, "draining", "server is draining"))
 		} else {
 			s.mux.ServeHTTP(sw, r)
@@ -496,6 +499,15 @@ type statusBody struct {
 	Draining   bool   `json:"draining"`
 	Sessions   int    `json:"sessions"`
 	Statements int    `json:"statements"`
+	// Engine-level state from Backend.Status. Uptime and checkpoint age
+	// are host wall-clock seconds; checkpoint_age_seconds is -1 when no
+	// checkpoint has run (or the engine is in-memory).
+	UptimeSeconds        float64 `json:"uptime_seconds"`
+	EngineSessions       int     `json:"engine_sessions"`
+	OpenCursors          int64   `json:"open_cursors"`
+	Durable              bool    `json:"durable"`
+	WALBytes             int64   `json:"wal_bytes"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"`
 }
 
 func toResultBody(res *Result) resultBody {
@@ -792,6 +804,8 @@ var infoTables = map[string]string{
 	"graph-history":      "INFORMATION_SCHEMA.DYNAMIC_TABLE_GRAPH_HISTORY",
 	"warehouse-metering": "INFORMATION_SCHEMA.WAREHOUSE_METERING_HISTORY",
 	"server-requests":    "INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY",
+	"query-history":      "INFORMATION_SCHEMA.QUERY_HISTORY",
+	"trace-spans":        "INFORMATION_SCHEMA.TRACE_SPANS",
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -912,10 +926,30 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	nSessions, nStmts := len(s.sessions), len(s.stmts)
 	s.mu.Unlock()
+	bs := s.cfg.Backend.Status()
+	age := -1.0
+	if bs.Durable && bs.CheckpointAge >= 0 {
+		age = bs.CheckpointAge.Seconds()
+	}
 	writeJSON(w, http.StatusOK, statusBody{
-		Now:        s.cfg.Backend.Now().UTC().Format(time.RFC3339Nano),
-		Draining:   s.draining.Load(),
-		Sessions:   nSessions,
-		Statements: nStmts,
+		Now:                  s.cfg.Backend.Now().UTC().Format(time.RFC3339Nano),
+		Draining:             s.draining.Load(),
+		Sessions:             nSessions,
+		Statements:           nStmts,
+		UptimeSeconds:        bs.Uptime.Seconds(),
+		EngineSessions:       bs.Sessions,
+		OpenCursors:          bs.OpenCursors,
+		Durable:              bs.Durable,
+		WALBytes:             bs.WALBytes,
+		CheckpointAgeSeconds: age,
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition. The backend
+// renders from snapshot accessors, so a slow scrape never holds an
+// engine lock.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(s.cfg.Backend.MetricsText()))
 }

@@ -439,10 +439,15 @@ type ShowStmt struct {
 // refresh-mode decision and upstream frontier) without executing or
 // creating anything. EXPLAIN DYNAMIC TABLE <name> describes an existing
 // DT: its declared and effective modes, the adaptive chooser's last
-// decision and reason, and the defining query's plan.
+// decision and reason, and the defining query's plan. EXPLAIN ANALYZE
+// <select> additionally runs the statement and annotates every operator
+// with its actual rows, loops and wall time.
 type ExplainStmt struct {
 	Target Statement // *SelectStmt or *CreateDynamicTableStmt; nil for DTName
 	DTName string    // EXPLAIN DYNAMIC TABLE <name>
+	// Analyze marks EXPLAIN ANALYZE: execute the target (SELECT only)
+	// and report per-operator execution statistics.
+	Analyze bool
 }
 
 func (*CreateTableStmt) stmt()        {}

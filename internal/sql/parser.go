@@ -210,14 +210,15 @@ func (p *Parser) parseShow() (Statement, error) {
 	}
 }
 
-// parseExplain parses EXPLAIN <select | create dynamic table | dynamic
-// table name>.
+// parseExplain parses EXPLAIN [ANALYZE] <select> and EXPLAIN <create
+// dynamic table | dynamic table name>.
 func (p *Parser) parseExplain() (Statement, error) {
 	if err := p.expectKeyword("EXPLAIN"); err != nil {
 		return nil, err
 	}
+	analyze := p.acceptKeyword("ANALYZE")
 	// EXPLAIN DYNAMIC TABLE <name> describes an existing DT.
-	if p.acceptKeyword("DYNAMIC") {
+	if !analyze && p.acceptKeyword("DYNAMIC") {
 		if err := p.expectKeyword("TABLE"); err != nil {
 			return nil, err
 		}
@@ -232,9 +233,17 @@ func (p *Parser) parseExplain() (Statement, error) {
 		return nil, err
 	}
 	switch target.(type) {
-	case *SelectStmt, *CreateDynamicTableStmt:
+	case *SelectStmt:
+		return &ExplainStmt{Target: target, Analyze: analyze}, nil
+	case *CreateDynamicTableStmt:
+		if analyze {
+			return nil, p.errorf("EXPLAIN ANALYZE supports SELECT only")
+		}
 		return &ExplainStmt{Target: target}, nil
 	default:
+		if analyze {
+			return nil, p.errorf("EXPLAIN ANALYZE supports SELECT only")
+		}
 		return nil, p.errorf("EXPLAIN supports SELECT, CREATE DYNAMIC TABLE and DYNAMIC TABLE <name> only")
 	}
 }

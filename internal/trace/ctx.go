@@ -1,0 +1,25 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns a context carrying s as the active span. A nil span
+// returns ctx unchanged, so callers can thread unconditionally.
+func With(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// From returns the context's active span, or nil. Combined with
+// nil-safe Span methods, one `trace.From(ctx).Child(...)` call is a
+// complete instrumentation site.
+func From(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

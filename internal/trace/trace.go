@@ -1,0 +1,286 @@
+// Package trace is a zero-dependency execution-tracing layer: a span
+// recorder holding a bounded ring of recent root traces, each with its
+// own bounded span ring (reusing the generic ring buffer), so hot paths
+// can be instrumented with one call per site and the recorder's memory
+// stays O(roots × spans-per-root) regardless of traffic.
+//
+// A Span is a handle to an in-progress timed operation. Handles are
+// nil-safe: every method on a nil *Span is a no-op and Child of a nil
+// span returns nil, so instrumentation sites never branch on whether
+// tracing is enabled. A root span is opened with Recorder.StartRoot and
+// published with Recorder.FinishRoot; child spans End individually and
+// may do so from concurrent goroutines (the refresher's wave workers
+// share one root).
+//
+// Retention is tunable at runtime: SetSlowQueryMs(n) with n > 0 keeps
+// the full span tree only for roots at least n milliseconds long —
+// faster roots retain just their root span — so steady-state tracing
+// overhead stays near zero while slow statements keep full detail.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyntables/internal/ring"
+)
+
+// DefaultMaxRoots bounds how many finished root traces the recorder
+// retains.
+const DefaultMaxRoots = 128
+
+// DefaultSpansPerRoot bounds how many finished spans one root retains
+// (oldest evicted first).
+const DefaultSpansPerRoot = 512
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A returns an Attr; it keeps instrumentation sites to one line.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Record is one finished span, flattened for the TRACE_SPANS virtual
+// table: Root identifies the trace (and equals ID for the root span
+// itself), Parent is 0 for roots.
+type Record struct {
+	Root     int64
+	ID       int64
+	Parent   int64
+	Name     string
+	Attrs    []Attr
+	Start    time.Time
+	Duration time.Duration
+}
+
+// traceState accumulates the finished spans of one root trace. Its
+// mutex serializes concurrent span Ends (wave workers under one tick
+// root); the recorder publishes the whole state at FinishRoot.
+type traceState struct {
+	mu      sync.Mutex
+	spans   *ring.Ring[Record]
+	dropped int
+}
+
+// Span is a handle to one in-progress span. All methods are safe on a
+// nil receiver (no-ops), so call sites need no enabled-check. A span's
+// attrs must be set by the goroutine that owns it, before End.
+type Span struct {
+	rec    *Recorder
+	tr     *traceState
+	root   int64
+	id     int64
+	parent int64
+	name   string
+	attrs  []Attr
+	start  time.Time
+}
+
+// RootID returns the trace's root span ID (0 on a nil span); recorded
+// events use it to join against TRACE_SPANS.
+func (s *Span) RootID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.root
+}
+
+// SetAttr appends an annotation. Call before End, from the goroutine
+// owning the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Child opens a sub-span. Safe to call from any goroutine; returns nil
+// when the receiver is nil.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		rec:    s.rec,
+		tr:     s.tr,
+		root:   s.root,
+		id:     s.rec.nextID.Add(1),
+		parent: s.id,
+		name:   name,
+		attrs:  attrs,
+		start:  time.Now(),
+	}
+}
+
+// End finishes the span and records it in its trace. Root spans are
+// finished by Recorder.FinishRoot instead; End on a root is a no-op so
+// a deferred End alongside FinishRoot cannot double-record.
+func (s *Span) End() {
+	if s == nil || s.parent == 0 {
+		return
+	}
+	s.tr.push(s.record())
+}
+
+func (s *Span) record() Record {
+	return Record{
+		Root:     s.root,
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Attrs:    s.attrs,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+	}
+}
+
+func (t *traceState) push(r Record) {
+	t.mu.Lock()
+	if t.spans.Len() == t.spans.Cap() {
+		t.dropped++
+	}
+	t.spans.Push(r)
+	t.mu.Unlock()
+}
+
+// Recorder retains the span trees of recent root traces in a bounded
+// ring. All methods are safe for concurrent use. A disabled recorder
+// returns nil spans from StartRoot, making every downstream
+// instrumentation call a no-op.
+type Recorder struct {
+	nextID atomic.Int64
+	// slowMs > 0 keeps full span trees only for roots at least that many
+	// milliseconds long.
+	slowMs  atomic.Int64
+	enabled atomic.Bool
+	// spanCount counts every span retained since construction (the
+	// observability bench's tracing-volume signal).
+	spanCount atomic.Int64
+
+	mu           sync.Mutex
+	maxRoots     int
+	spansPerRoot int
+	roots        *ring.Ring[*traceState]
+}
+
+// NewRecorder builds an enabled recorder; non-positive bounds adopt the
+// defaults.
+func NewRecorder(maxRoots, spansPerRoot int) *Recorder {
+	if maxRoots <= 0 {
+		maxRoots = DefaultMaxRoots
+	}
+	if spansPerRoot <= 0 {
+		spansPerRoot = DefaultSpansPerRoot
+	}
+	r := &Recorder{maxRoots: maxRoots, spansPerRoot: spansPerRoot, roots: ring.New[*traceState](maxRoots)}
+	r.enabled.Store(true)
+	return r
+}
+
+// NewDisabled builds a recorder that records nothing until SetEnabled.
+func NewDisabled() *Recorder {
+	r := NewRecorder(0, 0)
+	r.enabled.Store(false)
+	return r
+}
+
+// Enabled reports whether StartRoot returns live spans.
+func (r *Recorder) Enabled() bool { return r.enabled.Load() }
+
+// SetEnabled toggles recording. Traces already in flight still publish.
+func (r *Recorder) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// SetSlowQueryMs installs the retention threshold: with n > 0 only
+// roots at least n milliseconds long keep their full span tree; faster
+// roots retain just the root span. n <= 0 keeps everything.
+func (r *Recorder) SetSlowQueryMs(n int64) { r.slowMs.Store(n) }
+
+// SlowQueryMs returns the current retention threshold.
+func (r *Recorder) SlowQueryMs() int64 { return r.slowMs.Load() }
+
+// SpanCount reports how many spans have been retained since
+// construction.
+func (r *Recorder) SpanCount() int64 { return r.spanCount.Load() }
+
+// StartRoot opens a new root trace and returns its root span, or nil
+// when the recorder is disabled. Publish it with FinishRoot.
+func (r *Recorder) StartRoot(name string, attrs ...Attr) *Span {
+	if r == nil || !r.enabled.Load() {
+		return nil
+	}
+	r.mu.Lock()
+	perRoot := r.spansPerRoot
+	r.mu.Unlock()
+	id := r.nextID.Add(1)
+	return &Span{
+		rec:   r,
+		tr:    &traceState{spans: ring.New[Record](perRoot)},
+		root:  id,
+		id:    id,
+		name:  name,
+		attrs: attrs,
+		start: time.Now(),
+	}
+}
+
+// FinishRoot ends the root span, applies the slow-query retention
+// policy and publishes the trace into the recorder's root ring. No-op
+// on a nil span.
+func (r *Recorder) FinishRoot(s *Span) {
+	if r == nil || s == nil {
+		return
+	}
+	root := s.record()
+	root.Parent = 0
+	tr := s.tr
+	tr.mu.Lock()
+	if ms := r.slowMs.Load(); ms > 0 && root.Duration < time.Duration(ms)*time.Millisecond {
+		// Fast root: drop the children, keep only the root span.
+		tr.spans = ring.New[Record](tr.spans.Cap())
+	}
+	tr.spans.Push(root)
+	n := tr.spans.Len()
+	tr.mu.Unlock()
+	r.spanCount.Add(int64(n))
+	r.mu.Lock()
+	r.roots.Push(tr)
+	r.mu.Unlock()
+}
+
+// Snapshot returns every retained span of every retained root,
+// flattened, oldest root first. The result is a copy; no recorder locks
+// are held by the caller afterwards.
+func (r *Recorder) Snapshot() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	states := r.roots.Snapshot()
+	r.mu.Unlock()
+	var out []Record
+	for _, tr := range states {
+		tr.mu.Lock()
+		out = append(out, tr.spans.Snapshot()...)
+		tr.mu.Unlock()
+	}
+	return out
+}
+
+// Resize rebounds the root ring, keeping the newest roots. Per-root
+// span capacity applies to traces started afterwards.
+func (r *Recorder) Resize(maxRoots, spansPerRoot int) {
+	if maxRoots <= 0 {
+		maxRoots = DefaultMaxRoots
+	}
+	if spansPerRoot <= 0 {
+		spansPerRoot = DefaultSpansPerRoot
+	}
+	r.mu.Lock()
+	r.maxRoots = maxRoots
+	r.spansPerRoot = spansPerRoot
+	r.roots.Resize(maxRoots)
+	r.mu.Unlock()
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	r := NewRecorder(4, 16)
+	root := r.StartRoot("statement", A("kind", "SELECT"))
+	if root == nil {
+		t.Fatal("enabled recorder returned nil root")
+	}
+	c1 := root.Child("bind")
+	c1.End()
+	c2 := root.Child("execute", A("rows", "3"))
+	c2.SetAttr("worker", "0")
+	c2.End()
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("unpublished trace visible: %v", got)
+	}
+	r.FinishRoot(root)
+
+	spans := r.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]Record{}
+	for _, s := range spans {
+		if s.Root != root.RootID() {
+			t.Fatalf("span %s has root %d, want %d", s.Name, s.Root, root.RootID())
+		}
+		byName[s.Name] = s
+	}
+	if byName["statement"].Parent != 0 {
+		t.Fatalf("root span has parent %d", byName["statement"].Parent)
+	}
+	if byName["bind"].Parent != byName["statement"].ID {
+		t.Fatal("child span not parented to root")
+	}
+	if len(byName["execute"].Attrs) != 2 {
+		t.Fatalf("execute attrs = %v", byName["execute"].Attrs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.End()
+	if c := s.Child("x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if s.RootID() != 0 {
+		t.Fatal("nil span has a root ID")
+	}
+	d := NewDisabled()
+	if sp := d.StartRoot("x"); sp != nil {
+		t.Fatal("disabled recorder returned a live span")
+	}
+	d.FinishRoot(nil)
+	if d.Snapshot() != nil {
+		t.Fatal("disabled recorder recorded spans")
+	}
+}
+
+func TestRootRingEviction(t *testing.T) {
+	r := NewRecorder(2, 8)
+	for i := 0; i < 5; i++ {
+		root := r.StartRoot("q")
+		root.Child("c").End()
+		r.FinishRoot(root)
+	}
+	spans := r.Snapshot()
+	if len(spans) != 4 { // 2 retained roots × (root + child)
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+}
+
+func TestSlowQueryRetention(t *testing.T) {
+	r := NewRecorder(4, 8)
+	r.SetSlowQueryMs(1000)
+	fast := r.StartRoot("fast")
+	fast.Child("dropped").End()
+	r.FinishRoot(fast)
+	spans := r.Snapshot()
+	if len(spans) != 1 || spans[0].Name != "fast" {
+		t.Fatalf("fast root retained children: %v", spans)
+	}
+	r.SetSlowQueryMs(0)
+	full := r.StartRoot("full")
+	full.Child("kept").End()
+	r.FinishRoot(full)
+	if spans := r.Snapshot(); len(spans) != 3 {
+		t.Fatalf("threshold 0 dropped spans: %v", spans)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	r := NewRecorder(2, 1024)
+	root := r.StartRoot("tick")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := root.Child("refresh")
+				time.Sleep(time.Microsecond)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	r.FinishRoot(root)
+	spans := r.Snapshot()
+	if len(spans) != 401 {
+		t.Fatalf("got %d spans, want 401", len(spans))
+	}
+	if r.SpanCount() != 401 {
+		t.Fatalf("SpanCount = %d, want 401", r.SpanCount())
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	r := NewRecorder(2, 8)
+	root := r.StartRoot("outer")
+	ctx := With(context.Background(), root)
+	if From(ctx) != root {
+		t.Fatal("active span lost in context")
+	}
+	From(ctx).Child("inner").End()
+	r.FinishRoot(root)
+	if spans := r.Snapshot(); len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if With(context.Background(), nil) != context.Background() {
+		t.Fatal("With(nil) allocated a context")
+	}
+	if From(nil) != nil {
+		t.Fatal("From(nil ctx) returned a span")
+	}
+}
+
+func TestResize(t *testing.T) {
+	r := NewRecorder(8, 8)
+	for i := 0; i < 8; i++ {
+		r.FinishRoot(r.StartRoot("q"))
+	}
+	r.Resize(2, 4)
+	if spans := r.Snapshot(); len(spans) != 2 {
+		t.Fatalf("resize kept %d roots, want 2", len(spans))
+	}
+}

@@ -1,0 +1,180 @@
+package dyntables
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dyntables/internal/catalog"
+	"dyntables/internal/core"
+	"dyntables/internal/obs"
+	"dyntables/internal/sched"
+)
+
+// MetricsText renders the engine's operational state in the Prometheus
+// text exposition format (version 0.0.4). Every value comes from a
+// snapshot accessor with its own short-lived lock — no engine lock is
+// held across the whole scrape, so a slow scraper never stalls
+// refreshes or statements. Refresh durations and lag gauges are in
+// virtual time; request latencies, uptime and checkpoint age are host
+// wall-clock.
+func (e *Engine) MetricsText() string {
+	var b strings.Builder
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, fmtFloat(v))
+	}
+
+	gauge("dyntables_uptime_seconds", "Host seconds since the engine was constructed.",
+		e.Uptime().Seconds())
+	gauge("dyntables_sessions", "Open engine sessions.", float64(e.SessionCount()))
+	gauge("dyntables_open_cursors", "Streaming cursors currently pinning snapshots.",
+		float64(e.OpenCursors()))
+
+	fmt.Fprintf(&b, "# HELP dyntables_trace_spans_total Spans recorded by the execution tracer.\n")
+	fmt.Fprintf(&b, "# TYPE dyntables_trace_spans_total counter\n")
+	fmt.Fprintf(&b, "dyntables_trace_spans_total %d\n", e.trc.SpanCount())
+
+	e.writeRefreshMetrics(&b)
+	e.writeLagMetrics(&b)
+	e.writeRequestMetrics(&b)
+	e.writePersistMetrics(&b)
+	return b.String()
+}
+
+// writeRefreshMetrics emits the monotonic per-DT refresh counters.
+func (e *Engine) writeRefreshMetrics(b *strings.Builder) {
+	totals := e.rec.RefreshCounters()
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(b, "# HELP dyntables_refreshes_total Recorded refresh attempts per dynamic table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_refreshes_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_refreshes_total{dt=%s} %d\n", labelQuote(name), totals[name].Count)
+	}
+	fmt.Fprintf(b, "# HELP dyntables_refresh_errors_total Failed refresh attempts per dynamic table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_refresh_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_refresh_errors_total{dt=%s} %d\n", labelQuote(name), totals[name].Errors)
+	}
+	fmt.Fprintf(b, "# HELP dyntables_refresh_duration_seconds_total Summed virtual refresh execution time per dynamic table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_refresh_duration_seconds_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_refresh_duration_seconds_total{dt=%s} %s\n",
+			labelQuote(name), fmtFloat(totals[name].Seconds))
+	}
+}
+
+// writeLagMetrics emits the per-DT freshness gauges: current lag against
+// the virtual clock, the effective target, and lag-SLO attainment over
+// the recorded sawtooth window.
+func (e *Engine) writeLagMetrics(b *strings.Builder) {
+	entries := e.cat.List(catalog.KindDynamicTable)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	now := e.clk.Now()
+
+	type dtLag struct {
+		name              string
+		lag, target, attn float64
+		hasTarget, hasSLO bool
+	}
+	lags := make([]dtLag, 0, len(entries))
+	for _, entry := range entries {
+		dt, ok := entry.Payload.(*core.DynamicTable)
+		if !ok {
+			continue
+		}
+		l := dtLag{name: dt.Name, lag: -1}
+		if dataTS := dt.DataTimestamp(); !dataTS.IsZero() {
+			l.lag = now.Sub(dataTS).Seconds()
+		}
+		if target := e.sch.EffectiveLag(dt); target < sched.NoLag {
+			l.hasTarget, l.target = true, target.Seconds()
+			if stats := e.rec.SLO(dt.Name, target, now); stats.Samples > 0 {
+				l.hasSLO, l.attn = true, stats.Attainment
+			}
+		}
+		lags = append(lags, l)
+	}
+
+	fmt.Fprintf(b, "# HELP dyntables_dt_lag_seconds Virtual-clock staleness of each dynamic table (-1 before first refresh).\n")
+	fmt.Fprintf(b, "# TYPE dyntables_dt_lag_seconds gauge\n")
+	for _, l := range lags {
+		fmt.Fprintf(b, "dyntables_dt_lag_seconds{dt=%s} %s\n", labelQuote(l.name), fmtFloat(l.lag))
+	}
+	fmt.Fprintf(b, "# HELP dyntables_dt_target_lag_seconds Effective target lag per dynamic table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_dt_target_lag_seconds gauge\n")
+	for _, l := range lags {
+		if l.hasTarget {
+			fmt.Fprintf(b, "dyntables_dt_target_lag_seconds{dt=%s} %s\n", labelQuote(l.name), fmtFloat(l.target))
+		}
+	}
+	fmt.Fprintf(b, "# HELP dyntables_dt_slo_attainment Fraction of time each dynamic table spent within its target lag (0..1).\n")
+	fmt.Fprintf(b, "# TYPE dyntables_dt_slo_attainment gauge\n")
+	for _, l := range lags {
+		if l.hasSLO {
+			fmt.Fprintf(b, "dyntables_dt_slo_attainment{dt=%s} %s\n", labelQuote(l.name), fmtFloat(l.attn))
+		}
+	}
+}
+
+// writeRequestMetrics emits the served-request latency histogram
+// (host wall-clock; populated only when the engine serves the network
+// protocol).
+func (e *Engine) writeRequestMetrics(b *strings.Builder) {
+	h := e.rec.RequestLatency()
+	fmt.Fprintf(b, "# HELP dyntables_request_duration_seconds Host latency of served protocol requests.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_request_duration_seconds histogram\n")
+	for i, bound := range obs.RequestBuckets {
+		fmt.Fprintf(b, "dyntables_request_duration_seconds_bucket{le=%q} %d\n",
+			fmtFloat(bound), h.Buckets[i])
+	}
+	fmt.Fprintf(b, "dyntables_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
+	fmt.Fprintf(b, "dyntables_request_duration_seconds_sum %s\n", fmtFloat(h.Sum))
+	fmt.Fprintf(b, "dyntables_request_duration_seconds_count %d\n", h.Count)
+}
+
+// writePersistMetrics emits WAL and checkpoint state; nothing for
+// in-memory engines.
+func (e *Engine) writePersistMetrics(b *strings.Builder) {
+	st, ok := e.PersistStats()
+	if !ok {
+		return
+	}
+	fmt.Fprintf(b, "# HELP dyntables_wal_bytes Current WAL file length.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_wal_bytes gauge\n")
+	fmt.Fprintf(b, "dyntables_wal_bytes %d\n", st.WALBytes)
+	fmt.Fprintf(b, "# HELP dyntables_wal_appended_bytes_total Bytes ever appended to the WAL (survives checkpoint resets).\n")
+	fmt.Fprintf(b, "# TYPE dyntables_wal_appended_bytes_total counter\n")
+	fmt.Fprintf(b, "dyntables_wal_appended_bytes_total %d\n", st.WALAppendedBytes)
+	fmt.Fprintf(b, "# HELP dyntables_wal_appends_total WAL append operations.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_wal_appends_total counter\n")
+	fmt.Fprintf(b, "dyntables_wal_appends_total %d\n", st.WALAppends)
+	fmt.Fprintf(b, "# HELP dyntables_wal_append_seconds_total Host time spent in WAL appends.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_wal_append_seconds_total counter\n")
+	fmt.Fprintf(b, "dyntables_wal_append_seconds_total %s\n", fmtFloat(st.WALAppendTime.Seconds()))
+	fmt.Fprintf(b, "# HELP dyntables_checkpoints_total Snapshot checkpoints installed.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_checkpoints_total counter\n")
+	fmt.Fprintf(b, "dyntables_checkpoints_total %d\n", st.Checkpoints)
+	fmt.Fprintf(b, "# HELP dyntables_checkpoint_age_seconds Host seconds since the last checkpoint (-1 if none yet).\n")
+	fmt.Fprintf(b, "# TYPE dyntables_checkpoint_age_seconds gauge\n")
+	age := -1.0
+	if !st.LastCheckpoint.IsZero() {
+		age = time.Since(st.LastCheckpoint).Seconds()
+	}
+	fmt.Fprintf(b, "dyntables_checkpoint_age_seconds %s\n", fmtFloat(age))
+}
+
+// fmtFloat renders a metric value the shortest way Prometheus parsers
+// accept.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelQuote escapes a label value per the exposition format.
+func labelQuote(s string) string { return strconv.Quote(s) }

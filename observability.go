@@ -12,6 +12,7 @@ import (
 	"dyntables/internal/refresher"
 	"dyntables/internal/sched"
 	"dyntables/internal/sql"
+	"dyntables/internal/trace"
 	"dyntables/internal/types"
 	"dyntables/internal/warehouse"
 )
@@ -30,6 +31,8 @@ const (
 	InfoSchemaGraphHistory      = "INFORMATION_SCHEMA.DYNAMIC_TABLE_GRAPH_HISTORY"
 	InfoSchemaWarehouseMetering = "INFORMATION_SCHEMA.WAREHOUSE_METERING_HISTORY"
 	InfoSchemaServerRequests    = "INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY"
+	InfoSchemaQueryHistory      = "INFORMATION_SCHEMA.QUERY_HISTORY"
+	InfoSchemaTraceSpans        = "INFORMATION_SCHEMA.TRACE_SPANS"
 )
 
 // initObservability builds the recorder, layers the virtual-table
@@ -38,10 +41,14 @@ const (
 func (e *Engine) initObservability() {
 	if e.cfg.HistoryCapacity < 0 {
 		e.rec = obs.NewDisabled()
+		e.trc = trace.NewDisabled()
 	} else {
 		e.rec = obs.NewRecorder(e.cfg.HistoryCapacity)
+		e.trc = trace.NewRecorder(0, 0)
 	}
 	e.ctrl.HistoryCapacity = e.cfg.HistoryCapacity
+	e.ctrl.Tracer = e.trc
+	e.refr.SetTracer(e.trc)
 	e.virt = plan.NewVirtualResolver(
 		plan.ResolverFunc(e.resolveCatalogTable),
 		func() hlc.Timestamp { return e.txns.Now() },
@@ -99,6 +106,7 @@ func (a *obsAdapter) RefreshRecorded(dt *core.DynamicTable, rec core.RefreshReco
 		FullScanRows:      rec.FullScanEstimate,
 		Wave:              -1,
 		Worker:            -1,
+		RootID:            rec.TraceRoot,
 	}
 	if rec.Err != nil {
 		ev.Error = rec.Err.Error()
@@ -209,6 +217,7 @@ var refreshHistorySchema = types.Schema{Columns: []types.Column{
 	infoCol("worker", types.KindInt),
 	infoCol("error", types.KindString),
 	infoCol("seq", types.KindInt),
+	infoCol("root_id", types.KindInt),
 }}
 
 var graphHistorySchema = types.Schema{Columns: []types.Column{
@@ -246,6 +255,30 @@ var serverRequestsSchema = types.Schema{Columns: []types.Column{
 	infoCol("seq", types.KindInt),
 }}
 
+var queryHistorySchema = types.Schema{Columns: []types.Column{
+	infoCol("seq", types.KindInt),
+	infoCol("session_id", types.KindInt),
+	infoCol("role", types.KindString),
+	infoCol("text", types.KindString),
+	infoCol("kind", types.KindString),
+	infoCol("status", types.KindString),
+	infoCol("rows", types.KindInt),
+	infoCol("start_ts", types.KindTimestamp),
+	infoCol("duration", types.KindInterval),
+	infoCol("root_id", types.KindInt),
+	infoCol("error", types.KindString),
+}}
+
+var traceSpansSchema = types.Schema{Columns: []types.Column{
+	infoCol("root_id", types.KindInt),
+	infoCol("span_id", types.KindInt),
+	infoCol("parent_id", types.KindInt),
+	infoCol("name", types.KindString),
+	infoCol("attrs", types.KindString),
+	infoCol("start_ts", types.KindTimestamp),
+	infoCol("duration", types.KindInterval),
+}}
+
 // registerInfoSchema registers the virtual tables with the resolver
 // layer. Each Rows callback materializes the current metadata snapshot
 // at bind time, so the whole planner — filters, joins, aggregation,
@@ -271,6 +304,14 @@ func (e *Engine) registerInfoSchema() {
 		Name: InfoSchemaServerRequests, Schema: serverRequestsSchema,
 		Rows: e.serverRequestsRows,
 	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaQueryHistory, Schema: queryHistorySchema,
+		Rows: e.queryHistoryRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaTraceSpans, Schema: traceSpansSchema,
+		Rows: e.traceSpansRows,
+	})
 }
 
 // tsOrNull converts a timestamp, mapping the zero time to NULL.
@@ -279,6 +320,15 @@ func tsOrNull(t time.Time) types.Value {
 		return types.Null
 	}
 	return types.NewTimestamp(t)
+}
+
+// intOrNull converts an int64, mapping 0 to NULL (used for span IDs,
+// where 0 means "tracing was disabled").
+func intOrNull(v int64) types.Value {
+	if v == 0 {
+		return types.Null
+	}
+	return types.NewInt(v)
 }
 
 // strOrNull converts a string, mapping "" to NULL.
@@ -393,6 +443,7 @@ func (e *Engine) refreshHistoryRows() ([]types.Row, error) {
 			worker,
 			strOrNull(ev.Error),
 			types.NewInt(ev.Seq),
+			intOrNull(ev.RootID),
 		})
 	}
 	return rows, nil
@@ -459,6 +510,60 @@ func (e *Engine) serverRequestsRows() ([]types.Row, error) {
 			tsOrNull(ev.Start),
 			types.NewInterval(ev.Duration),
 			types.NewInt(ev.Seq),
+		})
+	}
+	return rows, nil
+}
+
+// queryHistoryRows builds INFORMATION_SCHEMA.QUERY_HISTORY from the
+// recorder's shared statement ring. Statement text is recorded verbatim
+// but bind-argument values are never captured, so parameterized
+// statements stay redacted by construction.
+func (e *Engine) queryHistoryRows() ([]types.Row, error) {
+	events := e.rec.Statements()
+	rows := make([]types.Row, 0, len(events))
+	for _, ev := range events {
+		rows = append(rows, types.Row{
+			types.NewInt(ev.Seq),
+			types.NewInt(ev.SessionID),
+			strOrNull(ev.Role),
+			types.NewString(ev.Text),
+			strOrNull(ev.Kind),
+			types.NewString(ev.Status),
+			types.NewInt(ev.Rows),
+			tsOrNull(ev.Start),
+			types.NewInterval(ev.Duration),
+			intOrNull(ev.RootID),
+			strOrNull(ev.Error),
+		})
+	}
+	return rows, nil
+}
+
+// traceSpansRows builds INFORMATION_SCHEMA.TRACE_SPANS: the flattened
+// span tree of every retained root trace, joinable against
+// QUERY_HISTORY and DYNAMIC_TABLE_REFRESH_HISTORY on root_id. Span
+// timings are host wall-clock (they describe real execution work, not
+// the virtual refresh timeline).
+func (e *Engine) traceSpansRows() ([]types.Row, error) {
+	records := e.trc.Snapshot()
+	rows := make([]types.Row, 0, len(records))
+	for _, r := range records {
+		var attrs string
+		for i, a := range r.Attrs {
+			if i > 0 {
+				attrs += " "
+			}
+			attrs += a.Key + "=" + a.Value
+		}
+		rows = append(rows, types.Row{
+			types.NewInt(r.Root),
+			types.NewInt(r.ID),
+			intOrNull(r.Parent),
+			types.NewString(r.Name),
+			strOrNull(attrs),
+			tsOrNull(r.Start),
+			types.NewInterval(r.Duration),
 		})
 	}
 	return rows, nil

@@ -44,6 +44,27 @@ func (b *serverBackend) Checkpoint() error { return b.e.Checkpoint() }
 // Recorder implements server.Backend.
 func (b *serverBackend) Recorder() *obs.Recorder { return b.e.Observability() }
 
+// Status implements server.Backend.
+func (b *serverBackend) Status() server.BackendStatus {
+	st := server.BackendStatus{
+		Uptime:        b.e.Uptime(),
+		Sessions:      b.e.SessionCount(),
+		OpenCursors:   b.e.OpenCursors(),
+		CheckpointAge: -1,
+	}
+	if ps, ok := b.e.PersistStats(); ok {
+		st.Durable = true
+		st.WALBytes = ps.WALBytes
+		if !ps.LastCheckpoint.IsZero() {
+			st.CheckpointAge = time.Since(ps.LastCheckpoint)
+		}
+	}
+	return st
+}
+
+// MetricsText implements server.Backend.
+func (b *serverBackend) MetricsText() string { return b.e.MetricsText() }
+
 type serverSession struct{ s *Session }
 
 // callArgs merges the wire's positional and named bindings back into

@@ -2,6 +2,7 @@ package dyntables
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"strings"
@@ -10,8 +11,10 @@ import (
 	"time"
 
 	"dyntables/internal/exec"
+	"dyntables/internal/obs"
 	"dyntables/internal/plan"
 	"dyntables/internal/sql"
+	"dyntables/internal/trace"
 	"dyntables/internal/types"
 )
 
@@ -22,6 +25,9 @@ import (
 // accesses but statements from different sessions run concurrently.
 type Session struct {
 	eng *Engine
+	// id is the engine-unique session number reported in
+	// INFORMATION_SCHEMA.QUERY_HISTORY.
+	id int64
 
 	mu   sync.RWMutex
 	role string
@@ -33,7 +39,7 @@ type Session struct {
 
 // NewSession creates a session with the default ADMIN role.
 func (e *Engine) NewSession() *Session {
-	s := &Session{eng: e, role: "ADMIN", stmts: make(map[*Stmt]struct{})}
+	s := &Session{eng: e, id: e.sessSeq.Add(1), role: "ADMIN", stmts: make(map[*Stmt]struct{})}
 	e.sessMu.Lock()
 	if e.sessions != nil {
 		e.sessions[s] = struct{}{}
@@ -44,6 +50,10 @@ func (e *Engine) NewSession() *Session {
 
 // Engine returns the session's engine.
 func (s *Session) Engine() *Engine { return s.eng }
+
+// ID returns the session's engine-unique number, matching the
+// session_id column of INFORMATION_SCHEMA.QUERY_HISTORY.
+func (s *Session) ID() int64 { return s.id }
 
 // Close releases the session: every statement prepared on it is
 // invalidated (its Exec/Query calls fail afterwards) and the session
@@ -133,7 +143,7 @@ func (s *Session) ExecContext(ctx context.Context, text string, args ...any) (*R
 	if err != nil {
 		return nil, err
 	}
-	return s.execStatement(ctx, stmt, params)
+	return s.execStatement(ctx, text, stmt, params)
 }
 
 // Exec is ExecContext with a background context.
@@ -168,17 +178,40 @@ func (s *Session) QueryContext(ctx context.Context, text string, args ...any) (*
 	if err != nil {
 		return nil, err
 	}
+	return s.queryCursor(ctx, text, sel, params)
+}
+
+// queryCursor opens the streaming cursor shared by Session.QueryContext
+// and Stmt.QueryContext: the plan binds and pins under the statement
+// lock, then the cursor streams lock-free. The statement's QUERY_HISTORY
+// event is recorded when the cursor is released (served rows and total
+// wall time are only known then); a bind error records an ERROR event
+// immediately.
+func (s *Session) queryCursor(ctx context.Context, text string, sel *sql.SelectStmt, params *plan.Params) (*Rows, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
 	e := s.eng
+	start := time.Now()
+	root := e.trc.StartRoot("statement", trace.A("kind", "SELECT"))
 	e.stmtMu.RLock()
 	x := &executor{e: e, s: s, ctx: ctx, params: params}
 	cur, err := x.selectCursor(sel)
 	e.stmtMu.RUnlock()
 	if err != nil {
+		root.SetAttr("status", "ERROR")
+		e.trc.FinishRoot(root)
+		e.rec.RecordStatement(obs.StatementEvent{
+			SessionID: s.id, Role: s.Role(), Text: strings.TrimSpace(text), Kind: "SELECT",
+			Status: "ERROR", Start: start, Duration: time.Since(start),
+			RootID: root.RootID(), Error: err.Error(),
+		})
 		return nil, err
 	}
+	cur.sess = s
+	cur.text = strings.TrimSpace(text)
+	cur.start = start
+	cur.root = root
 	return cur, nil
 }
 
@@ -211,7 +244,7 @@ func (s *Session) ExecScriptContext(ctx context.Context, text string) ([]*Result
 		if err := rejectStoredPlaceholders(stmt); err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
-		res, err := s.execStatement(ctx, stmt, nil)
+		res, err := s.execStatement(ctx, text, stmt, nil)
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
@@ -262,13 +295,46 @@ func (s *Session) Describe(name string) (*DynamicTableStatus, error) {
 // execStatement routes one parsed statement through the engine's
 // statement lock: DDL takes the exclusive lock, everything else runs as a
 // parallel reader. Once the lock is released, a durable engine may fold
-// the WAL into a checkpoint.
-func (s *Session) execStatement(ctx context.Context, stmt sql.Statement, params *plan.Params) (*Result, error) {
+// the WAL into a checkpoint. Every statement publishes one QUERY_HISTORY
+// event and one root trace; text carries the submitted SQL (bind-argument
+// values are never recorded).
+func (s *Session) execStatement(ctx context.Context, text string, stmt sql.Statement, params *plan.Params) (*Result, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
+	e := s.eng
+	start := time.Now()
+	root := e.trc.StartRoot("statement")
 	res, err := s.execStatementLocked(ctx, stmt, params)
-	s.eng.afterWrite()
+	ev := obs.StatementEvent{
+		SessionID: s.id,
+		Role:      s.Role(),
+		Text:      strings.TrimSpace(text),
+		Start:     start,
+		Duration:  time.Since(start),
+		RootID:    root.RootID(),
+	}
+	switch {
+	case err == nil:
+		ev.Status = "SUCCESS"
+		ev.Kind = res.Kind
+		if res.Kind == "SELECT" {
+			ev.Rows = int64(len(res.Rows))
+		} else {
+			ev.Rows = int64(res.RowsAffected)
+		}
+		root.SetAttr("kind", res.Kind)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		ev.Status = "CANCELED"
+		ev.Error = err.Error()
+	default:
+		ev.Status = "ERROR"
+		ev.Error = err.Error()
+	}
+	root.SetAttr("status", ev.Status)
+	e.trc.FinishRoot(root)
+	e.rec.RecordStatement(ev)
+	e.afterWrite()
 	return res, err
 }
 
@@ -387,7 +453,7 @@ func (st *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.sess.execStatement(ctx, st.parsed, params)
+	return st.sess.execStatement(ctx, st.text, st.parsed, params)
 }
 
 // Exec is ExecContext with a background context.
@@ -407,16 +473,7 @@ func (st *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := st.sess
-	if err := s.checkOpen(); err != nil {
-		return nil, err
-	}
-	e := s.eng
-	e.stmtMu.RLock()
-	x := &executor{e: e, s: s, ctx: ctx, params: params}
-	cur, err := x.selectCursor(st.parsed.(*sql.SelectStmt))
-	e.stmtMu.RUnlock()
-	return cur, err
+	return st.sess.queryCursor(ctx, st.text, st.parsed.(*sql.SelectStmt), params)
 }
 
 // Close releases the prepared statement: the session stops tracking it
@@ -563,6 +620,15 @@ type Rows struct {
 	it   exec.RowIter
 	eng  *Engine
 
+	// QUERY_HISTORY accounting, set by queryCursor: the statement event
+	// closes at cursor release with the served row count. sess is nil
+	// for cursors opened outside the session path (internal scans).
+	sess   *Session
+	text   string
+	start  time.Time
+	root   *trace.Span
+	served int64
+
 	cur      types.Row
 	err      error
 	released bool
@@ -589,6 +655,7 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	r.cur = tr.Row
+	r.served++
 	return true
 }
 
@@ -631,6 +698,25 @@ func (r *Rows) release() {
 	r.released = true
 	r.it.Close()
 	r.eng.cursors.Add(-1)
+	if r.sess == nil {
+		return
+	}
+	status, errText := "SUCCESS", ""
+	if r.err != nil {
+		errText = r.err.Error()
+		if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+			status = "CANCELED"
+		} else {
+			status = "ERROR"
+		}
+	}
+	r.root.SetAttr("status", status)
+	r.eng.trc.FinishRoot(r.root)
+	r.eng.rec.RecordStatement(obs.StatementEvent{
+		SessionID: r.sess.id, Role: r.sess.Role(), Text: r.text, Kind: "SELECT",
+		Status: status, Rows: r.served, Start: r.start, Duration: time.Since(r.start),
+		RootID: r.root.RootID(), Error: errText,
+	})
 }
 
 // Seq adapts the cursor to a Go 1.23 range-over-func iterator. Each

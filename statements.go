@@ -912,6 +912,9 @@ func (x *executor) execAlterSystem(stmt *sql.AlterSystemStmt) (*Result, error) {
 		n := int(stmt.Value)
 		e.rec.SetEnabled(true)
 		e.rec.SetCapacity(n)
+		// Tracing follows the same switch but keeps its own bounded ring
+		// (root count, not event count), so it is enabled, not resized.
+		e.trc.SetEnabled(true)
 		e.ctrl.HistoryCapacity = n
 		for _, entry := range e.cat.List(catalog.KindDynamicTable) {
 			if dt, ok := entry.Payload.(*core.DynamicTable); ok {
@@ -920,6 +923,17 @@ func (x *executor) execAlterSystem(stmt *sql.AlterSystemStmt) (*Result, error) {
 		}
 		return &Result{Kind: "ALTER SYSTEM",
 			Message: fmt.Sprintf("HISTORY_CAPACITY = %d", n)}, nil
+	case "SLOW_QUERY_MS":
+		// Trace-retention floor: root traces faster than this keep only
+		// their root span (child spans are dropped at finish), so slow
+		// statements and refreshes survive longer in the bounded span
+		// store. 0 retains every span of every trace.
+		if stmt.Value < 0 {
+			return nil, fmt.Errorf("dyntables: SLOW_QUERY_MS must be >= 0 (0 = retain all spans)")
+		}
+		e.trc.SetSlowQueryMs(stmt.Value)
+		return &Result{Kind: "ALTER SYSTEM",
+			Message: fmt.Sprintf("SLOW_QUERY_MS = %d", stmt.Value)}, nil
 	case "ADAPTIVE_REFRESH":
 		// Gates the per-refresh REFRESH_MODE=AUTO chooser: 0 disables
 		// (AUTO falls back to its static resolution), 1 enables, n > 1
@@ -1010,6 +1024,9 @@ func (x *executor) execExplain(stmt *sql.ExplainStmt) (*Result, error) {
 	}
 	switch t := stmt.Target.(type) {
 	case *sql.SelectStmt:
+		if stmt.Analyze {
+			return x.execExplainAnalyze(t)
+		}
 		bound, err := plan.NewBinder(e).BindSelect(t)
 		if err != nil {
 			return nil, err
@@ -1072,6 +1089,44 @@ func (x *executor) execExplain(stmt *sql.ExplainStmt) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("dyntables: EXPLAIN supports SELECT and CREATE DYNAMIC TABLE only")
 	}
+	return res, nil
+}
+
+// execExplainAnalyze runs the SELECT to completion with a per-node
+// statistics collector attached and renders the plan tree annotated
+// with actual rows, loop counts and inclusive wall time per operator —
+// Postgres-style EXPLAIN ANALYZE. The query really executes (same
+// privilege checks and pinned snapshot as a plain SELECT) but its rows
+// are discarded; canceling the statement context aborts it mid-scan
+// like any other query.
+func (x *executor) execExplainAnalyze(stmt *sql.SelectStmt) (*Result, error) {
+	p, pins, err := x.planSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	stats := exec.NewNodeStats()
+	rctx := x.runContext(pins)
+	rctx.Stats = stats
+	start := time.Now()
+	rows, err := exec.Collect(exec.Stream(p, rctx))
+	if err != nil {
+		return nil, err
+	}
+	total := time.Since(start)
+	annotated := plan.ExplainAnnotated(p, func(n plan.Node) string {
+		st, ok := stats.Lookup(n)
+		if !ok {
+			return " (never executed)"
+		}
+		return fmt.Sprintf(" (actual rows=%d loops=%d time=%s)",
+			st.Rows, st.Loops, st.Time.Round(time.Microsecond))
+	})
+	res := &Result{Kind: "EXPLAIN", Columns: []string{"PLAN"}}
+	for _, l := range strings.Split(strings.TrimRight(annotated, "\n"), "\n") {
+		res.Rows = append(res.Rows, types.Row{types.NewString(l)})
+	}
+	res.Rows = append(res.Rows, types.Row{types.NewString(
+		fmt.Sprintf("Execution: %d rows in %s", len(rows), total.Round(time.Microsecond)))})
 	return res, nil
 }
 

@@ -14,7 +14,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -112,6 +114,46 @@ func tableContents(ctx context.Context, sess *server.RemoteSession, table string
 	return out, nil
 }
 
+// metricsSmoke scrapes GET /metrics and checks the Prometheus text
+// exposition carries the expected families, including the per-DT lag
+// gauge for the dynamic table the smoke created.
+func metricsSmoke(addr string) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("GET /metrics: content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(body)
+	for _, want := range []string{
+		"dyntables_uptime_seconds",
+		"dyntables_sessions",
+		"dyntables_open_cursors",
+		"dyntables_trace_spans_total",
+		`dyntables_refreshes_total{dt="d"}`,
+		`dyntables_dt_lag_seconds{dt="d"}`,
+		`dyntables_dt_slo_attainment{dt="d"}`,
+		"dyntables_request_duration_seconds_bucket",
+		"dyntables_request_duration_seconds_count",
+		"dyntables_wal_bytes",
+		"dyntables_checkpoint_age_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("exposition is missing %q:\n%s", want, text)
+		}
+	}
+	return nil
+}
+
 func run(bin string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
 	defer cancel()
@@ -171,6 +213,23 @@ func run(bin string) error {
 	}
 	if len(hist.Rows) == 0 {
 		return fmt.Errorf("SERVER_REQUEST_HISTORY is empty")
+	}
+	// The execution tracer must be joinable over the wire: every
+	// statement above recorded a QUERY_HISTORY event whose root_id
+	// resolves to a root span in TRACE_SPANS.
+	joined, err := sess.Exec(ctx, `
+		SELECT q.text, t.name, t.duration
+		FROM INFORMATION_SCHEMA.QUERY_HISTORY q
+		JOIN INFORMATION_SCHEMA.TRACE_SPANS t ON q.root_id = t.root_id
+		WHERE t.parent_id IS NULL`)
+	if err != nil {
+		return fmt.Errorf("QUERY_HISTORY x TRACE_SPANS join: %w", err)
+	}
+	if len(joined.Rows) == 0 {
+		return fmt.Errorf("QUERY_HISTORY x TRACE_SPANS join is empty")
+	}
+	if err := metricsSmoke(d.addr); err != nil {
+		return fmt.Errorf("metrics: %w", err)
 	}
 
 	// Leave a cursor open mid-iteration: the drain must close it, release
