@@ -444,6 +444,8 @@ func observability(siblings, workers, rounds int) error {
 	fmt.Printf("  events recorded: %d, trace spans recorded: %d, identical DT contents: %v\n",
 		res.EventsRecorded, res.SpansRecorded, res.IdenticalRows)
 	fmt.Printf("  refresh-history query: %d rows streamed in %.2fms\n", res.HistoryRows, res.QueryMillis)
+	fmt.Printf("  resource attribution: %d refreshes metered, %.1f allocs/row, %.3fms cpu/refresh\n",
+		res.RefreshesMetered, res.AllocsPerRow, res.CPUPerRefreshMillis)
 	if res.WaveRegressionPct >= 5 {
 		return fmt.Errorf("observability: wave-makespan regression %.2f%% exceeds the 5%% budget", res.WaveRegressionPct)
 	}

@@ -14,8 +14,10 @@
 //
 //	\dt                list dynamic tables (SHOW DYNAMIC TABLES)
 //	\dw                list warehouses (SHOW WAREHOUSES)
+//	\health            per-DT health classification and blame (SHOW HEALTH)
 //	\d name            describe an object: columns, plus refresh state for DTs
 //	\timing [on|off]   toggle printing each statement's wall-clock time
+//	                   along with rows served and rows affected
 //
 // EXPLAIN output (EXPLAIN SELECT ... / EXPLAIN CREATE DYNAMIC TABLE ...)
 // is pretty-printed as an indented plan tree instead of a result table.
@@ -202,10 +204,12 @@ func setTiming(fields []string) {
 	}
 }
 
-// printTiming reports a statement's wall time when \timing is on.
-func printTiming(start time.Time) {
+// printTiming reports a statement's wall time plus the rows it served
+// and affected when \timing is on.
+func printTiming(start time.Time, served, affected int) {
 	if timing {
-		fmt.Printf("Time: %s\n", time.Since(start).Round(time.Microsecond))
+		fmt.Printf("Time: %s (%d rows served, %d affected)\n",
+			time.Since(start).Round(time.Microsecond), served, affected)
 	}
 }
 
@@ -216,8 +220,11 @@ func execute(sess *dyntables.Session, text string) {
 	defer stop()
 	start := time.Now()
 	results, err := sess.ExecScriptContext(ctx, text)
-	defer printTiming(start)
+	var served, affected int
+	defer func() { printTiming(start, served, affected) }()
 	for _, res := range results {
+		served += len(res.Rows)
+		affected += res.RowsAffected
 		switch {
 		case res.Kind == "EXPLAIN":
 			// EXPLAIN rows are plan-tree lines; print them raw so the
@@ -277,6 +284,8 @@ func metaCommand(sess *dyntables.Session, line string) {
 		runShow(`SHOW DYNAMIC TABLES`)
 	case `\dw`:
 		runShow(`SHOW WAREHOUSES`)
+	case `\health`:
+		runShow(`SHOW HEALTH`)
 	case `\d`:
 		if len(fields) < 2 {
 			fmt.Println(`usage: \d <name>`)
@@ -286,7 +295,7 @@ func metaCommand(sess *dyntables.Session, line string) {
 	case `\timing`:
 		setTiming(fields)
 	default:
-		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>, \timing)`)
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \health, \d <name>, \timing)`)
 	}
 }
 

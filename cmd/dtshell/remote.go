@@ -56,8 +56,11 @@ func (r *remoteShell) execute(text string) {
 	defer stop()
 	start := time.Now()
 	results, err := r.sess.ExecScript(ctx, text)
-	defer printTiming(start)
+	var served, affected int
+	defer func() { printTiming(start, served, affected) }()
 	for _, res := range results {
+		served += len(res.Rows)
+		affected += res.RowsAffected
 		printRemote(res)
 	}
 	if err != nil {
@@ -133,6 +136,8 @@ func (r *remoteShell) metaCommand(line string) {
 		runShow(`SHOW DYNAMIC TABLES`)
 	case `\dw`:
 		runShow(`SHOW WAREHOUSES`)
+	case `\health`:
+		runShow(`SHOW HEALTH`)
 	case `\d`:
 		if len(fields) < 2 {
 			fmt.Println(`usage: \d <name>`)
@@ -142,7 +147,7 @@ func (r *remoteShell) metaCommand(line string) {
 	case `\timing`:
 		setTiming(fields)
 	default:
-		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \d <name>, \timing)`)
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \health, \d <name>, \timing)`)
 	}
 }
 

@@ -55,6 +55,7 @@ import (
 	"dyntables/internal/catalog"
 	"dyntables/internal/clock"
 	"dyntables/internal/core"
+	"dyntables/internal/health"
 	"dyntables/internal/obs"
 	"dyntables/internal/plan"
 	"dyntables/internal/refresher"
@@ -110,6 +111,11 @@ type Engine struct {
 	def *Session
 	// cursors counts open Rows cursors, for leak detection.
 	cursors atomic.Int64
+
+	// healthMu guards healthPrev, the per-DT status the last health
+	// evaluation produced — the evaluator's flapping-hysteresis memory.
+	healthMu   sync.Mutex
+	healthPrev map[string]health.Status
 
 	// pers is the durability layer; nil for in-memory engines (New).
 	pers *persister

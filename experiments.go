@@ -15,6 +15,7 @@ import (
 
 	"dyntables/internal/core"
 	"dyntables/internal/ivm"
+	"dyntables/internal/obs"
 	"dyntables/internal/persist"
 	"dyntables/internal/plan"
 	"dyntables/internal/sched"
@@ -1313,6 +1314,13 @@ type ObservabilityBenchResult struct {
 	// IdenticalRows reports whether the enabled run produced the same DT
 	// contents as the baseline (observability must be read-only).
 	IdenticalRows bool `json:"identical_rows"`
+
+	// Resource-attribution figures from the enabled run's
+	// RESOURCE_HISTORY refresh events: heap objects allocated per source
+	// row processed and host CPU (goroutine wall-time) per refresh.
+	RefreshesMetered    int     `json:"refreshes_metered"`
+	AllocsPerRow        float64 `json:"allocs_per_row"`
+	CPUPerRefreshMillis float64 `json:"cpu_per_refresh_ms"`
 }
 
 // RunObservabilityBench measures history-recording overhead on the PR-3
@@ -1368,6 +1376,25 @@ func RunObservabilityBench(siblings, workers, rounds int) (*ObservabilityBenchRe
 	}
 	if baseline.host > 0 {
 		res.HostOverheadPct = (observed.host - baseline.host) / baseline.host * 100
+	}
+
+	// Per-refresh resource attribution from the enabled run.
+	var cpu time.Duration
+	var allocObjects, resourceRows int64
+	for _, ev := range observed.run.eng.Observability().Resources() {
+		if ev.Kind != obs.ResourceRefresh {
+			continue
+		}
+		res.RefreshesMetered++
+		cpu += ev.CPU
+		allocObjects += ev.AllocObjects
+		resourceRows += ev.Rows
+	}
+	if resourceRows > 0 {
+		res.AllocsPerRow = float64(allocObjects) / float64(resourceRows)
+	}
+	if res.RefreshesMetered > 0 {
+		res.CPUPerRefreshMillis = float64(cpu.Microseconds()) / 1000 / float64(res.RefreshesMetered)
 	}
 
 	// Read the history back through the normal streaming query path.

@@ -231,3 +231,29 @@ func TestDVSOracleNoViolations(t *testing.T) {
 		t.Errorf("checks: %d", res.Checks)
 	}
 }
+
+// TestObservabilityBenchResourceFigures checks the overhead bench's
+// resource-attribution figures: the enabled run meters its refreshes
+// and reports coherent allocs/row and CPU/refresh, and the virtual wave
+// makespan stays identical across modes.
+func TestObservabilityBenchResourceFigures(t *testing.T) {
+	res, err := RunObservabilityBench(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WaveRegressionPct != 0 {
+		t.Errorf("wave regression %.2f%%, want 0 (recording costs no virtual time)", res.WaveRegressionPct)
+	}
+	if res.RefreshesMetered == 0 {
+		t.Fatal("enabled run metered no refreshes")
+	}
+	if res.AllocsPerRow < 0 {
+		t.Errorf("allocs/row = %f, want >= 0", res.AllocsPerRow)
+	}
+	if res.CPUPerRefreshMillis <= 0 {
+		t.Errorf("cpu/refresh = %fms, want > 0", res.CPUPerRefreshMillis)
+	}
+	if !res.IdenticalRows {
+		t.Error("recording changed DT contents")
+	}
+}

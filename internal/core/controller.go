@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -355,6 +356,8 @@ func (c *Controller) Refresh(dt *DynamicTable, dataTS time.Time) (RefreshRecord,
 		return rec, err
 	}
 	root.SetAttr("action", rec.Action.String())
+	root.SetAttr("scan_rows", strconv.FormatInt(rec.SourceRowsScanned, 10))
+	root.SetAttr("scan_bytes", strconv.FormatInt(rec.ScanBytes, 10))
 	dt.mu.Lock()
 	dt.errorCount = 0
 	dt.mu.Unlock()
@@ -495,6 +498,7 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time, root *tra
 	}
 	rec.Action = ActionIncremental
 	rec.SourceRowsScanned = counters.ScanRows
+	rec.ScanBytes = counters.ScanBytes
 
 	// §6.1 validations 2 and 3: at most one row per ($ROW_ID, $ACTION),
 	// and never delete a row that does not exist.
@@ -631,6 +635,7 @@ func (c *Controller) fullCompute(dt *DynamicTable, bound *plan.Bound, dataTS tim
 	}
 	if env.Counters != nil {
 		rec.SourceRowsScanned = env.Counters.ScanRows
+		rec.ScanBytes = env.Counters.ScanBytes
 	}
 
 	// Schema evolution: adopt the (possibly changed) output schema.

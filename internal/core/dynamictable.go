@@ -112,6 +112,10 @@ type RefreshRecord struct {
 	RowsAfter int
 	// SourceRowsScanned approximates the work done reading sources.
 	SourceRowsScanned int64
+	// ScanBytes estimates the bytes of source rows the refresh read
+	// (executor scan-side accounting). In-memory only: checkpoints do
+	// not persist it.
+	ScanBytes int64
 	// EffectiveMode is the refresh mode in force for this refresh (FULL
 	// or INCREMENTAL) and ModeReason explains why it was chosen: the
 	// declared mode, the static AUTO resolution, or the adaptive

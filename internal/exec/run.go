@@ -32,6 +32,7 @@ type TRow struct {
 type Counters struct {
 	ScanRows     int64 // rows produced by Scan nodes
 	ScanCalls    int64 // number of Scan node executions
+	ScanBytes    int64 // estimated bytes of rows produced by Scan nodes
 	JoinProbes   int64
 	OutputRows   int64
 	NodesVisited int64
@@ -43,6 +44,7 @@ type Counters struct {
 func (c *Counters) Merge(o *Counters) {
 	c.ScanRows += o.ScanRows
 	c.ScanCalls += o.ScanCalls
+	c.ScanBytes += o.ScanBytes
 	c.JoinProbes += o.JoinProbes
 	c.OutputRows += o.OutputRows
 	c.NodesVisited += o.NodesVisited
@@ -157,11 +159,23 @@ func runScan(s *plan.Scan, ctx *Context) ([]TRow, error) {
 	for id, r := range rows {
 		out = append(out, TRow{ID: id, Row: r})
 	}
-	ctx.count(func(c *Counters) {
-		c.ScanCalls++
-		c.ScanRows += int64(len(out))
-	})
+	if ctx.Counters != nil {
+		ctx.Counters.ScanCalls++
+		ctx.Counters.ScanRows += int64(len(out))
+		ctx.Counters.ScanBytes += approxRowsBytes(out)
+	}
 	return out, nil
+}
+
+// approxRowsBytes estimates the in-memory size of scanned rows — the
+// executor's bytes-processed accounting signal. The walk only runs when
+// counters are attached, so plain statement execution pays nothing.
+func approxRowsBytes(rows []TRow) int64 {
+	var n int64
+	for i := range rows {
+		n += rows[i].Row.ApproxBytes()
+	}
+	return n
 }
 
 func runFilter(f *plan.Filter, ctx *Context) ([]TRow, error) {

@@ -162,10 +162,11 @@ func (it *scanIter) Next() (TRow, bool, error) {
 		for id, r := range contents {
 			it.rows = append(it.rows, TRow{ID: id, Row: r})
 		}
-		it.ctx.count(func(c *Counters) {
-			c.ScanCalls++
-			c.ScanRows += int64(len(it.rows))
-		})
+		if it.ctx.Counters != nil {
+			it.ctx.Counters.ScanCalls++
+			it.ctx.Counters.ScanRows += int64(len(it.rows))
+			it.ctx.Counters.ScanBytes += approxRowsBytes(it.rows)
+		}
 	}
 	if it.pos >= len(it.rows) {
 		return TRow{}, false, nil

@@ -239,10 +239,12 @@ type Recorder struct {
 	edges      *ring.Ring[GraphEdge]
 	requests   *ring.Ring[RequestEvent]
 	statements *ring.Ring[StatementEvent]
+	resources  *ring.Ring[ResourceEvent]
 
-	// totals and reqBuckets/reqCount/reqSum are the monotonic /metrics
-	// aggregates; rings evict, these never do.
+	// totals, resTotals and reqBuckets/reqCount/reqSum are the monotonic
+	// /metrics aggregates; rings evict, these never do.
 	totals     map[string]*RefreshTotals
+	resTotals  map[string]*ResourceTotals
 	reqBuckets []int64 // per-bound counts (non-cumulative)
 	reqCount   int64
 	reqSum     float64
@@ -263,7 +265,9 @@ func NewRecorder(capacity int) *Recorder {
 		edges:      ring.New[GraphEdge](capacity),
 		requests:   ring.New[RequestEvent](capacity),
 		statements: ring.New[StatementEvent](capacity),
+		resources:  ring.New[ResourceEvent](capacity),
 		totals:     make(map[string]*RefreshTotals),
+		resTotals:  make(map[string]*ResourceTotals),
 		reqBuckets: make([]int64, len(RequestBuckets)+1),
 	}
 }
@@ -320,6 +324,7 @@ func (r *Recorder) SetCapacity(n int) {
 	r.edges.Resize(n)
 	r.requests.Resize(n)
 	r.statements.Resize(n)
+	r.resources.Resize(n)
 }
 
 // RecordRefresh appends a refresh event to the DT's history ring,

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Usage is the resource cost of one measured unit of work (a refresh or
+// a statement), captured on the goroutine that executed it.
+type Usage struct {
+	// Start is the host wall-clock instant measurement began.
+	Start time.Time
+	// CPU is the goroutine's wall-clock execution time over the measured
+	// section. Refreshes and statements run single-goroutine compute
+	// between their start and end, so this approximates on-CPU time; it
+	// includes any scheduler preemption, which Go does not expose
+	// per-goroutine.
+	CPU time.Duration
+	// AllocBytes and AllocObjects are deltas of the process-wide heap
+	// allocation counters over the section. Concurrent work on other
+	// goroutines is attributed too, so under parallel refresh waves these
+	// are upper bounds, not exact per-refresh figures.
+	AllocBytes   int64
+	AllocObjects int64
+}
+
+// Meter captures a Usage around a section of work. Start it and stop it
+// on the same goroutine, bracketing only the work to attribute.
+type Meter struct {
+	start time.Time
+	bytes uint64
+	objs  uint64
+}
+
+// readAllocs samples the runtime's monotonic heap-allocation counters.
+// runtime/metrics reads are cheap (no stop-the-world), so metering is
+// safe on hot paths.
+func readAllocs() (bytes, objs uint64) {
+	s := []metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/allocs:objects"},
+	}
+	metrics.Read(s)
+	return s[0].Value.Uint64(), s[1].Value.Uint64()
+}
+
+// StartMeter begins a measurement on the calling goroutine.
+func StartMeter() Meter {
+	b, o := readAllocs()
+	return Meter{start: time.Now(), bytes: b, objs: o}
+}
+
+// Stop ends the measurement and returns the section's Usage.
+func (m Meter) Stop() Usage {
+	b, o := readAllocs()
+	return Usage{
+		Start:        m.start,
+		CPU:          time.Since(m.start),
+		AllocBytes:   int64(b - m.bytes),
+		AllocObjects: int64(o - m.objs),
+	}
+}
+
+// Resource kinds: what a ResourceEvent measured.
+const (
+	ResourceRefresh   = "refresh"
+	ResourceStatement = "statement"
+)
+
+// ResourceEvent is one unit of attributed resource consumption, recorded
+// for INFORMATION_SCHEMA.RESOURCE_HISTORY. Refresh events carry the DT
+// name; statement events the result kind. RootID joins the event to
+// QUERY_HISTORY / DYNAMIC_TABLE_REFRESH_HISTORY / TRACE_SPANS.
+type ResourceEvent struct {
+	// Seq orders resource observations recorder-globally.
+	Seq int64
+	// Kind is ResourceRefresh or ResourceStatement.
+	Kind string
+	// Name is the DT name (refreshes) or result kind (statements).
+	Name string
+	// RootID is the trace-root span ID of the measured work; 0 when
+	// tracing was disabled.
+	RootID int64
+	// Start is the host wall-clock start of the measured section.
+	Start time.Time
+	// CPU, AllocBytes and AllocObjects are the section's Usage.
+	CPU          time.Duration
+	AllocBytes   int64
+	AllocObjects int64
+	// Rows counts rows processed (source rows scanned plus change rows
+	// for refreshes; rows returned or affected for statements).
+	Rows int64
+	// Bytes estimates bytes processed, from the executor's scan-side
+	// row-size accounting; 0 when the path did not count bytes.
+	Bytes int64
+}
+
+// ResourceTotals are monotonic per-DT resource counters backing the
+// /metrics exposition; like RefreshTotals they never evict.
+type ResourceTotals struct {
+	// Refreshes counts measured refreshes.
+	Refreshes int64
+	// CPUSeconds sums measured refresh CPU time.
+	CPUSeconds float64
+	// AllocBytes sums heap bytes allocated during measured refreshes.
+	AllocBytes int64
+}
+
+// RecordResource appends a resource event to the shared resource ring,
+// assigning its sequence number, and folds refresh events into the
+// monotonic per-DT totals.
+func (r *Recorder) RecordResource(ev ResourceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	r.resources.Push(ev)
+	if ev.Kind == ResourceRefresh {
+		t := r.resTotals[ev.Name]
+		if t == nil {
+			t = &ResourceTotals{}
+			r.resTotals[ev.Name] = t
+		}
+		t.Refreshes++
+		t.CPUSeconds += ev.CPU.Seconds()
+		t.AllocBytes += ev.AllocBytes
+	}
+}
+
+// Resources returns a copy of the resource events, oldest first.
+func (r *Recorder) Resources() []ResourceEvent {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resources.Snapshot()
+}
+
+// ResourceCounters returns a copy of the monotonic per-DT resource
+// totals.
+func (r *Recorder) ResourceCounters() map[string]ResourceTotals {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]ResourceTotals, len(r.resTotals))
+	for name, t := range r.resTotals {
+		out[name] = *t
+	}
+	return out
+}
+
+// RefreshCPUSeries returns one DT's measured refresh CPU times, oldest
+// first — the health evaluator's resource-trend input.
+func (r *Recorder) RefreshCPUSeries(dtName string) []time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []time.Duration
+	for _, ev := range r.resources.Snapshot() {
+		if ev.Kind == ResourceRefresh && ev.Name == dtName {
+			out = append(out, ev.CPU)
+		}
+	}
+	return out
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dyntables/internal/core"
+	"dyntables/internal/obs"
 	"dyntables/internal/trace"
 	"dyntables/internal/txn"
 	"dyntables/internal/warehouse"
@@ -76,6 +77,10 @@ type Result struct {
 	Retried bool
 	// Panicked marks a refresh whose failure was a recovered panic.
 	Panicked bool
+	// Usage is the refresh's resource cost (host CPU time, allocation
+	// deltas), metered on the worker goroutine around the controller
+	// refresh including any retry.
+	Usage obs.Usage
 }
 
 // Refresher runs dependency-wave refresh execution over a worker pool.
@@ -287,11 +292,15 @@ func (r *Refresher) runWave(wave []Request, workers int, waveSpan *trace.Span) [
 				trace.A("dt", req.DT.Name),
 				trace.A("worker", strconv.Itoa(slot)))
 			res := Result{DT: req.DT, Start: req.Ready, PrevDataTS: req.DT.DataTimestamp(), Worker: slot}
+			meter := obs.StartMeter()
 			res.Rec, res.Err, res.Panicked = r.refreshIsolated(req.DT, req.DataTS)
 			if res.Err != nil && !res.Panicked && Transient(res.Err) {
 				res.Retried = true
 				res.Rec, res.Err, res.Panicked = r.refreshIsolated(req.DT, req.DataTS)
 			}
+			res.Usage = meter.Stop()
+			execSpan.SetAttr("cpu", res.Usage.CPU.String())
+			execSpan.SetAttr("alloc_bytes", strconv.FormatInt(res.Usage.AllocBytes, 10))
 			execSpan.End()
 			out[i] = res
 		}(i, req)

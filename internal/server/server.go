@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"regexp"
 	"strconv"
 	"strings"
@@ -154,6 +155,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", s.adminOnly(pprof.Index))
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", s.adminOnly(pprof.Cmdline))
+	s.mux.HandleFunc("GET /debug/pprof/profile", s.adminOnly(pprof.Profile))
+	s.mux.HandleFunc("GET /debug/pprof/symbol", s.adminOnly(pprof.Symbol))
+	s.mux.HandleFunc("GET /debug/pprof/trace", s.adminOnly(pprof.Trace))
 }
 
 // Handler returns the protocol handler: the route mux wrapped in the
@@ -806,6 +812,8 @@ var infoTables = map[string]string{
 	"server-requests":    "INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY",
 	"query-history":      "INFORMATION_SCHEMA.QUERY_HISTORY",
 	"trace-spans":        "INFORMATION_SCHEMA.TRACE_SPANS",
+	"resource-history":   "INFORMATION_SCHEMA.RESOURCE_HISTORY",
+	"dt-health":          "INFORMATION_SCHEMA.DT_HEALTH",
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -872,6 +880,19 @@ func (s *Server) handleRefreshMode(w http.ResponseWriter, r *http.Request) {
 	}
 	body := toResultBody(res)
 	writeJSON(w, http.StatusOK, statementBody{Result: &body})
+}
+
+// adminOnly wraps a handler (the pprof endpoints) behind requireAdmin,
+// so profiling a token-mode daemon needs an ADMIN bearer token while
+// open-access development daemons stay reachable.
+func (s *Server) adminOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if _, hErr := s.requireAdmin(r); hErr != nil {
+			writeError(w, hErr)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // requireAdmin gates the admin endpoints in token mode.

@@ -454,3 +454,53 @@ func TestDrainRejectsNewWork(t *testing.T) {
 		t.Error("status does not report draining")
 	}
 }
+
+// TestPprofAdminGate checks the profiling endpoints honor the admin
+// gate: token-mode daemons demand an ADMIN bearer token, while
+// open-access daemons serve everyone.
+func TestPprofAdminGate(t *testing.T) {
+	_, _, ts := newTestServer(t, map[string]string{
+		"admintok": "ADMIN",
+		"rdtok":    "analyst",
+	}, -1)
+
+	get := func(token string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/debug/pprof/", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(""); code != http.StatusUnauthorized {
+		t.Errorf("tokenless pprof: http %d, want 401", code)
+	}
+	if code := get("rdtok"); code != http.StatusForbidden {
+		t.Errorf("non-admin pprof: http %d, want 403", code)
+	}
+	if code := get("admintok"); code != http.StatusOK {
+		t.Errorf("admin pprof: http %d, want 200", code)
+	}
+
+	_, _, open := newTestServer(t, nil, -1)
+	req, err := http.NewRequest(http.MethodGet, open.URL+"/debug/pprof/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("open-access pprof: http %d, want 200", resp.StatusCode)
+	}
+}

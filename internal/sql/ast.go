@@ -428,10 +428,10 @@ type AlterSystemStmt struct {
 	Value int64
 }
 
-// ShowStmt is SHOW DYNAMIC TABLES | SHOW WAREHOUSES: engine metadata
-// rendered as a result set.
+// ShowStmt is SHOW DYNAMIC TABLES | SHOW WAREHOUSES | SHOW HEALTH:
+// engine metadata rendered as a result set.
 type ShowStmt struct {
-	Kind string // "DYNAMIC TABLES" or "WAREHOUSES"
+	Kind string // "DYNAMIC TABLES", "WAREHOUSES" or "HEALTH"
 }
 
 // ExplainStmt is EXPLAIN <select | create dynamic table | dynamic table

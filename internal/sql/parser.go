@@ -192,7 +192,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 	}
 }
 
-// parseShow parses SHOW DYNAMIC TABLES | SHOW WAREHOUSES.
+// parseShow parses SHOW DYNAMIC TABLES | SHOW WAREHOUSES | SHOW HEALTH.
 func (p *Parser) parseShow() (Statement, error) {
 	if err := p.expectKeyword("SHOW"); err != nil {
 		return nil, err
@@ -205,8 +205,10 @@ func (p *Parser) parseShow() (Statement, error) {
 		return &ShowStmt{Kind: "DYNAMIC TABLES"}, nil
 	case p.acceptKeyword("WAREHOUSES"):
 		return &ShowStmt{Kind: "WAREHOUSES"}, nil
+	case p.acceptKeyword("HEALTH"):
+		return &ShowStmt{Kind: "HEALTH"}, nil
 	default:
-		return nil, p.errorf("expected DYNAMIC TABLES or WAREHOUSES after SHOW, found %q", p.peek().Text)
+		return nil, p.errorf("expected DYNAMIC TABLES, WAREHOUSES or HEALTH after SHOW, found %q", p.peek().Text)
 	}
 }
 

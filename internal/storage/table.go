@@ -539,6 +539,49 @@ func (t *Table) ChangeVolume(fromSeq, toSeq int64) int64 {
 	return total
 }
 
+// Footprint is a table's in-memory accounting: how much the version
+// chain holds beyond the live tip. These are the signals a compaction
+// pass gates on — chain rows and interior snapshots are what trimming
+// old versions would reclaim.
+type Footprint struct {
+	// Versions is the number of live versions in the chain.
+	Versions int
+	// LiveRows is the row count at the latest version.
+	LiveRows int64
+	// ChainRows counts the change rows pending across all versions'
+	// change sets (the per-version deltas time travel replays).
+	ChainRows int64
+	// SnapshotRows counts rows pinned by materialized snapshots,
+	// including the tip's.
+	SnapshotRows int64
+	// Bytes estimates the total in-memory size of chain change rows and
+	// snapshot rows (types.Row.ApproxBytes; an accounting estimate).
+	Bytes int64
+}
+
+// FootprintStats walks the version chain and reports the table's current
+// footprint. The walk is O(total retained rows) and takes the read lock,
+// so it is meant for scrape-frequency monitoring, not hot paths.
+func (t *Table) FootprintStats() Footprint {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fp := Footprint{Versions: len(t.versions)}
+	if n := len(t.versions); n > 0 {
+		fp.LiveRows = int64(t.versions[n-1].RowCount)
+	}
+	for _, v := range t.versions {
+		for _, c := range v.Changes.Changes {
+			fp.ChainRows++
+			fp.Bytes += c.Row.ApproxBytes() + int64(len(c.RowID))
+		}
+		for id, row := range v.Snapshot {
+			fp.SnapshotRows++
+			fp.Bytes += row.ApproxBytes() + int64(len(id))
+		}
+	}
+	return fp
+}
+
 // Clone returns a zero-copy clone: a new table whose version chain shares
 // every committed version with the original. Subsequent writes to either
 // table diverge (§3.4). The clone's first own version is stamped at the

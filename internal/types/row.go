@@ -92,6 +92,16 @@ func (r Row) Clone() Row {
 	return out
 }
 
+// ApproxBytes estimates the row's in-memory footprint: the slice header
+// plus each value's ApproxBytes.
+func (r Row) ApproxBytes() int64 {
+	n := int64(24) // slice header
+	for _, v := range r {
+		n += v.ApproxBytes()
+	}
+	return n
+}
+
 // Equal reports element-wise equality (with NULL == NULL).
 func (r Row) Equal(o Row) bool {
 	if len(r) != len(o) {

@@ -138,6 +138,22 @@ func ParseVariant(doc string) (Value, error) {
 // Kind reports the value's kind. NULL values report KindNull.
 func (v Value) Kind() Kind { return v.kind }
 
+// ApproxBytes estimates the value's in-memory footprint: the fixed struct
+// size plus any out-of-line payload (string bytes; a flat allowance for
+// variants, whose trees are not walked — this is an accounting estimate,
+// not a measurement).
+func (v Value) ApproxBytes() int64 {
+	const header = 48 // unsafe.Sizeof(Value{}) on 64-bit
+	switch v.kind {
+	case KindString:
+		return header + int64(len(v.s))
+	case KindVariant:
+		return header + 64
+	default:
+		return header
+	}
+}
+
 // IsNull reports whether the value is SQL NULL.
 func (v Value) IsNull() bool { return v.kind == KindNull }
 

@@ -2,6 +2,7 @@ package dyntables
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -9,8 +10,10 @@ import (
 
 	"dyntables/internal/catalog"
 	"dyntables/internal/core"
+	"dyntables/internal/health"
 	"dyntables/internal/obs"
 	"dyntables/internal/sched"
+	"dyntables/internal/storage"
 )
 
 // MetricsText renders the engine's operational state in the Prometheus
@@ -40,8 +43,12 @@ func (e *Engine) MetricsText() string {
 
 	e.writeRefreshMetrics(&b)
 	e.writeLagMetrics(&b)
+	e.writeResourceMetrics(&b)
+	e.writeFootprintMetrics(&b)
+	e.writeHealthMetrics(&b)
 	e.writeRequestMetrics(&b)
 	e.writePersistMetrics(&b)
+	e.writeRuntimeMetrics(&b)
 	return b.String()
 }
 
@@ -123,6 +130,118 @@ func (e *Engine) writeLagMetrics(b *strings.Builder) {
 			fmt.Fprintf(b, "dyntables_dt_slo_attainment{dt=%s} %s\n", labelQuote(l.name), fmtFloat(l.attn))
 		}
 	}
+}
+
+// writeResourceMetrics emits the monotonic per-DT refresh resource
+// counters. CPU is goroutine wall-time (an approximation — Go has no
+// per-goroutine CPU clock) and allocations are process-wide counter
+// deltas taken on the refreshing worker.
+func (e *Engine) writeResourceMetrics(b *strings.Builder) {
+	totals := e.rec.ResourceCounters()
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(b, "# HELP dyntables_dt_cpu_seconds_total Approximate host CPU (goroutine wall-time) spent refreshing each dynamic table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_dt_cpu_seconds_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_dt_cpu_seconds_total{dt=%s} %s\n",
+			labelQuote(name), fmtFloat(totals[name].CPUSeconds))
+	}
+	fmt.Fprintf(b, "# HELP dyntables_dt_alloc_bytes_total Heap bytes allocated while refreshing each dynamic table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_dt_alloc_bytes_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_dt_alloc_bytes_total{dt=%s} %d\n",
+			labelQuote(name), totals[name].AllocBytes)
+	}
+}
+
+// writeFootprintMetrics emits per-table memory accounting gauges: live
+// rows, version-chain rows, and estimated resident bytes for every base
+// table and dynamic-table materialization.
+func (e *Engine) writeFootprintMetrics(b *strings.Builder) {
+	type tableFP struct {
+		name string
+		fp   storage.Footprint
+	}
+	var fps []tableFP
+	for _, entry := range e.cat.List(catalog.KindTable) {
+		if to, ok := entry.Payload.(*tableObject); ok && to.table != nil {
+			fps = append(fps, tableFP{entry.Name, to.table.FootprintStats()})
+		}
+	}
+	for _, entry := range e.cat.List(catalog.KindDynamicTable) {
+		if dt, ok := entry.Payload.(*core.DynamicTable); ok && dt.Storage != nil {
+			fps = append(fps, tableFP{entry.Name, dt.Storage.FootprintStats()})
+		}
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i].name < fps[j].name })
+
+	fmt.Fprintf(b, "# HELP dyntables_table_versions Live MVCC versions retained per table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_table_versions gauge\n")
+	for _, t := range fps {
+		fmt.Fprintf(b, "dyntables_table_versions{table=%s} %d\n", labelQuote(t.name), t.fp.Versions)
+	}
+	fmt.Fprintf(b, "# HELP dyntables_table_live_rows Rows visible at the newest version per table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_table_live_rows gauge\n")
+	for _, t := range fps {
+		fmt.Fprintf(b, "dyntables_table_live_rows{table=%s} %d\n", labelQuote(t.name), t.fp.LiveRows)
+	}
+	fmt.Fprintf(b, "# HELP dyntables_table_chain_rows Change rows held across the retained version chain per table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_table_chain_rows gauge\n")
+	for _, t := range fps {
+		fmt.Fprintf(b, "dyntables_table_chain_rows{table=%s} %d\n", labelQuote(t.name), t.fp.ChainRows)
+	}
+	fmt.Fprintf(b, "# HELP dyntables_table_bytes Estimated resident bytes of the version chain and snapshots per table.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_table_bytes gauge\n")
+	for _, t := range fps {
+		fmt.Fprintf(b, "dyntables_table_bytes{table=%s} %d\n", labelQuote(t.name), t.fp.Bytes)
+	}
+}
+
+// healthStateValue maps a health status onto the numeric enum exported
+// by dyntables_dt_health_state (higher is worse).
+func healthStateValue(s health.Status) int {
+	switch s {
+	case health.AtRisk:
+		return 1
+	case health.MissingSLO:
+		return 2
+	case health.Failing:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// writeHealthMetrics emits the per-DT health classification as a
+// numeric enum gauge: 0=HEALTHY 1=AT_RISK 2=MISSING_SLO 3=FAILING.
+func (e *Engine) writeHealthMetrics(b *strings.Builder) {
+	reports := e.healthReports()
+	fmt.Fprintf(b, "# HELP dyntables_dt_health_state Health classification per dynamic table (0=HEALTHY 1=AT_RISK 2=MISSING_SLO 3=FAILING).\n")
+	fmt.Fprintf(b, "# TYPE dyntables_dt_health_state gauge\n")
+	for _, r := range reports {
+		fmt.Fprintf(b, "dyntables_dt_health_state{dt=%s} %d\n",
+			labelQuote(r.Name), healthStateValue(r.Status))
+	}
+}
+
+// writeRuntimeMetrics emits Go runtime gauges for the hosting process.
+func (e *Engine) writeRuntimeMetrics(b *strings.Builder) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(b, "# HELP dyntables_go_heap_inuse_bytes Heap bytes in in-use spans.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_go_heap_inuse_bytes gauge\n")
+	fmt.Fprintf(b, "dyntables_go_heap_inuse_bytes %d\n", ms.HeapInuse)
+	fmt.Fprintf(b, "# HELP dyntables_go_goroutines Live goroutines in the hosting process.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_go_goroutines gauge\n")
+	fmt.Fprintf(b, "dyntables_go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(b, "# HELP dyntables_go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(b, "dyntables_go_gc_pause_seconds_total %s\n",
+		fmtFloat(float64(ms.PauseTotalNs)/1e9))
 }
 
 // writeRequestMetrics emits the served-request latency histogram

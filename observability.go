@@ -6,6 +6,7 @@ import (
 
 	"dyntables/internal/catalog"
 	"dyntables/internal/core"
+	"dyntables/internal/health"
 	"dyntables/internal/hlc"
 	"dyntables/internal/obs"
 	"dyntables/internal/plan"
@@ -33,6 +34,8 @@ const (
 	InfoSchemaServerRequests    = "INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY"
 	InfoSchemaQueryHistory      = "INFORMATION_SCHEMA.QUERY_HISTORY"
 	InfoSchemaTraceSpans        = "INFORMATION_SCHEMA.TRACE_SPANS"
+	InfoSchemaResourceHistory   = "INFORMATION_SCHEMA.RESOURCE_HISTORY"
+	InfoSchemaDTHealth          = "INFORMATION_SCHEMA.DT_HEALTH"
 )
 
 // initObservability builds the recorder, layers the virtual-table
@@ -116,10 +119,23 @@ func (a *obsAdapter) RefreshRecorded(dt *core.DynamicTable, rec core.RefreshReco
 
 // TickExecuted implements refresher.Sink: it backfills wave placement,
 // worker slots and deterministic virtual timing onto the events the
-// controller recorded during the tick.
+// controller recorded during the tick, and records each refresh's
+// metered resource usage (captured on the worker goroutine) into the
+// resource ring.
 func (a *obsAdapter) TickExecuted(results []refresher.Result) {
 	for _, res := range results {
 		a.e.rec.AnnotateExecution(res.DT.Name, res.Rec.DataTS, res.Wave, res.Worker, res.Start, res.End)
+		a.e.rec.RecordResource(obs.ResourceEvent{
+			Kind:         obs.ResourceRefresh,
+			Name:         res.DT.Name,
+			RootID:       res.Rec.TraceRoot,
+			Start:        res.Usage.Start,
+			CPU:          res.Usage.CPU,
+			AllocBytes:   res.Usage.AllocBytes,
+			AllocObjects: res.Usage.AllocObjects,
+			Rows:         res.Rec.SourceRowsScanned + int64(res.Rec.Inserted) + int64(res.Rec.Deleted),
+			Bytes:        res.Rec.ScanBytes,
+		})
 	}
 }
 
@@ -269,6 +285,31 @@ var queryHistorySchema = types.Schema{Columns: []types.Column{
 	infoCol("error", types.KindString),
 }}
 
+var resourceHistorySchema = types.Schema{Columns: []types.Column{
+	infoCol("seq", types.KindInt),
+	infoCol("kind", types.KindString),
+	infoCol("name", types.KindString),
+	infoCol("root_id", types.KindInt),
+	infoCol("start_ts", types.KindTimestamp),
+	infoCol("cpu", types.KindInterval),
+	infoCol("alloc_bytes", types.KindInt),
+	infoCol("alloc_objects", types.KindInt),
+	infoCol("rows", types.KindInt),
+	infoCol("bytes", types.KindInt),
+}}
+
+var dtHealthSchema = types.Schema{Columns: []types.Column{
+	infoCol("dt", types.KindString),
+	infoCol("status", types.KindString),
+	infoCol("reason", types.KindString),
+	infoCol("slo_attainment", types.KindFloat),
+	infoCol("error_streak", types.KindInt),
+	infoCol("cpu_trend", types.KindFloat),
+	infoCol("blame", types.KindString),
+	infoCol("blame_phase", types.KindString),
+	infoCol("blame_cost", types.KindInterval),
+}}
+
 var traceSpansSchema = types.Schema{Columns: []types.Column{
 	infoCol("root_id", types.KindInt),
 	infoCol("span_id", types.KindInt),
@@ -311,6 +352,14 @@ func (e *Engine) registerInfoSchema() {
 	e.virt.Register(&plan.VirtualTable{
 		Name: InfoSchemaTraceSpans, Schema: traceSpansSchema,
 		Rows: e.traceSpansRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaResourceHistory, Schema: resourceHistorySchema,
+		Rows: e.resourceHistoryRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaDTHealth, Schema: dtHealthSchema,
+		Rows: e.dtHealthRows,
 	})
 }
 
@@ -567,6 +616,205 @@ func (e *Engine) traceSpansRows() ([]types.Row, error) {
 		})
 	}
 	return rows, nil
+}
+
+// resourceHistoryRows builds INFORMATION_SCHEMA.RESOURCE_HISTORY from
+// the recorder's shared resource ring: one row per metered unit of work
+// (scheduler-tick refreshes and session statements), joinable against
+// QUERY_HISTORY, DYNAMIC_TABLE_REFRESH_HISTORY and TRACE_SPANS on
+// root_id.
+func (e *Engine) resourceHistoryRows() ([]types.Row, error) {
+	events := e.rec.Resources()
+	rows := make([]types.Row, 0, len(events))
+	for _, ev := range events {
+		rows = append(rows, types.Row{
+			types.NewInt(ev.Seq),
+			types.NewString(ev.Kind),
+			strOrNull(ev.Name),
+			intOrNull(ev.RootID),
+			tsOrNull(ev.Start),
+			types.NewInterval(ev.CPU),
+			types.NewInt(ev.AllocBytes),
+			types.NewInt(ev.AllocObjects),
+			types.NewInt(ev.Rows),
+			types.NewInt(ev.Bytes),
+		})
+	}
+	return rows, nil
+}
+
+// healthReport is one DT's evaluated health, the row model behind
+// INFORMATION_SCHEMA.DT_HEALTH, SHOW HEALTH and the /metrics health
+// gauge.
+type healthReport struct {
+	Name        string
+	Status      health.Status
+	Reason      string
+	HasSLO      bool
+	Attainment  float64
+	Samples     int
+	ErrorStreak int
+	CPUTrend    float64
+	Blame       health.Blame
+}
+
+// blamePhases are the refresh-root child spans that count as exclusive
+// pipeline phases. ivm's finer-grained delta.<op> spans nest under these
+// conceptually and are excluded so phase durations do not double-count.
+var blamePhases = map[string]bool{
+	"bind": true, "ivm.eval": true, "ivm.delta": true, "merge": true,
+}
+
+// healthReports evaluates every DT through the pure internal/health
+// classifier, feeding it lag-SLO attainment, the error streak, and the
+// refresh-CPU trend from the resource ring. DTs classified at or below
+// AT_RISK get a blame attribution: the engine walks Controller.Upstreams
+// and the span forest to find the DAG node and phase that consumed the
+// lag budget. The previous per-DT status is remembered on the engine so
+// the classifier's hysteresis has its memory.
+func (e *Engine) healthReports() []healthReport {
+	entries := e.cat.List(catalog.KindDynamicTable)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	now := e.clk.Now()
+	spans := e.trc.Snapshot()
+	meter := e.rec.Metering()
+
+	e.healthMu.Lock()
+	defer e.healthMu.Unlock()
+	if e.healthPrev == nil {
+		e.healthPrev = make(map[string]health.Status)
+	}
+
+	reports := make([]healthReport, 0, len(entries))
+	for _, entry := range entries {
+		dt, ok := entry.Payload.(*core.DynamicTable)
+		if !ok {
+			continue
+		}
+		in := health.Input{
+			Name:        dt.Name,
+			Suspended:   dt.State() == core.StateSuspended,
+			ErrorStreak: dt.ErrorCount(),
+			CPUTrend:    health.CPUTrendRatio(e.rec.RefreshCPUSeries(dt.Name)),
+		}
+		if target := e.sch.EffectiveLag(dt); target < sched.NoLag {
+			in.HasSLO = true
+			stats := e.rec.SLO(dt.Name, target, now)
+			in.Attainment = stats.Attainment
+			in.Samples = stats.Samples
+		}
+		prev := e.healthPrev[dt.Name]
+		if prev == "" {
+			prev = health.Healthy
+		}
+		status, reason := health.Evaluate(in, prev, health.Thresholds{})
+		e.healthPrev[dt.Name] = status
+
+		rep := healthReport{
+			Name:        dt.Name,
+			Status:      status,
+			Reason:      reason,
+			HasSLO:      in.HasSLO,
+			Attainment:  in.Attainment,
+			Samples:     in.Samples,
+			ErrorStreak: in.ErrorStreak,
+			CPUTrend:    in.CPUTrend,
+		}
+		if status == health.MissingSLO || status == health.AtRisk {
+			rep.Blame = e.attributeBlame(dt, spans, meter)
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// attributeBlame builds phase breakdowns for the DT and its upstream DTs
+// and asks the pure attributor which node/phase dominated.
+func (e *Engine) attributeBlame(dt *core.DynamicTable, spans []trace.Record, meter []obs.MeterPoint) health.Blame {
+	self := e.phaseBreakdown(dt.Name, spans, meter)
+	var ups []health.PhaseBreakdown
+	if upstream, err := e.ctrl.Upstreams(dt); err == nil {
+		for _, up := range upstream {
+			ups = append(ups, e.phaseBreakdown(up.Name, spans, meter))
+		}
+	}
+	return health.Attribute(self, ups)
+}
+
+// phaseBreakdown assembles one DT's latest refresh cost: virtual job
+// duration from refresh history, queue wait from the newest metering
+// point labeled with the DT, and traced phase spans under the refresh
+// root.
+func (e *Engine) phaseBreakdown(dtName string, spans []trace.Record, meter []obs.MeterPoint) health.PhaseBreakdown {
+	p := health.PhaseBreakdown{DT: dtName}
+	hist := e.rec.History(dtName)
+	var last obs.RefreshEvent
+	for i := len(hist) - 1; i >= 0; i-- {
+		if ev := hist[i]; !ev.Start.IsZero() && ev.End.After(ev.Start) {
+			last = ev
+			break
+		}
+	}
+	if last.DTName == "" {
+		return p
+	}
+	p.Exec = last.End.Sub(last.Start)
+	for i := len(meter) - 1; i >= 0; i-- {
+		if meter[i].Label == dtName {
+			p.QueueWait = meter[i].Start.Sub(meter[i].Submit)
+			break
+		}
+	}
+	if last.RootID != 0 {
+		for _, r := range spans {
+			if r.Root == last.RootID && r.Parent != 0 && blamePhases[r.Name] {
+				if p.Phases == nil {
+					p.Phases = make(map[string]time.Duration)
+				}
+				p.Phases[r.Name] += r.Duration
+			}
+		}
+	}
+	return p
+}
+
+// dtHealthRows builds INFORMATION_SCHEMA.DT_HEALTH: one evaluated row
+// per DT, with blame columns populated for AT_RISK / MISSING_SLO rows.
+func (e *Engine) dtHealthRows() ([]types.Row, error) {
+	reports := e.healthReports()
+	rows := make([]types.Row, 0, len(reports))
+	for _, rep := range reports {
+		attainment, trend := types.Null, types.Null
+		if rep.HasSLO && rep.Samples > 0 {
+			attainment = types.NewFloat(rep.Attainment)
+		}
+		if rep.CPUTrend > 0 {
+			trend = types.NewFloat(rep.CPUTrend)
+		}
+		blameCost := types.Null
+		if rep.Blame.Culprit != "" {
+			blameCost = types.NewInterval(rep.Blame.Cost)
+		}
+		rows = append(rows, types.Row{
+			types.NewString(rep.Name),
+			types.NewString(string(rep.Status)),
+			types.NewString(rep.Reason),
+			attainment,
+			types.NewInt(int64(rep.ErrorStreak)),
+			trend,
+			strOrNull(rep.Blame.Culprit),
+			strOrNull(rep.Blame.Phase),
+			blameCost,
+		})
+	}
+	return rows, nil
+}
+
+// showHealthColumns back SHOW HEALTH, a shorthand over the same rows as
+// INFORMATION_SCHEMA.DT_HEALTH.
+var showHealthColumns = []string{
+	"dt", "status", "reason", "slo_attainment", "error_streak",
+	"cpu_trend", "blame", "blame_phase", "blame_cost",
 }
 
 // warehousesRows backs SHOW WAREHOUSES: one row per warehouse with its

@@ -305,7 +305,9 @@ func (s *Session) execStatement(ctx context.Context, text string, stmt sql.State
 	e := s.eng
 	start := time.Now()
 	root := e.trc.StartRoot("statement")
+	meter := obs.StartMeter()
 	res, err := s.execStatementLocked(ctx, stmt, params)
+	use := meter.Stop()
 	ev := obs.StatementEvent{
 		SessionID: s.id,
 		Role:      s.Role(),
@@ -332,8 +334,19 @@ func (s *Session) execStatement(ctx context.Context, text string, stmt sql.State
 		ev.Error = err.Error()
 	}
 	root.SetAttr("status", ev.Status)
+	root.SetAttr("cpu", use.CPU.String())
 	e.trc.FinishRoot(root)
 	e.rec.RecordStatement(ev)
+	e.rec.RecordResource(obs.ResourceEvent{
+		Kind:         obs.ResourceStatement,
+		Name:         ev.Kind,
+		RootID:       root.RootID(),
+		Start:        use.Start,
+		CPU:          use.CPU,
+		AllocBytes:   use.AllocBytes,
+		AllocObjects: use.AllocObjects,
+		Rows:         ev.Rows,
+	})
 	e.afterWrite()
 	return res, err
 }

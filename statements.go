@@ -13,6 +13,7 @@ import (
 	"dyntables/internal/exec"
 	"dyntables/internal/hlc"
 	"dyntables/internal/ivm"
+	"dyntables/internal/obs"
 	"dyntables/internal/persist"
 	"dyntables/internal/plan"
 	"dyntables/internal/sql"
@@ -994,6 +995,16 @@ func (x *executor) execShow(stmt *sql.ShowStmt) (*Result, error) {
 			Columns: showWarehousesColumns,
 			Rows:    rowsToValues(e.warehousesRows()),
 		}, nil
+	case "HEALTH":
+		rows, err := e.dtHealthRows()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Kind:    "SHOW HEALTH",
+			Columns: showHealthColumns,
+			Rows:    rowsToValues(rows),
+		}, nil
 	default:
 		return nil, fmt.Errorf("dyntables: unsupported SHOW %s", stmt.Kind)
 	}
@@ -1107,12 +1118,14 @@ func (x *executor) execExplainAnalyze(stmt *sql.SelectStmt) (*Result, error) {
 	stats := exec.NewNodeStats()
 	rctx := x.runContext(pins)
 	rctx.Stats = stats
+	meter := obs.StartMeter()
 	start := time.Now()
 	rows, err := exec.Collect(exec.Stream(p, rctx))
 	if err != nil {
 		return nil, err
 	}
 	total := time.Since(start)
+	use := meter.Stop()
 	annotated := plan.ExplainAnnotated(p, func(n plan.Node) string {
 		st, ok := stats.Lookup(n)
 		if !ok {
@@ -1126,7 +1139,9 @@ func (x *executor) execExplainAnalyze(stmt *sql.SelectStmt) (*Result, error) {
 		res.Rows = append(res.Rows, types.Row{types.NewString(l)})
 	}
 	res.Rows = append(res.Rows, types.Row{types.NewString(
-		fmt.Sprintf("Execution: %d rows in %s", len(rows), total.Round(time.Microsecond)))})
+		fmt.Sprintf("Execution: %d rows in %s (cpu=%s alloc_bytes=%d allocs=%d)",
+			len(rows), total.Round(time.Microsecond),
+			use.CPU.Round(time.Microsecond), use.AllocBytes, use.AllocObjects))})
 	return res, nil
 }
 

@@ -142,6 +142,13 @@ func metricsSmoke(addr string) error {
 		`dyntables_refreshes_total{dt="d"}`,
 		`dyntables_dt_lag_seconds{dt="d"}`,
 		`dyntables_dt_slo_attainment{dt="d"}`,
+		`dyntables_dt_cpu_seconds_total{dt="d"}`,
+		`dyntables_dt_alloc_bytes_total{dt="d"}`,
+		`dyntables_table_bytes{table="src"}`,
+		`dyntables_dt_health_state{dt="d"}`,
+		"dyntables_go_heap_inuse_bytes",
+		"dyntables_go_goroutines",
+		"dyntables_go_gc_pause_seconds_total",
 		"dyntables_request_duration_seconds_bucket",
 		"dyntables_request_duration_seconds_count",
 		"dyntables_wal_bytes",
@@ -227,6 +234,24 @@ func run(bin string) error {
 	}
 	if len(joined.Rows) == 0 {
 		return fmt.Errorf("QUERY_HISTORY x TRACE_SPANS join is empty")
+	}
+	// The health classifier and resource accounting answer over the wire.
+	healthRes, err := sess.Exec(ctx, `SELECT dt, status FROM INFORMATION_SCHEMA.DT_HEALTH`)
+	if err != nil {
+		return fmt.Errorf("DT_HEALTH query: %w", err)
+	}
+	if len(healthRes.Rows) != 1 || fmt.Sprint(healthRes.Rows[0][0]) != "d" {
+		return fmt.Errorf("DT_HEALTH returned unexpected rows: %v", healthRes.Rows)
+	}
+	resources, err := sess.Exec(ctx, `
+		SELECT count(*) FROM INFORMATION_SCHEMA.RESOURCE_HISTORY r
+		JOIN INFORMATION_SCHEMA.TRACE_SPANS t ON r.root_id = t.root_id
+		WHERE t.parent_id IS NULL`)
+	if err != nil {
+		return fmt.Errorf("RESOURCE_HISTORY x TRACE_SPANS join: %w", err)
+	}
+	if len(resources.Rows) != 1 || fmt.Sprint(resources.Rows[0][0]) == "0" {
+		return fmt.Errorf("RESOURCE_HISTORY x TRACE_SPANS join is empty")
 	}
 	if err := metricsSmoke(d.addr); err != nil {
 		return fmt.Errorf("metrics: %w", err)
