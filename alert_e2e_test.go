@@ -1,0 +1,223 @@
+package dyntables
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyntables/internal/alert"
+	"dyntables/internal/server"
+	"dyntables/internal/warehouse"
+)
+
+// webhookRecorder is a test double for the alert notifier's HTTP layer:
+// it captures every payload the watchdog would POST.
+type webhookRecorder struct {
+	mu    sync.Mutex
+	calls []alert.Payload
+	urls  []string
+}
+
+func (w *webhookRecorder) post(url string, body []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var p alert.Payload
+	if err := json.Unmarshal(body, &p); err != nil {
+		return 0, err
+	}
+	w.calls = append(w.calls, p)
+	w.urls = append(w.urls, url)
+	return 200, nil
+}
+
+func (w *webhookRecorder) count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.calls)
+}
+
+// slowDAG builds the health fixture's 3-DT DAG on a durable engine: src
+// feeds slow_up (whose refreshes blow the 1-minute target under the
+// 5s/row cost model), slow_up feeds down on its own warehouse (so blame
+// must point upstream), and tiny feeds fast as the healthy control.
+func slowDAG(t *testing.T, dir string) *Engine {
+	t.Helper()
+	e := openSlow(t, dir)
+	s := e.NewSession()
+	defer s.Close()
+	s.MustExec(`CREATE WAREHOUSE wh_up`)
+	s.MustExec(`CREATE WAREHOUSE wh_down`)
+	s.MustExec(`CREATE WAREHOUSE wh_fast`)
+	s.MustExec(`CREATE TABLE src (k INT, v INT)`)
+	s.MustExec(`CREATE TABLE tiny (k INT)`)
+	s.MustExec(`CREATE DYNAMIC TABLE slow_up TARGET_LAG = '1 minute' WAREHOUSE = wh_up
+		AS SELECT k, sum(v) s FROM src GROUP BY k`)
+	s.MustExec(`CREATE DYNAMIC TABLE down TARGET_LAG = '1 minute' WAREHOUSE = wh_down
+		AS SELECT k, s FROM slow_up WHERE s >= 0`)
+	s.MustExec(`CREATE DYNAMIC TABLE fast TARGET_LAG = '5 minutes' WAREHOUSE = wh_fast
+		AS SELECT count(*) c FROM tiny`)
+	return e
+}
+
+// openSlow opens (or reopens) the durable engine with the slow cost
+// model; reopening recovers whatever the DAG and watchdog logged.
+func openSlow(t *testing.T, dir string) *Engine {
+	t.Helper()
+	e, err := Open(dir, WithCostModel(warehouse.CostModel{Fixed: 2 * time.Second, PerRow: 5 * time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// tick applies one change batch and runs one scheduler pass (which also
+// evaluates alerts).
+func tick(t *testing.T, e *Engine, s *Session, n int) {
+	t.Helper()
+	var vals []string
+	for i := 0; i < 20; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", i%5, n*20+i))
+	}
+	s.MustExec(`INSERT INTO src VALUES ` + strings.Join(vals, ", "))
+	s.MustExec(fmt.Sprintf(`INSERT INTO tiny VALUES (%d)`, n))
+	e.AdvanceTime(30 * time.Second)
+	if err := e.RunScheduler(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlertWatchdogEndToEnd is the PR's acceptance test: a DT_HEALTH-
+// watching alert over a DAG with a forced slow upstream trips exactly
+// once despite repeated evaluations, the webhook test hook receives the
+// alert name and the blamed DT, ALERT_HISTORY joins TRACE_SPANS on
+// root_id over the wire, and after a kill-and-reopen the definition and
+// firing state are recovered and evaluation resumes without re-firing.
+func TestAlertWatchdogEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	e := slowDAG(t, dir)
+	defer e.Close()
+	hook := &webhookRecorder{}
+	e.SetWebhookPoster(hook.post)
+
+	s := e.NewSession()
+	defer s.Close()
+	s.MustExec(`CREATE ALERT slo_watch
+		IF (EXISTS (SELECT dt, blame FROM INFORMATION_SCHEMA.DT_HEALTH
+		            WHERE status = 'MISSING_SLO' AND blame IS NOT NULL))
+		THEN CALL WEBHOOK 'https://hooks.example/slo'`)
+
+	for n := 0; n < 10; n++ {
+		tick(t, e, s, n)
+	}
+
+	// Fired exactly once: the edge evaluation ran the webhook, every
+	// later true evaluation held the FIRING state without re-firing.
+	if got := hook.count(); got != 1 {
+		t.Fatalf("webhook posted %d times, want exactly 1", got)
+	}
+	hook.mu.Lock()
+	payload, url := hook.calls[0], hook.urls[0]
+	hook.mu.Unlock()
+	if url != "https://hooks.example/slo" {
+		t.Errorf("webhook url = %q", url)
+	}
+	if payload.Alert != "slo_watch" || payload.Status != "FIRING" {
+		t.Errorf("payload = %+v, want alert slo_watch FIRING", payload)
+	}
+	if joined := strings.Join(payload.Rows, "; "); !strings.Contains(joined, "slow_up") {
+		t.Errorf("payload rows %q do not name the blamed DT slow_up", joined)
+	}
+
+	res, err := s.Query(`SELECT status, firings FROM INFORMATION_SCHEMA.ALERTS WHERE name = 'slo_watch'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "FIRING" || res.Rows[0][1].String() != "1" {
+		t.Fatalf("ALERTS row = %v, want FIRING with 1 firing", res.Rows)
+	}
+
+	// The firing joins the span forest over the wire: serve this engine
+	// and run the ALERT_HISTORY ⋈ TRACE_SPANS join through the protocol.
+	srv := server.New(server.Config{Backend: NewServerBackend(e)})
+	ts := httptest.NewServer(srv.Handler())
+	cli := server.NewClient(ts.URL, "")
+	ctx := context.Background()
+	remote, err := cli.NewSession(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := remote.Exec(ctx, `
+		SELECT a.alert, a.detail, t.name
+		FROM INFORMATION_SCHEMA.ALERT_HISTORY a
+		JOIN INFORMATION_SCHEMA.TRACE_SPANS t ON a.root_id = t.root_id
+		WHERE a.fired AND t.parent_id IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined.Rows) != 1 {
+		t.Fatalf("wire ALERT_HISTORY x TRACE_SPANS join returned %d rows, want 1", len(joined.Rows))
+	}
+	if got := fmt.Sprint(joined.Rows[0][2]); got != "alert.evaluate" {
+		t.Errorf("joined root span is %q, want alert.evaluate", got)
+	}
+	if err := remote.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	ts.Close()
+
+	evalsBefore := len(e.Observability().Alerts())
+
+	// Kill (no graceful close) and reopen: the definition and the FIRING
+	// state must recover from WAL + checkpoint.
+	if err := e.crash(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := openSlow(t, dir)
+	defer e2.Close()
+	hook2 := &webhookRecorder{}
+	e2.SetWebhookPoster(hook2.post)
+	s2 := e2.NewSession()
+	defer s2.Close()
+
+	res, err = s2.Query(`SELECT status, firings, condition FROM INFORMATION_SCHEMA.ALERTS WHERE name = 'slo_watch'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("alert definition lost across reopen: %v", res.Rows)
+	}
+	if got := res.Rows[0][0].String(); got != "FIRING" {
+		t.Errorf("recovered status = %q, want FIRING", got)
+	}
+	if got := res.Rows[0][1].String(); got != "1" {
+		t.Errorf("recovered firings = %s, want 1", got)
+	}
+	if cond := res.Rows[0][2].String(); !strings.Contains(cond, "DT_HEALTH") {
+		t.Errorf("recovered condition %q lost the DT_HEALTH reference", cond)
+	}
+
+	// Evaluation resumes — and because the recovered state is already
+	// FIRING, the still-true condition must NOT re-fire the action.
+	for n := 10; n < 13; n++ {
+		tick(t, e2, s2, n)
+	}
+	if got := len(e2.Observability().Alerts()); got < 3 {
+		t.Fatalf("post-reopen evaluations = %d, want >= 3 (before crash: %d)", got, evalsBefore)
+	}
+	if got := hook2.count(); got != 0 {
+		t.Fatalf("recovered alert re-fired %d times; FIRING state was not restored", got)
+	}
+	res, err = s2.Query(`SELECT firings FROM INFORMATION_SCHEMA.ALERTS WHERE name = 'slo_watch'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].String(); got != "1" {
+		t.Fatalf("firings after reopen+resume = %s, want still 1", got)
+	}
+}

@@ -446,8 +446,13 @@ func observability(siblings, workers, rounds int) error {
 	fmt.Printf("  refresh-history query: %d rows streamed in %.2fms\n", res.HistoryRows, res.QueryMillis)
 	fmt.Printf("  resource attribution: %d refreshes metered, %.1f allocs/row, %.3fms cpu/refresh\n",
 		res.RefreshesMetered, res.AllocsPerRow, res.CPUPerRefreshMillis)
+	fmt.Printf("  watchdog: %d alert evaluations, %d firings\n", res.AlertEvaluations, res.AlertFirings)
 	if res.WaveRegressionPct >= 5 {
 		return fmt.Errorf("observability: wave-makespan regression %.2f%% exceeds the 5%% budget", res.WaveRegressionPct)
+	}
+	if res.AlertEvaluations == 0 || res.AlertFirings == 0 {
+		return fmt.Errorf("observability: the live alert never evaluated/fired (evaluations=%d, firings=%d)",
+			res.AlertEvaluations, res.AlertFirings)
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

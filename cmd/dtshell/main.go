@@ -15,6 +15,7 @@
 //	\dt                list dynamic tables (SHOW DYNAMIC TABLES)
 //	\dw                list warehouses (SHOW WAREHOUSES)
 //	\health            per-DT health classification and blame (SHOW HEALTH)
+//	\alerts            list watchdog alerts and firing state (SHOW ALERTS)
 //	\d name            describe an object: columns, plus refresh state for DTs
 //	\timing [on|off]   toggle printing each statement's wall-clock time
 //	                   along with rows served and rows affected
@@ -286,6 +287,8 @@ func metaCommand(sess *dyntables.Session, line string) {
 		runShow(`SHOW WAREHOUSES`)
 	case `\health`:
 		runShow(`SHOW HEALTH`)
+	case `\alerts`:
+		runShow(`SHOW ALERTS`)
 	case `\d`:
 		if len(fields) < 2 {
 			fmt.Println(`usage: \d <name>`)
@@ -295,7 +298,7 @@ func metaCommand(sess *dyntables.Session, line string) {
 	case `\timing`:
 		setTiming(fields)
 	default:
-		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \health, \d <name>, \timing)`)
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \health, \alerts, \d <name>, \timing)`)
 	}
 }
 

@@ -138,6 +138,8 @@ func (r *remoteShell) metaCommand(line string) {
 		runShow(`SHOW WAREHOUSES`)
 	case `\health`:
 		runShow(`SHOW HEALTH`)
+	case `\alerts`:
+		runShow(`SHOW ALERTS`)
 	case `\d`:
 		if len(fields) < 2 {
 			fmt.Println(`usage: \d <name>`)
@@ -147,7 +149,7 @@ func (r *remoteShell) metaCommand(line string) {
 	case `\timing`:
 		setTiming(fields)
 	default:
-		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \health, \d <name>, \timing)`)
+		fmt.Println("unknown meta-command", fields[0], `(try \dt, \dw, \health, \alerts, \d <name>, \timing)`)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dyntables/internal/alert"
 	"dyntables/internal/catalog"
 	"dyntables/internal/core"
 	"dyntables/internal/hlc"
@@ -482,6 +483,35 @@ func (e *Engine) restoreSnapshot(snap *persist.Snapshot) error {
 		e.cat.Grant(g.ObjectID, catalog.Privilege(g.Privilege), g.Role)
 	}
 
+	// Alerts: watchdog definitions plus evaluation state.
+	for _, as := range snap.Alerts {
+		s := alertSnap{
+			def: alert.Definition{
+				Name:          as.Name,
+				Owner:         as.Owner,
+				Schedule:      time.Duration(as.ScheduleMicros) * time.Microsecond,
+				ConditionText: as.ConditionText,
+				Action:        alert.ActionKind(as.ActionKind),
+				WebhookURL:    as.ActionURL,
+				ActionSQL:     as.ActionSQL,
+			},
+			state: alert.State{
+				Status:      alert.Status(as.Status),
+				TrueStreak:  as.TrueStreak,
+				FalseStreak: as.FalseStreak,
+				Firings:     as.Firings,
+			},
+			suspended: as.Suspended,
+		}
+		if as.LastFiredMicros != 0 {
+			s.state.LastFired = time.UnixMicro(as.LastFiredMicros).UTC()
+		}
+		if as.NextDueMicros != 0 {
+			s.nextDue = time.UnixMicro(as.NextDueMicros).UTC()
+		}
+		e.installAlert(s)
+	}
+
 	// Scheduler cadence: keep the original epoch and phase so canonical
 	// fire instants stay aligned across the restart.
 	e.sch.Restore(time.UnixMicro(snap.EpochMicros).UTC(),
@@ -601,6 +631,41 @@ func (e *Engine) replayRecord(rec *persist.Record) error {
 			e.vclk.AdvanceTo(time.UnixMicro(rec.Clock.NowMicros).UTC())
 		}
 		e.sch.Restore(e.sch.Epoch(), e.sch.Phase(), time.UnixMicro(rec.Clock.CursorMicros).UTC())
+		return nil
+	case persist.KindCreateAlert:
+		ca := rec.CreateAlert
+		e.installAlert(alertSnap{def: alert.Definition{
+			Name:          ca.Name,
+			Owner:         ca.Owner,
+			Schedule:      time.Duration(ca.ScheduleMicros) * time.Microsecond,
+			ConditionText: ca.ConditionText,
+			Action:        alert.ActionKind(ca.ActionKind),
+			WebhookURL:    ca.ActionURL,
+			ActionSQL:     ca.ActionSQL,
+		}})
+		return nil
+	case persist.KindDropAlert:
+		e.removeAlert(rec.DropAlert.Name)
+		return nil
+	case persist.KindAlterAlert:
+		e.setAlertSuspended(rec.AlterAlert.Name, rec.AlterAlert.Action == "SUSPEND")
+		return nil
+	case persist.KindAlertState:
+		as := rec.AlertState
+		st := alert.State{
+			Status:      alert.Status(as.Status),
+			TrueStreak:  as.TrueStreak,
+			FalseStreak: as.FalseStreak,
+			Firings:     as.Firings,
+		}
+		if as.LastFiredMicros != 0 {
+			st.LastFired = time.UnixMicro(as.LastFiredMicros).UTC()
+		}
+		var nextDue time.Time
+		if as.NextDueMicros != 0 {
+			nextDue = time.UnixMicro(as.NextDueMicros).UTC()
+		}
+		e.setAlertState(as.Name, st, nextDue)
 		return nil
 	default:
 		return fmt.Errorf("dyntables: unknown WAL record kind %q", rec.Kind)
@@ -981,6 +1046,61 @@ func (e *Engine) logAlterDTMode(name string, mode sql.RefreshMode) {
 	}})
 }
 
+func (e *Engine) logCreateAlert(def alert.Definition, orReplace bool) {
+	if !e.durable() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindCreateAlert, CreateAlert: &persist.CreateAlertRecord{
+		Name:           def.Name,
+		Owner:          def.Owner,
+		OrReplace:      orReplace,
+		ScheduleMicros: int64(def.Schedule / time.Microsecond),
+		ConditionText:  def.ConditionText,
+		ActionKind:     string(def.Action),
+		ActionURL:      def.WebhookURL,
+		ActionSQL:      def.ActionSQL,
+	}})
+}
+
+func (e *Engine) logDropAlert(name string) {
+	if !e.durable() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindDropAlert,
+		DropAlert: &persist.DropAlertRecord{Name: name}})
+}
+
+func (e *Engine) logAlterAlert(name, action string) {
+	if !e.durable() {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindAlterAlert,
+		AlterAlert: &persist.AlterAlertRecord{Name: name, Action: action}})
+}
+
+// logAlertState write-ahead-logs an alert's evaluation-state transition
+// (firing/resolved edges), so a recovered engine resumes the state
+// machine where it left off instead of re-firing a delivered action.
+func (e *Engine) logAlertState(name string, st alert.State, nextDue time.Time) {
+	if !e.durable() {
+		return
+	}
+	rec := &persist.AlertStateRecord{
+		Name:        name,
+		Status:      string(st.Status),
+		TrueStreak:  st.TrueStreak,
+		FalseStreak: st.FalseStreak,
+		Firings:     st.Firings,
+	}
+	if !st.LastFired.IsZero() {
+		rec.LastFiredMicros = st.LastFired.UnixMicro()
+	}
+	if !nextDue.IsZero() {
+		rec.NextDueMicros = nextDue.UnixMicro()
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindAlertState, AlertState: rec})
+}
+
 // afterWrite runs the checkpoint cadence check once statement locks are
 // released.
 func (e *Engine) afterWrite() {
@@ -1141,6 +1261,30 @@ func (e *Engine) buildSnapshot() (*persist.Snapshot, error) {
 		})
 	}
 	sort.Slice(snap.Warehouses, func(i, j int) bool { return snap.Warehouses[i].Name < snap.Warehouses[j].Name })
+
+	for _, a := range e.alertSnapshots() {
+		as := persist.AlertState{
+			Name:           a.def.Name,
+			Owner:          a.def.Owner,
+			ScheduleMicros: int64(a.def.Schedule / time.Microsecond),
+			ConditionText:  a.def.ConditionText,
+			ActionKind:     string(a.def.Action),
+			ActionURL:      a.def.WebhookURL,
+			ActionSQL:      a.def.ActionSQL,
+			Suspended:      a.suspended,
+			Status:         string(a.state.Status),
+			TrueStreak:     a.state.TrueStreak,
+			FalseStreak:    a.state.FalseStreak,
+			Firings:        a.state.Firings,
+		}
+		if !a.state.LastFired.IsZero() {
+			as.LastFiredMicros = a.state.LastFired.UnixMicro()
+		}
+		if !a.nextDue.IsZero() {
+			as.NextDueMicros = a.nextDue.UnixMicro()
+		}
+		snap.Alerts = append(snap.Alerts, as)
+	}
 	return snap, nil
 }
 

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"dyntables/internal/adaptive"
+	"dyntables/internal/alert"
 	"dyntables/internal/catalog"
 	"dyntables/internal/clock"
 	"dyntables/internal/core"
@@ -116,6 +117,16 @@ type Engine struct {
 	// evaluation produced — the evaluator's flapping-hysteresis memory.
 	healthMu   sync.Mutex
 	healthPrev map[string]health.Status
+
+	// alertMu guards the watchdog registry: declared alerts plus their
+	// firing/resolved evaluation state. Alert conditions evaluate through
+	// ordinary sessions (statement readers), so the registry has its own
+	// small lock instead of riding stmtMu.
+	alertMu sync.Mutex
+	alerts  map[string]*alertEntry
+	// alertNotifier delivers webhook actions; tests swap its Post hook
+	// via SetWebhookPoster.
+	alertNotifier *alert.Notifier
 
 	// pers is the durability layer; nil for in-memory engines (New).
 	pers *persister
@@ -239,6 +250,8 @@ func New(opts ...Option) *Engine {
 		checkpointEvery: DefaultCheckpointEvery,
 		sessions:        make(map[*Session]struct{}),
 		startedAt:       time.Now(),
+		alerts:          make(map[string]*alertEntry),
+		alertNotifier:   &alert.Notifier{},
 	}
 	e.vclk = clock.NewVirtual(DefaultOrigin)
 	e.clk = e.vclk
@@ -366,6 +379,10 @@ func (e *Engine) RunScheduler() error {
 		e.logClock()
 	}
 	e.stmtMu.RUnlock()
+	// The watchdog runs after the tick lock is released: alert conditions
+	// evaluate through ordinary sessions, which take their own statement
+	// read locks.
+	e.evaluateAlerts()
 	e.afterWrite()
 	return err
 }

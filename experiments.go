@@ -1121,6 +1121,11 @@ func runParallelFanout(siblings, workers, baseRows, historyCapacity int) (*paral
 	}
 	s.MustExec(rollup)
 	names = append(names, "rollup")
+	// A live always-true alert rides the same scheduler pass in BOTH
+	// modes, so the wave-makespan gate also covers watchdog evaluation:
+	// alerts consume no virtual time, and their host cost is symmetric.
+	s.MustExec(`CREATE ALERT live SCHEDULE = '1 minute'
+		IF (EXISTS (SELECT grp FROM rollup)) THEN RECORD`)
 
 	// Change batch touching every sibling's slice of the key space.
 	batch = ""
@@ -1321,6 +1326,12 @@ type ObservabilityBenchResult struct {
 	RefreshesMetered    int     `json:"refreshes_metered"`
 	AllocsPerRow        float64 `json:"allocs_per_row"`
 	CPUPerRefreshMillis float64 `json:"cpu_per_refresh_ms"`
+
+	// Watchdog activity from the enabled run: a live always-true alert
+	// rides the same scheduler pass in both modes, so the wave gate also
+	// covers alert evaluation.
+	AlertEvaluations int64 `json:"alert_evaluations"`
+	AlertFirings     int64 `json:"alert_firings"`
 }
 
 // RunObservabilityBench measures history-recording overhead on the PR-3
@@ -1395,6 +1406,10 @@ func RunObservabilityBench(siblings, workers, rounds int) (*ObservabilityBenchRe
 	}
 	if res.RefreshesMetered > 0 {
 		res.CPUPerRefreshMillis = float64(cpu.Microseconds()) / 1000 / float64(res.RefreshesMetered)
+	}
+	for _, totals := range observed.run.eng.Observability().AlertCounters() {
+		res.AlertEvaluations += totals.Evaluations
+		res.AlertFirings += totals.Firings
 	}
 
 	// Read the history back through the normal streaming query path.

@@ -1,0 +1,151 @@
+// Package alert implements the pure half of the SQL-programmable alert
+// watchdog: alert definitions (the parsed CREATE ALERT surface), the
+// firing/resolved state machine with hysteresis and per-alert
+// suppression windows, and the webhook action sender with a bounded
+// timeout, retry/backoff and a test hook.
+//
+// The package mirrors internal/health's shape: it holds no engine
+// references and touches no clocks of its own — the engine evaluates
+// each alert's condition through its Session path and feeds the boolean
+// outcome plus the virtual now into Step, so every rule is
+// unit-testable in isolation and simulations stay deterministic.
+package alert
+
+import (
+	"fmt"
+	"time"
+)
+
+// ActionKind names what an alert does when it fires.
+type ActionKind string
+
+// The three action kinds of CREATE ALERT ... THEN <action>.
+const (
+	// ActionRecord only records the firing in ALERT_HISTORY.
+	ActionRecord ActionKind = "RECORD"
+	// ActionWebhook POSTs a JSON payload to the declared URL.
+	ActionWebhook ActionKind = "WEBHOOK"
+	// ActionSQL executes a SQL statement under the alert owner's role.
+	ActionSQL ActionKind = "SQL"
+)
+
+// Definition is one declared alert: the condition to watch, how often,
+// and what to do on the OK→FIRING transition. Definitions are immutable
+// after CREATE (replace via CREATE OR REPLACE); only the suspended flag
+// and the evaluation state change over an alert's life.
+type Definition struct {
+	Name  string
+	Owner string
+	// Schedule is the evaluation cadence; 0 evaluates on every
+	// scheduler pass.
+	Schedule time.Duration
+	// ConditionText is the SELECT inside IF (EXISTS (...)), verbatim.
+	ConditionText string
+	Action        ActionKind
+	// WebhookURL is the POST target when Action is ActionWebhook.
+	WebhookURL string
+	// ActionSQL is the statement text when Action is ActionSQL.
+	ActionSQL string
+}
+
+// ActionText renders the action for SHOW ALERTS and the virtual tables.
+func (d Definition) ActionText() string {
+	switch d.Action {
+	case ActionWebhook:
+		return fmt.Sprintf("CALL WEBHOOK '%s'", d.WebhookURL)
+	case ActionSQL:
+		return d.ActionSQL
+	default:
+		return string(ActionRecord)
+	}
+}
+
+// Status is an alert's condition state.
+type Status string
+
+// The two condition states; suspension is tracked separately by the
+// engine (a suspended alert keeps its last status but stops evaluating).
+const (
+	// OK: the condition does not hold (or has resolved).
+	OK Status = "OK"
+	// Firing: the condition holds.
+	Firing Status = "FIRING"
+)
+
+// State is the mutable evaluation state of one alert, advanced by Step.
+// The zero value is the initial state (OK, never fired).
+type State struct {
+	Status Status
+	// TrueStreak and FalseStreak count consecutive evaluations with the
+	// condition holding / not holding; they implement hysteresis.
+	TrueStreak  int
+	FalseStreak int
+	// LastFired is the (virtual) instant of the last fired action; zero
+	// when the alert never fired. It anchors the suppression window.
+	LastFired time.Time
+	// Firings counts fired actions over the alert's life.
+	Firings int64
+}
+
+// Config tunes the state machine. Zero values select the defaults.
+type Config struct {
+	// FireStreak: consecutive true evaluations required to enter FIRING
+	// (default 1 — fire on the first observation).
+	FireStreak int
+	// ResolveStreak: consecutive false evaluations required to resolve
+	// back to OK (default 2) — the hysteresis that keeps one noisy
+	// false sample from resolving and immediately re-firing.
+	ResolveStreak int
+	// Suppression is the minimum gap between fired actions: once an
+	// action fires, re-entering FIRING inside the window transitions
+	// state but fires nothing (default 0 — rely on the transition edge
+	// alone).
+	Suppression time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.FireStreak <= 0 {
+		c.FireStreak = 1
+	}
+	if c.ResolveStreak <= 0 {
+		c.ResolveStreak = 2
+	}
+	return c
+}
+
+// Step advances one alert's state machine with the outcome of one
+// condition evaluation at (virtual) instant now. It returns the next
+// state and whether the alert's action fires: only the OK→FIRING
+// transition outside the suppression window fires, so a condition that
+// stays true trips the action exactly once, and a flapping condition
+// cannot storm the action channel.
+func Step(prev State, condTrue bool, now time.Time, cfg Config) (State, bool) {
+	cfg = cfg.withDefaults()
+	next := prev
+	if next.Status == "" {
+		next.Status = OK
+	}
+	if condTrue {
+		next.TrueStreak++
+		next.FalseStreak = 0
+	} else {
+		next.FalseStreak++
+		next.TrueStreak = 0
+	}
+
+	fire := false
+	if next.Status == Firing {
+		if next.FalseStreak >= cfg.ResolveStreak {
+			next.Status = OK
+		}
+	} else if next.TrueStreak >= cfg.FireStreak {
+		next.Status = Firing
+		if next.LastFired.IsZero() || cfg.Suppression <= 0 ||
+			now.Sub(next.LastFired) >= cfg.Suppression {
+			fire = true
+			next.LastFired = now
+			next.Firings++
+		}
+	}
+	return next, fire
+}

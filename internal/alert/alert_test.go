@@ -1,0 +1,135 @@
+package alert
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// steps drives Step over a truth sequence, one minute apart, returning
+// the final state and the number of fired actions.
+func steps(t *testing.T, start State, seq []bool, cfg Config) (State, int) {
+	t.Helper()
+	st, fired := start, 0
+	for i, cond := range seq {
+		var f bool
+		st, f = Step(st, cond, t0.Add(time.Duration(i)*time.Minute), cfg)
+		if f {
+			fired++
+		}
+	}
+	return st, fired
+}
+
+func TestStepFiresOnceWhileConditionHolds(t *testing.T) {
+	st, fired := steps(t, State{}, []bool{true, true, true, true, true}, Config{})
+	if fired != 1 {
+		t.Fatalf("sustained condition fired %d times, want exactly 1", fired)
+	}
+	if st.Status != Firing {
+		t.Fatalf("status = %s, want FIRING", st.Status)
+	}
+	if st.Firings != 1 {
+		t.Fatalf("Firings = %d, want 1", st.Firings)
+	}
+}
+
+func TestStepHysteresisSingleFalseDoesNotResolve(t *testing.T) {
+	// T F T F T ... with ResolveStreak 2: the single falses never
+	// resolve, so the alert stays FIRING and never re-fires.
+	st, fired := steps(t, State{}, []bool{true, false, true, false, true}, Config{})
+	if fired != 1 {
+		t.Fatalf("flapping condition fired %d times, want 1", fired)
+	}
+	if st.Status != Firing {
+		t.Fatalf("status = %s, want FIRING (single false must not resolve)", st.Status)
+	}
+}
+
+func TestStepResolvesAfterStreakAndRefires(t *testing.T) {
+	st, fired := steps(t, State{}, []bool{true, false, false}, Config{})
+	if st.Status != OK {
+		t.Fatalf("status = %s, want OK after two consecutive falses", st.Status)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	// A fresh trip after resolution fires again (no suppression set).
+	st, f := Step(st, true, t0.Add(time.Hour), Config{})
+	if !f || st.Status != Firing || st.Firings != 2 {
+		t.Fatalf("re-trip: fired=%v status=%s firings=%d, want true/FIRING/2", f, st.Status, st.Firings)
+	}
+}
+
+func TestStepSuppressionWindowBlocksRefire(t *testing.T) {
+	cfg := Config{Suppression: 10 * time.Minute}
+	// Fire, resolve, re-trip inside the window: state transitions but
+	// the action is suppressed.
+	st, _ := Step(State{}, true, t0, cfg)
+	st, _ = Step(st, false, t0.Add(time.Minute), cfg)
+	st, _ = Step(st, false, t0.Add(2*time.Minute), cfg)
+	if st.Status != OK {
+		t.Fatalf("status = %s, want OK", st.Status)
+	}
+	st, fired := Step(st, true, t0.Add(5*time.Minute), cfg)
+	if fired {
+		t.Fatal("re-fire inside the suppression window must be blocked")
+	}
+	if st.Status != Firing {
+		t.Fatalf("status = %s, want FIRING even when suppressed", st.Status)
+	}
+	// Outside the window the next OK→FIRING transition fires again.
+	st, _ = Step(st, false, t0.Add(6*time.Minute), cfg)
+	st, _ = Step(st, false, t0.Add(7*time.Minute), cfg)
+	st, fired = Step(st, true, t0.Add(15*time.Minute), cfg)
+	if !fired {
+		t.Fatal("re-fire outside the suppression window must go through")
+	}
+	if st.Firings != 2 {
+		t.Fatalf("Firings = %d, want 2", st.Firings)
+	}
+}
+
+func TestStepFireStreakDelaysFiring(t *testing.T) {
+	cfg := Config{FireStreak: 3}
+	st, fired := steps(t, State{}, []bool{true, true}, cfg)
+	if fired != 0 || st.Status != OK {
+		t.Fatalf("fired=%d status=%s before the streak, want 0/OK", fired, st.Status)
+	}
+	st, f := Step(st, true, t0.Add(3*time.Minute), cfg)
+	if !f || st.Status != Firing {
+		t.Fatalf("third true: fired=%v status=%s, want true/FIRING", f, st.Status)
+	}
+}
+
+func TestNotifierRetriesWithBackoff(t *testing.T) {
+	var calls int
+	n := &Notifier{
+		Backoff: time.Microsecond,
+		Post: func(url string, body []byte) (int, error) {
+			calls++
+			if calls < 3 {
+				return 0, errors.New("connection refused")
+			}
+			return 200, nil
+		},
+	}
+	if err := n.Send("http://example.invalid/hook", Payload{Alert: "a"}); err != nil {
+		t.Fatalf("Send after retries: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("POST attempts = %d, want 3 (two retries)", calls)
+	}
+}
+
+func TestNotifierNon2xxIsAnError(t *testing.T) {
+	n := &Notifier{
+		Retries: -1, // no retries
+		Post:    func(url string, body []byte) (int, error) { return 500, nil },
+	}
+	if err := n.Send("http://example.invalid/hook", Payload{Alert: "a"}); err == nil {
+		t.Fatal("Send must fail on a persistent 500")
+	}
+}

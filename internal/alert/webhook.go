@@ -1,0 +1,108 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Payload is the JSON body POSTed to a webhook when an alert fires.
+type Payload struct {
+	// Alert is the firing alert's name.
+	Alert string `json:"alert"`
+	// FiredAt is the virtual-clock instant of the firing.
+	FiredAt time.Time `json:"fired_at"`
+	// Status is the alert's state after the transition (FIRING).
+	Status string `json:"status"`
+	// Rows carries a bounded sample of the condition rows that made
+	// EXISTS true, rendered as strings, so receivers see what tripped
+	// the alert (e.g. the blamed DT from a DT_HEALTH condition).
+	Rows []string `json:"rows,omitempty"`
+}
+
+// Default webhook delivery tuning.
+const (
+	// DefaultTimeout bounds each POST attempt.
+	DefaultTimeout = 5 * time.Second
+	// DefaultRetries is how many times a failed POST is retried.
+	DefaultRetries = 2
+	// DefaultBackoff is the first retry delay; it doubles per retry.
+	DefaultBackoff = 100 * time.Millisecond
+)
+
+// Notifier delivers firing payloads to webhook URLs with a bounded
+// per-attempt timeout and capped retry/backoff, so one unreachable
+// endpoint cannot stall the watchdog indefinitely. The zero value uses
+// the defaults and real HTTP.
+type Notifier struct {
+	// Timeout bounds each POST attempt (default DefaultTimeout).
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a failure
+	// (default DefaultRetries).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per retry
+	// (default DefaultBackoff).
+	Backoff time.Duration
+	// Post overrides the transport: given the URL and the encoded JSON
+	// body it returns the response status code. Tests install a hook
+	// here to capture payloads without a network listener; nil selects
+	// real HTTP.
+	Post func(url string, body []byte) (int, error)
+}
+
+// Send POSTs the payload, retrying failed attempts with doubling
+// backoff. A 2xx status is success; anything else (or a transport
+// error) counts as a failed attempt.
+func (n *Notifier) Send(url string, p Payload) error {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	timeout := n.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	retries := n.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	if n.Retries == 0 {
+		retries = DefaultRetries
+	}
+	backoff := n.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	post := n.Post
+	if post == nil {
+		client := &http.Client{Timeout: timeout}
+		post = func(url string, body []byte) (int, error) {
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return 0, err
+			}
+			resp.Body.Close()
+			return resp.StatusCode, nil
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		status, err := post(url, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if status >= 200 && status < 300 {
+			return nil
+		}
+		lastErr = fmt.Errorf("alert: webhook %s returned status %d", url, status)
+	}
+	return lastErr
+}

@@ -150,6 +150,54 @@ type RequestEvent struct {
 	// time spent serving it.
 	Start    time.Time
 	Duration time.Duration
+	// RequestID is the client-supplied X-Request-Id header value, empty
+	// when the client sent none. It correlates remote traces end to end.
+	RequestID string
+}
+
+// AlertEvent is one watchdog evaluation of a declared alert, recorded
+// for INFORMATION_SCHEMA.ALERT_HISTORY. Evaluations run on scheduler
+// ticks at virtual-clock instants, so At is virtual time while Duration
+// is the host time the condition query took.
+type AlertEvent struct {
+	// Seq orders alert observations recorder-globally.
+	Seq int64
+	// Alert is the evaluated alert's name.
+	Alert string
+	// At is the virtual-clock instant of the evaluation.
+	At time.Time
+	// Result is whether the condition held (EXISTS returned rows).
+	Result bool
+	// Status is the alert's state after this evaluation (OK or FIRING).
+	Status string
+	// Fired reports whether the action ran on this evaluation: only the
+	// OK→FIRING transition outside the suppression window fires.
+	Fired bool
+	// Action renders the alert's action (RECORD, CALL WEBHOOK '...', or
+	// the SQL text).
+	Action string
+	// ActionErr is the action's failure message; empty on success or
+	// when nothing fired.
+	ActionErr string
+	// Detail is a bounded sample of the condition rows that made EXISTS
+	// true (e.g. the blamed DT from a DT_HEALTH condition).
+	Detail string
+	// RootID is the evaluation's trace-root span ID, joinable against
+	// INFORMATION_SCHEMA.TRACE_SPANS; 0 when tracing was disabled.
+	RootID int64
+	// Error is the condition query's failure message, if it failed.
+	Error string
+	// Duration is the host time spent evaluating condition + action.
+	Duration time.Duration
+}
+
+// AlertTotals are monotonic per-alert counters backing the
+// dyntables_alert_* metric families; like RefreshTotals they never
+// evict.
+type AlertTotals struct {
+	// Evaluations counts condition evaluations, Firings fired actions,
+	// and ActionErrors failed actions (webhook/SQL errors).
+	Evaluations, Firings, ActionErrors int64
 }
 
 // StatementEvent is one executed SQL statement, recorded for
@@ -240,14 +288,16 @@ type Recorder struct {
 	requests   *ring.Ring[RequestEvent]
 	statements *ring.Ring[StatementEvent]
 	resources  *ring.Ring[ResourceEvent]
+	alerts     *ring.Ring[AlertEvent]
 
 	// totals, resTotals and reqBuckets/reqCount/reqSum are the monotonic
 	// /metrics aggregates; rings evict, these never do.
-	totals     map[string]*RefreshTotals
-	resTotals  map[string]*ResourceTotals
-	reqBuckets []int64 // per-bound counts (non-cumulative)
-	reqCount   int64
-	reqSum     float64
+	totals      map[string]*RefreshTotals
+	resTotals   map[string]*ResourceTotals
+	alertTotals map[string]*AlertTotals
+	reqBuckets  []int64 // per-bound counts (non-cumulative)
+	reqCount    int64
+	reqSum      float64
 }
 
 // NewRecorder creates a recorder with the given per-ring capacity;
@@ -257,18 +307,20 @@ func NewRecorder(capacity int) *Recorder {
 		capacity = DefaultCapacity
 	}
 	return &Recorder{
-		enabled:    true,
-		capacity:   capacity,
-		refreshes:  make(map[string]*ring.Ring[RefreshEvent]),
-		lags:       make(map[string]*ring.Ring[LagSample]),
-		meter:      make(map[string]*ring.Ring[MeterPoint]),
-		edges:      ring.New[GraphEdge](capacity),
-		requests:   ring.New[RequestEvent](capacity),
-		statements: ring.New[StatementEvent](capacity),
-		resources:  ring.New[ResourceEvent](capacity),
-		totals:     make(map[string]*RefreshTotals),
-		resTotals:  make(map[string]*ResourceTotals),
-		reqBuckets: make([]int64, len(RequestBuckets)+1),
+		enabled:     true,
+		capacity:    capacity,
+		refreshes:   make(map[string]*ring.Ring[RefreshEvent]),
+		lags:        make(map[string]*ring.Ring[LagSample]),
+		meter:       make(map[string]*ring.Ring[MeterPoint]),
+		edges:       ring.New[GraphEdge](capacity),
+		requests:    ring.New[RequestEvent](capacity),
+		statements:  ring.New[StatementEvent](capacity),
+		resources:   ring.New[ResourceEvent](capacity),
+		alerts:      ring.New[AlertEvent](capacity),
+		totals:      make(map[string]*RefreshTotals),
+		resTotals:   make(map[string]*ResourceTotals),
+		alertTotals: make(map[string]*AlertTotals),
+		reqBuckets:  make([]int64, len(RequestBuckets)+1),
 	}
 }
 
@@ -325,6 +377,7 @@ func (r *Recorder) SetCapacity(n int) {
 	r.requests.Resize(n)
 	r.statements.Resize(n)
 	r.resources.Resize(n)
+	r.alerts.Resize(n)
 }
 
 // RecordRefresh appends a refresh event to the DT's history ring,
@@ -494,6 +547,52 @@ func (r *Recorder) RecordStatement(ev StatementEvent) {
 	r.seq++
 	ev.Seq = r.seq
 	r.statements.Push(ev)
+}
+
+// RecordAlert appends a watchdog evaluation to the alert ring,
+// assigning its sequence number, and bumps the alert's monotonic
+// totals. Unlike the bounded ring, totals survive eviction so the
+// dyntables_alert_* counters stay monotonic across scrapes.
+func (r *Recorder) RecordAlert(ev AlertEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	r.alerts.Push(ev)
+	t := r.alertTotals[ev.Alert]
+	if t == nil {
+		t = &AlertTotals{}
+		r.alertTotals[ev.Alert] = t
+	}
+	t.Evaluations++
+	if ev.Fired {
+		t.Firings++
+	}
+	if ev.ActionErr != "" {
+		t.ActionErrors++
+	}
+}
+
+// Alerts returns a copy of the watchdog evaluation events, oldest
+// first.
+func (r *Recorder) Alerts() []AlertEvent {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alerts.Snapshot()
+}
+
+// AlertCounters returns a copy of the monotonic per-alert totals.
+func (r *Recorder) AlertCounters() map[string]AlertTotals {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]AlertTotals, len(r.alertTotals))
+	for name, t := range r.alertTotals {
+		out[name] = *t
+	}
+	return out
 }
 
 // Statements returns a copy of the executed-statement events, oldest

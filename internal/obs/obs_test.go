@@ -126,6 +126,70 @@ func TestComputeSLOAlwaysWithin(t *testing.T) {
 	}
 }
 
+func TestComputeSLOEdgeCases(t *testing.T) {
+	target := time.Minute
+
+	t.Run("empty series", func(t *testing.T) {
+		if got := ComputeSLO(nil, target, t0); got != (SLOStats{}) {
+			t.Fatalf("empty series = %+v, want zero SLOStats", got)
+		}
+		if got := ComputeSLO([]LagSample{}, target, t0); got != (SLOStats{}) {
+			t.Fatalf("zero-length series = %+v, want zero SLOStats", got)
+		}
+	})
+
+	t.Run("single sample", func(t *testing.T) {
+		series := []LagSample{{At: t0, Trough: 30 * time.Second, Peak: 90 * time.Second}}
+		// No covered time at all (now == the only commit): the DT is
+		// currently within target, so attainment is 1, and both
+		// percentiles collapse onto the single peak.
+		stats := ComputeSLO(series, target, t0)
+		if stats.Samples != 1 || stats.Attainment != 1 {
+			t.Fatalf("samples=%d attainment=%v, want 1 / 1", stats.Samples, stats.Attainment)
+		}
+		if stats.P50 != 90*time.Second || stats.P95 != 90*time.Second {
+			t.Fatalf("p50=%v p95=%v, want both 90s", stats.P50, stats.P95)
+		}
+		// With a tail the lag rises from the 30s trough and crosses the
+		// 60s target 30s in: half of the 60s tail is within.
+		stats = ComputeSLO(series, target, t0.Add(60*time.Second))
+		if diff := stats.Attainment - 0.5; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("tail attainment = %v, want 0.5", stats.Attainment)
+		}
+	})
+
+	t.Run("all samples over target", func(t *testing.T) {
+		series := []LagSample{
+			{At: t0, Trough: 2 * time.Minute, Peak: 3 * time.Minute},
+			{At: t0.Add(time.Minute), Trough: 2 * time.Minute, Peak: 3 * time.Minute},
+		}
+		if got := ComputeSLO(series, target, t0.Add(time.Minute)).Attainment; got != 0 {
+			t.Fatalf("attainment = %v, want 0 when lag never dips under target", got)
+		}
+		// Degenerate covered==0 variant: still over target right now.
+		single := series[:1]
+		if got := ComputeSLO(single, target, t0).Attainment; got != 0 {
+			t.Fatalf("attainment = %v, want 0 for an over-target instant", got)
+		}
+	})
+
+	t.Run("target exactly met", func(t *testing.T) {
+		// Lag touches the target exactly at every peak; lag == target
+		// counts as within, so attainment is a full 1.0, not 1-epsilon.
+		series := []LagSample{
+			{At: t0, Trough: 0, Peak: target},
+			{At: t0.Add(time.Minute), Trough: 0, Peak: target},
+		}
+		if got := ComputeSLO(series, target, t0.Add(time.Minute)).Attainment; got != 1 {
+			t.Fatalf("attainment = %v, want exactly 1 when peaks touch the target", got)
+		}
+		instant := []LagSample{{At: t0, Trough: target, Peak: target}}
+		if got := ComputeSLO(instant, target, t0).Attainment; got != 1 {
+			t.Fatalf("attainment = %v, want 1 when current lag equals target", got)
+		}
+	})
+}
+
 func TestConcurrentRecordAndRead(t *testing.T) {
 	r := NewRecorder(64)
 	var writers sync.WaitGroup

@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+// requestIDKey keys the client-supplied request ID in a context. It
+// lives here (not in the server package) because both the server
+// middleware that extracts the header and the engine session that
+// stamps it on the statement root span import obs.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the client-supplied
+// X-Request-Id value. Empty IDs are not stored.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the client-supplied request ID from the
+// context, or "" when none was attached.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

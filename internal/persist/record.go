@@ -42,6 +42,10 @@ const (
 	KindCommit      = "commit"
 	KindFrontier    = "frontier"
 	KindClock       = "clock"
+	KindCreateAlert = "create_alert"
+	KindDropAlert   = "drop_alert"
+	KindAlterAlert  = "alter_alert"
+	KindAlertState  = "alert_state"
 )
 
 // Record is one WAL entry. Seq is assigned by the WAL writer and is
@@ -65,6 +69,10 @@ type Record struct {
 	Commit      *CommitRecord      `json:"commit,omitempty"`
 	Frontier    *FrontierRecord    `json:"frontier,omitempty"`
 	Clock       *ClockRecord       `json:"clock,omitempty"`
+	CreateAlert *CreateAlertRecord `json:"create_alert,omitempty"`
+	DropAlert   *DropAlertRecord   `json:"drop_alert,omitempty"`
+	AlterAlert  *AlterAlertRecord  `json:"alter_alert,omitempty"`
+	AlertState  *AlertStateRecord  `json:"alert_state,omitempty"`
 }
 
 // CreateTableRecord logs CREATE [OR REPLACE] TABLE. TableKey is the
@@ -214,6 +222,45 @@ type FrontierRecord struct {
 type ClockRecord struct {
 	NowMicros    int64 `json:"now_us"`
 	CursorMicros int64 `json:"cursor_us"`
+}
+
+// CreateAlertRecord logs CREATE [OR REPLACE] ALERT: the full definition,
+// enough to reconstruct the watchdog rule without re-binding during
+// replay (the condition re-binds at evaluation time).
+type CreateAlertRecord struct {
+	Name           string `json:"name"`
+	Owner          string `json:"owner"`
+	OrReplace      bool   `json:"or_replace,omitempty"`
+	ScheduleMicros int64  `json:"schedule_us,omitempty"`
+	ConditionText  string `json:"condition"`
+	ActionKind     string `json:"action_kind"`
+	ActionURL      string `json:"action_url,omitempty"`
+	ActionSQL      string `json:"action_sql,omitempty"`
+}
+
+// DropAlertRecord logs DROP ALERT.
+type DropAlertRecord struct {
+	Name string `json:"name"`
+}
+
+// AlterAlertRecord logs ALTER ALERT SUSPEND/RESUME.
+type AlterAlertRecord struct {
+	Name   string `json:"name"`
+	Action string `json:"action"`
+}
+
+// AlertStateRecord logs an alert's evaluation-state transition (the
+// firing/resolved edge plus streaks and the suppression anchor), so a
+// recovered engine resumes the state machine where it left off instead
+// of re-firing an already-delivered action.
+type AlertStateRecord struct {
+	Name            string `json:"name"`
+	Status          string `json:"status"`
+	TrueStreak      int    `json:"true_streak,omitempty"`
+	FalseStreak     int    `json:"false_streak,omitempty"`
+	LastFiredMicros int64  `json:"last_fired_us,omitempty"`
+	Firings         int64  `json:"firings,omitempty"`
+	NextDueMicros   int64  `json:"next_due_us,omitempty"`
 }
 
 // ---------------------------------------------------------------------------

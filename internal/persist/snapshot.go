@@ -42,6 +42,30 @@ type Snapshot struct {
 
 	// Warehouses: configuration plus billing simulation state.
 	Warehouses []WarehouseState `json:"warehouses,omitempty"`
+
+	// Alerts: watchdog definitions plus evaluation state.
+	Alerts []AlertState `json:"alerts,omitempty"`
+}
+
+// AlertState is a serialized watchdog alert: the CREATE ALERT definition
+// plus the state machine's position, so recovery neither forgets a rule
+// nor re-fires an already-delivered action.
+type AlertState struct {
+	Name           string `json:"name"`
+	Owner          string `json:"owner"`
+	ScheduleMicros int64  `json:"schedule_us,omitempty"`
+	ConditionText  string `json:"condition"`
+	ActionKind     string `json:"action_kind"`
+	ActionURL      string `json:"action_url,omitempty"`
+	ActionSQL      string `json:"action_sql,omitempty"`
+
+	Suspended       bool   `json:"suspended,omitempty"`
+	Status          string `json:"status,omitempty"`
+	TrueStreak      int    `json:"true_streak,omitempty"`
+	FalseStreak     int    `json:"false_streak,omitempty"`
+	LastFiredMicros int64  `json:"last_fired_us,omitempty"`
+	Firings         int64  `json:"firings,omitempty"`
+	NextDueMicros   int64  `json:"next_due_us,omitempty"`
 }
 
 // EntryState is a serialized catalog entry. Exactly one payload field is

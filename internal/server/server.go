@@ -150,6 +150,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/statements/{id}/rows", s.handleFetch)
 	s.mux.HandleFunc("DELETE /v1/statements/{id}", s.handleCancelStatement)
 	s.mux.HandleFunc("GET /v1/info/{table}", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("POST /v1/dts/{name}/refresh-mode", s.handleRefreshMode)
 	s.mux.HandleFunc("POST /v1/admin/advance", s.handleAdvance)
 	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
@@ -169,7 +170,17 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		meta := &reqMeta{}
-		r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
+		ctx := context.WithValue(r.Context(), metaKey{}, meta)
+		// Honor a client-supplied request ID: echo it back, thread it
+		// through the context (the engine stamps it on the statement root
+		// span) and record it in SERVER_REQUEST_HISTORY, so remote traces
+		// are correlatable end to end.
+		requestID := r.Header.Get("X-Request-Id")
+		if requestID != "" {
+			ctx = obs.WithRequestID(ctx, requestID)
+			w.Header().Set("X-Request-Id", requestID)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		// Health and scrape endpoints stay reachable while draining so
 		// monitoring observes the shutdown instead of losing the target.
@@ -192,6 +203,7 @@ func (s *Server) Handler() http.Handler {
 			Rows:        meta.rows,
 			Start:       start,
 			Duration:    time.Since(start),
+			RequestID:   requestID,
 		})
 	})
 }
@@ -814,6 +826,8 @@ var infoTables = map[string]string{
 	"trace-spans":        "INFORMATION_SCHEMA.TRACE_SPANS",
 	"resource-history":   "INFORMATION_SCHEMA.RESOURCE_HISTORY",
 	"dt-health":          "INFORMATION_SCHEMA.DT_HEALTH",
+	"alerts":             "INFORMATION_SCHEMA.ALERTS",
+	"alert-history":      "INFORMATION_SCHEMA.ALERT_HISTORY",
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -833,6 +847,30 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	defer be.Close()
 	be.SetRole(role)
 	res, err := be.ExecContext(r.Context(), "SELECT * FROM "+name, nil, nil)
+	if err != nil {
+		writeError(w, sqlError(err))
+		return
+	}
+	meta.rows = len(res.Rows)
+	body := toResultBody(res)
+	writeJSON(w, http.StatusOK, statementBody{Result: &body})
+}
+
+// handleAlerts serves GET /v1/alerts: the registered watchdog alerts
+// with their firing state, via the same scratch-session SQL veneer as
+// /v1/info so privileges behave exactly like SQL access.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	role, _, hErr := s.authRole(r)
+	if hErr != nil {
+		writeError(w, hErr)
+		return
+	}
+	meta := metaFrom(r)
+	meta.role = role
+	be := s.cfg.Backend.NewSession()
+	defer be.Close()
+	be.SetRole(role)
+	res, err := be.ExecContext(r.Context(), "SELECT * FROM INFORMATION_SCHEMA.ALERTS", nil, nil)
 	if err != nil {
 		writeError(w, sqlError(err))
 		return

@@ -334,6 +334,27 @@ type CreateViewStmt struct {
 	Text string
 }
 
+// CreateAlertStmt is CREATE [OR REPLACE] ALERT: a declared watchdog rule
+// whose condition SELECT is evaluated on scheduler ticks and whose action
+// runs on the OK→FIRING transition.
+type CreateAlertStmt struct {
+	OrReplace bool
+	Name      string
+	// Schedule is the evaluation cadence; 0 evaluates on every tick.
+	Schedule time.Duration
+	// Condition is the SELECT inside IF (EXISTS (...)).
+	Condition *SelectStmt
+	// ConditionText is the condition's original SQL, re-parsed per
+	// evaluation through the owner's session.
+	ConditionText string
+	// ActionKind is RECORD, WEBHOOK or SQL.
+	ActionKind string
+	// ActionURL is the POST target when ActionKind is WEBHOOK.
+	ActionURL string
+	// ActionSQL is the statement text when ActionKind is SQL.
+	ActionSQL string
+}
+
 // TargetLagKind discriminates target lag settings (§3.2).
 type TargetLagKind uint8
 
@@ -454,6 +475,7 @@ func (*CreateTableStmt) stmt()        {}
 func (*CreateViewStmt) stmt()         {}
 func (*CreateDynamicTableStmt) stmt() {}
 func (*CreateWarehouseStmt) stmt()    {}
+func (*CreateAlertStmt) stmt()        {}
 func (*DropStmt) stmt()               {}
 func (*UndropStmt) stmt()             {}
 func (*AlterStmt) stmt()              {}
@@ -611,6 +633,10 @@ func WalkStatementExprs(stmt Statement, f func(Expr)) {
 	case *CreateDynamicTableStmt:
 		if s.Query != nil {
 			walkSelectExprs(s.Query, f)
+		}
+	case *CreateAlertStmt:
+		if s.Condition != nil {
+			walkSelectExprs(s.Condition, f)
 		}
 	}
 }

@@ -207,8 +207,10 @@ func (p *Parser) parseShow() (Statement, error) {
 		return &ShowStmt{Kind: "WAREHOUSES"}, nil
 	case p.acceptKeyword("HEALTH"):
 		return &ShowStmt{Kind: "HEALTH"}, nil
+	case p.acceptKeyword("ALERTS"):
+		return &ShowStmt{Kind: "ALERTS"}, nil
 	default:
-		return nil, p.errorf("expected DYNAMIC TABLES, WAREHOUSES or HEALTH after SHOW, found %q", p.peek().Text)
+		return nil, p.errorf("expected DYNAMIC TABLES, WAREHOUSES, HEALTH or ALERTS after SHOW, found %q", p.peek().Text)
 	}
 }
 
@@ -273,8 +275,10 @@ func (p *Parser) parseCreate() (Statement, error) {
 		return p.parseCreateDynamicTable(orReplace)
 	case p.acceptKeyword("WAREHOUSE"):
 		return p.parseCreateWarehouse(orReplace)
+	case p.acceptKeyword("ALERT"):
+		return p.parseCreateAlert(orReplace)
 	default:
-		return nil, p.errorf("expected TABLE, VIEW, DYNAMIC TABLE or WAREHOUSE after CREATE")
+		return nil, p.errorf("expected TABLE, VIEW, DYNAMIC TABLE, WAREHOUSE or ALERT after CREATE")
 	}
 }
 
@@ -492,6 +496,94 @@ func (p *Parser) parseCreateWarehouse(orReplace bool) (Statement, error) {
 	}
 }
 
+// parseCreateAlert parses the tail of CREATE [OR REPLACE] ALERT:
+//
+//	CREATE ALERT name [SCHEDULE = '<dur>'] IF (EXISTS (<select>)) THEN <action>
+//
+// where <action> is CALL WEBHOOK '<url>', the bare keyword RECORD
+// (record-only), or any single SQL statement (executed under the alert
+// owner's role when the alert fires).
+func (p *Parser) parseCreateAlert(orReplace bool) (Statement, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateAlertStmt{OrReplace: orReplace, Name: name}
+	if p.acceptKeyword("SCHEDULE") {
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.Kind != TokString {
+			return nil, p.errorf("expected schedule duration string, found %q", t.Text)
+		}
+		d, err := types.ParseIntervalText(t.Text)
+		if err != nil {
+			return nil, p.errorf("invalid alert schedule %q: %v", t.Text, err)
+		}
+		stmt.Schedule = d
+	}
+	if err := p.expectKeyword("IF"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("EXISTS"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	condStart := p.peek().Pos
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Condition = sel
+	stmt.ConditionText = strings.TrimSpace(p.textSince(condStart))
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("THEN"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("CALL"):
+		if err := p.expectKeyword("WEBHOOK"); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.Kind != TokString {
+			return nil, p.errorf("expected webhook URL string, found %q", t.Text)
+		}
+		stmt.ActionKind, stmt.ActionURL = "WEBHOOK", t.Text
+	case p.acceptKeyword("RECORD"):
+		stmt.ActionKind = "RECORD"
+	default:
+		if p.atEOF() {
+			return nil, p.errorf("expected CALL WEBHOOK, RECORD or a SQL statement after THEN")
+		}
+		actionStart := p.peek().Pos
+		action, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := action.(*CreateAlertStmt); ok {
+			return nil, p.errorf("alert action cannot be another CREATE ALERT")
+		}
+		if pos, names := CollectPlaceholders(action); pos > 0 || len(names) > 0 {
+			return nil, p.errorf("alert action cannot use bind placeholders")
+		}
+		stmt.ActionKind = "SQL"
+		stmt.ActionSQL = strings.TrimSpace(p.textSince(actionStart))
+	}
+	return stmt, nil
+}
+
 func (p *Parser) parseDrop() (Statement, error) {
 	if err := p.expectKeyword("DROP"); err != nil {
 		return nil, err
@@ -535,6 +627,8 @@ func (p *Parser) parseObjectKind() (string, error) {
 		return "VIEW", nil
 	case p.acceptKeyword("WAREHOUSE"):
 		return "WAREHOUSE", nil
+	case p.acceptKeyword("ALERT"):
+		return "ALERT", nil
 	default:
 		return "", p.errorf("expected object kind, found %q", p.peek().Text)
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"dyntables/internal/alert"
 	"dyntables/internal/catalog"
 	"dyntables/internal/core"
 	"dyntables/internal/health"
@@ -46,6 +47,7 @@ func (e *Engine) MetricsText() string {
 	e.writeResourceMetrics(&b)
 	e.writeFootprintMetrics(&b)
 	e.writeHealthMetrics(&b)
+	e.writeAlertMetrics(&b)
 	e.writeRequestMetrics(&b)
 	e.writePersistMetrics(&b)
 	e.writeRuntimeMetrics(&b)
@@ -289,6 +291,56 @@ func (e *Engine) writePersistMetrics(b *strings.Builder) {
 		age = time.Since(st.LastCheckpoint).Seconds()
 	}
 	fmt.Fprintf(b, "dyntables_checkpoint_age_seconds %s\n", fmtFloat(age))
+}
+
+// writeAlertMetrics emits the watchdog families: monotonic per-alert
+// evaluation/firing/action-error counters from the recorder's totals
+// (they survive ring eviction) and the current firing gauge from the
+// live registry.
+func (e *Engine) writeAlertMetrics(b *strings.Builder) {
+	totals := e.rec.AlertCounters()
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(b, "# HELP dyntables_alert_evaluations_total Watchdog condition evaluations per alert.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_alert_evaluations_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_alert_evaluations_total{alert=%s} %d\n", labelQuote(name), totals[name].Evaluations)
+	}
+	fmt.Fprintf(b, "# HELP dyntables_alert_firings_total Fired alert actions per alert.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_alert_firings_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_alert_firings_total{alert=%s} %d\n", labelQuote(name), totals[name].Firings)
+	}
+	fmt.Fprintf(b, "# HELP dyntables_alert_action_errors_total Failed alert actions (webhook or SQL) per alert.\n")
+	fmt.Fprintf(b, "# TYPE dyntables_alert_action_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "dyntables_alert_action_errors_total{alert=%s} %d\n", labelQuote(name), totals[name].ActionErrors)
+	}
+
+	e.alertMu.Lock()
+	type alertGauge struct {
+		name   string
+		firing bool
+	}
+	gauges := make([]alertGauge, 0, len(e.alerts))
+	for name, entry := range e.alerts {
+		gauges = append(gauges, alertGauge{name, entry.state.Status == alert.Firing})
+	}
+	e.alertMu.Unlock()
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	fmt.Fprintf(b, "# HELP dyntables_alert_firing Whether the alert is currently in the FIRING state (1) or OK (0).\n")
+	fmt.Fprintf(b, "# TYPE dyntables_alert_firing gauge\n")
+	for _, g := range gauges {
+		v := 0
+		if g.firing {
+			v = 1
+		}
+		fmt.Fprintf(b, "dyntables_alert_firing{alert=%s} %d\n", labelQuote(g.name), v)
+	}
 }
 
 // fmtFloat renders a metric value the shortest way Prometheus parsers

@@ -36,6 +36,8 @@ const (
 	InfoSchemaTraceSpans        = "INFORMATION_SCHEMA.TRACE_SPANS"
 	InfoSchemaResourceHistory   = "INFORMATION_SCHEMA.RESOURCE_HISTORY"
 	InfoSchemaDTHealth          = "INFORMATION_SCHEMA.DT_HEALTH"
+	InfoSchemaAlerts            = "INFORMATION_SCHEMA.ALERTS"
+	InfoSchemaAlertHistory      = "INFORMATION_SCHEMA.ALERT_HISTORY"
 )
 
 // initObservability builds the recorder, layers the virtual-table
@@ -268,6 +270,7 @@ var serverRequestsSchema = types.Schema{Columns: []types.Column{
 	infoCol("rows", types.KindInt),
 	infoCol("start_ts", types.KindTimestamp),
 	infoCol("duration", types.KindInterval),
+	infoCol("request_id", types.KindString),
 	infoCol("seq", types.KindInt),
 }}
 
@@ -308,6 +311,34 @@ var dtHealthSchema = types.Schema{Columns: []types.Column{
 	infoCol("blame", types.KindString),
 	infoCol("blame_phase", types.KindString),
 	infoCol("blame_cost", types.KindInterval),
+}}
+
+var alertsSchema = types.Schema{Columns: []types.Column{
+	infoCol("name", types.KindString),
+	infoCol("status", types.KindString),
+	infoCol("suspended", types.KindBool),
+	infoCol("schedule", types.KindInterval),
+	infoCol("action", types.KindString),
+	infoCol("owner", types.KindString),
+	infoCol("condition", types.KindString),
+	infoCol("firings", types.KindInt),
+	infoCol("last_fired", types.KindTimestamp),
+	infoCol("next_eval", types.KindTimestamp),
+}}
+
+var alertHistorySchema = types.Schema{Columns: []types.Column{
+	infoCol("seq", types.KindInt),
+	infoCol("alert", types.KindString),
+	infoCol("eval_ts", types.KindTimestamp),
+	infoCol("result", types.KindBool),
+	infoCol("status", types.KindString),
+	infoCol("fired", types.KindBool),
+	infoCol("action", types.KindString),
+	infoCol("action_error", types.KindString),
+	infoCol("detail", types.KindString),
+	infoCol("root_id", types.KindInt),
+	infoCol("error", types.KindString),
+	infoCol("duration", types.KindInterval),
 }}
 
 var traceSpansSchema = types.Schema{Columns: []types.Column{
@@ -360,6 +391,14 @@ func (e *Engine) registerInfoSchema() {
 	e.virt.Register(&plan.VirtualTable{
 		Name: InfoSchemaDTHealth, Schema: dtHealthSchema,
 		Rows: e.dtHealthRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaAlerts, Schema: alertsSchema,
+		Rows: e.alertsRows,
+	})
+	e.virt.Register(&plan.VirtualTable{
+		Name: InfoSchemaAlertHistory, Schema: alertHistorySchema,
+		Rows: e.alertHistoryRows,
 	})
 }
 
@@ -558,6 +597,7 @@ func (e *Engine) serverRequestsRows() ([]types.Row, error) {
 			types.NewInt(int64(ev.Rows)),
 			tsOrNull(ev.Start),
 			types.NewInterval(ev.Duration),
+			strOrNull(ev.RequestID),
 			types.NewInt(ev.Seq),
 		})
 	}

@@ -305,6 +305,9 @@ func (s *Session) execStatement(ctx context.Context, text string, stmt sql.State
 	e := s.eng
 	start := time.Now()
 	root := e.trc.StartRoot("statement")
+	if reqID := obs.RequestIDFrom(ctx); reqID != "" {
+		root.SetAttr("request_id", reqID)
+	}
 	meter := obs.StartMeter()
 	res, err := s.execStatementLocked(ctx, stmt, params)
 	use := meter.Stop()
@@ -389,7 +392,7 @@ func isDDL(stmt sql.Statement) bool {
 // session to supply values at refresh time.
 func rejectStoredPlaceholders(stmt sql.Statement) error {
 	switch stmt.(type) {
-	case *sql.CreateViewStmt, *sql.CreateDynamicTableStmt:
+	case *sql.CreateViewStmt, *sql.CreateDynamicTableStmt, *sql.CreateAlertStmt:
 		if n, names := sql.CollectPlaceholders(stmt); n > 0 || len(names) > 0 {
 			return fmt.Errorf("dyntables: bind placeholders are not allowed in stored defining queries")
 		}

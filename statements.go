@@ -89,6 +89,8 @@ func (x *executor) execStmt(stmt sql.Statement) (*Result, error) {
 		return x.execCreateWarehouse(s)
 	case *sql.CreateDynamicTableStmt:
 		return x.execCreateDynamicTable(s)
+	case *sql.CreateAlertStmt:
+		return x.execCreateAlert(s)
 	case *sql.InsertStmt:
 		return x.execInsert(s)
 	case *sql.UpdateStmt:
@@ -763,6 +765,10 @@ func (x *executor) execDelete(stmt *sql.DeleteStmt) (*Result, error) {
 
 func (x *executor) execDrop(stmt *sql.DropStmt) (*Result, error) {
 	e := x.e
+	// Alerts live in the watchdog registry, not the catalog.
+	if stmt.Kind == "ALERT" {
+		return x.execDropAlert(stmt)
+	}
 	entry, err := e.cat.Get(stmt.Name)
 	if err != nil {
 		return nil, err
@@ -780,6 +786,9 @@ func (x *executor) execDrop(stmt *sql.DropStmt) (*Result, error) {
 
 func (x *executor) execUndrop(stmt *sql.UndropStmt) (*Result, error) {
 	e := x.e
+	if stmt.Kind == "ALERT" {
+		return nil, fmt.Errorf("dyntables: UNDROP does not support alerts")
+	}
 	ts := e.txns.Now()
 	entry, err := e.cat.Undrop(stmt.Name, ts)
 	if err != nil {
@@ -794,6 +803,9 @@ func (x *executor) execUndrop(stmt *sql.UndropStmt) (*Result, error) {
 
 func (x *executor) execAlter(stmt *sql.AlterStmt) (*Result, error) {
 	e := x.e
+	if stmt.Kind == "ALERT" {
+		return x.execAlterAlert(stmt)
+	}
 	switch stmt.Action {
 	case "RENAME":
 		if entry, err := e.cat.Get(stmt.Name); err == nil {
@@ -1003,6 +1015,16 @@ func (x *executor) execShow(stmt *sql.ShowStmt) (*Result, error) {
 		return &Result{
 			Kind:    "SHOW HEALTH",
 			Columns: showHealthColumns,
+			Rows:    rowsToValues(rows),
+		}, nil
+	case "ALERTS":
+		rows, err := e.alertsRows()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Kind:    "SHOW ALERTS",
+			Columns: alertsSchema.Names(),
 			Rows:    rowsToValues(rows),
 		}, nil
 	default:

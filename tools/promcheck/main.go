@@ -1,0 +1,157 @@
+// Command promcheck lints a Prometheus text exposition (version 0.0.4)
+// the way a strict scraper would:
+//
+//   - every sample's family must be introduced by # HELP and # TYPE
+//     lines before its first sample,
+//   - no two samples may repeat the same name and label set,
+//   - families typed `counter` must end in `_total` (base name, before
+//     the _bucket/_sum/_count suffixes of histograms).
+//
+// With no arguments it builds a small in-process engine — warehouse,
+// base table, dynamic table, a firing alert, one scheduler pass — and
+// lints Engine.MetricsText(), so CI checks the live exposition rather
+// than a stale fixture. With a file argument (or `-` for stdin) it
+// lints that text instead.
+//
+//	go run ./tools/promcheck            # lint the live engine exposition
+//	go run ./tools/promcheck metrics.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dyntables"
+)
+
+func main() {
+	text, source, err := input()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(2)
+	}
+	problems := Lint(text)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %s\n", source, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s OK (%d lines)\n", source, strings.Count(text, "\n"))
+}
+
+// input resolves the exposition text to lint: a file, stdin, or the
+// live engine exposition.
+func input() (text, source string, err error) {
+	if len(os.Args) > 1 {
+		if os.Args[1] == "-" {
+			b, err := io.ReadAll(os.Stdin)
+			return string(b), "stdin", err
+		}
+		b, err := os.ReadFile(os.Args[1])
+		return string(b), os.Args[1], err
+	}
+	return engineExposition(), "engine exposition", nil
+}
+
+// engineExposition exercises the engine enough to populate every metric
+// family — refreshes, lag, resources, footprints, health, alerts — and
+// returns the resulting /metrics text.
+func engineExposition() string {
+	e := dyntables.New()
+	defer e.Close()
+	e.MustExec("CREATE WAREHOUSE wh")
+	e.MustExec("CREATE TABLE src (id INT, v INT)")
+	e.MustExec("INSERT INTO src VALUES (1, 10), (2, 20)")
+	e.MustExec("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh AS SELECT id, v FROM src")
+	e.MustExec("CREATE ALERT watch IF (EXISTS (SELECT id FROM src)) THEN RECORD")
+	e.AdvanceTime(2 * time.Minute)
+	if err := e.RunScheduler(); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck: scheduler:", err)
+		os.Exit(2)
+	}
+	return e.MetricsText()
+}
+
+// Lint checks one exposition text and returns the problems found.
+func Lint(text string) []string {
+	var problems []string
+	helped := map[string]bool{}
+	typed := map[string]string{} // family -> metric type
+	seen := map[string]int{}     // name+labels -> first line no.
+
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) < 2 || fields[1] == "" {
+				problems = append(problems, fmt.Sprintf("line %d: HELP without text: %s", lineNo, line))
+			}
+			helped[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				problems = append(problems, fmt.Sprintf("line %d: malformed TYPE line: %s", lineNo, line))
+				continue
+			}
+			family, mtype := fields[0], fields[1]
+			if _, dup := typed[family]; dup {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for family %s", lineNo, family))
+			}
+			typed[family] = mtype
+			if mtype == "counter" && !strings.HasSuffix(family, "_total") {
+				problems = append(problems, fmt.Sprintf("line %d: counter family %s does not end in _total", lineNo, family))
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		// Sample line: name{labels} value [timestamp]
+		nameEnd := strings.IndexAny(line, "{ ")
+		if nameEnd < 0 {
+			problems = append(problems, fmt.Sprintf("line %d: malformed sample: %s", lineNo, line))
+			continue
+		}
+		name := line[:nameEnd]
+		series := line
+		if sp := strings.LastIndex(line, " "); sp > 0 {
+			series = line[:sp] // name + labels, excluding the value
+		}
+		family := baseFamily(name)
+		if !helped[family] {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s has no preceding # HELP %s", lineNo, name, family))
+		}
+		if _, ok := typed[family]; !ok {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s has no preceding # TYPE %s", lineNo, name, family))
+		}
+		if first, dup := seen[series]; dup {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate sample %s (first at line %d)", lineNo, series, first))
+		} else {
+			seen[series] = lineNo
+		}
+	}
+	return problems
+}
+
+// baseFamily strips the histogram/summary sample suffixes so _bucket,
+// _sum and _count samples resolve to their declared family.
+func baseFamily(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}

@@ -126,8 +126,9 @@ func metricsSmoke(addr string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
 	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		return fmt.Errorf("GET /metrics: content-type %q", ct)
+	ct := resp.Header.Get("Content-Type")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		return fmt.Errorf("GET /metrics: content-type %q, want text/plain with version=0.0.4", ct)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -151,12 +152,66 @@ func metricsSmoke(addr string) error {
 		"dyntables_go_gc_pause_seconds_total",
 		"dyntables_request_duration_seconds_bucket",
 		"dyntables_request_duration_seconds_count",
+		`dyntables_alert_evaluations_total{alert="watch"}`,
+		`dyntables_alert_firings_total{alert="watch"}`,
+		`dyntables_alert_firing{alert="watch"}`,
 		"dyntables_wal_bytes",
 		"dyntables_checkpoint_age_seconds",
 	} {
 		if !strings.Contains(text, want) {
 			return fmt.Errorf("exposition is missing %q:\n%s", want, text)
 		}
+	}
+	return nil
+}
+
+// alertsEndpointSmoke checks GET /v1/alerts serves the alert registry
+// as JSON and includes the alert the smoke created.
+func alertsEndpointSmoke(addr string) error {
+	resp, err := http.Get("http://" + addr + "/v1/alerts")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/alerts: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(body), `"watch"`) {
+		return fmt.Errorf("GET /v1/alerts does not list the created alert:\n%s", body)
+	}
+	return nil
+}
+
+// requestIDSmoke checks a client-supplied X-Request-Id header is echoed
+// back on the response and recorded in SERVER_REQUEST_HISTORY.
+func requestIDSmoke(ctx context.Context, addr string, sess *server.RemoteSession) error {
+	const id = "smoke-req-42"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/status", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Request-Id", id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != id {
+		return fmt.Errorf("X-Request-Id echo: got %q, want %q", got, id)
+	}
+	hist, err := sess.Exec(ctx, `
+		SELECT request_id FROM INFORMATION_SCHEMA.SERVER_REQUEST_HISTORY
+		WHERE request_id = ?`, id)
+	if err != nil {
+		return err
+	}
+	if len(hist.Rows) != 1 {
+		return fmt.Errorf("request id %q not recorded in SERVER_REQUEST_HISTORY (%d rows)", id, len(hist.Rows))
 	}
 	return nil
 }
@@ -194,6 +249,8 @@ func run(bin string) error {
 			(6, 60), (7, 70), (8, 80), (9, 90), (10, 100);
 		CREATE DYNAMIC TABLE d TARGET_LAG = '2 minutes' WAREHOUSE = wh
 			AS SELECT k, v FROM src WHERE v >= 30;
+		CREATE ALERT watch SCHEDULE = '1 minute'
+			IF (EXISTS (SELECT k FROM src WHERE v >= 100)) THEN RECORD;
 	`); err != nil {
 		return fmt.Errorf("setup script: %w", err)
 	}
@@ -253,6 +310,26 @@ func run(bin string) error {
 	if len(resources.Rows) != 1 || fmt.Sprint(resources.Rows[0][0]) == "0" {
 		return fmt.Errorf("RESOURCE_HISTORY x TRACE_SPANS join is empty")
 	}
+	// The watchdog answers over the wire: the always-true alert created
+	// above has evaluated and fired, its history joins with the tracer,
+	// and GET /v1/alerts serves the registry.
+	alertJoin, err := sess.Exec(ctx, `
+		SELECT a.alert, a.fired, t.name
+		FROM INFORMATION_SCHEMA.ALERT_HISTORY a
+		JOIN INFORMATION_SCHEMA.TRACE_SPANS t ON a.root_id = t.root_id
+		WHERE t.parent_id IS NULL`)
+	if err != nil {
+		return fmt.Errorf("ALERT_HISTORY x TRACE_SPANS join: %w", err)
+	}
+	if len(alertJoin.Rows) == 0 {
+		return fmt.Errorf("ALERT_HISTORY x TRACE_SPANS join is empty")
+	}
+	if err := alertsEndpointSmoke(d.addr); err != nil {
+		return fmt.Errorf("alerts endpoint: %w", err)
+	}
+	if err := requestIDSmoke(ctx, d.addr, sess); err != nil {
+		return fmt.Errorf("request id: %w", err)
+	}
 	if err := metricsSmoke(d.addr); err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
@@ -293,6 +370,14 @@ func run(bin string) error {
 	}
 	if strings.Join(preDT, "\n") != strings.Join(postDT, "\n") {
 		return fmt.Errorf("d diverged across drain/reopen:\nbefore: %v\nafter:  %v", preDT, postDT)
+	}
+	// The alert definition committed before the drain survives too.
+	alerts2, err := sess2.Exec(ctx, `SELECT name, firings FROM INFORMATION_SCHEMA.ALERTS`)
+	if err != nil {
+		return err
+	}
+	if len(alerts2.Rows) != 1 || fmt.Sprint(alerts2.Rows[0][0]) != "watch" {
+		return fmt.Errorf("alert definition lost across reopen: %v", alerts2.Rows)
 	}
 	// The REFRESH_MODE override committed before the drain survives too.
 	modes, err := sess2.Exec(ctx, `SELECT refresh_mode FROM INFORMATION_SCHEMA.DYNAMIC_TABLES WHERE name = 'd'`)
