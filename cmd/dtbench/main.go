@@ -417,6 +417,12 @@ func parallel(siblings, workers int) error {
 		time.Duration(res.ParallelLagP50Millis*float64(time.Millisecond)).Truncate(time.Second),
 		time.Duration(res.ParallelLagP95Millis*float64(time.Millisecond)).Truncate(time.Second))
 	fmt.Printf("  speedup: %.2fx, byte-identical contents: %v\n", res.Speedup, res.IdenticalRows)
+	fmt.Println("  execution core (refresh-attributed metering, same workload columnar vs row-at-a-time):")
+	fmt.Printf("            rows/sec/worker  allocs/row\n")
+	fmt.Printf("  columnar  %15.0f  %10.2f\n", res.RowsPerSecPerWorker, res.AllocsPerRow)
+	fmt.Printf("  legacy    %15.0f  %10.2f\n", res.LegacyRowsPerSecPerWorker, res.LegacyAllocsPerRow)
+	fmt.Printf("  columnar speedup: %.2fx, alloc reduction: %.1f%%, identical contents: %v\n",
+		res.ColumnarSpeedup, res.AllocReductionPct, res.LegacyIdenticalRows)
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err

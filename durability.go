@@ -667,6 +667,13 @@ func (e *Engine) replayRecord(rec *persist.Record) error {
 		}
 		e.setAlertState(as.Name, st, nextDue)
 		return nil
+	case persist.KindCompact:
+		t, ok := e.pers.table(rec.Compact.TableKey)
+		if !ok {
+			return fmt.Errorf("dyntables: compact for unknown table key %d", rec.Compact.TableKey)
+		}
+		_, _, err := t.Compact(rec.Compact.Horizon)
+		return err
 	default:
 		return fmt.Errorf("dyntables: unknown WAL record kind %q", rec.Kind)
 	}
@@ -905,6 +912,23 @@ func (e *Engine) logClock() {
 	e.pers.append(&persist.Record{Kind: persist.KindClock, Clock: &persist.ClockRecord{
 		NowMicros:    e.clk.Now().UnixMicro(),
 		CursorMicros: e.sch.Cursor().UnixMicro(),
+	}})
+}
+
+// logCompact appends a compaction record so recovery reproduces the fold:
+// replayed commits rebuild the full chain, then the compact record folds
+// it at the same effective horizon.
+func (e *Engine) logCompact(t *storage.Table, horizon int64) {
+	if !e.durable() || e.closed.Load() {
+		return
+	}
+	key, ok := e.pers.keyOf(t.ID())
+	if !ok {
+		return
+	}
+	e.pers.append(&persist.Record{Kind: persist.KindCompact, Compact: &persist.CompactRecord{
+		TableKey: key,
+		Horizon:  horizon,
 	}})
 }
 

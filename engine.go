@@ -128,6 +128,12 @@ type Engine struct {
 	// via SetWebhookPoster.
 	alertNotifier *alert.Notifier
 
+	// compactionHorizon is the live COMPACTION_HORIZON setting (see
+	// Config.CompactionHorizon). Written under the exclusive statement
+	// lock (construction, ALTER SYSTEM); read by the compaction sweep,
+	// which also holds it exclusively.
+	compactionHorizon int
+
 	// pers is the durability layer; nil for in-memory engines (New).
 	pers *persister
 	// checkpointEvery is the WAL-record count that triggers a snapshot
@@ -176,6 +182,22 @@ type Config struct {
 	// `ALTER SYSTEM SET ADAPTIVE_REFRESH = 0` disables, `= 1` enables,
 	// `= n` (n > 1) enables with window n.
 	AdaptiveWindow int
+	// DisableColumnar turns off the columnar execution fast path: queries
+	// and refresh boundary snapshots fall back to row-at-a-time
+	// execution everywhere. The zero value (columnar enabled) is the
+	// default; results are byte-identical either way — the differential
+	// harness enforces it — so the switch exists for A/B measurement and
+	// as an escape hatch. Adjustable at runtime with
+	// `ALTER SYSTEM SET COLUMNAR = 0|1`.
+	DisableColumnar bool
+	// CompactionHorizon, when > 0, keeps only the last N versions of
+	// every storage table readable: the scheduler's compaction sweep
+	// folds older change sets into a materialized snapshot at the
+	// horizon. The sweep never folds past a pinned version (an open
+	// cursor) or a registered DT's refresh frontier. 0 (the default)
+	// disables compaction and preserves unbounded time travel.
+	// Adjustable at runtime with `ALTER SYSTEM SET COMPACTION_HORIZON = n`.
+	CompactionHorizon int
 }
 
 // resolveWorkers maps the RefreshWorkers config to a concrete pool
@@ -280,6 +302,10 @@ func New(opts ...Option) *Engine {
 	}
 	e.pool = warehouse.NewPool()
 	e.ctrl.DeltaParallelism = e.cfg.DeltaParallelism
+	e.ctrl.Columnar = !e.cfg.DisableColumnar
+	if e.cfg.CompactionHorizon > 0 {
+		e.compactionHorizon = e.cfg.CompactionHorizon
+	}
 	adaptiveWindow := 0
 	if e.cfg.AdaptiveWindow > 1 {
 		adaptiveWindow = e.cfg.AdaptiveWindow
@@ -337,6 +363,90 @@ func (e *Engine) DeltaParallelism() int {
 // smoothing window) for experiments and monitoring.
 func (e *Engine) AdaptiveChooser() *adaptive.Chooser { return e.ctrl.Adaptive }
 
+// Columnar reports whether the columnar execution fast path is enabled.
+func (e *Engine) Columnar() bool {
+	e.stmtMu.RLock()
+	defer e.stmtMu.RUnlock()
+	return e.ctrl.Columnar
+}
+
+// CompactionHorizon returns the live COMPACTION_HORIZON setting: the
+// number of trailing versions kept readable per table, or 0 when
+// compaction is disabled.
+func (e *Engine) CompactionHorizon() int {
+	e.stmtMu.RLock()
+	defer e.stmtMu.RUnlock()
+	return e.compactionHorizon
+}
+
+// CompactNow runs one version-chain compaction sweep immediately: every
+// storage table (base tables and DT contents) is folded down to the last
+// COMPACTION_HORIZON versions, clamped so no pinned version (an open
+// cursor's snapshot) and no registered DT's refresh frontier is folded
+// away. It returns the total number of versions folded. A sweep runs
+// automatically after every scheduler tick; this entry point exists for
+// tests and operational tooling. With COMPACTION_HORIZON = 0 it is a
+// no-op.
+func (e *Engine) CompactNow() (int64, error) {
+	if err := e.checkOpen(); err != nil {
+		return 0, err
+	}
+	// The sweep is a statement writer: it mutates version chains, so it
+	// excludes queries, DML and refreshes the way DDL does. Cursor pins
+	// are taken under the read lock at plan time, so every cursor opened
+	// before the sweep acquired this lock is already protected.
+	e.stmtMu.Lock()
+	defer e.stmtMu.Unlock()
+	return e.compactLocked()
+}
+
+func (e *Engine) compactLocked() (int64, error) {
+	n := e.compactionHorizon
+	if n <= 0 {
+		return 0, nil
+	}
+	floors := e.ctrl.FrontierFloors()
+	var total int64
+	for _, t := range e.allStorageTables() {
+		latest := int64(t.VersionCount())
+		h := latest - int64(n) + 1
+		if f, ok := floors[t.ID()]; ok && h > f {
+			// A registered DT's next refresh reads Changes starting at its
+			// frontier seq; folding past it would force a REINITIALIZE.
+			h = f
+		}
+		if h <= t.CompactedThrough()+1 {
+			continue
+		}
+		eff, dropped, err := t.Compact(h)
+		if err != nil {
+			return total, err
+		}
+		if dropped > 0 {
+			total += dropped
+			e.logCompact(t, eff)
+		}
+	}
+	return total, nil
+}
+
+// allStorageTables enumerates the version-chain owners the compaction
+// sweep visits: live base tables and DT contents tables.
+func (e *Engine) allStorageTables() []*storage.Table {
+	var out []*storage.Table
+	for _, entry := range e.cat.List(catalog.KindTable) {
+		if to, ok := entry.Payload.(*tableObject); ok {
+			out = append(out, to.table)
+		}
+	}
+	for _, entry := range e.cat.List(catalog.KindDynamicTable) {
+		if dt, ok := entry.Payload.(*core.DynamicTable); ok {
+			out = append(out, dt.Storage)
+		}
+	}
+	return out
+}
+
 // Now returns the engine's current time.
 func (e *Engine) Now() time.Time { return e.clk.Now() }
 
@@ -379,6 +489,12 @@ func (e *Engine) RunScheduler() error {
 		e.logClock()
 	}
 	e.stmtMu.RUnlock()
+	// The compaction sweep runs after the tick lock is released — it
+	// needs the exclusive statement lock — so version chains are trimmed
+	// right after the refreshes that advanced the frontiers past them.
+	if err == nil {
+		_, err = e.CompactNow()
+	}
 	// The watchdog runs after the tick lock is released: alert conditions
 	// evaluate through ordinary sessions, which take their own statement
 	// read locks.

@@ -1067,6 +1067,28 @@ type ParallelRefreshResult struct {
 	// IdenticalRows reports whether every DT's final contents are
 	// byte-identical between the serial and parallel runs.
 	IdenticalRows bool `json:"identical_rows"`
+
+	// Columnar execution-core throughput, from the per-refresh resource
+	// metering: rows processed per CPU-second of refresh work per worker
+	// (total refresh rows over total refresh CPU), and heap objects
+	// allocated per processed row. The Legacy pair is the identical
+	// parallel workload re-run with the columnar path disabled
+	// (row-at-a-time fallback), making the pair a before/after on the
+	// execution core alone.
+	RowsPerSecPerWorker       float64 `json:"rows_per_sec_per_worker"`
+	AllocsPerRow              float64 `json:"allocs_per_row"`
+	LegacyRowsPerSecPerWorker float64 `json:"legacy_rows_per_sec_per_worker"`
+	LegacyAllocsPerRow        float64 `json:"legacy_allocs_per_row"`
+
+	// ColumnarSpeedup is RowsPerSecPerWorker over its legacy counterpart;
+	// AllocReductionPct is the percentage drop in allocs/row.
+	ColumnarSpeedup   float64 `json:"columnar_speedup"`
+	AllocReductionPct float64 `json:"alloc_reduction_pct"`
+
+	// LegacyIdenticalRows reports whether the legacy (row-at-a-time) run
+	// produced byte-identical DT contents to the columnar run — the
+	// differential check riding inside the benchmark.
+	LegacyIdenticalRows bool `json:"legacy_identical_rows"`
 }
 
 // parallelFanoutRun builds the fan-out DAG, applies a change batch, runs
@@ -1077,12 +1099,19 @@ type parallelFanoutRun struct {
 	hostMillis float64
 	lags       []time.Duration
 	contents   string
+
+	// Refresh-attributed resource totals over the measured scheduler
+	// pass, from the observability metering: rows processed, CPU time
+	// and heap objects allocated across every refresh the pass ran.
+	refreshRows   int64
+	refreshCPU    time.Duration
+	refreshAllocs int64
 }
 
-func runParallelFanout(siblings, workers, baseRows, historyCapacity int) (*parallelFanoutRun, error) {
+func runParallelFanout(siblings, workers, baseRows, historyCapacity int, columnar bool) (*parallelFanoutRun, error) {
 	e := New(
 		WithConfig(Config{RefreshWorkers: workers, DeltaParallelism: workers,
-			HistoryCapacity: historyCapacity}),
+			HistoryCapacity: historyCapacity, DisableColumnar: !columnar}),
 		WithCostModel(warehouse.CostModel{Fixed: 2 * time.Second, PerRow: time.Millisecond}),
 	)
 	s := e.NewSession()
@@ -1202,13 +1231,22 @@ func runParallelFanout(siblings, workers, baseRows, historyCapacity int) (*paral
 	if err != nil {
 		return nil, err
 	}
-	return &parallelFanoutRun{
+	run := &parallelFanoutRun{
 		eng:        e,
 		waveMillis: float64(last.Sub(first).Microseconds()) / 1000,
 		hostMillis: hostMillis,
 		lags:       lags,
 		contents:   contents,
-	}, nil
+	}
+	for _, ev := range e.Observability().Resources() {
+		if ev.Kind != obs.ResourceRefresh {
+			continue
+		}
+		run.refreshRows += ev.Rows
+		run.refreshCPU += ev.CPU
+		run.refreshAllocs += ev.AllocObjects
+	}
+	return run, nil
 }
 
 // dtContents canonically serializes the final stored contents of the
@@ -1253,11 +1291,17 @@ func lagPercentile(lags []time.Duration, p float64) float64 {
 // toward the critical path.
 func RunParallelRefresh(siblings, workers int) (*ParallelRefreshResult, error) {
 	const baseRows = 4000
-	serial, err := runParallelFanout(siblings, 1, baseRows, 0)
+	serial, err := runParallelFanout(siblings, 1, baseRows, 0, true)
 	if err != nil {
 		return nil, err
 	}
-	parallel, err := runParallelFanout(siblings, workers, baseRows, 0)
+	parallel, err := runParallelFanout(siblings, workers, baseRows, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	// Same parallel workload with the columnar core switched off: the
+	// row-at-a-time fallback is the before in the before/after.
+	legacy, err := runParallelFanout(siblings, workers, baseRows, 0, false)
 	if err != nil {
 		return nil, err
 	}
@@ -1273,9 +1317,27 @@ func RunParallelRefresh(siblings, workers int) (*ParallelRefreshResult, error) {
 		ParallelLagP50Millis: lagPercentile(parallel.lags, 0.50),
 		ParallelLagP95Millis: lagPercentile(parallel.lags, 0.95),
 		IdenticalRows:        serial.contents == parallel.contents,
+		LegacyIdenticalRows:  legacy.contents == parallel.contents,
 	}
 	if parallel.waveMillis > 0 {
 		res.Speedup = serial.waveMillis / parallel.waveMillis
+	}
+	perWorker := func(r *parallelFanoutRun) (rowsPerSec, allocsPerRow float64) {
+		if sec := r.refreshCPU.Seconds(); sec > 0 {
+			rowsPerSec = float64(r.refreshRows) / sec
+		}
+		if r.refreshRows > 0 {
+			allocsPerRow = float64(r.refreshAllocs) / float64(r.refreshRows)
+		}
+		return rowsPerSec, allocsPerRow
+	}
+	res.RowsPerSecPerWorker, res.AllocsPerRow = perWorker(parallel)
+	res.LegacyRowsPerSecPerWorker, res.LegacyAllocsPerRow = perWorker(legacy)
+	if res.LegacyRowsPerSecPerWorker > 0 {
+		res.ColumnarSpeedup = res.RowsPerSecPerWorker / res.LegacyRowsPerSecPerWorker
+	}
+	if res.LegacyAllocsPerRow > 0 {
+		res.AllocReductionPct = 100 * (1 - res.AllocsPerRow/res.LegacyAllocsPerRow)
 	}
 	return res, nil
 }
@@ -1349,7 +1411,7 @@ func RunObservabilityBench(siblings, workers, rounds int) (*ObservabilityBenchRe
 	runMode := func(historyCapacity int) (*modeRun, error) {
 		best := &modeRun{}
 		for i := 0; i < rounds; i++ {
-			r, err := runParallelFanout(siblings, workers, baseRows, historyCapacity)
+			r, err := runParallelFanout(siblings, workers, baseRows, historyCapacity, true)
 			if err != nil {
 				return nil, err
 			}

@@ -85,6 +85,13 @@ type Controller struct {
 	// by every refresh.
 	DeltaParallelism int
 
+	// Columnar routes refresh boundary-snapshot evaluations through the
+	// columnar execution path (shared per-version batches + vectorized
+	// filters/projections). Change sets are identical either way; the
+	// differential harness holds the two paths byte-equivalent. Written
+	// only while refreshes are excluded (engine DDL lock).
+	Columnar bool
+
 	// Adaptive, when set and enabled, chooses the effective refresh mode
 	// of REFRESH_MODE=AUTO DTs per refresh from observed change volume
 	// (§3.3.2); nil or disabled falls back to the static AUTO
@@ -215,6 +222,29 @@ func (c *Controller) Unregister(dt *DynamicTable) {
 	c.regMu.Lock()
 	defer c.regMu.Unlock()
 	delete(c.byStorageID, dt.Storage.ID())
+}
+
+// FrontierFloors reports, per storage table ID, the minimum version seq
+// pinned by any registered DT's refresh frontier. The compaction sweep
+// keeps change history at and above these floors so every DT's next
+// refresh can still read Changes incrementally instead of falling back
+// to REINITIALIZE.
+func (c *Controller) FrontierFloors() map[int64]int64 {
+	c.regMu.RLock()
+	dts := make([]*DynamicTable, 0, len(c.byStorageID))
+	for _, dt := range c.byStorageID {
+		dts = append(dts, dt)
+	}
+	c.regMu.RUnlock()
+	floors := make(map[int64]int64)
+	for _, dt := range dts {
+		for id, seq := range dt.Frontier().Versions {
+			if cur, ok := floors[id]; !ok || seq < cur {
+				floors[id] = seq
+			}
+		}
+	}
+	return floors
 }
 
 // LookupByStorage resolves the DT owning a storage table, if any.
@@ -425,6 +455,7 @@ func (c *Controller) refreshLocked(dt *DynamicTable, dataTS time.Time, root *tra
 		Parallelism:         c.DeltaParallelism,
 		ExpandOuterJoins:    c.ExpandOuterJoins,
 		FullWindowRecompute: c.FullWindowRecompute,
+		Columnar:            c.Columnar,
 		Span:                spanHook(root),
 	}
 

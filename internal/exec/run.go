@@ -55,6 +55,11 @@ type Context struct {
 	// RowsOf returns the pinned contents for a scan (the caller resolves
 	// the table version per §5.3).
 	RowsOf func(s *plan.Scan) (map[string]types.Row, error)
+	// BatchOf, when non-nil, returns the pinned contents for a scan as a
+	// shared columnar batch (sorted by row ID), enabling the vectorized
+	// Scan→Filter→Project→Limit fast path. Scans outside batchable
+	// chains, and executions collecting per-node stats, use RowsOf.
+	BatchOf func(s *plan.Scan) (*types.Batch, error)
 	// Now is CURRENT_TIMESTAMP for this execution.
 	Now time.Time
 	// Counters, when non-nil, accumulates execution statistics.
@@ -118,6 +123,13 @@ func Run(n plan.Node, ctx *Context) ([]TRow, error) {
 func runNode(n plan.Node, ctx *Context) ([]TRow, error) {
 	if err := ctx.canceled(); err != nil {
 		return nil, err
+	}
+	if ctx.useBatches() && batchable(n) {
+		res, err := runBatch(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return res.materialize(), nil
 	}
 	ctx.count(func(c *Counters) { c.NodesVisited++ })
 	switch x := n.(type) {
@@ -435,6 +447,13 @@ func (a *accumulator) add(row types.Row, ev *plan.EvalContext) error {
 			return err
 		}
 	}
+	return a.addValue(v)
+}
+
+// addValue folds one already-evaluated argument value into the
+// accumulator — the entry point the columnar aggregation loop uses after
+// evaluating the argument expression once per column.
+func (a *accumulator) addValue(v types.Value) error {
 	switch a.agg.Kind {
 	case plan.AggCount:
 		if a.agg.Arg == nil {
@@ -536,6 +555,13 @@ func (a *accumulator) result() types.Value {
 }
 
 func runAggregate(a *plan.Aggregate, ctx *Context) ([]TRow, error) {
+	if ctx.useBatches() && batchable(a.Input) {
+		res, err := runBatch(a.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return aggregateBatch(a, res, nil, ctx)
+	}
 	in, err := Run(a.Input, ctx)
 	if err != nil {
 		return nil, err
@@ -543,15 +569,47 @@ func runAggregate(a *plan.Aggregate, ctx *Context) ([]TRow, error) {
 	return AggregateRows(a, in, ctx)
 }
 
+// aggGroup is one group's in-flight state during aggregation, shared by
+// the row and columnar aggregation loops.
+type aggGroup struct {
+	vals types.Row
+	accs []*accumulator
+}
+
+func newAggGroup(a *plan.Aggregate, vals types.Row) *aggGroup {
+	grp := &aggGroup{vals: vals, accs: make([]*accumulator, len(a.Aggs))}
+	for i, agg := range a.Aggs {
+		grp.accs[i] = newAccumulator(agg)
+	}
+	return grp
+}
+
+// finalizeGroups renders the accumulated groups to output rows in
+// first-seen order. A global aggregate (no GROUP BY) over empty input
+// yields one row.
+func finalizeGroups(a *plan.Aggregate, groups map[string]*aggGroup, order []string) []TRow {
+	if len(a.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = newAggGroup(a, nil)
+		order = append(order, "")
+	}
+	out := make([]TRow, 0, len(groups))
+	for _, key := range order {
+		grp := groups[key]
+		row := make(types.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		row = append(row, grp.vals...)
+		for _, acc := range grp.accs {
+			row = append(row, acc.result())
+		}
+		out = append(out, TRow{ID: GroupRowID(key), Row: row})
+	}
+	return out
+}
+
 // AggregateRows aggregates pre-computed input rows; reused by the IVM
 // affected-group recompute rule.
 func AggregateRows(a *plan.Aggregate, in []TRow, ctx *Context) ([]TRow, error) {
 	ev := ctx.eval()
-	type group struct {
-		vals types.Row
-		accs []*accumulator
-	}
-	groups := make(map[string]*group)
+	groups := make(map[string]*aggGroup)
 	order := []string{}
 
 	ticks := 0
@@ -572,10 +630,7 @@ func AggregateRows(a *plan.Aggregate, in []TRow, ctx *Context) ([]TRow, error) {
 		key := string(buf)
 		grp := groups[key]
 		if grp == nil {
-			grp = &group{vals: vals, accs: make([]*accumulator, len(a.Aggs))}
-			for i, agg := range a.Aggs {
-				grp.accs[i] = newAccumulator(agg)
-			}
+			grp = newAggGroup(a, vals)
 			groups[key] = grp
 			order = append(order, key)
 		}
@@ -585,28 +640,7 @@ func AggregateRows(a *plan.Aggregate, in []TRow, ctx *Context) ([]TRow, error) {
 			}
 		}
 	}
-
-	// A global aggregate (no GROUP BY) over empty input yields one row.
-	if len(a.GroupBy) == 0 && len(groups) == 0 {
-		grp := &group{accs: make([]*accumulator, len(a.Aggs))}
-		for i, agg := range a.Aggs {
-			grp.accs[i] = newAccumulator(agg)
-		}
-		groups[""] = grp
-		order = append(order, "")
-	}
-
-	out := make([]TRow, 0, len(groups))
-	for _, key := range order {
-		grp := groups[key]
-		row := make(types.Row, 0, len(a.GroupBy)+len(a.Aggs))
-		row = append(row, grp.vals...)
-		for _, acc := range grp.accs {
-			row = append(row, acc.result())
-		}
-		out = append(out, TRow{ID: GroupRowID(key), Row: row})
-	}
-	return out, nil
+	return finalizeGroups(a, groups, order), nil
 }
 
 // GroupRowID derives the stable row ID for an aggregate output row from

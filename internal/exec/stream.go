@@ -36,6 +36,11 @@ func Stream(n plan.Node, ctx *Context) RowIter {
 }
 
 func stream(n plan.Node, ctx *Context) RowIter {
+	if ctx.useBatches() && batchable(n) {
+		// Columnar fast path: the whole subtree executes over shared
+		// version batches on first Next and streams the selection.
+		return &batchIter{n: n, ctx: ctx}
+	}
 	switch x := n.(type) {
 	case *plan.Filter:
 		return &filterIter{in: Stream(x.Input, ctx), pred: x.Pred, ctx: ctx, ev: ctx.eval()}

@@ -104,6 +104,13 @@ type Env struct {
 	// must be safe for concurrent use — parallel delta branches share it.
 	Span func(name string) func()
 
+	// Columnar routes boundary-snapshot evaluations through the
+	// executor's columnar fast path: scans resolve to shared,
+	// version-cached batches instead of per-call row-map copies. Change
+	// sets are identical either way (the differential harness enforces
+	// it).
+	Columnar bool
+
 	// sem caps in-flight parallel branches across the whole plan, so a
 	// deep join tree cannot fan out more than Parallelism-1 extra
 	// goroutines. Created once at the Delta entry point and shared by
@@ -127,6 +134,7 @@ func (e *Env) child() *Env {
 		ExpandOuterJoins:    e.ExpandOuterJoins,
 		FullWindowRecompute: e.FullWindowRecompute,
 		Span:                e.Span,
+		Columnar:            e.Columnar,
 		sem:                 e.sem,
 	}
 	if e.Counters != nil {
@@ -255,6 +263,13 @@ func EvalAsOf(n plan.Node, vm VersionMap, env *Env) ([]exec.TRow, error) {
 	if env.Span != nil {
 		defer env.Span("ivm.eval")()
 	}
+	return exec.Run(n, pinnedCtx(vm, env))
+}
+
+// pinnedCtx builds the execution context for evaluating a plan with
+// every scan pinned to the version map, routing scans through the
+// columnar batch path when the environment enables it.
+func pinnedCtx(vm VersionMap, env *Env) *exec.Context {
 	ctx := &exec.Context{
 		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
 			seq, ok := vm[s.Table.ID()]
@@ -266,7 +281,16 @@ func EvalAsOf(n plan.Node, vm VersionMap, env *Env) ([]exec.TRow, error) {
 		Now:      env.Now,
 		Counters: env.Counters,
 	}
-	return exec.Run(n, ctx)
+	if env.Columnar {
+		ctx.BatchOf = func(s *plan.Scan) (*types.Batch, error) {
+			seq, ok := vm[s.Table.ID()]
+			if !ok {
+				return nil, fmt.Errorf("ivm: no pinned version for table %s (id %d)", s.Name, s.Table.ID())
+			}
+			return s.Table.Batch(seq)
+		}
+	}
+	return ctx
 }
 
 // Delta computes the consolidated change set of the plan over the
@@ -1091,9 +1115,77 @@ func deltaAggregate(a *plan.Aggregate, iv Interval, env *Env) ([]signedRow, erro
 	}
 	env.stats(func(s *Stats) { s.GroupsRecomputed += int64(len(affected)) })
 
-	q0, q1, err := snapshotBoundaries(a.Input, iv, env)
+	old, cur, n0, n1, err := aggregateBoundaries(a, iv, affected, env)
 	if err != nil {
 		return nil, err
+	}
+
+	// Scalar aggregates materialize a row even over empty input; only
+	// treat boundary rows as present when their group actually had input
+	// rows, except for the genuine global aggregate.
+	var out []signedRow
+	for _, tr := range old {
+		if len(a.GroupBy) == 0 && n0 == 0 {
+			continue
+		}
+		out = append(out, signedRow{ID: tr.ID, Row: tr.Row, Action: delta.Delete})
+	}
+	for _, tr := range cur {
+		if len(a.GroupBy) == 0 && n1 == 0 {
+			continue
+		}
+		out = append(out, signedRow{ID: tr.ID, Row: tr.Row, Action: delta.Insert})
+	}
+	return out, nil
+}
+
+// aggregateBoundaries computes the affected-group aggregations of both
+// boundary snapshots of the aggregate's input. On the columnar path the
+// boundary subplans evaluate to batches and the affected-group
+// restriction fuses into the vectorized aggregation loop; otherwise the
+// snapshots materialize and a row-at-a-time restrict feeds
+// AggregateRows. n0/n1 count the restricted input rows (the scalar
+// aggregate guard's signal; the columnar path handles grouped
+// aggregates only, where the guard is vacuous).
+func aggregateBoundaries(a *plan.Aggregate, iv Interval, affected map[string]bool, env *Env) (old, cur []exec.TRow, n0, n1 int, err error) {
+	if len(a.GroupBy) > 0 && env.Columnar {
+		var h0, h1 bool
+		err := runPar(env,
+			func(e *Env) error {
+				ctx := pinnedCtx(iv.From, e)
+				cr, handled, err := exec.RunColumnar(a.Input, ctx)
+				if err != nil || !handled {
+					return err
+				}
+				h0 = true
+				e.stats(func(s *Stats) { s.SubplanSnapshotEvals++ })
+				old, err = exec.AggregateColumnar(a, cr, affected, ctx)
+				return err
+			},
+			func(e *Env) error {
+				ctx := pinnedCtx(iv.To, e)
+				cr, handled, err := exec.RunColumnar(a.Input, ctx)
+				if err != nil || !handled {
+					return err
+				}
+				h1 = true
+				e.stats(func(s *Stats) { s.SubplanSnapshotEvals++ })
+				cur, err = exec.AggregateColumnar(a, cr, affected, ctx)
+				return err
+			})
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if h0 && h1 {
+			return old, cur, 0, 0, nil
+		}
+		// Not batchable (or columnar off): fall through to the row path.
+		old, cur = nil, nil
+	}
+
+	q0, q1, err := snapshotBoundaries(a.Input, iv, env)
+	if err != nil {
+		return nil, nil, 0, 0, err
 	}
 	restrict := func(rows []exec.TRow) ([]exec.TRow, error) {
 		var out []exec.TRow
@@ -1110,39 +1202,22 @@ func deltaAggregate(a *plan.Aggregate, iv Interval, env *Env) ([]signedRow, erro
 	}
 	in0, err := restrict(q0)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
 	in1, err := restrict(q1)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
 	ctx := &exec.Context{Now: env.Now, Counters: env.Counters}
-	old, err := exec.AggregateRows(a, in0, ctx)
+	old, err = exec.AggregateRows(a, in0, ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
-	cur, err := exec.AggregateRows(a, in1, ctx)
+	cur, err = exec.AggregateRows(a, in1, ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
-
-	// Scalar aggregates materialize a row even over empty input; only
-	// treat boundary rows as present when their group actually had input
-	// rows, except for the genuine global aggregate.
-	var out []signedRow
-	for _, tr := range old {
-		if len(a.GroupBy) == 0 && len(in0) == 0 {
-			continue
-		}
-		out = append(out, signedRow{ID: tr.ID, Row: tr.Row, Action: delta.Delete})
-	}
-	for _, tr := range cur {
-		if len(a.GroupBy) == 0 && len(in1) == 0 {
-			continue
-		}
-		out = append(out, signedRow{ID: tr.ID, Row: tr.Row, Action: delta.Insert})
-	}
-	return out, nil
+	return old, cur, len(in0), len(in1), nil
 }
 
 // deltaDistinct treats DISTINCT as grouping on every column.

@@ -46,6 +46,7 @@ const (
 	KindDropAlert   = "drop_alert"
 	KindAlterAlert  = "alter_alert"
 	KindAlertState  = "alert_state"
+	KindCompact     = "compact"
 )
 
 // Record is one WAL entry. Seq is assigned by the WAL writer and is
@@ -73,6 +74,7 @@ type Record struct {
 	DropAlert   *DropAlertRecord   `json:"drop_alert,omitempty"`
 	AlterAlert  *AlterAlertRecord  `json:"alter_alert,omitempty"`
 	AlertState  *AlertStateRecord  `json:"alert_state,omitempty"`
+	Compact     *CompactRecord     `json:"compact,omitempty"`
 }
 
 // CreateTableRecord logs CREATE [OR REPLACE] TABLE. TableKey is the
@@ -247,6 +249,15 @@ type DropAlertRecord struct {
 type AlterAlertRecord struct {
 	Name   string `json:"name"`
 	Action string `json:"action"`
+}
+
+// CompactRecord logs one version-chain compaction: versions of the table
+// below Horizon were folded into a materialized snapshot at Horizon.
+// Horizon is the effective (post-clamp) horizon, so replaying the fold
+// against the replayed chain reproduces the compacted state exactly.
+type CompactRecord struct {
+	TableKey int64 `json:"table_key"`
+	Horizon  int64 `json:"horizon"`
 }
 
 // AlertStateRecord logs an alert's evaluation-state transition (the

@@ -166,9 +166,16 @@ func evalBinOp(x *BinOp, row types.Row, ctx *EvalContext) (types.Value, error) {
 	if err != nil {
 		return types.Null, err
 	}
-	switch x.Op {
+	return applyBinOp(x.Op, l, r)
+}
+
+// applyBinOp applies a non-logical binary operator to two evaluated
+// operands; the vectorized evaluator shares it element-wise so both
+// execution paths agree exactly.
+func applyBinOp(op sql.BinaryOp, l, r types.Value) (types.Value, error) {
+	switch op {
 	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
-		return evalComparison(x.Op, l, r)
+		return evalComparison(op, l, r)
 	case sql.OpConcat:
 		if l.IsNull() || r.IsNull() {
 			return types.Null, nil
@@ -183,7 +190,7 @@ func evalBinOp(x *BinOp, row types.Row, ctx *EvalContext) (types.Value, error) {
 		}
 		return types.NewString(ls.Str() + rs.Str()), nil
 	default:
-		return evalArith(x.Op, l, r)
+		return evalArith(op, l, r)
 	}
 }
 

@@ -75,6 +75,15 @@ type Table struct {
 
 	versions []*Version // ordered by Seq (and Commit)
 
+	// base counts versions folded away by compaction: versions[0] carries
+	// Seq base+1, and sequences 1..base are no longer readable. Zero on
+	// an uncompacted table.
+	base int64
+
+	// pins holds reference counts of version sequences that compaction
+	// must keep readable (open cursors, in-flight refresh intervals).
+	pins map[int64]int
+
 	// rowSeq allocates row IDs for plain inserts.
 	rowSeq atomic.Int64
 
@@ -91,6 +100,16 @@ type Table struct {
 	// Versions are immutable once committed, so entries never go stale.
 	rowsCache    map[int64]map[string]types.Row
 	rowsCacheLRU []int64
+
+	// batchTip caches the columnar batch of the latest version (seq
+	// batchTipSeq); batchCache/batchLRU memoize recent non-tip batches.
+	// Batches are immutable and shared across concurrent readers, so N
+	// sibling DTs scanning the same source version share one
+	// materialization.
+	batchTip    *types.Batch
+	batchTipSeq int64
+	batchCache  map[int64]*types.Batch
+	batchLRU    []int64
 }
 
 // NewTable creates an empty table with the given schema. The table begins
@@ -165,6 +184,7 @@ func RestoreTable(st TableState) (*Table, error) {
 		snapshotInterval: st.SnapshotInterval,
 		sinceSnapshot:    st.SinceSnapshot,
 		versions:         append([]*Version(nil), st.Versions...),
+		base:             st.Versions[0].Seq - 1,
 	}
 	if t.snapshotInterval <= 0 {
 		t.snapshotInterval = DefaultSnapshotInterval
@@ -210,10 +230,13 @@ func (t *Table) VersionBySeq(seq int64) (*Version, error) {
 }
 
 func (t *Table) versionBySeqLocked(seq int64) (*Version, error) {
-	if seq < 1 || seq > int64(len(t.versions)) {
+	if seq >= 1 && seq <= t.base {
+		return nil, &ErrCompacted{TableID: t.id, Seq: seq, FirstLive: t.base + 1}
+	}
+	if seq < 1 || seq > t.base+int64(len(t.versions)) {
 		return nil, fmt.Errorf("storage: table %d has no version %d", t.id, seq)
 	}
-	return t.versions[seq-1], nil
+	return t.versions[seq-1-t.base], nil
 }
 
 // VersionAsOf returns the latest version whose commit timestamp is <= ts,
@@ -255,7 +278,7 @@ func (t *Table) Rows(seq int64) (map[string]types.Row, error) {
 }
 
 func (t *Table) rowsLocked(seq int64) (map[string]types.Row, error) {
-	if seq == int64(len(t.versions)) && t.tip != nil {
+	if seq == t.base+int64(len(t.versions)) && t.tip != nil {
 		return t.tip, nil
 	}
 	if _, err := t.versionBySeqLocked(seq); err != nil {
@@ -265,34 +288,98 @@ func (t *Table) rowsLocked(seq int64) (map[string]types.Row, error) {
 		t.touchCachedRows(seq)
 		return rows, nil
 	}
-	// Find the nearest snapshot at or before seq.
-	base := int64(0)
-	for i := seq - 1; i >= 0; i-- {
+	// Find the nearest snapshot at or before seq (indexes below are into
+	// the retained slice; retained index i holds sequence base+i+1).
+	snapSeq := int64(0)
+	for i := seq - 1 - t.base; i >= 0; i-- {
 		if t.versions[i].Snapshot != nil {
-			base = i + 1
+			snapSeq = t.base + i + 1
 			break
 		}
 	}
-	if base == 0 {
+	if snapSeq == 0 {
 		return nil, fmt.Errorf("storage: table %d has no snapshot at or before version %d", t.id, seq)
 	}
-	rows := t.versions[base-1].Snapshot
-	if base == seq {
+	rows := t.versions[snapSeq-1-t.base].Snapshot
+	if snapSeq == seq {
 		return rows, nil
 	}
 	out := make(map[string]types.Row, len(rows))
 	for id, r := range rows {
 		out[id] = r
 	}
-	for i := base; i < seq; i++ {
-		applyChanges(out, t.versions[i].Changes)
+	for i := snapSeq; i < seq; i++ {
+		applyChanges(out, t.versions[i-t.base].Changes)
 	}
-	if seq == int64(len(t.versions)) {
+	if seq == t.base+int64(len(t.versions)) {
 		t.tip = out
 	} else {
 		t.cacheRows(seq, out)
 	}
 	return out, nil
+}
+
+// Batch materializes the contents at the given version sequence as a
+// shared columnar batch sorted by row ID. Batches are cached per version
+// (tip plus a small LRU), so concurrent readers of the same version —
+// parallel refresh workers evaluating sibling DTs over one source
+// version — share a single materialization. The returned batch and
+// everything reachable from it must not be mutated.
+func (t *Table) Batch(seq int64) (*types.Batch, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.batchTip != nil && seq == t.batchTipSeq {
+		return t.batchTip, nil
+	}
+	if b, ok := t.batchCache[seq]; ok {
+		t.touchCachedBatch(seq)
+		return b, nil
+	}
+	rows, err := t.rowsLocked(seq)
+	if err != nil {
+		return nil, err
+	}
+	b := types.BatchFromRowMap(t.schema, rows)
+	if seq == t.base+int64(len(t.versions)) {
+		// Demote the outgoing tip batch like cacheRows does for row maps.
+		if t.batchTip != nil {
+			t.cacheBatch(t.batchTipSeq, t.batchTip)
+		}
+		t.batchTip, t.batchTipSeq = b, seq
+	} else {
+		t.cacheBatch(seq, b)
+	}
+	return b, nil
+}
+
+// cacheBatch memoizes a non-tip batch with the same LRU policy as
+// cacheRows. Callers hold t.mu.
+func (t *Table) cacheBatch(seq int64, b *types.Batch) {
+	if _, ok := t.batchCache[seq]; ok {
+		t.touchCachedBatch(seq)
+		return
+	}
+	if t.batchCache == nil {
+		t.batchCache = make(map[int64]*types.Batch, rowsCacheSize)
+	}
+	t.batchCache[seq] = b
+	t.batchLRU = append(t.batchLRU, seq)
+	if len(t.batchLRU) > rowsCacheSize {
+		evict := t.batchLRU[0]
+		t.batchLRU = t.batchLRU[1:]
+		delete(t.batchCache, evict)
+	}
+}
+
+// touchCachedBatch marks a cached batch seq as most recently used.
+func (t *Table) touchCachedBatch(seq int64) {
+	for i, s := range t.batchLRU {
+		if s == seq {
+			copy(t.batchLRU[i:], t.batchLRU[i+1:])
+			t.batchLRU[len(t.batchLRU)-1] = seq
+			return
+		}
+	}
 }
 
 // cacheRows memoizes a materialized version, evicting the least recently
@@ -469,12 +556,18 @@ func (t *Table) Changes(fromSeq, toSeq int64) (delta.ChangeSet, error) {
 	if fromSeq > toSeq {
 		return delta.ChangeSet{}, fmt.Errorf("storage: invalid change interval [%d,%d]", fromSeq, toSeq)
 	}
-	if fromSeq < 1 || toSeq > int64(len(t.versions)) {
+	if fromSeq >= 1 && fromSeq <= t.base {
+		// The interval's start was folded away; the per-version deltas no
+		// longer exist. Report it like an overwrite so incremental readers
+		// fall back to reinitialization instead of failing permanently.
+		return delta.ChangeSet{}, &ErrOverwritten{TableID: t.id, Seq: t.base + 1}
+	}
+	if fromSeq < 1 || toSeq > t.base+int64(len(t.versions)) {
 		return delta.ChangeSet{}, fmt.Errorf("storage: change interval [%d,%d] out of range", fromSeq, toSeq)
 	}
 	var out delta.ChangeSet
 	for i := fromSeq; i < toSeq; i++ {
-		v := t.versions[i]
+		v := t.versions[i-t.base]
 		if v.Overwrite {
 			return delta.ChangeSet{}, &ErrOverwritten{TableID: t.id, Seq: v.Seq}
 		}
@@ -495,11 +588,16 @@ func (t *Table) Changes(fromSeq, toSeq int64) (delta.ChangeSet, error) {
 func (t *Table) ChangedSince(fromSeq, toSeq int64) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if toSeq > int64(len(t.versions)) {
-		toSeq = int64(len(t.versions))
+	if toSeq > t.base+int64(len(t.versions)) {
+		toSeq = t.base + int64(len(t.versions))
+	}
+	if fromSeq < t.base {
+		// Versions at or below the compaction horizon were folded away;
+		// report them as changed (the fold is represented as an overwrite).
+		fromSeq = t.base
 	}
 	for i := fromSeq; i < toSeq; i++ {
-		v := t.versions[i]
+		v := t.versions[i-t.base]
 		if v.DataEquivalent {
 			continue
 		}
@@ -519,15 +617,15 @@ func (t *Table) ChangedSince(fromSeq, toSeq int64) bool {
 func (t *Table) ChangeVolume(fromSeq, toSeq int64) int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if fromSeq < 0 {
-		fromSeq = 0
+	if fromSeq < t.base {
+		fromSeq = t.base
 	}
-	if toSeq > int64(len(t.versions)) {
-		toSeq = int64(len(t.versions))
+	if toSeq > t.base+int64(len(t.versions)) {
+		toSeq = t.base + int64(len(t.versions))
 	}
 	var total int64
 	for i := fromSeq; i < toSeq; i++ {
-		v := t.versions[i]
+		v := t.versions[i-t.base]
 		switch {
 		case v.DataEquivalent:
 		case v.Overwrite:
@@ -557,6 +655,11 @@ type Footprint struct {
 	// Bytes estimates the total in-memory size of chain change rows and
 	// snapshot rows (types.Row.ApproxBytes; an accounting estimate).
 	Bytes int64
+	// CompactedThrough is the highest version sequence folded away by
+	// compaction (0 when the chain is uncompacted). Versions reports live
+	// versions only, so under steady churn with compaction enabled it —
+	// and ChainRows/Bytes — plateau instead of growing with history.
+	CompactedThrough int64
 }
 
 // FootprintStats walks the version chain and reports the table's current
@@ -565,7 +668,7 @@ type Footprint struct {
 func (t *Table) FootprintStats() Footprint {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	fp := Footprint{Versions: len(t.versions)}
+	fp := Footprint{Versions: len(t.versions), CompactedThrough: t.base}
 	if n := len(t.versions); n > 0 {
 		fp.LiveRows = int64(t.versions[n-1].RowCount)
 	}
@@ -605,19 +708,174 @@ func (t *Table) Clone(at hlc.Timestamp) (*Table, error) {
 		id:               tableIDs.Add(1),
 		schema:           t.schema,
 		snapshotInterval: t.snapshotInterval,
+		base:             t.base,
 	}
 	// Share the version chain prefix (metadata-only copy).
-	clone.versions = make([]*Version, src.Seq)
-	copy(clone.versions, t.versions[:src.Seq])
+	clone.versions = make([]*Version, src.Seq-t.base)
+	copy(clone.versions, t.versions[:src.Seq-t.base])
 	clone.rowSeq.Store(t.rowSeq.Load())
 	return clone, nil
 }
 
-// VersionCount returns the number of committed versions.
+// VersionCount returns the sequence number of the latest version: the
+// total number of versions ever committed, including any folded away by
+// compaction (so version sequences derived from it stay stable).
 func (t *Table) VersionCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return int(t.base) + len(t.versions)
+}
+
+// LiveVersions returns the number of versions still retained in the
+// chain (the footprint compaction trims).
+func (t *Table) LiveVersions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return len(t.versions)
+}
+
+// CompactedThrough returns the highest folded sequence number: versions
+// 1..CompactedThrough are no longer readable. Zero on an uncompacted
+// table.
+func (t *Table) CompactedThrough() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.base
+}
+
+// ErrCompacted signals a read of a version sequence that compaction has
+// folded away.
+type ErrCompacted struct {
+	// TableID is the storage table; Seq the requested sequence; FirstLive
+	// the oldest sequence still readable.
+	TableID, Seq, FirstLive int64
+}
+
+// Error implements error.
+func (e *ErrCompacted) Error() string {
+	return fmt.Sprintf("storage: table %d version %d was compacted away (oldest readable version is %d)",
+		e.TableID, e.Seq, e.FirstLive)
+}
+
+// Pin marks a version sequence as in use (an open cursor, an in-flight
+// refresh interval): compaction clamps its horizon to the oldest pinned
+// sequence, so a pinned version stays readable and byte-stable. Pins are
+// reference-counted; each Pin must be paired with an Unpin.
+func (t *Table) Pin(seq int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pins == nil {
+		t.pins = make(map[int64]int)
+	}
+	t.pins[seq]++
+}
+
+// Unpin releases a Pin.
+func (t *Table) Unpin(seq int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.pins[seq] - 1
+	if n <= 0 {
+		delete(t.pins, seq)
+	} else {
+		t.pins[seq] = n
+	}
+}
+
+// PinnedFloor returns the oldest pinned sequence, or 0 when nothing is
+// pinned.
+func (t *Table) PinnedFloor() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pinnedFloorLocked()
+}
+
+func (t *Table) pinnedFloorLocked() int64 {
+	var min int64
+	for seq := range t.pins {
+		if min == 0 || seq < min {
+			min = seq
+		}
+	}
+	return min
+}
+
+// Compact folds the version chain below horizon: change sets of versions
+// with Seq < horizon are folded into a single materialized snapshot at
+// horizon, and those versions become unreadable (Rows returns
+// *ErrCompacted; change intervals starting below the horizon report
+// *ErrOverwritten so incremental readers reinitialize). The horizon is
+// clamped to the oldest pinned sequence and to the latest version, so a
+// pinned snapshot — an open cursor's version — always stays byte-stable.
+// It returns the effective horizon after clamping (the new oldest
+// readable sequence) and the number of versions folded away; a zero fold
+// count means the chain was already compact at that horizon.
+func (t *Table) Compact(horizon int64) (int64, int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	latest := t.base + int64(len(t.versions))
+	h := horizon
+	if h > latest {
+		h = latest
+	}
+	if p := t.pinnedFloorLocked(); p > 0 && h > p {
+		h = p
+	}
+	if h <= t.base+1 {
+		return t.base + 1, 0, nil
+	}
+	rows, err := t.rowsLocked(h)
+	if err != nil {
+		return 0, 0, err
+	}
+	orig, err := t.versionBySeqLocked(h)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The folded version is a fresh struct — version structs are shared
+	// with clones and exported checkpoints and must never be mutated.
+	// Overwrite is semantically accurate (it replaces everything before
+	// it) and keeps ChangedSince/ChangeVolume conservative across the
+	// fold.
+	folded := &Version{
+		Seq:       h,
+		Commit:    orig.Commit,
+		Overwrite: true,
+		Snapshot:  rows,
+		RowCount:  len(rows),
+	}
+	kept := t.versions[h-t.base:]
+	dropped := h - 1 - t.base
+	newVersions := make([]*Version, 0, 1+len(kept))
+	newVersions = append(newVersions, folded)
+	newVersions = append(newVersions, kept...)
+	t.versions = newVersions
+	t.base = h - 1
+	// Drop caches below the new horizon; entries at or above it stay
+	// valid (contents per sequence are unchanged).
+	for seq := range t.rowsCache {
+		if seq < h {
+			delete(t.rowsCache, seq)
+			for i, s := range t.rowsCacheLRU {
+				if s == seq {
+					t.rowsCacheLRU = append(t.rowsCacheLRU[:i], t.rowsCacheLRU[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for seq := range t.batchCache {
+		if seq < h {
+			delete(t.batchCache, seq)
+			for i, s := range t.batchLRU {
+				if s == seq {
+					t.batchLRU = append(t.batchLRU[:i], t.batchLRU[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return h, dropped, nil
 }
 
 // SetSnapshotInterval overrides the snapshot cadence (testing knob).

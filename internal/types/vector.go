@@ -1,0 +1,414 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Vector is one typed column of a Batch: a kind tag, a typed payload
+// slice for the scalar kinds, an optional null mask, and a generic
+// []Value fallback for columns whose values do not share a single scalar
+// kind (or contain variants). Vectors are immutable once built and safe
+// to share across goroutines.
+type Vector struct {
+	kind Kind // payload kind; KindVariant marks the generic fallback
+
+	// ints carries INT values, TIMESTAMP microseconds and INTERVAL
+	// microseconds; exactly one payload slice is non-nil per vector.
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+
+	// nulls marks NULL positions; nil means the column has no NULLs.
+	nulls []bool
+
+	// vals is the generic fallback payload (mixed kinds or variants).
+	vals []Value
+
+	length int
+}
+
+// typedVectorKind reports whether a column holding only values of kind k
+// (plus NULLs) can use a typed payload slice.
+func typedVectorKind(k Kind) bool {
+	switch k {
+	case KindInt, KindFloat, KindString, KindBool, KindTimestamp, KindInterval:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewIntVector builds a typed vector over int64 payloads. kind must be
+// KindInt, KindTimestamp (microseconds since epoch) or KindInterval
+// (microseconds). nulls may be nil.
+func NewIntVector(kind Kind, ints []int64, nulls []bool) *Vector {
+	if kind != KindInt && kind != KindTimestamp && kind != KindInterval {
+		panic(fmt.Sprintf("types: NewIntVector kind %s", kind))
+	}
+	return &Vector{kind: kind, ints: ints, nulls: nulls, length: len(ints)}
+}
+
+// NewFloatVector builds a FLOAT vector. nulls may be nil.
+func NewFloatVector(floats []float64, nulls []bool) *Vector {
+	return &Vector{kind: KindFloat, floats: floats, nulls: nulls, length: len(floats)}
+}
+
+// NewStringVector builds a STRING vector. nulls may be nil.
+func NewStringVector(strs []string, nulls []bool) *Vector {
+	return &Vector{kind: KindString, strs: strs, nulls: nulls, length: len(strs)}
+}
+
+// NewBoolVector builds a BOOL vector. nulls may be nil.
+func NewBoolVector(bools []bool, nulls []bool) *Vector {
+	return &Vector{kind: KindBool, bools: bools, nulls: nulls, length: len(bools)}
+}
+
+// NewValueVector builds a generic (untyped) vector sharing vals.
+func NewValueVector(vals []Value) *Vector {
+	return &Vector{kind: KindVariant, vals: vals, length: len(vals)}
+}
+
+// NewConstVector builds a vector repeating v n times. Scalar kinds get a
+// typed payload so downstream fast paths stay engaged.
+func NewConstVector(v Value, n int) *Vector {
+	if v.IsNull() {
+		nulls := make([]bool, n)
+		for i := range nulls {
+			nulls[i] = true
+		}
+		return &Vector{kind: KindInt, ints: make([]int64, n), nulls: nulls, length: n}
+	}
+	switch v.kind {
+	case KindInt, KindTimestamp, KindInterval:
+		ints := make([]int64, n)
+		for i := range ints {
+			ints[i] = v.i
+		}
+		return &Vector{kind: v.kind, ints: ints, length: n}
+	case KindFloat:
+		floats := make([]float64, n)
+		for i := range floats {
+			floats[i] = v.f
+		}
+		return &Vector{kind: KindFloat, floats: floats, length: n}
+	case KindString:
+		strs := make([]string, n)
+		for i := range strs {
+			strs[i] = v.s
+		}
+		return &Vector{kind: KindString, strs: strs, length: n}
+	case KindBool:
+		bools := make([]bool, n)
+		for i := range bools {
+			bools[i] = v.b
+		}
+		return &Vector{kind: KindBool, bools: bools, length: n}
+	default:
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = v
+		}
+		return NewValueVector(vals)
+	}
+}
+
+// VectorFromValues builds a vector from a column of values, choosing a
+// typed payload when every non-NULL value shares one scalar kind and the
+// generic fallback otherwise.
+func VectorFromValues(vals []Value) *Vector {
+	kind := KindNull
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if kind == KindNull {
+			kind = v.kind
+			if !typedVectorKind(kind) {
+				return NewValueVector(vals)
+			}
+			continue
+		}
+		if v.kind != kind {
+			return NewValueVector(vals)
+		}
+	}
+	n := len(vals)
+	if kind == KindNull {
+		// All-NULL column: represent as a typed INT column of NULLs.
+		nulls := make([]bool, n)
+		for i := range nulls {
+			nulls[i] = true
+		}
+		return &Vector{kind: KindInt, ints: make([]int64, n), nulls: nulls, length: n}
+	}
+	var nulls []bool
+	setNull := func(i int) {
+		if nulls == nil {
+			nulls = make([]bool, n)
+		}
+		nulls[i] = true
+	}
+	out := &Vector{kind: kind, length: n}
+	switch kind {
+	case KindInt, KindTimestamp, KindInterval:
+		out.ints = make([]int64, n)
+		for i, v := range vals {
+			if v.IsNull() {
+				setNull(i)
+				continue
+			}
+			out.ints[i] = v.i
+		}
+	case KindFloat:
+		out.floats = make([]float64, n)
+		for i, v := range vals {
+			if v.IsNull() {
+				setNull(i)
+				continue
+			}
+			out.floats[i] = v.f
+		}
+	case KindString:
+		out.strs = make([]string, n)
+		for i, v := range vals {
+			if v.IsNull() {
+				setNull(i)
+				continue
+			}
+			out.strs[i] = v.s
+		}
+	case KindBool:
+		out.bools = make([]bool, n)
+		for i, v := range vals {
+			if v.IsNull() {
+				setNull(i)
+				continue
+			}
+			out.bools[i] = v.b
+		}
+	}
+	out.nulls = nulls
+	return out
+}
+
+// Len returns the number of elements.
+func (v *Vector) Len() int { return v.length }
+
+// Kind returns the payload kind; KindVariant marks the generic fallback
+// representation (which may hold values of any kind).
+func (v *Vector) Kind() Kind { return v.kind }
+
+// Typed reports whether the vector carries a typed payload of the given
+// kind (fast paths require matching typed payloads on both operands).
+func (v *Vector) Typed(k Kind) bool { return v.vals == nil && v.kind == k }
+
+// IsNull reports whether element i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	if v.vals != nil {
+		return v.vals[i].IsNull()
+	}
+	return v.nulls != nil && v.nulls[i]
+}
+
+// Nulls returns the null mask (nil when the column has no NULLs). Valid
+// only for typed vectors; callers must not mutate it.
+func (v *Vector) Nulls() []bool { return v.nulls }
+
+// Ints returns the int64 payload (INT values, TIMESTAMP or INTERVAL
+// microseconds). Valid only when Typed reports true for those kinds.
+func (v *Vector) Ints() []int64 { return v.ints }
+
+// Floats returns the float64 payload.
+func (v *Vector) Floats() []float64 { return v.floats }
+
+// Strs returns the string payload.
+func (v *Vector) Strs() []string { return v.strs }
+
+// Bools returns the bool payload.
+func (v *Vector) Bools() []bool { return v.bools }
+
+// Value reconstructs element i as a Value.
+func (v *Vector) Value(i int) Value {
+	if v.vals != nil {
+		return v.vals[i]
+	}
+	if v.nulls != nil && v.nulls[i] {
+		return Null
+	}
+	switch v.kind {
+	case KindInt, KindTimestamp, KindInterval:
+		return Value{kind: v.kind, i: v.ints[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: v.floats[i]}
+	case KindString:
+		return Value{kind: KindString, s: v.strs[i]}
+	case KindBool:
+		return Value{kind: KindBool, b: v.bools[i]}
+	default:
+		return Null
+	}
+}
+
+// Gather returns a new vector holding the elements at sel, in order.
+func (v *Vector) Gather(sel []int) *Vector {
+	n := len(sel)
+	if v.vals != nil {
+		vals := make([]Value, n)
+		for i, s := range sel {
+			vals[i] = v.vals[s]
+		}
+		return NewValueVector(vals)
+	}
+	out := &Vector{kind: v.kind, length: n}
+	if v.nulls != nil {
+		out.nulls = make([]bool, n)
+		for i, s := range sel {
+			out.nulls[i] = v.nulls[s]
+		}
+	}
+	switch {
+	case v.ints != nil:
+		out.ints = make([]int64, n)
+		for i, s := range sel {
+			out.ints[i] = v.ints[s]
+		}
+	case v.floats != nil:
+		out.floats = make([]float64, n)
+		for i, s := range sel {
+			out.floats[i] = v.floats[s]
+		}
+	case v.strs != nil:
+		out.strs = make([]string, n)
+		for i, s := range sel {
+			out.strs[i] = v.strs[s]
+		}
+	case v.bools != nil:
+		out.bools = make([]bool, n)
+		for i, s := range sel {
+			out.bools[i] = v.bools[s]
+		}
+	}
+	return out
+}
+
+// Batch is a columnar slice of a relation: parallel row IDs, row views
+// and column vectors over a fixed schema. A batch holds a dual
+// representation — row views (shared []Value rows) and column vectors —
+// each materialized lazily from the other on first use and cached, so a
+// batch built from storage rows only pays columnarization for columns an
+// expression actually touches, and a batch built by a vectorized
+// projection only materializes rows when a row-at-a-time operator
+// consumes it. Batches are immutable after construction and safe for
+// concurrent use; callers must not mutate returned slices.
+type Batch struct {
+	schema Schema
+	ids    []string
+
+	mu    sync.Mutex
+	rows  []Row
+	cols  []*Vector
+	bytes int64 // cached ApproxBytes sum; 0 = not yet computed
+}
+
+// NewBatch builds a batch over existing row views. ids and rows are
+// parallel and adopted without copying; rows are shared, not cloned.
+func NewBatch(schema Schema, ids []string, rows []Row) *Batch {
+	return &Batch{schema: schema, ids: ids, rows: rows}
+}
+
+// NewBatchFromCols builds a batch from column vectors (one per schema
+// column, all the same length as ids).
+func NewBatchFromCols(schema Schema, ids []string, cols []*Vector) *Batch {
+	return &Batch{schema: schema, ids: ids, cols: cols}
+}
+
+// BatchFromRowMap builds a batch from a stored row map, sorted by row ID
+// for deterministic scan order. Rows are shared with the map's values.
+func BatchFromRowMap(schema Schema, m map[string]Row) *Batch {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rows := make([]Row, len(ids))
+	for i, id := range ids {
+		rows[i] = m[id]
+	}
+	return NewBatch(schema, ids, rows)
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return len(b.ids) }
+
+// Schema returns the batch's schema.
+func (b *Batch) Schema() Schema { return b.schema }
+
+// IDs returns the row IDs; callers must not mutate the slice.
+func (b *Batch) IDs() []string { return b.ids }
+
+// ID returns row i's row ID.
+func (b *Batch) ID(i int) string { return b.ids[i] }
+
+// Row returns row i as a shared row view.
+func (b *Batch) Row(i int) Row { return b.Rows()[i] }
+
+// Rows returns the batch's row views, materializing them from the column
+// vectors on first use. Callers must not mutate the slice or its rows.
+func (b *Batch) Rows() []Row {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rows == nil {
+		n := len(b.ids)
+		rows := make([]Row, n)
+		width := len(b.cols)
+		backing := make(Row, n*width)
+		for i := 0; i < n; i++ {
+			row := backing[i*width : (i+1)*width : (i+1)*width]
+			for c, col := range b.cols {
+				row[c] = col.Value(i)
+			}
+			rows[i] = row
+		}
+		b.rows = rows
+	}
+	return b.rows
+}
+
+// Col returns column c as a vector, columnarizing it from the row views
+// on first use.
+func (b *Batch) Col(c int) *Vector {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cols == nil {
+		b.cols = make([]*Vector, len(b.schema.Columns))
+	}
+	if b.cols[c] == nil {
+		vals := make([]Value, len(b.rows))
+		for i, row := range b.rows {
+			if c < len(row) {
+				vals[i] = row[c]
+			}
+		}
+		b.cols[c] = VectorFromValues(vals)
+	}
+	return b.cols[c]
+}
+
+// ApproxBytes estimates the total in-memory footprint of the batch's
+// rows, computed once and cached (scan accounting reads it per scan).
+func (b *Batch) ApproxBytes() int64 {
+	rows := b.Rows()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.bytes == 0 {
+		var total int64
+		for _, r := range rows {
+			total += r.ApproxBytes()
+		}
+		b.bytes = total
+	}
+	return b.bytes
+}

@@ -1,0 +1,42 @@
+package dyntables
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchRefreshLoop(b *testing.B, columnar bool) {
+	e := New(WithConfig(Config{RefreshWorkers: 1, DisableColumnar: !columnar}))
+	defer e.Close()
+	s := e.NewSession()
+	s.MustExec(`CREATE WAREHOUSE wh`)
+	s.MustExec(`CREATE TABLE base (k INT, grp INT, v INT)`)
+	batch := ""
+	for i := 0; i < 4000; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %d)", i, i%37, i%101)
+		if (i+1)%500 == 0 {
+			s.MustExec(`INSERT INTO base VALUES ` + batch)
+			batch = ""
+		}
+	}
+	for i := 0; i < 8; i++ {
+		s.MustExec(fmt.Sprintf(
+			`CREATE DYNAMIC TABLE s_%02d TARGET_LAG = '2 minutes' WAREHOUSE = wh
+			 AS SELECT grp, count(*) c, sum(v) total FROM base WHERE grp %% 8 = %d GROUP BY grp`, i, i))
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.MustExec(fmt.Sprintf(`INSERT INTO base VALUES (%d, %d, %d)`, 10000+n, n%37, n%89))
+		e.AdvanceTime(2 * time.Minute)
+		if err := e.RunScheduler(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefreshColumnar(b *testing.B) { benchRefreshLoop(b, true) }
+func BenchmarkRefreshLegacy(b *testing.B)   { benchRefreshLoop(b, false) }

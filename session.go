@@ -645,6 +645,11 @@ type Rows struct {
 	root   *trace.Span
 	served int64
 
+	// unpin releases the storage version pins taken at plan time, which
+	// keep the cursor's snapshot safe from the compaction sweep. Nil for
+	// cursors opened over pin-free plans.
+	unpin func()
+
 	cur      types.Row
 	err      error
 	released bool
@@ -713,6 +718,9 @@ func (r *Rows) release() {
 	}
 	r.released = true
 	r.it.Close()
+	if r.unpin != nil {
+		r.unpin()
+	}
 	r.eng.cursors.Add(-1)
 	if r.sess == nil {
 		return

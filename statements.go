@@ -146,8 +146,10 @@ func (x *executor) planSelect(stmt *sql.SelectStmt) (plan.Node, map[int64]int64,
 }
 
 // runContext builds the executor environment reading the pinned versions.
+// With the columnar path enabled, batchable subtrees read shared
+// per-version column batches instead of copying the row map per scan.
 func (x *executor) runContext(pins map[int64]int64) *exec.Context {
-	return &exec.Context{
+	ctx := &exec.Context{
 		RowsOf: func(s *plan.Scan) (map[string]types.Row, error) {
 			seq, ok := pins[s.Table.ID()]
 			if !ok {
@@ -159,6 +161,47 @@ func (x *executor) runContext(pins map[int64]int64) *exec.Context {
 		Params: x.params,
 		Ctx:    x.ctx,
 	}
+	if x.e.ctrl.Columnar {
+		ctx.BatchOf = func(s *plan.Scan) (*types.Batch, error) {
+			seq, ok := pins[s.Table.ID()]
+			if !ok {
+				seq = int64(s.Table.VersionCount())
+			}
+			return s.Table.Batch(seq)
+		}
+	}
+	return ctx
+}
+
+// pinVersions takes a storage-level pin on every pinned (table, seq) of
+// the plan, so the compaction sweep cannot fold versions a live cursor
+// still reads. It runs while the statement read lock is held (the sweep
+// is a writer), so pin-taking is atomic with respect to sweeps. The
+// returned release function drops the pins; it must be called exactly
+// once.
+func pinVersions(p plan.Node, pins map[int64]int64) func() {
+	type pin struct {
+		t   *storage.Table
+		seq int64
+	}
+	var taken []pin
+	seen := make(map[int64]bool)
+	for _, scan := range plan.Scans(p) {
+		id := scan.Table.ID()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if seq, ok := pins[id]; ok {
+			scan.Table.Pin(seq)
+			taken = append(taken, pin{t: scan.Table, seq: seq})
+		}
+	}
+	return func() {
+		for _, p := range taken {
+			p.t.Unpin(p.seq)
+		}
+	}
 }
 
 // selectCursor opens a streaming cursor over a SELECT.
@@ -169,9 +212,10 @@ func (x *executor) selectCursor(stmt *sql.SelectStmt) (*Rows, error) {
 	}
 	x.e.cursors.Add(1)
 	return &Rows{
-		cols: p.Schema().Names(),
-		it:   exec.Stream(p, x.runContext(pins)),
-		eng:  x.e,
+		cols:  p.Schema().Names(),
+		it:    exec.Stream(p, x.runContext(pins)),
+		eng:   x.e,
+		unpin: pinVersions(p, pins),
 	}, nil
 }
 
@@ -947,6 +991,34 @@ func (x *executor) execAlterSystem(stmt *sql.AlterSystemStmt) (*Result, error) {
 		e.trc.SetSlowQueryMs(stmt.Value)
 		return &Result{Kind: "ALTER SYSTEM",
 			Message: fmt.Sprintf("SLOW_QUERY_MS = %d", stmt.Value)}, nil
+	case "COLUMNAR":
+		// Gates the columnar execution fast path (0 = row-at-a-time
+		// everywhere, 1 = columnar for batchable plans). Results are
+		// byte-identical either way; the switch exists for A/B
+		// measurement and as an escape hatch.
+		switch stmt.Value {
+		case 0:
+			e.ctrl.Columnar = false
+			return &Result{Kind: "ALTER SYSTEM", Message: "COLUMNAR = 0 (disabled)"}, nil
+		case 1:
+			e.ctrl.Columnar = true
+			return &Result{Kind: "ALTER SYSTEM", Message: "COLUMNAR = 1 (enabled)"}, nil
+		default:
+			return nil, fmt.Errorf("dyntables: COLUMNAR must be 0 or 1")
+		}
+	case "COMPACTION_HORIZON":
+		// Version-chain retention: n > 0 keeps the last n versions of
+		// every table readable and lets the scheduler's sweep fold older
+		// change sets into a snapshot; 0 disables compaction (unbounded
+		// time travel, the default). The sweep never folds a pinned
+		// version or a DT refresh frontier, so lowering the horizon takes
+		// effect gradually as cursors close and frontiers advance.
+		if stmt.Value < 0 {
+			return nil, fmt.Errorf("dyntables: COMPACTION_HORIZON must be >= 0 (0 = keep all versions)")
+		}
+		e.compactionHorizon = int(stmt.Value)
+		return &Result{Kind: "ALTER SYSTEM",
+			Message: fmt.Sprintf("COMPACTION_HORIZON = %d", stmt.Value)}, nil
 	case "ADAPTIVE_REFRESH":
 		// Gates the per-refresh REFRESH_MODE=AUTO chooser: 0 disables
 		// (AUTO falls back to its static resolution), 1 enables, n > 1

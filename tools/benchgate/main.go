@@ -1,0 +1,111 @@
+// Command benchgate is a benchstat-style regression gate over the
+// dtbench parallel-experiment result file. It compares a freshly
+// generated BENCH_parallel.json against the committed baseline and
+// fails (exit 1) when a host-independent metric regresses past its
+// tolerance or an absolute acceptance floor is missed:
+//
+//   - columnar_speedup (rows/sec-per-worker, columnar vs row-at-a-time
+//     on the same host and workload) must stay >= 1.5x
+//   - alloc_reduction_pct must stay >= 40%
+//   - allocs_per_row may regress at most 25% against the baseline
+//   - the virtual wave speedup may regress at most 10%
+//   - both byte-equivalence checks must hold
+//
+// Raw rows/sec is host-dependent and is reported but never gated, the
+// same stance benchstat takes on wall-clock numbers from different
+// machines.
+//
+// Usage:
+//
+//	go run ./tools/benchgate [-base BENCH_parallel.base.json] [-new BENCH_parallel.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result mirrors the gated subset of dyntables.ParallelRefreshResult.
+type result struct {
+	Speedup                   float64 `json:"speedup"`
+	RowsPerSecPerWorker       float64 `json:"rows_per_sec_per_worker"`
+	AllocsPerRow              float64 `json:"allocs_per_row"`
+	LegacyRowsPerSecPerWorker float64 `json:"legacy_rows_per_sec_per_worker"`
+	LegacyAllocsPerRow        float64 `json:"legacy_allocs_per_row"`
+	ColumnarSpeedup           float64 `json:"columnar_speedup"`
+	AllocReductionPct         float64 `json:"alloc_reduction_pct"`
+	IdenticalRows             bool    `json:"identical_rows"`
+	LegacyIdenticalRows       bool    `json:"legacy_identical_rows"`
+}
+
+func load(path string) (*result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	base := flag.String("base", "BENCH_parallel.base.json", "committed baseline result file")
+	fresh := flag.String("new", "BENCH_parallel.json", "freshly generated result file")
+	flag.Parse()
+
+	b, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	n, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	delta := func(old, new float64) string {
+		if old == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+	}
+	fmt.Printf("%-28s %12s %12s %9s\n", "metric", "base", "new", "delta")
+	row := func(name string, old, new float64) {
+		fmt.Printf("%-28s %12.2f %12.2f %9s\n", name, old, new, delta(old, new))
+	}
+	row("wave_speedup", b.Speedup, n.Speedup)
+	row("rows_per_sec_per_worker", b.RowsPerSecPerWorker, n.RowsPerSecPerWorker)
+	row("allocs_per_row", b.AllocsPerRow, n.AllocsPerRow)
+	row("columnar_speedup", b.ColumnarSpeedup, n.ColumnarSpeedup)
+	row("alloc_reduction_pct", b.AllocReductionPct, n.AllocReductionPct)
+
+	var failures []string
+	gate := func(ok bool, format string, args ...any) {
+		if !ok {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	gate(n.IdenticalRows, "serial/parallel contents diverged (identical_rows=false)")
+	gate(n.LegacyIdenticalRows, "columnar/legacy contents diverged (legacy_identical_rows=false)")
+	gate(n.ColumnarSpeedup >= 1.5,
+		"columnar_speedup %.2fx below the 1.5x acceptance floor", n.ColumnarSpeedup)
+	gate(n.AllocReductionPct >= 40,
+		"alloc_reduction_pct %.1f%% below the 40%% acceptance floor", n.AllocReductionPct)
+	gate(n.AllocsPerRow <= b.AllocsPerRow*1.25,
+		"allocs_per_row regressed %.2f -> %.2f (>25%% over baseline)", b.AllocsPerRow, n.AllocsPerRow)
+	gate(n.Speedup >= b.Speedup*0.90,
+		"wave speedup regressed %.2fx -> %.2fx (>10%% under baseline)", b.Speedup, n.Speedup)
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
